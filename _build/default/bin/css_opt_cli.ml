@@ -1,0 +1,174 @@
+(* css_opt — command-line driver: generate or load a design, run one of
+   the four flows, print the evaluation. *)
+
+module Design = Css_netlist.Design
+module Evaluator = Css_eval.Evaluator
+module Flow = Css_flow.Flow
+open Cmdliner
+
+let algo_conv =
+  let parse = function
+    | "ours" -> Ok Flow.Ours
+    | "ours-early" -> Ok Flow.Ours_early
+    | "iccss+" | "iccss" -> Ok Flow.Iccss_plus
+    | "fpm" -> Ok Flow.Fpm
+    | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S (ours|ours-early|iccss+|fpm)" s))
+  in
+  let print fmt a = Format.pp_print_string fmt (Flow.algo_name a) in
+  Arg.conv (parse, print)
+
+let benchmark =
+  let doc = "Synthetic benchmark to generate (sb1 sb3 sb4 sb5 sb7 sb10 sb16 sb18, or 'tiny')." in
+  Arg.(value & opt (some string) None & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc)
+
+let input =
+  let doc = "Load a design from $(docv) (format written by gen_design / Io.save)." in
+  Arg.(value & opt (some file) None & info [ "i"; "input" ] ~docv:"FILE" ~doc)
+
+let algo =
+  let doc = "Algorithm: ours, ours-early, iccss+, fpm." in
+  Arg.(value & opt algo_conv Flow.Ours & info [ "a"; "algo" ] ~docv:"ALGO" ~doc)
+
+let rounds =
+  let doc = "CSS+OPT rounds." in
+  Arg.(value & opt int 3 & info [ "r"; "rounds" ] ~docv:"N" ~doc)
+
+let scale =
+  let doc = "Scale factor applied to the generated benchmark's entity counts." in
+  Arg.(value & opt float 1.0 & info [ "s"; "scale" ] ~docv:"F" ~doc)
+
+let save_out =
+  let doc = "Write the optimized design to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let trace_flag =
+  let doc = "Print the per-iteration optimization trajectory (Fig. 8 style)." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let resize_flag =
+  let doc = "Also run the gate-sizing passes in each OPT phase." in
+  Arg.(value & flag & info [ "resize" ] ~doc)
+
+let cts_flag =
+  let doc = "Realize latency targets by inserting new LCBs (CTS guidance)." in
+  Arg.(value & flag & info [ "cts" ] ~doc)
+
+let verbose =
+  let doc = "Log flow and scheduler progress to stderr (-v info, -vv debug)." in
+  Arg.(value & flag_all & info [ "v"; "verbose" ] ~doc)
+
+let setup_uncertainty =
+  let doc = "Clock uncertainty margin applied to setup checks, ps." in
+  Arg.(value & opt float 0.0 & info [ "setup-uncertainty" ] ~docv:"PS" ~doc)
+
+let hold_uncertainty =
+  let doc = "Clock uncertainty margin applied to hold checks, ps." in
+  Arg.(value & opt float 0.0 & info [ "hold-uncertainty" ] ~docv:"PS" ~doc)
+
+let sdc =
+  let doc = "Apply an SDC-lite constraint file (see Css_netlist.Sdc)." in
+  Arg.(value & opt (some file) None & info [ "sdc" ] ~docv:"FILE" ~doc)
+
+let load_design benchmark input scale =
+  match (benchmark, input) with
+  | Some _, Some _ -> Error (`Msg "pass either --benchmark or --input, not both")
+  | None, None -> Error (`Msg "one of --benchmark or --input is required")
+  | None, Some file ->
+    (try Ok (Css_netlist.Io.load ~library:Css_liberty.Library.default file)
+     with Failure m -> Error (`Msg m))
+  | Some name, None -> (
+    let profile =
+      if name = "tiny" then Some Css_benchgen.Profile.tiny else Css_benchgen.Profile.by_name name
+    in
+    match profile with
+    | None -> Error (`Msg (Printf.sprintf "unknown benchmark %S" name))
+    | Some p ->
+      let p = if scale = 1.0 then p else Css_benchgen.Profile.scale scale p in
+      Ok (Css_benchgen.Generator.generate p))
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level
+    (match List.length verbose with
+    | 0 -> Some Logs.Warning
+    | 1 -> Some Logs.Info
+    | _ -> Some Logs.Debug)
+
+let main benchmark input algo rounds scale save_out trace_flag resize cts verbose su hu sdc =
+  setup_logs verbose;
+  match load_design benchmark input scale with
+  | Error (`Msg m) ->
+    prerr_endline ("css_opt: " ^ m);
+    1
+  | Ok design ->
+    let constraints =
+      match sdc with
+      | Some path ->
+        let c = Css_netlist.Sdc.load path in
+        Css_netlist.Sdc.apply c design;
+        Printf.printf "applied %s (%d latency windows)\n%!" path
+          (List.length c.Css_netlist.Sdc.latency_bounds);
+        c
+      | None -> Css_netlist.Sdc.empty
+    in
+    Printf.printf "design %s: %d cells, %d FFs, %d LCBs, %d nets\n%!" (Design.name design)
+      (Design.num_cells design)
+      (Array.length (Design.ffs design))
+      (Array.length (Design.lcbs design))
+      (Design.num_nets design);
+    let timer_cfg_pre =
+      {
+        Css_sta.Timer.default_config with
+        Css_sta.Timer.setup_uncertainty =
+          Float.max su constraints.Css_netlist.Sdc.setup_uncertainty;
+        Css_sta.Timer.hold_uncertainty =
+          Float.max hu constraints.Css_netlist.Sdc.hold_uncertainty;
+        Css_sta.Timer.early_derate =
+          Option.value ~default:Css_sta.Timer.default_config.Css_sta.Timer.early_derate
+            constraints.Css_netlist.Sdc.early_derate;
+      }
+    in
+    let before =
+      Evaluator.evaluate
+        ~config:{ Evaluator.default_config with Evaluator.timer = timer_cfg_pre }
+        design
+    in
+    Printf.printf "before: %s\n%!" (Evaluator.summary before);
+    let config =
+      {
+        Flow.default_config with
+        rounds;
+        Flow.use_resize = resize;
+        Flow.use_cts = cts;
+        Flow.timer = timer_cfg_pre;
+      }
+    in
+    let res = Flow.run ~config ~algo design in
+    Printf.printf "after:  %s\n" (Evaluator.summary res.Flow.report);
+    Printf.printf "%s: CSS %.2fs, OPT %.2fs, total %.2fs, %d edges extracted, HPWL +%.4f%%\n"
+      res.Flow.algo res.Flow.css_seconds res.Flow.opt_seconds res.Flow.total_seconds
+      res.Flow.extracted_edges res.Flow.hpwl_increase_pct;
+    if trace_flag then begin
+      print_endline "round phase        iter  wns_early  tns_early   wns_late   tns_late";
+      List.iter
+        (fun (p : Flow.trace_point) ->
+          Printf.printf "%5d %-12s %4d %10.2f %10.2f %10.2f %10.2f\n" p.Flow.round p.Flow.phase
+            p.Flow.iter p.Flow.wns_early p.Flow.tns_early p.Flow.wns_late p.Flow.tns_late)
+        res.Flow.trace
+    end;
+    (match save_out with
+    | Some path ->
+      Css_netlist.Io.save design path;
+      Printf.printf "wrote %s\n" path
+    | None -> ());
+    0
+
+let cmd =
+  let doc = "clock skew scheduling and slack optimization" in
+  let info = Cmd.info "css_opt" ~doc in
+  Cmd.v info
+    Term.(
+      const main $ benchmark $ input $ algo $ rounds $ scale $ save_out $ trace_flag
+      $ resize_flag $ cts_flag $ verbose $ setup_uncertainty $ hold_uncertainty $ sdc)
+
+let () = exit (Cmd.eval' cmd)

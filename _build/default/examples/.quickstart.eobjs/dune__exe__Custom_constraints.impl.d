@@ -1,0 +1,1 @@
+examples/custom_constraints.ml: Array Css_benchgen Css_eval Css_flow Css_geometry Css_netlist Css_sta List Option Printf

@@ -1,0 +1,1 @@
+examples/early_hold_fixing.ml: Array Css_benchgen Css_eval Css_flow Css_netlist Css_util Option Printf

@@ -1,0 +1,1 @@
+examples/early_hold_fixing.mli:

@@ -1,0 +1,1 @@
+examples/full_chip_flow.ml: Array Css_benchgen Css_eval Css_flow Css_netlist List Option Printf

@@ -1,0 +1,1 @@
+examples/full_chip_flow.mli:

@@ -1,0 +1,1 @@
+examples/incremental_whatif.ml: Array Css_benchgen Css_netlist Css_seqgraph Css_sta List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Css_benchgen Css_core Css_eval Css_netlist Css_opt Css_seqgraph Css_sta List Printf

@@ -1,0 +1,50 @@
+(* Hold-violation repair: the paper's Ours-Early engine against the FPM
+   baseline on the same design — the Table I "early" comparison at
+   example scale.
+
+   Run with:  dune exec examples/early_hold_fixing.exe *)
+
+module Design = Css_netlist.Design
+module Evaluator = Css_eval.Evaluator
+module Flow = Css_flow.Flow
+module Table = Css_util.Table
+
+let () =
+  let profile = Css_benchgen.Profile.scale 0.5 (Option.get (Css_benchgen.Profile.by_name "sb16")) in
+  let base = Css_benchgen.Generator.generate profile in
+  Printf.printf "design %s: %d cells, %d FFs, %d hold violations initially\n\n"
+    (Design.name base) (Design.num_cells base)
+    (Array.length (Design.ffs base))
+    (Evaluator.evaluate base).Evaluator.num_early_violations;
+
+  let run algo = Flow.run ~algo (Flow.clone base) in
+  let before = Evaluator.evaluate base in
+  let ours = run Flow.Ours_early in
+  let fpm = run Flow.Fpm in
+
+  let table = Table.create [ "solution"; "early WNS"; "early TNS"; "#viol"; "CSS s"; "edges" ] in
+  Table.set_aligns table Table.[ Left; Right; Right; Right; Right; Right ];
+  let row name (r : Evaluator.report) css edges =
+    Table.add_row table
+      [
+        name;
+        Printf.sprintf "%.2f" r.Evaluator.wns_early;
+        Printf.sprintf "%.2f" r.Evaluator.tns_early;
+        string_of_int r.Evaluator.num_early_violations;
+        css;
+        edges;
+      ]
+  in
+  row "initial" before "-" "-";
+  row "FPM [Kim et al.]" fpm.Flow.report
+    (Printf.sprintf "%.3f" fpm.Flow.css_seconds)
+    (string_of_int fpm.Flow.extracted_edges);
+  row "Ours-Early" ours.Flow.report
+    (Printf.sprintf "%.3f" ours.Flow.css_seconds)
+    (string_of_int ours.Flow.extracted_edges);
+  Table.print table;
+
+  Printf.printf
+    "\nThe iterative engine touches only violated endpoints; FPM extracts the\n\
+     complete early sequential graph up front (%d vs %d gate-level node visits).\n"
+    ours.Flow.cone_nodes fpm.Flow.cone_nodes

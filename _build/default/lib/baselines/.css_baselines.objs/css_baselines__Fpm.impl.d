@@ -1,0 +1,1 @@
+lib/baselines/fpm.ml: Array Css_core Css_netlist Css_seqgraph Css_sta Float

@@ -1,0 +1,1 @@
+lib/baselines/fpm.mli: Css_seqgraph Css_sta

@@ -1,0 +1,1 @@
+lib/baselines/iccss_plus.mli: Css_core Css_seqgraph Css_sta

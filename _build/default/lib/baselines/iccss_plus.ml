@@ -1,0 +1,24 @@
+module Extract = Css_seqgraph.Extract
+module Vertex = Css_seqgraph.Vertex
+module Scheduler = Css_core.Scheduler
+
+let extraction timer ~corner =
+  let verts = Vertex.of_design (Css_sta.Timer.design timer) in
+  let engine = Extract.Iccss.create timer verts ~corner in
+  let extraction =
+    {
+      Scheduler.extract = (fun () -> Extract.Iccss.extract_critical engine);
+      graph = Extract.Iccss.graph engine;
+      on_cap_hit =
+        (fun v ->
+          match Vertex.ff_of verts v with
+          | Some ff -> ignore (Extract.Iccss.extract_constraint_edges engine ff)
+          | None -> ());
+    }
+  in
+  (extraction, Extract.Iccss.stats engine)
+
+let run ?config timer ~corner =
+  let ext, stats = extraction timer ~corner in
+  let result = Scheduler.run ?config timer ext in
+  (result, stats)

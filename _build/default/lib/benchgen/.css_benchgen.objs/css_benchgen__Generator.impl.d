@@ -1,0 +1,1 @@
+lib/benchgen/generator.ml: Array Css_geometry Css_liberty Css_netlist Css_util Float Hashtbl List Option Printf Profile

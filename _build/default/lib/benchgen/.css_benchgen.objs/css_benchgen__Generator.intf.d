@@ -1,0 +1,1 @@
+lib/benchgen/generator.mli: Css_netlist Profile

@@ -1,0 +1,1 @@
+lib/benchgen/profile.mli:

@@ -1,0 +1,480 @@
+module Rng = Css_util.Rng
+module Vec = Css_util.Vec
+module Point = Css_geometry.Point
+module Rect = Css_geometry.Rect
+module Library = Css_liberty.Library
+module Cell = Css_liberty.Cell
+module Design = Css_netlist.Design
+
+type builder = {
+  rng : Rng.t;
+  design : Design.t;
+  die : Rect.t;
+  profile : Profile.t;
+  comb_masters : Cell.t array;
+  (* net construction is deferred: driver pin -> sink pins *)
+  nets : (Design.pin_id, Design.pin_id list ref) Hashtbl.t;
+  (* recent signal pool for taps: (driver pin, position, arrival estimate) *)
+  pool : (Design.pin_id * Point.t * float) Vec.t;
+  mutable gate_count : int;
+}
+
+let connect b ~driver ~sink =
+  match Hashtbl.find_opt b.nets driver with
+  | Some sinks -> sinks := sink :: !sinks
+  | None -> Hashtbl.replace b.nets driver (ref [ sink ])
+
+let flush_nets b =
+  let idx = ref 0 in
+  Hashtbl.iter
+    (fun driver sinks ->
+      incr idx;
+      ignore (Design.add_net b.design ~name:(Printf.sprintf "n%d" !idx) ~driver ~sinks:!sinks))
+    b.nets
+
+let jitter b sigma pos =
+  Rect.clamp b.die
+    (Point.make
+       (pos.Point.x +. Rng.gaussian b.rng ~mu:0.0 ~sigma)
+       (pos.Point.y +. Rng.gaussian b.rng ~mu:0.0 ~sigma))
+
+let lerp a b t =
+  Point.make
+    (a.Point.x +. (t *. (b.Point.x -. a.Point.x)))
+    (a.Point.y +. (t *. (b.Point.y -. a.Point.y)))
+
+(* Rough arrival bookkeeping used only to keep generated paths honest:
+   a tap must never become the critical input of a chain, otherwise
+   arrival times compound across unrelated chains and the design drowns
+   in accidental violations. *)
+let wire_est len = (0.04 *. len) +. (3e-6 *. len *. len)
+
+let stage_cell_est = 32.0
+
+let pool_window = 80
+
+let tap_radius = 1200.0
+
+let tap_margin = 25.0
+
+(* A signal a new gate input may tap: recent, close, and arriving early
+   enough that the primary chain input stays critical. *)
+let nearby_tap b pos ~current_est =
+  let n = Vec.length b.pool in
+  if n = 0 then None
+  else begin
+    let lo = max 0 (n - pool_window) in
+    let rec attempt k =
+      if k = 0 then None
+      else begin
+        let pin, p, est = Vec.get b.pool (Rng.int_in b.rng lo (n - 1)) in
+        let d = Point.manhattan p pos in
+        if d <= tap_radius && est +. wire_est d +. tap_margin <= current_est then Some pin
+        else attempt (k - 1)
+      end
+    in
+    attempt 5
+  end
+
+(* Build a combinational chain of [depth] gates from the signal at
+   [from_pin]/[from_pos] (arriving at [from_est]) towards [to_pos];
+   returns the final driver pin and its arrival estimate. Extra gate
+   inputs tap the pool, creating shared (non-critical) fan-in cones. *)
+let build_chain b ~from_pin ~from_pos ~from_est ~to_pos ~depth =
+  let sigp = ref from_pin and sigpos = ref from_pos and est = ref from_est in
+  for k = 1 to depth do
+    let t = float_of_int k /. float_of_int (depth + 1) in
+    let pos = jitter b (b.profile.Profile.cluster_sigma /. 2.0) (lerp from_pos to_pos t) in
+    let master = Rng.choose b.rng b.comb_masters in
+    b.gate_count <- b.gate_count + 1;
+    let cell =
+      Design.add_cell b.design
+        ~name:(Printf.sprintf "g%d" b.gate_count)
+        ~master:master.Cell.name ~pos
+    in
+    let seg = Point.manhattan !sigpos pos in
+    est := !est +. stage_cell_est +. wire_est seg;
+    (match master.Cell.inputs with
+    | [] -> assert false
+    | first :: rest ->
+      connect b ~driver:!sigp ~sink:(Design.cell_pin b.design cell first);
+      List.iter
+        (fun pin_name ->
+          let sink = Design.cell_pin b.design cell pin_name in
+          let driver =
+            if Rng.float b.rng 1.0 < b.profile.Profile.tap_prob then
+              match nearby_tap b pos ~current_est:!est with
+              | Some tap -> tap
+              | None -> !sigp
+            else !sigp
+          in
+          connect b ~driver ~sink)
+        rest);
+    sigp := Design.cell_pin b.design cell "Z";
+    sigpos := pos;
+    if Rng.bool b.rng then ignore (Vec.push b.pool (!sigp, pos, !est))
+  done;
+  (!sigp, !est)
+
+
+
+(* Estimated total delay of a depth-[d] chain spanning [dist]. *)
+let chain_est ~dist d =
+  let seg = dist /. float_of_int (d + 1) in
+  float_of_int d *. (stage_cell_est +. wire_est seg)
+
+(* Depth choices scale with geometry so the ok/violating split survives
+   any die size: a violating chain is deep enough to exceed [target]
+   delay; an ok chain is shallow enough to stay within [budget]. *)
+let violating_depth b ~dist ~target =
+  let lo, hi = b.profile.Profile.depth_violating in
+  let d = ref (Rng.int_in b.rng lo hi) in
+  while chain_est ~dist !d < target && !d < 60 do
+    incr d
+  done;
+  !d
+
+let ok_depth b ~dist ~budget =
+  let lo, hi = b.profile.Profile.depth_ok in
+  let d = ref (Rng.int_in b.rng lo hi) in
+  while chain_est ~dist !d > budget && !d > 1 do
+    decr d
+  done;
+  !d
+
+let generate (p : Profile.t) =
+  let rng = Rng.create p.seed in
+  let library = Library.default in
+  let die = Rect.make ~lx:0.0 ~ly:0.0 ~hx:p.die_side ~hy:p.die_side in
+  let design = Design.create ~name:p.name ~library ~die ~clock_period:p.clock_period () in
+  let b =
+    {
+      rng;
+      design;
+      die;
+      profile = p;
+      comb_masters = Array.of_list (Library.combinational library);
+      nets = Hashtbl.create 4096;
+      pool = Vec.create ();
+      gate_count = 0;
+    }
+  in
+  (* launch + capture overheads of a registered path, used by the
+     depth-targeting heuristics *)
+  let overhead = 80.0 in
+  (* ports: clock in the corner, data inputs west, outputs east *)
+  let clock_root = Design.add_port design ~name:"clk" ~dir:Design.In ~pos:(Point.make 0.0 0.0) in
+  Design.set_clock_root design clock_root;
+  let edge_spread n = p.die_side /. float_of_int (n + 1) in
+  let inputs =
+    Array.init p.num_inputs (fun i ->
+        Design.add_port design
+          ~name:(Printf.sprintf "in%d" i)
+          ~dir:Design.In
+          ~pos:(Point.make 0.0 (float_of_int (i + 1) *. edge_spread p.num_inputs)))
+  in
+  let outputs =
+    Array.init p.num_outputs (fun i ->
+        Design.add_port design
+          ~name:(Printf.sprintf "out%d" i)
+          ~dir:Design.Out
+          ~pos:(Point.make p.die_side (float_of_int (i + 1) *. edge_spread p.num_outputs)))
+  in
+  (* LCBs on a jittered grid *)
+  let grid = int_of_float (Float.ceil (sqrt (float_of_int p.num_lcbs))) in
+  let spacing = p.die_side /. float_of_int grid in
+  let lcbs =
+    Array.init p.num_lcbs (fun i ->
+        let row = i / grid and col = i mod grid in
+        let base =
+          Point.make ((float_of_int col +. 0.5) *. spacing) ((float_of_int row +. 0.5) *. spacing)
+        in
+        Design.add_cell design
+          ~name:(Printf.sprintf "lcb%d" i)
+          ~master:"LCB"
+          ~pos:(jitter b (spacing /. 10.0) base))
+  in
+  let lcb_pos i = Design.cell_pos design lcbs.(i) in
+  (* role assignment: [0, n_victims) hold victims, then cycle FFs, then
+     generic FFs *)
+  let n_victims = max 1 (int_of_float (p.hold_victim_frac *. float_of_int p.num_ffs)) in
+  let n_conflicts = min p.conflict_pairs n_victims in
+  let n_cycle_ffs = 2 * p.cycle_pairs in
+  let cycle_lo = n_victims in
+  let generic_lo = cycle_lo + n_cycle_ffs in
+  assert (generic_lo + 4 <= p.num_ffs);
+  (* First decide every FF's position and home LCB; create cells after.
+     Generic and cycle FFs scatter around a round-robin home LCB. Hold
+     victims sit *next to a generic launcher* but are clocked from a
+     *distant* LCB — the clock-branch imbalance that makes them hold
+     violations onto a short data path. *)
+  let pos_of = Array.make p.num_ffs Point.origin in
+  let home_of = Array.make p.num_ffs 0 in
+  let victim_launcher = Array.make n_victims 0 in
+  for i = generic_lo to p.num_ffs - 1 do
+    let home = i mod p.num_lcbs in
+    home_of.(i) <- home;
+    pos_of.(i) <- jitter b p.cluster_sigma (lcb_pos home)
+  done;
+  for i = cycle_lo to generic_lo - 1 do
+    let home = i mod p.num_lcbs in
+    home_of.(i) <- home;
+    pos_of.(i) <- jitter b p.cluster_sigma (lcb_pos home)
+  done;
+  let lo_branch, hi_branch = p.victim_branch in
+  let mid_branch = (lo_branch +. hi_branch) /. 2.0 in
+  for v = 0 to n_victims - 1 do
+    let u = Rng.int_in b.rng generic_lo (p.num_ffs - 1) in
+    victim_launcher.(v) <- u;
+    pos_of.(v) <- jitter b (p.cluster_sigma /. 3.0) pos_of.(u);
+    (* home LCB: the one whose distance from the victim best matches the
+       victim-branch range *)
+    let best = ref 0 and best_err = ref infinity in
+    for l = 0 to p.num_lcbs - 1 do
+      let d = Point.manhattan (lcb_pos l) pos_of.(v) in
+      let err =
+        if d < lo_branch then lo_branch -. d
+        else if d > hi_branch then d -. hi_branch
+        else Float.abs (d -. mid_branch) /. 1000.0
+      in
+      if err < !best_err then begin
+        best_err := err;
+        best := l
+      end
+    done;
+    home_of.(v) <- !best
+  done;
+  let ffs =
+    Array.init p.num_ffs (fun i ->
+        (* ~30% fast flops: heterogeneous setup/hold/c2q across endpoints *)
+        let master = if Rng.float b.rng 1.0 < 0.3 then "DFF_FAST" else "DFF" in
+        let ff =
+          Design.add_cell design ~name:(Printf.sprintf "ff%d" i) ~master ~pos:pos_of.(i)
+        in
+        connect b
+          ~driver:(Design.cell_pin design lcbs.(home_of.(i)) "CKO")
+          ~sink:(Design.cell_pin design ff "CK");
+        ff)
+  in
+  Array.iter
+    (fun lcb ->
+      connect b ~driver:(Design.port_pin design clock_root) ~sink:(Design.cell_pin design lcb "CKI"))
+    lcbs;
+  let ff_pos i = Design.cell_pos design ffs.(i) in
+  let q i = Design.cell_pin design ffs.(i) "Q" in
+  let d i = Design.cell_pin design ffs.(i) "D" in
+  let protected = Hashtbl.create 64 in
+  (* Spatial index of generic FFs: launchers are picked locally, as in a
+     placed design — long random launcher-receiver pairs would turn every
+     shallow chain into an accidental wire-delay violation. *)
+  let bin_size = 1500.0 in
+  let bins = Hashtbl.create 256 in
+  let bin_key (pos : Point.t) =
+    (int_of_float (pos.Point.x /. bin_size), int_of_float (pos.Point.y /. bin_size))
+  in
+  (* only "hub" FFs act as launchers: real designs concentrate fanout on
+     a fraction of registers, which is what makes the IC-CSS callback's
+     expand-everything strategy expensive *)
+  let is_hub i = i mod 8 = 0 in
+  for i = generic_lo to p.num_ffs - 1 do
+    if is_hub i then begin
+      let key = bin_key pos_of.(i) in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt bins key) in
+      Hashtbl.replace bins key (i :: prev)
+    end
+  done;
+  let any_generic ~avoid ~exclude_protected =
+    (* protected FFs (hold launchers) must keep their late headroom; the
+       hub preference is relaxed before the protection ever is *)
+    let rec pick tries =
+      let u = Rng.int_in b.rng generic_lo (p.num_ffs - 1) in
+      if
+        u <> avoid
+        && (is_hub u || tries > 16)
+        && ((not exclude_protected) || (not (Hashtbl.mem protected u)) || tries > 200)
+      then u
+      else pick (tries + 1)
+    in
+    pick 0
+  in
+  let local_launcher ~near ~avoid ~exclude_protected =
+    let kx, ky = bin_key near in
+    let cands = ref [] and count = ref 0 in
+    for dx = -1 to 1 do
+      for dy = -1 to 1 do
+        match Hashtbl.find_opt bins (kx + dx, ky + dy) with
+        | Some lst ->
+          List.iter
+            (fun i ->
+              if i <> avoid && ((not exclude_protected) || not (Hashtbl.mem protected i)) then begin
+                cands := i :: !cands;
+                incr count
+              end)
+            lst
+        | None -> ()
+      done
+    done;
+    if !count = 0 then any_generic ~avoid ~exclude_protected
+    else List.nth !cands (Rng.int b.rng !count)
+  in
+  (* hold victims: a (near-)direct path from the adjacent launcher *)
+  let conflict_launchers = ref [] in
+  for v = 0 to n_victims - 1 do
+    let u = victim_launcher.(v) in
+    if v < n_conflicts then conflict_launchers := u :: !conflict_launchers
+    else Hashtbl.replace protected u ();
+    (* one movable buffer on the short path, so the Section IV-B cell
+       movement has something to push when skew alone cannot finish *)
+    let sigp, _ =
+      build_chain b ~from_pin:(q u) ~from_pos:(ff_pos u) ~from_est:0.0 ~to_pos:(ff_pos v)
+        ~depth:1
+    in
+    connect b ~driver:sigp ~sink:(d v)
+  done;
+  (* conflict pairs: the hold launcher also drives a violating late chain
+     captured at an output port, so raising its latency is capped — the
+     unfixable residue of the paper's superblue7 *)
+  let reserved_outputs = Hashtbl.create 16 in
+  List.iteri
+    (fun i u ->
+      (* every conflict pair gets its own output port, reserved so the
+         generic output loop does not double-drive it *)
+      let oi = i mod p.num_outputs in
+      Hashtbl.replace reserved_outputs oi ();
+      let out = outputs.(oi) in
+      let to_pos = Design.port_pos design out in
+      let dist = Point.manhattan (ff_pos u) to_pos in
+      let target = (p.clock_period *. Rng.float_in b.rng 1.1 1.5) -. overhead in
+      let sigp, _ =
+        build_chain b ~from_pin:(q u) ~from_pos:(ff_pos u) ~from_est:0.0 ~to_pos
+          ~depth:(violating_depth b ~dist ~target)
+      in
+      connect b ~driver:sigp ~sink:(Design.port_pin design out))
+    !conflict_launchers;
+  (* sequential cycles: reciprocal violating chains *)
+  for k = 0 to p.cycle_pairs - 1 do
+    let a = cycle_lo + (2 * k) and c = cycle_lo + (2 * k) + 1 in
+    let chain from_i to_i =
+      let dist = Point.manhattan (ff_pos from_i) (ff_pos to_i) in
+      let target = (p.clock_period *. Rng.float_in b.rng 1.25 1.55) -. overhead in
+      let sigp, _ =
+        build_chain b ~from_pin:(q from_i) ~from_pos:(ff_pos from_i) ~from_est:0.0
+          ~to_pos:(ff_pos to_i) ~depth:(violating_depth b ~dist ~target)
+      in
+      connect b ~driver:sigp ~sink:(d to_i)
+    in
+    chain a c;
+    chain c a
+  done;
+  (* generic receivers: every remaining FF D pin gets one driving chain *)
+  for v = generic_lo to p.num_ffs - 1 do
+    let violating = Rng.float b.rng 1.0 < p.late_violation_frac in
+    let from_port = Rng.float b.rng 1.0 < p.port_path_frac in
+    let from_pin, from_pos =
+      if from_port then begin
+        let port = inputs.(Rng.int b.rng (max 1 p.num_inputs)) in
+        (Design.port_pin design port, Design.port_pos design port)
+      end
+      else begin
+        let u = local_launcher ~near:(ff_pos v) ~avoid:v ~exclude_protected:violating in
+        (q u, ff_pos u)
+      end
+    in
+    let dist = Point.manhattan from_pos (ff_pos v) in
+    let depth =
+      if violating then
+        violating_depth b ~dist ~target:((p.clock_period *. Rng.float_in b.rng 1.05 1.45) -. overhead)
+      else ok_depth b ~dist ~budget:((p.clock_period *. Rng.float_in b.rng 0.45 0.85) -. overhead)
+    in
+    let sigp, _ = build_chain b ~from_pin ~from_pos ~from_est:0.0 ~to_pos:(ff_pos v) ~depth in
+    connect b ~driver:sigp ~sink:(d v)
+  done;
+  (* output-port paths (ports taken by conflict chains are skipped) *)
+  Array.iteri
+    (fun oi out ->
+      if not (Hashtbl.mem reserved_outputs oi) then begin
+        let violating = Rng.float b.rng 1.0 < p.port_violation_frac in
+        let u =
+          local_launcher ~near:(Design.port_pos design out) ~avoid:(-1) ~exclude_protected:true
+        in
+        let to_pos = Design.port_pos design out in
+        let dist = Point.manhattan (ff_pos u) to_pos in
+        let depth =
+          if violating then
+            violating_depth b ~dist
+              ~target:((p.clock_period *. Rng.float_in b.rng 1.05 1.3) -. overhead)
+          else ok_depth b ~dist ~budget:((p.clock_period *. Rng.float_in b.rng 0.45 0.85) -. overhead)
+        in
+        let sigp, _ =
+          build_chain b ~from_pin:(q u) ~from_pos:(ff_pos u) ~from_est:0.0 ~to_pos ~depth
+        in
+        connect b ~driver:sigp ~sink:(Design.port_pin design out)
+      end)
+    outputs;
+  flush_nets b;
+  design
+
+(* Hand-crafted 3-FF design with one violation of each kind:
+
+   - setup: ffa -> 18-inverter chain -> ffb is too slow for T = 400ps;
+     raising ffb's latency repairs most of it (bounded by ffb's output
+     port path margin — the lexicographic balance is visible by hand);
+   - hold: ffb -> ffc is two wire-lengths short, while ffc is assigned to
+     a *distant* LCB (lcb1), so its capture clock arrives ~110ps after
+     ffb's — the clock-branch imbalance that creates hold victims. *)
+let micro () =
+  let library = Library.default in
+  let die = Rect.make ~lx:0.0 ~ly:0.0 ~hx:3000.0 ~hy:3000.0 in
+  let design = Design.create ~name:"micro" ~library ~die ~clock_period:400.0 () in
+  let clk = Design.add_port design ~name:"clk" ~dir:Design.In ~pos:(Point.make 0.0 0.0) in
+  Design.set_clock_root design clk;
+  let inp = Design.add_port design ~name:"in0" ~dir:Design.In ~pos:(Point.make 0.0 1500.0) in
+  let out0 = Design.add_port design ~name:"out0" ~dir:Design.Out ~pos:(Point.make 3000.0 1500.0) in
+  let out1 = Design.add_port design ~name:"out1" ~dir:Design.Out ~pos:(Point.make 3000.0 2000.0) in
+  let lcb0 = Design.add_cell design ~name:"lcb0" ~master:"LCB" ~pos:(Point.make 1000.0 1000.0) in
+  let lcb1 = Design.add_cell design ~name:"lcb1" ~master:"LCB" ~pos:(Point.make 2900.0 2900.0) in
+  let ffa = Design.add_cell design ~name:"ffa" ~master:"DFF" ~pos:(Point.make 1100.0 1000.0) in
+  let ffb = Design.add_cell design ~name:"ffb" ~master:"DFF" ~pos:(Point.make 1400.0 1100.0) in
+  (* ffc is placed next to ffb but clocked from the far lcb1 *)
+  let ffc = Design.add_cell design ~name:"ffc" ~master:"DFF" ~pos:(Point.make 1500.0 1200.0) in
+  let pin c name = Design.cell_pin design c name in
+  let net = ref 0 in
+  let add driver sinks =
+    incr net;
+    ignore (Design.add_net design ~name:(Printf.sprintf "n%d" !net) ~driver ~sinks)
+  in
+  add (Design.port_pin design clk) [ pin lcb0 "CKI"; pin lcb1 "CKI" ];
+  add (pin lcb0 "CKO") [ pin ffa "CK"; pin ffb "CK" ];
+  add (pin lcb1 "CKO") [ pin ffc "CK" ];
+  (* deep chain ffa -> ffb *)
+  let rec chain i driver =
+    if i = 0 then driver
+    else begin
+      let g =
+        Design.add_cell design
+          ~name:(Printf.sprintf "inv%d" i)
+          ~master:"INV_X1"
+          ~pos:
+            (Point.make
+               (1100.0 +. (float_of_int (19 - i) *. 90.0))
+               (1000.0 +. (float_of_int (19 - i) *. 60.0)))
+      in
+      add driver [ pin g "A" ];
+      chain (i - 1) (pin g "Z")
+    end
+  in
+  let last = chain 18 (pin ffa "Q") in
+  add last [ pin ffb "D" ];
+  (* short hold path ffb -> ffc, plus ffb's port path (the margin that
+     bounds how far ffb's latency may rise) *)
+  let bufo = Design.add_cell design ~name:"bufout" ~master:"BUF_X2" ~pos:(Point.make 2200.0 1400.0) in
+  add (pin ffb "Q") [ pin ffc "D"; pin bufo "A" ];
+  add (pin bufo "Z") [ Design.port_pin design out0 ];
+  (* keep every element observable/controllable *)
+  let bufi = Design.add_cell design ~name:"bufin" ~master:"BUF_X2" ~pos:(Point.make 500.0 1300.0) in
+  add (Design.port_pin design inp) [ pin bufi "A" ];
+  add (pin bufi "Z") [ pin ffa "D" ];
+  let bufc = Design.add_cell design ~name:"bufc" ~master:"BUF_X2" ~pos:(Point.make 2400.0 1900.0) in
+  add (pin ffc "Q") [ pin bufc "A" ];
+  add (pin bufc "Z") [ Design.port_pin design out1 ];
+  design

@@ -1,0 +1,28 @@
+(** The synthetic design generator.
+
+    Deterministically (from the profile's seed) builds a placed, routed-
+    by-star netlist with a two-level clock tree and an initial timing
+    state containing the structures clock skew scheduling feeds on:
+
+    - late (setup) violations on deep combinational chains;
+    - hold victims created by clock-branch imbalance: the victim FF sits
+      far from its home LCB while its launcher sits next to its own, so
+      the capture clock arrives late against a short data path;
+    - reciprocal violating pairs (sequential cycles) that bound what any
+      skew schedule can achieve;
+    - port-launched and port-captured paths that pin latency at the
+      supernodes;
+    - conflict pairs — hold victims whose launcher is itself
+      late-critical — which no schedule can fully repair;
+    - shared fan-in cones via signal taps, so endpoints see several
+      launchers.
+
+    Generated designs always pass [Design.check]. *)
+
+(** [generate profile] builds the design. *)
+val generate : Profile.t -> Css_netlist.Design.t
+
+(** [micro ()] is a 3-flip-flop hand-crafted design with one setup
+    violation and one hold violation with known values — the quickstart
+    and unit-test workhorse. *)
+val micro : unit -> Css_netlist.Design.t

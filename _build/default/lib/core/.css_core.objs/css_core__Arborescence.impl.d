@@ -1,0 +1,1 @@
+lib/core/arborescence.ml: Array Css_seqgraph Css_util List Queue

@@ -1,0 +1,1 @@
+lib/core/arborescence.mli: Css_seqgraph

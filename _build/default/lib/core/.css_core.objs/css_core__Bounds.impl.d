@@ -1,0 +1,1 @@
+lib/core/bounds.ml: Css_netlist Css_seqgraph Css_sta Float

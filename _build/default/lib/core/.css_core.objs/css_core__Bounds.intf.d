@@ -1,0 +1,1 @@
+lib/core/bounds.mli: Css_seqgraph Css_sta

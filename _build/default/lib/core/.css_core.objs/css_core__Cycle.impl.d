@@ -1,0 +1,1 @@
+lib/core/cycle.ml: Array Css_mmwc Css_seqgraph Float List

@@ -1,0 +1,1 @@
+lib/core/cycle.mli: Css_seqgraph

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Css_seqgraph Css_sta Scheduler

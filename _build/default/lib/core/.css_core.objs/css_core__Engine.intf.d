@@ -1,0 +1,1 @@
+lib/core/engine.mli: Css_seqgraph Css_sta Scheduler

@@ -1,0 +1,1 @@
+lib/core/optimum.ml: Css_mmwc Css_seqgraph Css_sta Float List Option

@@ -1,0 +1,1 @@
+lib/core/optimum.mli: Css_seqgraph Css_sta

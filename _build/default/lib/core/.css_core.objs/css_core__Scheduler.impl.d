@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Arborescence Array Bounds Css_netlist Css_seqgraph Css_sta Cycle Float List Logs Two_pass

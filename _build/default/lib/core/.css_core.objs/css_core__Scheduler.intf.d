@@ -1,0 +1,1 @@
+lib/core/scheduler.mli: Css_seqgraph Css_sta

@@ -1,0 +1,1 @@
+lib/core/two_pass.ml: Arborescence Array Css_seqgraph Float List

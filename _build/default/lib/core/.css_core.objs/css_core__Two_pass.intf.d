@@ -1,0 +1,1 @@
+lib/core/two_pass.mli: Arborescence Css_seqgraph

@@ -1,0 +1,44 @@
+(** Non-negative latency arborescence construction (Section III-C2).
+
+    Edges are attached in ascending weight order; a vertex accepts at most
+    one incoming tree edge, and an edge [e(u,v)] is admitted only when its
+    weight is strictly below the vertex out-weight [w^out_v] (Eq. 6) — the
+    condition the paper proves keeps weights non-decreasing from root to
+    leaf, which in turn keeps all two-pass latencies non-negative.
+
+    Vertices that never receive a parent are roots ([alpha = 0],
+    [beta = 0]); the path functions of Eq. (7) are computed for everyone
+    else. *)
+
+type t
+
+(** [build ~n ~fixed ~out_weight edges] constructs the forest over
+    vertices [0..n-1]. [fixed v] vertices never receive a parent (their
+    latency is pinned); [out_weight v] is Eq. (6)'s vertex weight, as
+    reported by the timer over *all* outgoing paths. Self-loops and edges
+    that would close a cycle are skipped. *)
+val build :
+  n:int ->
+  fixed:(int -> bool) ->
+  out_weight:(int -> float) ->
+  Css_seqgraph.Seq_graph.edge list ->
+  t
+
+(** [parent t v] is the tree parent ([-1] for roots). *)
+val parent : t -> int -> int
+
+(** [parent_weight t v] is the weight of [v]'s incoming tree edge.
+    @raise Invalid_argument on a root. *)
+val parent_weight : t -> int -> float
+
+(** [alpha t v] / [beta t v] are Eq. (7)'s path weight sum and length. *)
+val alpha : t -> int -> float
+
+val beta : t -> int -> int
+val is_root : t -> int -> bool
+val children : t -> int -> int list
+
+(** [skipped_cycle_edges t] counts admissible edges rejected only because
+    they would have closed a cycle — zero whenever the caller removed
+    cyclic structures first, asserted by the scheduler. *)
+val skipped_cycle_edges : t -> int

@@ -1,0 +1,24 @@
+(** Per-vertex latency bounds (Section III-C1).
+
+    Raising a flip-flop's clock latency trades slack between the two
+    corners. For the phase optimizing corner [c], a vertex [v] has:
+
+    - a *same-corner margin*: the worst slack among [v]'s outgoing paths
+      in the scheduling orientation, read straight off the timer with no
+      extraction. It feeds the virtual-endpoint edge of the two-pass
+      traversal, letting the lexicographic balance trade it off.
+    - a *cross-corner hard cap* (Eq. 11): [max(0, s)] of the opposite
+      corner's slack at the pin the latency raise would degrade. The
+      timer refreshes it every iteration, which is what spares the
+      algorithm from extracting constraint edges. *)
+
+(** [margin timer verts corner v] is the same-corner outgoing margin of
+    vertex [v] ([infinity] when unconstrained; meaningful for FF vertices
+    only — supernodes return [0.]). *)
+val margin :
+  Css_sta.Timer.t -> Css_seqgraph.Vertex.t -> Css_sta.Timer.corner -> Css_seqgraph.Vertex.id -> float
+
+(** [hard_cap timer verts corner v] is the Eq. (11) bound on this
+    iteration's latency increment ([0.] for supernodes). *)
+val hard_cap :
+  Css_sta.Timer.t -> Css_seqgraph.Vertex.t -> Css_sta.Timer.corner -> Css_seqgraph.Vertex.id -> float

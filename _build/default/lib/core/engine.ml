@@ -1,0 +1,19 @@
+module Extract = Css_seqgraph.Extract
+module Vertex = Css_seqgraph.Vertex
+
+let ours timer ~corner =
+  let verts = Vertex.of_design (Css_sta.Timer.design timer) in
+  let engine = Extract.Essential.create timer verts ~corner in
+  let extraction =
+    {
+      Scheduler.extract = (fun () -> Extract.Essential.round engine);
+      graph = Extract.Essential.graph engine;
+      on_cap_hit = (fun _ -> ());
+    }
+  in
+  (extraction, Extract.Essential.stats engine)
+
+let run_ours ?config timer ~corner =
+  let extraction, stats = ours timer ~corner in
+  let result = Scheduler.run ?config timer extraction in
+  (result, stats)

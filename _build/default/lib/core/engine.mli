@@ -1,0 +1,20 @@
+(** Wiring of the paper's extraction engine into the scheduler.
+
+    [ours timer ~corner] pairs {!Scheduler.run} with the iterative
+    essential extraction of Section III-B: each scheduler iteration runs
+    one Update-Extract round, and the Eq. (11) caps come from the timer
+    for free, so [on_cap_hit] does nothing. *)
+
+(** [ours timer ~corner] is the extraction plus its statistics record. *)
+val ours :
+  Css_sta.Timer.t ->
+  corner:Css_sta.Timer.corner ->
+  Scheduler.extraction * Css_seqgraph.Extract.stats
+
+(** [run_ours ?config timer ~corner] builds the engine and runs
+    Algorithm 1. *)
+val run_ours :
+  ?config:Scheduler.config ->
+  Css_sta.Timer.t ->
+  corner:Css_sta.Timer.corner ->
+  Scheduler.result * Css_seqgraph.Extract.stats

@@ -1,0 +1,37 @@
+module Seq_graph = Css_seqgraph.Seq_graph
+module Vertex = Css_seqgraph.Vertex
+module Extract = Css_seqgraph.Extract
+module Timer = Css_sta.Timer
+module Digraph = Css_mmwc.Digraph
+module Karp = Css_mmwc.Karp
+
+let achievable_wns graph ~fixed =
+  let verts = Seq_graph.vertices graph in
+  let n = Vertex.num verts in
+  (* contract all fixed vertices into vertex id [n] *)
+  let contracted = n in
+  let map v = if fixed v then contracted else v in
+  let edges =
+    List.filter_map
+      (fun (e : Seq_graph.edge) ->
+        let u = map e.src and v = map e.dst in
+        (* an edge entirely between fixed vertices is a self-loop of the
+           contraction: a length-1 "cycle" whose weight is itself the
+           invariant — keep it, Karp's SCC pass sees self-loops *)
+        Some (u, v, e.weight))
+      (Seq_graph.edges graph)
+  in
+  let g = Digraph.make ~n:(n + 1) edges in
+  Option.map fst (Karp.min_mean_cycle g)
+
+let gap timer ~corner =
+  let design = Timer.design timer in
+  let verts = Vertex.of_design design in
+  let graph, _ = Extract.Full.extract timer verts ~corner in
+  let is_super v = Vertex.is_super verts v in
+  let bound =
+    match achievable_wns graph ~fixed:is_super with
+    | None -> 0.0
+    | Some b -> Float.min 0.0 b
+  in
+  (bound, Timer.wns timer corner)

@@ -1,0 +1,27 @@
+(** The theoretical limit of clock skew scheduling on a sequential graph.
+
+    Classic result (Albrecht et al.): with arbitrary real latencies, the
+    best achievable worst slack equals the minimum cycle mean of the
+    graph in which all *fixed-latency* vertices (the port supernodes,
+    pinned cycles, bounded flops treated as immovable) are contracted
+    into a single vertex — a fixed-to-fixed path is a "cycle" through
+    the contraction because its end latencies cannot move relative to
+    each other, so its weight sum is invariant under any schedule.
+
+    The scheduler can never beat this bound; on designs whose
+    cross-corner caps do not bind it should approach it. The bench
+    prints the bound against the achieved WNS as an optimality gap. *)
+
+(** [achievable_wns graph ~fixed] is the bound for the (fully extracted)
+    sequential graph: [None] when the contracted graph is acyclic — every
+    edge can then be driven to non-negative slack, i.e. the bound is 0 or
+    better. [fixed v] marks vertices whose latency cannot change; the
+    supernodes must be among them. *)
+val achievable_wns :
+  Css_seqgraph.Seq_graph.t -> fixed:(Css_seqgraph.Vertex.id -> bool) -> float option
+
+(** [gap timer ~corner] is a convenience report for one corner of a
+    design: performs a full extraction, computes the bound with only the
+    supernodes fixed, and returns [(bound, current_wns)] where [bound] is
+    [min 0 (achievable)] — directly comparable to {!Css_sta.Timer.wns}. *)
+val gap : Css_sta.Timer.t -> corner:Css_sta.Timer.corner -> float * float

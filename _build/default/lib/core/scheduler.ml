@@ -1,0 +1,184 @@
+module Timer = Css_sta.Timer
+module Design = Css_netlist.Design
+module Vertex = Css_seqgraph.Vertex
+module Seq_graph = Css_seqgraph.Seq_graph
+
+let log_src = Logs.Src.create "css.scheduler" ~doc:"iterative clock skew scheduler"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  max_iterations : int;
+  eps : float;
+  verify_weights : bool;
+  stall_iterations : int;
+  nonneg_rule : bool;
+}
+
+let default_config =
+  {
+    max_iterations = 100;
+    eps = 1e-6;
+    verify_weights = false;
+    stall_iterations = 6;
+    nonneg_rule = true;
+  }
+
+type extraction = {
+  extract : unit -> int;
+  graph : Seq_graph.t;
+  on_cap_hit : Vertex.id -> unit;
+}
+
+type iteration = {
+  index : int;
+  wns_early : float;
+  tns_early : float;
+  wns_late : float;
+  tns_late : float;
+  edges_in_graph : int;
+  handled_cycle : bool;
+  max_increment : float;
+}
+
+type result = {
+  target_latency : float array;
+  iterations : int;
+  cycles_handled : int;
+  trace : iteration list;
+}
+
+let run ?(config = default_config) timer ext =
+  let graph = ext.graph in
+  let verts = Seq_graph.vertices graph in
+  let corner = Seq_graph.corner graph in
+  let design = Timer.design timer in
+  let n = Vertex.num verts in
+  let fixed = Array.make n false in
+  fixed.(Vertex.input_super verts) <- true;
+  fixed.(Vertex.output_super verts) <- true;
+  let is_fixed v = fixed.(v) in
+  let l_star = Array.make n 0.0 in
+  let trace = ref [] in
+  let cycles = ref 0 in
+  let record ~index ~handled_cycle ~max_increment =
+    trace :=
+      {
+        index;
+        wns_early = Timer.wns timer Timer.Early;
+        tns_early = Timer.tns timer Timer.Early;
+        wns_late = Timer.wns timer Timer.Late;
+        tns_late = Timer.tns timer Timer.Late;
+        edges_in_graph = Seq_graph.num_edges graph;
+        handled_cycle;
+        max_increment;
+      }
+      :: !trace
+  in
+  let apply increments =
+    let changed = ref [] in
+    for v = 0 to n - 1 do
+      if increments.(v) > 0.0 then
+        match Vertex.ff_of verts v with
+        | Some ff ->
+          Design.set_scheduled_latency design ff
+            (Design.scheduled_latency design ff +. increments.(v));
+          changed := ff :: !changed;
+          l_star.(v) <- l_star.(v) +. increments.(v)
+        | None -> ()
+    done;
+    Timer.update_latencies timer !changed;
+    Seq_graph.apply_latency_delta graph increments
+  in
+  let margin = Bounds.margin timer verts corner in
+  let hard_cap = Bounds.hard_cap timer verts corner in
+  (* Stall guard: increments can stay non-zero while the corner's negative
+     slack no longer improves (e.g. balancing churn around caps); a few
+     fruitless iterations end the loop. *)
+  let best_tns = ref neg_infinity in
+  let stall = ref 0 in
+  let progressed () =
+    let tns = Timer.tns timer corner in
+    if tns > !best_tns +. Float.max 0.1 config.eps then begin
+      best_tns := tns;
+      stall := 0;
+      true
+    end
+    else begin
+      incr stall;
+      !stall < config.stall_iterations
+    end
+  in
+  let rec iterate k =
+    if k > config.max_iterations then config.max_iterations
+    else begin
+      let added = ext.extract () in
+      if config.verify_weights then
+        Seq_graph.iter_edges graph (fun e ->
+            e.Seq_graph.weight <- Seq_graph.recompute_weight graph timer e);
+      (* Edges between two pinned vertices can never change again: keeping
+         them would re-detect already-handled cycles forever. *)
+      let neg_edges =
+        List.filter
+          (fun (e : Seq_graph.edge) ->
+            e.weight < -.config.eps && not (fixed.(e.src) && fixed.(e.dst)))
+          (Seq_graph.edges graph)
+      in
+      match Cycle.find_and_schedule ~n ~edges:neg_edges ~fixed:is_fixed ~hard_cap with
+      | Some cyc ->
+        Log.info (fun m ->
+            m "iter %d: cycle of %d vertices pinned at mean %.2f" k
+              (List.length cyc.Cycle.members) cyc.Cycle.mean);
+        List.iter (fun v -> fixed.(v) <- true) cyc.Cycle.members;
+        incr cycles;
+        apply cyc.Cycle.increments;
+        let max_increment = Array.fold_left Float.max 0.0 cyc.Cycle.increments in
+        record ~index:k ~handled_cycle:true ~max_increment;
+        (* cycle handling always makes structural progress (members are
+           pinned), so it never counts as a stall *)
+        ignore (progressed ());
+        stall := 0;
+        iterate (k + 1)
+      | None ->
+        let out_weight = if config.nonneg_rule then margin else fun _ -> infinity in
+        let arb = Arborescence.build ~n ~fixed:is_fixed ~out_weight neg_edges in
+        assert (Arborescence.skipped_cycle_edges arb = 0);
+        let tp = Two_pass.compute ~n ~edges:neg_edges ~arb ~fixed:is_fixed ~margin ~hard_cap in
+        let max_increment = Array.fold_left Float.max 0.0 tp.Two_pass.l in
+        if max_increment <= config.eps then begin
+          record ~index:k ~handled_cycle:false ~max_increment;
+          (* a rate-limited extractor may still be mid-discovery: zero
+             increments only terminate once extraction is quiescent too *)
+          if added > 0 then iterate (k + 1) else k
+        end
+        else begin
+          (* IC-CSS+ pays for constraint-edge extraction when the Eq. (11)
+             cap was the binding constraint for a vertex. *)
+          for v = 0 to n - 1 do
+            if (not fixed.(v)) && not (Arborescence.is_root arb v) then begin
+              let cap = hard_cap v in
+              let unconstrained =
+                tp.Two_pass.l.(Arborescence.parent arb v) -. Arborescence.parent_weight arb v
+              in
+              if tp.Two_pass.l.(v) +. 1e-9 >= cap && cap < unconstrained -. 1e-9 then
+                ext.on_cap_hit v
+            end
+          done;
+          apply tp.Two_pass.l;
+          Log.debug (fun m ->
+              m "iter %d: %d essential edges, max increment %.2f, %s TNS %.2f" k
+                (List.length neg_edges) max_increment
+                (match corner with Timer.Late -> "late" | Timer.Early -> "early")
+                (Timer.tns timer corner));
+          record ~index:k ~handled_cycle:false ~max_increment;
+          if progressed () then iterate (k + 1) else k
+        end
+    end
+  in
+  let iterations = iterate 1 in
+  {
+    target_latency = l_star;
+    iterations;
+    cycles_handled = !cycles;
+    trace = List.rev !trace;
+  }

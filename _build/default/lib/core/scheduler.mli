@@ -1,0 +1,73 @@
+(** The iterative clock skew scheduler — Algorithm 1 of the paper.
+
+    The scheduler is parameterized by an {!extraction} so the same loop
+    drives both the paper's engine (iterative essential extraction) and
+    the IC-CSS+ baseline (callback extraction + constraint-edge
+    callbacks):
+
+    {v
+    repeat
+      extract / update the partial sequential graph          (line 3)
+      if the essential edges contain a (min-mean) cycle then
+        cycle latency calculation; pin the cycle; continue   (lines 5-9)
+      build the non-negative arborescence                    (line 4)
+      two-pass latency calculation                           (line 10)
+      accumulate l*; apply latencies; propagate              (lines 11-12)
+    until no vertex received an increment                    (line 13)
+    v}
+
+    Latencies are applied as scheduled (virtual) latencies on the design;
+    the slack-optimization phase later realizes them physically. *)
+
+type config = {
+  max_iterations : int;  (** safety cap on the repeat loop *)
+  eps : float;  (** increments below this terminate the loop *)
+  verify_weights : bool;
+      (** re-derive every stored edge weight from the timer each iteration
+          instead of trusting the Eq. (10) update — a debugging mode *)
+  stall_iterations : int;
+      (** stop after this many consecutive iterations without TNS
+          improvement at the scheduling corner *)
+  nonneg_rule : bool;
+      (** enforce the Section III-C2 admission rule [w < w^out] during
+          arborescence construction; disabling it is the DESIGN.md A4
+          ablation *)
+}
+
+val default_config : config
+
+(** How the scheduler obtains sequential edges. *)
+type extraction = {
+  extract : unit -> int;
+      (** run one extraction round against the timer's current state;
+          returns the number of edges added *)
+  graph : Css_seqgraph.Seq_graph.t;  (** the partial sequential graph *)
+  on_cap_hit : Css_seqgraph.Vertex.id -> unit;
+      (** called when a vertex's Eq. (11) cross-corner cap was the binding
+          constraint — IC-CSS+ charges its constraint-edge extraction
+          here; the paper's engine does nothing *)
+}
+
+type iteration = {
+  index : int;
+  wns_early : float;
+  tns_early : float;
+  wns_late : float;
+  tns_late : float;
+  edges_in_graph : int;
+  handled_cycle : bool;
+  max_increment : float;
+}
+
+type result = {
+  target_latency : float array;
+      (** per-vertex accumulated [l*] relative to the run's start *)
+  iterations : int;
+  cycles_handled : int;
+  trace : iteration list;  (** chronological, one record per iteration *)
+}
+
+(** [run ?config timer extraction] executes Algorithm 1 for the corner of
+    [extraction.graph], mutating the design's scheduled latencies and the
+    timer. *)
+val run : ?config:config -> Css_sta.Timer.t -> extraction -> result

@@ -1,0 +1,90 @@
+module Seq_graph = Css_seqgraph.Seq_graph
+
+type result = {
+  l : float array;
+  l_max : float array;
+  w_avg : float array;
+}
+
+(* Kahn topological order over the edge list. *)
+let topo_order ~n edges =
+  let indeg = Array.make n 0 in
+  let out = Array.make n [] in
+  List.iter
+    (fun (e : Seq_graph.edge) ->
+      if e.src <> e.dst then begin
+        indeg.(e.dst) <- indeg.(e.dst) + 1;
+        out.(e.src) <- e :: out.(e.src)
+      end)
+    edges;
+  let order = Array.make n 0 in
+  let head = ref 0 and tail = ref 0 in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then begin
+      order.(!tail) <- v;
+      incr tail
+    end
+  done;
+  while !head < !tail do
+    let u = order.(!head) in
+    incr head;
+    List.iter
+      (fun (e : Seq_graph.edge) ->
+        indeg.(e.dst) <- indeg.(e.dst) - 1;
+        if indeg.(e.dst) = 0 then begin
+          order.(!tail) <- e.dst;
+          incr tail
+        end)
+      out.(u)
+  done;
+  if !tail <> n then invalid_arg "Two_pass.compute: essential edges contain a cycle";
+  (order, out)
+
+let compute ~n ~edges ~arb ~fixed ~margin ~hard_cap =
+  let edges = List.filter (fun (e : Seq_graph.edge) -> e.src <> e.dst) edges in
+  let order, out = topo_order ~n edges in
+  let l_max = Array.make n 0.0 in
+  let w_avg = Array.make n neg_infinity in
+  (* Pass 1: reverse topological; Eq. (12)(13) plus clamps. *)
+  for i = n - 1 downto 0 do
+    let u = order.(i) in
+    if fixed u then l_max.(u) <- 0.0
+    else begin
+      let a = Arborescence.alpha arb u and b = float_of_int (Arborescence.beta arb u) in
+      let consider w_uv lmax_succ =
+        let cand = (a +. w_uv +. lmax_succ) /. (b +. 1.0) in
+        if cand > w_avg.(u) then w_avg.(u) <- cand
+      in
+      (* extracted successors *)
+      List.iter
+        (fun (e : Seq_graph.edge) ->
+          let lmax_succ = if fixed e.dst then 0.0 else l_max.(e.dst) in
+          consider e.weight lmax_succ)
+        out.(u);
+      (* the virtual endpoint: the timer's same-corner outgoing margin *)
+      let m = margin u in
+      if m < infinity then consider m 0.0;
+      let raw =
+        if Arborescence.beta arb u = 0 then 0.0
+        else if w_avg.(u) = infinity || w_avg.(u) = neg_infinity then
+          (* no successor and no finite margin: the raise is unbounded
+             from this side; only the hard cap constrains it *)
+          infinity
+        else (b *. w_avg.(u)) -. a
+      in
+      let capped = Float.min raw (hard_cap u) in
+      l_max.(u) <- Float.max 0.0 capped
+    end
+  done;
+  (* Pass 2: topological; Eq. (14) along arborescence parent edges. *)
+  let l = Array.make n 0.0 in
+  Array.iter
+    (fun v ->
+      if (not (fixed v)) && not (Arborescence.is_root arb v) then begin
+        let p = Arborescence.parent arb v in
+        let w = Arborescence.parent_weight arb v in
+        let assigned = Float.min l_max.(v) (l.(p) -. w) in
+        l.(v) <- Float.max 0.0 assigned
+      end)
+    order;
+  { l; l_max; w_avg }

@@ -1,0 +1,29 @@
+(** Two-pass latency calculation (Section III-C3, Eq. 12-14).
+
+    Pass 1 walks the essential DAG in reverse topological order and
+    computes each vertex's maximum allowable latency [l^max] from the
+    averaged continuation through its successors (Eq. 12-13), including a
+    virtual endpoint carrying the timer-reported same-corner margin and
+    the Eq. (11) cross-corner hard cap. Pass 2 walks forward and assigns
+    the actual increment [l_v = min(l^max_v, l_parent - w_parent)]
+    (Eq. 14) along arborescence edges.
+
+    All returned increments are non-negative; fixed vertices get 0. *)
+
+type result = {
+  l : float array;  (** the latency increments [l^k] of this iteration *)
+  l_max : float array;  (** Eq. (13) after clamping *)
+  w_avg : float array;  (** Eq. (12) *)
+}
+
+(** [compute ~n ~edges ~arb ~fixed ~margin ~hard_cap] runs both passes.
+    [edges] must form a DAG (the scheduler removes cycles first).
+    @raise Invalid_argument if a cycle is detected among [edges]. *)
+val compute :
+  n:int ->
+  edges:Css_seqgraph.Seq_graph.edge list ->
+  arb:Arborescence.t ->
+  fixed:(int -> bool) ->
+  margin:(int -> float) ->
+  hard_cap:(int -> float) ->
+  result

@@ -1,0 +1,1 @@
+lib/eval/evaluator.ml: Array Css_geometry Css_netlist Css_sta List Printf

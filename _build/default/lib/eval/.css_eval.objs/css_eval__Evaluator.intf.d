@@ -1,0 +1,1 @@
+lib/eval/evaluator.mli: Css_netlist Css_sta

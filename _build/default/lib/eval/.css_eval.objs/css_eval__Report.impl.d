@@ -1,0 +1,1 @@
+lib/eval/report.ml: Array Buffer Css_netlist Css_sta List Printf String

@@ -1,0 +1,1 @@
+lib/flow/flow.ml: Array Css_baselines Css_core Css_eval Css_geometry Css_netlist Css_opt Css_seqgraph Css_sta Css_util Hashtbl List Logs

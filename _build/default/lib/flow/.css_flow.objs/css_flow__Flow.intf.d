@@ -1,0 +1,1 @@
+lib/flow/flow.mli: Css_core Css_eval Css_netlist Css_opt Css_sta

@@ -1,0 +1,330 @@
+module Timer = Css_sta.Timer
+module Design = Css_netlist.Design
+module Vertex = Css_seqgraph.Vertex
+module Scheduler = Css_core.Scheduler
+module Engine = Css_core.Engine
+module Extract = Css_seqgraph.Extract
+module Seq_graph = Css_seqgraph.Seq_graph
+module Reconnect = Css_opt.Reconnect
+module Cell_move = Css_opt.Cell_move
+module Evaluator = Css_eval.Evaluator
+module Wall_clock = Css_util.Wall_clock
+
+let log_src = Logs.Src.create "css.flow" ~doc:"end-to-end slack optimization flow"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type algo =
+  | Ours
+  | Ours_early
+  | Iccss_plus
+  | Fpm
+
+let algo_name = function
+  | Ours -> "Ours"
+  | Ours_early -> "Ours-Early"
+  | Iccss_plus -> "IC-CSS+"
+  | Fpm -> "FPM"
+
+type trace_point = {
+  round : int;
+  phase : string;
+  iter : int;
+  wns_early : float;
+  tns_early : float;
+  wns_late : float;
+  tns_late : float;
+}
+
+type result = {
+  algo : string;
+  benchmark : string;
+  report : Evaluator.report;
+  css_seconds : float;
+  opt_seconds : float;
+  total_seconds : float;
+  extracted_edges : int;
+  cone_nodes : int;
+  css_iterations : int;
+  hpwl_increase_pct : float;
+  trace : trace_point list;
+}
+
+type config = {
+  rounds : int;
+  timer : Timer.config;
+  scheduler : Scheduler.config;
+  reconnect : Reconnect.config;
+  cell_move : Cell_move.config;
+  use_resize : bool;
+  use_cts : bool;
+}
+
+let default_config =
+  {
+    rounds = 3;
+    timer = Timer.default_config;
+    scheduler = Scheduler.default_config;
+    reconnect = Reconnect.default_config;
+    cell_move = Cell_move.default_config;
+    use_resize = false;
+    use_cts = false;
+  }
+
+let clone design =
+  Css_netlist.Io.of_string ~library:(Design.library design) (Css_netlist.Io.to_string design)
+
+(* Mutable bookkeeping threaded through one flow run. The extraction
+   engines persist across rounds — the partial sequential graph keeps
+   growing incrementally over the whole flow, as in the paper, instead of
+   being rebuilt per phase. *)
+type engines = {
+  mutable ours_early : Extract.Essential.t option;
+  mutable ours_late : Extract.Essential.t option;
+  mutable iccss_early : Extract.Iccss.t option;
+  mutable iccss_late : Extract.Iccss.t option;
+}
+
+type run_state = {
+  cfg : config;
+  timer : Timer.t;
+  verts : Vertex.t;
+  engines : engines;
+  css_clock : Wall_clock.t;
+  opt_clock : Wall_clock.t;
+  mutable edges : int;
+  mutable cones : int;
+  mutable iterations : int;
+  mutable trace_rev : trace_point list;
+}
+
+let snapshot st ~round ~phase ~iter =
+  st.trace_rev <-
+    {
+      round;
+      phase;
+      iter;
+      wns_early = Timer.wns st.timer Timer.Early;
+      tns_early = Timer.tns st.timer Timer.Early;
+      wns_late = Timer.wns st.timer Timer.Late;
+      tns_late = Timer.tns st.timer Timer.Late;
+    }
+    :: st.trace_rev
+
+let record_scheduler_trace st ~round ~phase (res : Scheduler.result) =
+  List.iter
+    (fun (it : Scheduler.iteration) ->
+      st.trace_rev <-
+        {
+          round;
+          phase;
+          iter = it.Scheduler.index;
+          wns_early = it.Scheduler.wns_early;
+          tns_early = it.Scheduler.tns_early;
+          wns_late = it.Scheduler.wns_late;
+          tns_late = it.Scheduler.tns_late;
+        }
+        :: st.trace_rev)
+    res.Scheduler.trace
+
+let targets_of verts latencies =
+  let acc = ref [] in
+  Array.iteri
+    (fun v l ->
+      if l > 1e-9 then
+        match Vertex.ff_of verts v with
+        | Some ff -> acc := (ff, l) :: !acc
+        | None -> ())
+    latencies;
+  !acc
+
+(* Stored weights go stale whenever the OPT passes change latencies or
+   placement outside the scheduler's Eq. (10) bookkeeping; the timer
+   re-derives them in one sweep at the start of each CSS phase. *)
+let refresh_weights st graph =
+  Seq_graph.iter_edges graph (fun e ->
+      e.Seq_graph.weight <- Seq_graph.recompute_weight graph st.timer e)
+
+let ours_engine st corner =
+  let get, set =
+    match corner with
+    | Timer.Early -> ((fun () -> st.engines.ours_early), fun e -> st.engines.ours_early <- Some e)
+    | Timer.Late -> ((fun () -> st.engines.ours_late), fun e -> st.engines.ours_late <- Some e)
+  in
+  match get () with
+  | Some e -> e
+  | None ->
+    let e = Extract.Essential.create st.timer st.verts ~corner in
+    set e;
+    e
+
+let iccss_engine st corner =
+  let get, set =
+    match corner with
+    | Timer.Early ->
+      ((fun () -> st.engines.iccss_early), fun e -> st.engines.iccss_early <- Some e)
+    | Timer.Late -> ((fun () -> st.engines.iccss_late), fun e -> st.engines.iccss_late <- Some e)
+  in
+  match get () with
+  | Some e -> e
+  | None ->
+    let e = Extract.Iccss.create st.timer st.verts ~corner in
+    set e;
+    e
+
+(* One CSS phase with the given engine, followed by physical realization
+   and hold repair. *)
+let css_opt_phase st ~round ~corner ~engine =
+  let phase = match corner with Timer.Early -> "early" | Timer.Late -> "late" in
+  Wall_clock.start st.css_clock;
+  let targets =
+    match engine with
+    | `Ours ->
+      let eng = ours_engine st corner in
+      refresh_weights st (Extract.Essential.graph eng);
+      let extraction =
+        {
+          Scheduler.extract = (fun () -> Extract.Essential.round eng);
+          graph = Extract.Essential.graph eng;
+          on_cap_hit = (fun _ -> ());
+        }
+      in
+      let res = Scheduler.run ~config:st.cfg.scheduler st.timer extraction in
+      st.iterations <- st.iterations + res.Scheduler.iterations;
+      record_scheduler_trace st ~round ~phase:(phase ^ "-css") res;
+      targets_of st.verts res.Scheduler.target_latency
+    | `Iccss ->
+      let eng = iccss_engine st corner in
+      refresh_weights st (Extract.Iccss.graph eng);
+      let extraction =
+        {
+          Scheduler.extract = (fun () -> Extract.Iccss.extract_critical eng);
+          graph = Extract.Iccss.graph eng;
+          on_cap_hit =
+            (fun v ->
+              match Vertex.ff_of st.verts v with
+              | Some ff -> ignore (Extract.Iccss.extract_constraint_edges eng ff)
+              | None -> ());
+        }
+      in
+      let res = Scheduler.run ~config:st.cfg.scheduler st.timer extraction in
+      st.iterations <- st.iterations + res.Scheduler.iterations;
+      record_scheduler_trace st ~round ~phase:(phase ^ "-css") res;
+      targets_of st.verts res.Scheduler.target_latency
+    | `Fpm ->
+      let res, stats = Css_baselines.Fpm.run st.timer in
+      st.edges <- st.edges + stats.Extract.edges_extracted;
+      st.cones <- st.cones + stats.Extract.cone_nodes;
+      snapshot st ~round ~phase:(phase ^ "-css") ~iter:1;
+      targets_of res.Css_baselines.Fpm.vertices res.Css_baselines.Fpm.target_latency
+  in
+  Wall_clock.stop st.css_clock;
+  Wall_clock.start st.opt_clock;
+  let targets =
+    if st.cfg.use_cts && targets <> [] then begin
+      (* CTS guidance first: clusters get purpose-built LCBs; anything the
+         plan could not host falls back to reconnection *)
+      let plan = Css_opt.Cts_guide.plan st.timer ~targets in
+      let applied = Css_opt.Cts_guide.apply st.timer plan in
+      let hosted = Hashtbl.create 64 in
+      List.iter (fun ff -> Hashtbl.replace hosted ff ()) applied.Css_opt.Cts_guide.hosted;
+      List.filter (fun (ff, _) -> not (Hashtbl.mem hosted ff)) targets
+    end
+    else targets
+  in
+  ignore (Reconnect.realize ~config:st.cfg.reconnect st.timer ~targets);
+  ignore (Cell_move.repair_early ~config:st.cfg.cell_move st.timer);
+  if st.cfg.use_resize then begin
+    match corner with
+    | Timer.Late -> ignore (Css_opt.Resize.upsize_late st.timer)
+    | Timer.Early -> ignore (Css_opt.Resize.downsize_early st.timer)
+  end;
+  Wall_clock.stop st.opt_clock;
+  Log.info (fun m ->
+      m "round %d %s done: early %.1f/%.1f late %.1f/%.1f" round phase
+        (Timer.wns st.timer Timer.Early) (Timer.tns st.timer Timer.Early)
+        (Timer.wns st.timer Timer.Late) (Timer.tns st.timer Timer.Late));
+  snapshot st ~round ~phase:(phase ^ "-opt") ~iter:0
+
+let clean st =
+  Timer.wns st.timer Timer.Early >= 0.0 && Timer.wns st.timer Timer.Late >= 0.0
+
+let run ?(config = default_config) ~algo design =
+  let hpwl_before = Design.total_hpwl design in
+  let total_t0 = Wall_clock.now () in
+  let timer = Timer.build ~config:config.timer design in
+  let st =
+    {
+      cfg = config;
+      timer;
+      verts = Vertex.of_design design;
+      engines = { ours_early = None; ours_late = None; iccss_early = None; iccss_late = None };
+      css_clock = Wall_clock.create ();
+      opt_clock = Wall_clock.create ();
+      edges = 0;
+      cones = 0;
+      iterations = 0;
+      trace_rev = [];
+    }
+  in
+  snapshot st ~round:0 ~phase:"start" ~iter:0;
+  let engine, corners =
+    match algo with
+    | Ours -> (`Ours, [ Timer.Early; Timer.Late ])
+    | Ours_early -> (`Ours, [ Timer.Early ])
+    | Iccss_plus -> (`Iccss, [ Timer.Early; Timer.Late ])
+    | Fpm -> (`Fpm, [ Timer.Early ])
+  in
+  let rec rounds r =
+    if r <= config.rounds && not (clean st) then begin
+      List.iter (fun corner -> css_opt_phase st ~round:r ~corner ~engine) corners;
+      rounds (r + 1)
+    end
+  in
+  rounds 1;
+  (* hold touch-up: the interleaving ends on a late phase, whose
+     realization can leave small fresh hold violations; close them with
+     one final early pass (the sign-off ECO order) *)
+  if
+    (match algo with Ours | Iccss_plus -> true | Ours_early | Fpm -> false)
+    && Timer.wns st.timer Timer.Early < 0.0
+  then css_opt_phase st ~round:(config.rounds + 1) ~corner:Timer.Early ~engine;
+  (* engine statistics accumulate over the whole run; fold them in once *)
+  let add_essential = function
+    | Some e ->
+      let s = Extract.Essential.stats e in
+      st.edges <- st.edges + s.Extract.edges_extracted;
+      st.cones <- st.cones + s.Extract.cone_nodes
+    | None -> ()
+  in
+  let add_iccss = function
+    | Some e ->
+      let s = Extract.Iccss.stats e in
+      st.edges <- st.edges + s.Extract.edges_extracted;
+      st.cones <- st.cones + s.Extract.cone_nodes
+    | None -> ()
+  in
+  add_essential st.engines.ours_early;
+  add_essential st.engines.ours_late;
+  add_iccss st.engines.iccss_early;
+  add_iccss st.engines.iccss_late;
+  let total_seconds = Wall_clock.now () -. total_t0 in
+  let report =
+    Evaluator.evaluate
+      ~config:{ Evaluator.default_config with Evaluator.timer = config.timer }
+      design
+  in
+  {
+    algo = algo_name algo;
+    benchmark = Design.name design;
+    report;
+    css_seconds = Wall_clock.elapsed st.css_clock;
+    opt_seconds = Wall_clock.elapsed st.opt_clock;
+    total_seconds;
+    extracted_edges = st.edges;
+    cone_nodes = st.cones;
+    css_iterations = st.iterations;
+    hpwl_increase_pct =
+      Css_geometry.Hpwl.increase_pct ~before:hpwl_before ~after:report.Evaluator.hpwl;
+    trace = List.rev st.trace_rev;
+  }

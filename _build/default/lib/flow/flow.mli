@@ -1,0 +1,71 @@
+(** End-to-end slack optimization flows — the rows of Table I.
+
+    Each flow interleaves clock skew scheduling (CSS) with physical slack
+    optimization (OPT: LCB-FF reconnection + cell movement), in the
+    paper's staging: early slack optimization under late constraints,
+    then late optimization under early constraints, for a configurable
+    number of rounds (Fig. 8 shows this interleaving on superblue18).
+
+    Metrics follow Table I's columns: final early/late WNS/TNS as scored
+    by the independent evaluator, CSS and OPT wall-clock seconds, the
+    number of extracted sequential edges, and the HPWL increase. *)
+
+type algo =
+  | Ours  (** iterative essential extraction, both corners *)
+  | Ours_early  (** early corner only (the FPM comparison row) *)
+  | Iccss_plus  (** the modified IC-CSS baseline, both corners *)
+  | Fpm  (** fast predictive useful skew, early only *)
+
+val algo_name : algo -> string
+
+(** One sample of the optimization trajectory, for Fig. 8. *)
+type trace_point = {
+  round : int;
+  phase : string;  (** "early-css", "early-opt", "late-css", "late-opt" *)
+  iter : int;  (** scheduler iteration within the phase; 0 for OPT points *)
+  wns_early : float;
+  tns_early : float;
+  wns_late : float;
+  tns_late : float;
+}
+
+type result = {
+  algo : string;
+  benchmark : string;
+  report : Css_eval.Evaluator.report;  (** final, physically realized state *)
+  css_seconds : float;
+  opt_seconds : float;
+  total_seconds : float;
+  extracted_edges : int;
+  cone_nodes : int;
+  css_iterations : int;
+  hpwl_increase_pct : float;  (** vs. the design at flow start *)
+  trace : trace_point list;  (** chronological *)
+}
+
+type config = {
+  rounds : int;  (** CSS+OPT rounds per corner (default 3) *)
+  timer : Css_sta.Timer.config;  (** analysis corner setup (derates, uncertainties) *)
+  scheduler : Css_core.Scheduler.config;
+  reconnect : Css_opt.Reconnect.config;
+  cell_move : Css_opt.Cell_move.config;
+  use_resize : bool;
+      (** also run the gate-sizing passes in each OPT phase (the paper's
+          "logic path optimization" extension; default false) *)
+  use_cts : bool;
+      (** realize latency targets by inserting new LCBs via
+          {!Css_opt.Cts_guide} before falling back to reconnection
+          (the paper's "guide clock tree synthesis" extension;
+          default false) *)
+}
+
+val default_config : config
+
+(** [run ?config ~algo design] executes the flow, mutating [design], and
+    scores the final state with the evaluator. *)
+val run : ?config:config -> algo:algo -> Css_netlist.Design.t -> result
+
+(** [clone design] deep-copies a design through its textual form. The
+    copy's original-position anchors are its *current* positions, so
+    clone before moving cells. *)
+val clone : Css_netlist.Design.t -> Css_netlist.Design.t

@@ -1,0 +1,1 @@
+lib/geometry/hpwl.ml: List Rect

@@ -1,0 +1,1 @@
+lib/geometry/hpwl.mli: Point

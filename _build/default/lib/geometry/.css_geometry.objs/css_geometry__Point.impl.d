@@ -1,0 +1,1 @@
+lib/geometry/point.ml: Css_util Float Printf

@@ -1,0 +1,1 @@
+lib/geometry/steiner.ml: Array Hpwl List Point

@@ -1,0 +1,1 @@
+lib/geometry/steiner.mli: Point

@@ -1,0 +1,46 @@
+(* Prim's algorithm over the complete Manhattan-distance graph: fine for
+   net-sized point sets (fanout <= a few hundred). *)
+
+let rmst_edges points =
+  let pts = Array.of_list points in
+  let n = Array.length pts in
+  if n < 2 then []
+  else begin
+    let in_tree = Array.make n false in
+    let best_dist = Array.make n infinity in
+    let best_from = Array.make n 0 in
+    in_tree.(0) <- true;
+    for j = 1 to n - 1 do
+      best_dist.(j) <- Point.manhattan pts.(0) pts.(j)
+    done;
+    let edges = ref [] in
+    for _ = 1 to n - 1 do
+      let pick = ref (-1) in
+      for j = 0 to n - 1 do
+        if (not in_tree.(j)) && (!pick < 0 || best_dist.(j) < best_dist.(!pick)) then pick := j
+      done;
+      let j = !pick in
+      in_tree.(j) <- true;
+      edges := (best_from.(j), j) :: !edges;
+      for k = 0 to n - 1 do
+        if not in_tree.(k) then begin
+          let d = Point.manhattan pts.(j) pts.(k) in
+          if d < best_dist.(k) then begin
+            best_dist.(k) <- d;
+            best_from.(k) <- j
+          end
+        end
+      done
+    done;
+    List.rev !edges
+  end
+
+let rmst_length points =
+  let pts = Array.of_list points in
+  List.fold_left
+    (fun acc (i, j) -> acc +. Point.manhattan pts.(i) pts.(j))
+    0.0 (rmst_edges points)
+
+let net_ratio points =
+  let hpwl = Hpwl.of_points points in
+  if hpwl <= 0.0 then 1.0 else rmst_length points /. hpwl

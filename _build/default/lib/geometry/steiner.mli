@@ -1,0 +1,21 @@
+(** Rectilinear spanning-tree wirelength.
+
+    HPWL underestimates routed wirelength for high-fanout nets; the
+    rectilinear minimum spanning tree (RMST) is the standard tighter
+    estimate (within 1.5x of the optimal Steiner tree). Used as a
+    secondary wirelength metric in reports and available to cost
+    functions that want to price high-fanout reconnections more
+    honestly. *)
+
+(** [rmst_length points] is the total Manhattan length of a minimum
+    spanning tree over [points] (Prim's algorithm, O(n^2)); [0.] for
+    fewer than two points. *)
+val rmst_length : Point.t list -> float
+
+(** [rmst_edges points] additionally returns the chosen tree edges as
+    index pairs into the input list. *)
+val rmst_edges : Point.t list -> (int * int) list
+
+(** [net_ratio points] is [rmst / hpwl] — 1.0 for 2-pin nets, growing
+    with fanout ([1.0] when HPWL is zero). *)
+val net_ratio : Point.t list -> float

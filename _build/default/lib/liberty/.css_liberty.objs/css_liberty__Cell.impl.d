@@ -1,0 +1,1 @@
+lib/liberty/cell.ml: Delay_model List Printf String

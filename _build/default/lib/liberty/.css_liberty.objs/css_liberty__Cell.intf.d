@@ -1,0 +1,1 @@
+lib/liberty/cell.mli: Delay_model

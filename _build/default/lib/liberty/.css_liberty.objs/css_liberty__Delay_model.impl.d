@@ -1,0 +1,1 @@
+lib/liberty/delay_model.ml: Array Float

@@ -1,0 +1,1 @@
+lib/liberty/library.ml: Cell Delay_model Hashtbl List Printf Wire

@@ -1,0 +1,1 @@
+lib/liberty/library.mli: Cell Wire

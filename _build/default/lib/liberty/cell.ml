@@ -1,0 +1,84 @@
+type ff_params = {
+  setup : float;
+  hold : float;
+  clk_to_q : float;
+}
+
+type role =
+  | Combinational
+  | Flip_flop of ff_params
+  | Clock_buffer of { insertion : float }
+
+type arc = {
+  from_pin : string;
+  to_pin : string;
+  model : Delay_model.t;
+}
+
+type t = {
+  name : string;
+  inputs : string list;
+  outputs : string list;
+  arcs : arc list;
+  role : role;
+  input_cap : float;
+  drive_res : float;
+  area : float;
+}
+
+let has_duplicates names =
+  let sorted = List.sort compare names in
+  let rec loop = function
+    | a :: (b :: _ as rest) -> a = b || loop rest
+    | [ _ ] | [] -> false
+  in
+  loop sorted
+
+let make ~name ~inputs ~outputs ~arcs ~role ~input_cap ~drive_res ~area =
+  if has_duplicates (inputs @ outputs) then
+    invalid_arg (Printf.sprintf "Cell.make %s: duplicate pin names" name);
+  let known pin = List.mem pin inputs || List.mem pin outputs in
+  List.iter
+    (fun arc ->
+      if not (known arc.from_pin && known arc.to_pin) then
+        invalid_arg
+          (Printf.sprintf "Cell.make %s: arc %s->%s references unknown pin" name arc.from_pin
+             arc.to_pin))
+    arcs;
+  { name; inputs; outputs; arcs; role; input_cap; drive_res; area }
+
+let is_sequential c = match c.role with Flip_flop _ -> true | Combinational | Clock_buffer _ -> false
+
+let is_clock_buffer c =
+  match c.role with Clock_buffer _ -> true | Combinational | Flip_flop _ -> false
+
+let ff_params c =
+  match c.role with
+  | Flip_flop p -> p
+  | Combinational | Clock_buffer _ ->
+    invalid_arg (Printf.sprintf "Cell.ff_params: %s is not a flip-flop" c.name)
+
+let arc_between c ~from_pin ~to_pin =
+  List.find_opt (fun a -> a.from_pin = from_pin && a.to_pin = to_pin) c.arcs
+
+let same_interface a b =
+  let names = List.sort String.compare in
+  let arc_pairs c = List.sort compare (List.map (fun x -> (x.from_pin, x.to_pin)) c.arcs) in
+  let kind c =
+    match c.role with Combinational -> 0 | Flip_flop _ -> 1 | Clock_buffer _ -> 2
+  in
+  names a.inputs = names b.inputs
+  && names a.outputs = names b.outputs
+  && arc_pairs a = arc_pairs b
+  && kind a = kind b
+
+let family c =
+  match String.rindex_opt c.name '_' with
+  | Some i
+    when i + 1 < String.length c.name
+         && c.name.[i + 1] = 'X'
+         && String.for_all
+              (fun ch -> ch >= '0' && ch <= '9')
+              (String.sub c.name (i + 2) (String.length c.name - i - 2)) ->
+    String.sub c.name 0 i
+  | Some _ | None -> c.name

@@ -1,0 +1,73 @@
+(** Cell descriptors: the static part of a standard-cell library entry.
+
+    A cell lists its pins, its timing arcs (each input-to-output pair with
+    a delay model) and its sequential role. Flip-flops carry setup/hold
+    and clock-to-Q parameters; local clock buffers (LCBs) carry a fixed
+    insertion delay — the clock latency an FF sees is the LCB insertion
+    delay plus the Elmore delay of the LCB-to-FF branch. *)
+
+type ff_params = {
+  setup : float;  (** ps, Eq. (2)'s [t^setup] *)
+  hold : float;  (** ps, Eq. (1)'s [t^hold] *)
+  clk_to_q : float;  (** ps, Eq. (1)(2)'s [t^c2q] *)
+}
+
+type role =
+  | Combinational
+  | Flip_flop of ff_params
+  | Clock_buffer of { insertion : float  (** ps from clock root to output *) }
+
+type arc = {
+  from_pin : string;
+  to_pin : string;
+  model : Delay_model.t;
+}
+
+type t = {
+  name : string;
+  inputs : string list;  (** data/clock input pin names *)
+  outputs : string list;
+  arcs : arc list;
+  role : role;
+  input_cap : float;  (** fF presented by each input pin *)
+  drive_res : float;  (** output drive resistance feeding the wire model *)
+  area : float;  (** square DBU, used by the generator's placement *)
+}
+
+(** [make ~name ~inputs ~outputs ~arcs ~role ~input_cap ~drive_res ~area]
+    validates pin references in arcs.
+    @raise Invalid_argument if an arc references an unknown pin or a pin
+    list contains duplicates. *)
+val make :
+  name:string ->
+  inputs:string list ->
+  outputs:string list ->
+  arcs:arc list ->
+  role:role ->
+  input_cap:float ->
+  drive_res:float ->
+  area:float ->
+  t
+
+(** [is_sequential c] is true for flip-flops. *)
+val is_sequential : t -> bool
+
+(** [is_clock_buffer c] is true for LCBs. *)
+val is_clock_buffer : t -> bool
+
+(** [ff_params c] are the sequential parameters.
+    @raise Invalid_argument if [c] is not a flip-flop. *)
+val ff_params : t -> ff_params
+
+(** [arc_between c ~from_pin ~to_pin] finds the arc if it exists. *)
+val arc_between : t -> from_pin:string -> to_pin:string -> arc option
+
+(** [same_interface a b] holds when the two cells expose identical pin
+    names, arc topology and role kind — the precondition for swapping one
+    master for the other in place (gate sizing). *)
+val same_interface : t -> t -> bool
+
+(** [family c] is the logic-function family implied by the cell's name:
+    the part before the drive-strength suffix ("NAND2_X1" -> "NAND2").
+    Cells without a ["_X<k>"] suffix are their own family. *)
+val family : t -> string

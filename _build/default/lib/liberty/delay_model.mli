@@ -1,0 +1,38 @@
+(** Cell-arc delay models.
+
+    Two models are supported, mirroring what a Liberty library provides:
+    a linear model (intrinsic delay plus drive resistance times load) and
+    a 2-D lookup table over (input slew, output load) with bilinear
+    interpolation and saturating extrapolation at the table edges.
+
+    All delays are in picoseconds, loads in femtofarads, slews in
+    picoseconds. *)
+
+type t =
+  | Linear of {
+      intrinsic : float;  (** load-independent delay, ps *)
+      resistance : float;  (** ps per fF of load *)
+      slew_impact : float;  (** ps of delay per ps of input slew *)
+    }
+  | Lut of {
+      slew_axis : float array;  (** ascending input-slew breakpoints *)
+      load_axis : float array;  (** ascending output-load breakpoints *)
+      delays : float array array;  (** [delays.(i).(j)] at slew i, load j *)
+    }
+
+(** [delay t ~slew ~load] evaluates the arc delay. *)
+val delay : t -> slew:float -> load:float -> float
+
+(** [output_slew t ~slew ~load] is the driven transition time. The simple
+    convention used throughout: a fixed fraction of the delay plus a floor,
+    which is monotone in both inputs for well-formed models. *)
+val output_slew : t -> slew:float -> load:float -> float
+
+(** [linear ~intrinsic ~resistance ?slew_impact ()] builds a linear model
+    ([slew_impact] defaults to [0.05]). *)
+val linear : intrinsic:float -> resistance:float -> ?slew_impact:float -> unit -> t
+
+(** [lut ~slew_axis ~load_axis ~delays] builds a table model.
+    @raise Invalid_argument if axes are empty, not strictly ascending, or
+    the value matrix does not match the axes. *)
+val lut : slew_axis:float array -> load_axis:float array -> delays:float array array -> t

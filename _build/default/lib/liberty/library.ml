@@ -1,0 +1,91 @@
+type t = {
+  wire : Wire.t;
+  by_name : (string, Cell.t) Hashtbl.t;
+  ordered : Cell.t list;
+}
+
+let make ~wire cells =
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Cell.t) ->
+      if Hashtbl.mem by_name c.name then
+        invalid_arg (Printf.sprintf "Library.make: duplicate cell %s" c.name);
+      Hashtbl.add by_name c.name c)
+    cells;
+  { wire; by_name; ordered = cells }
+
+let find t name =
+  match Hashtbl.find_opt t.by_name name with Some c -> c | None -> raise Not_found
+
+let find_opt t name = Hashtbl.find_opt t.by_name name
+
+let wire t = t.wire
+
+let cells t = t.ordered
+
+let combinational t =
+  List.filter (fun c -> not (Cell.is_sequential c || Cell.is_clock_buffer c)) t.ordered
+
+let variants t cell =
+  List.filter
+    (fun c -> Cell.family c = Cell.family cell && Cell.same_interface c cell)
+    t.ordered
+  |> List.sort (fun (a : Cell.t) b -> compare b.Cell.drive_res a.Cell.drive_res)
+
+let flip_flop t = List.find Cell.is_sequential t.ordered
+
+let clock_buffer t = List.find Cell.is_clock_buffer t.ordered
+
+(* The default technology. Delays in ps, caps in fF; a mix of linear and
+   LUT models so both evaluation paths are exercised by every design. *)
+let default =
+  let lin i r = Delay_model.linear ~intrinsic:i ~resistance:r () in
+  let lut base =
+    Delay_model.lut ~slew_axis:[| 2.0; 20.0; 80.0 |] ~load_axis:[| 1.0; 8.0; 32.0 |]
+      ~delays:
+        [|
+          [| base; base +. 6.0; base +. 22.0 |];
+          [| base +. 2.0; base +. 9.0; base +. 26.0 |];
+          [| base +. 7.0; base +. 15.0; base +. 34.0 |];
+        |]
+  in
+  let comb name inputs model ~cap ~res ~area =
+    Cell.make ~name ~inputs ~outputs:[ "Z" ]
+      ~arcs:(List.map (fun pin -> { Cell.from_pin = pin; to_pin = "Z"; model }) inputs)
+      ~role:Cell.Combinational ~input_cap:cap ~drive_res:res ~area
+  in
+  let ff =
+    let params = { Cell.setup = 40.0; hold = 20.0; clk_to_q = 35.0 } in
+    Cell.make ~name:"DFF" ~inputs:[ "D"; "CK" ] ~outputs:[ "Q" ]
+      ~arcs:[ { Cell.from_pin = "CK"; to_pin = "Q"; model = lin 35.0 1.2 } ]
+      ~role:(Cell.Flip_flop params) ~input_cap:1.8 ~drive_res:0.9 ~area:8.0
+  in
+  (* a faster, hold-hungrier flop so endpoints carry heterogeneous
+     setup/hold/c2q parameters through Eq. (1)(2) *)
+  let ff_fast =
+    let params = { Cell.setup = 30.0; hold = 15.0; clk_to_q = 27.0 } in
+    Cell.make ~name:"DFF_FAST" ~inputs:[ "D"; "CK" ] ~outputs:[ "Q" ]
+      ~arcs:[ { Cell.from_pin = "CK"; to_pin = "Q"; model = lin 27.0 0.8 } ]
+      ~role:(Cell.Flip_flop params) ~input_cap:2.2 ~drive_res:0.7 ~area:10.0
+  in
+  let lcb =
+    Cell.make ~name:"LCB" ~inputs:[ "CKI" ] ~outputs:[ "CKO" ]
+      ~arcs:[ { Cell.from_pin = "CKI"; to_pin = "CKO"; model = lin 45.0 0.5 } ]
+      ~role:(Cell.Clock_buffer { insertion = 45.0 }) ~input_cap:2.5 ~drive_res:1.0 ~area:6.0
+  in
+  make ~wire:Wire.default
+    [
+      comb "INV_X1" [ "A" ] (lin 12.0 1.8) ~cap:1.0 ~res:1.4 ~area:2.0;
+      comb "INV_X4" [ "A" ] (lin 9.0 0.6) ~cap:2.6 ~res:0.5 ~area:4.0;
+      comb "BUF_X2" [ "A" ] (lin 18.0 1.0) ~cap:1.3 ~res:0.8 ~area:3.0;
+      comb "BUF_X4" [ "A" ] (lin 14.0 0.5) ~cap:2.4 ~res:0.45 ~area:5.0;
+      comb "NAND2_X1" [ "A"; "B" ] (lut 16.0) ~cap:1.2 ~res:1.2 ~area:3.0;
+      comb "NAND2_X2" [ "A"; "B" ] (lut 11.0) ~cap:2.0 ~res:0.7 ~area:4.5;
+      comb "NOR2_X1" [ "A"; "B" ] (lut 19.0) ~cap:1.2 ~res:1.3 ~area:3.0;
+      comb "NOR2_X2" [ "A"; "B" ] (lut 13.0) ~cap:2.0 ~res:0.75 ~area:4.5;
+      comb "XOR2_X1" [ "A"; "B" ] (lut 28.0) ~cap:1.6 ~res:1.5 ~area:5.0;
+      comb "AOI21_X1" [ "A"; "B"; "C" ] (lut 23.0) ~cap:1.3 ~res:1.4 ~area:4.0;
+      ff;
+      ff_fast;
+      lcb;
+    ]

@@ -1,0 +1,38 @@
+(** A cell library: named cell descriptors plus the wire model.
+
+    [default] provides a small but realistic technology: inverters and
+    buffers in two drive strengths, 2-input NAND/NOR/XOR, AOI21, a D
+    flip-flop and a local clock buffer. The synthetic benchmark generator
+    composes designs exclusively from these cells. *)
+
+type t
+
+(** [make ~wire cells] indexes [cells] by name.
+    @raise Invalid_argument on duplicate cell names. *)
+val make : wire:Wire.t -> Cell.t list -> t
+
+(** [find t name] looks a cell up. @raise Not_found if absent. *)
+val find : t -> string -> Cell.t
+
+val find_opt : t -> string -> Cell.t option
+val wire : t -> Wire.t
+val cells : t -> Cell.t list
+
+(** [combinational t] are the non-sequential, non-LCB cells. *)
+val combinational : t -> Cell.t list
+
+(** [flip_flop t] is the library's flip-flop.
+    @raise Not_found if the library has none. *)
+val flip_flop : t -> Cell.t
+
+(** [clock_buffer t] is the library's LCB.
+    @raise Not_found if the library has none. *)
+val clock_buffer : t -> Cell.t
+
+(** [variants t cell] lists the cells interchangeable with [cell]: same
+    logic family (see {!Cell.family}) and pin interface, including [cell]
+    itself, sorted weakest drive first (descending drive resistance). *)
+val variants : t -> Cell.t -> Cell.t list
+
+(** [default] is the built-in technology library. *)
+val default : t

@@ -1,0 +1,33 @@
+(** Interconnect delay: the Elmore model on a star topology.
+
+    A net is modelled as a star from the driver to each sink; the Elmore
+    delay of a branch of Manhattan length [len] driven through [r_drive] is
+
+    {[ d(len) = r_drive * c_unit * len + r_unit * c_unit * len^2 / 2 ]}
+
+    The inverse ([length_for_delay], the paper's Eq. 16) converts a target
+    clock latency into a target LCB-to-FF distance for reconnection. *)
+
+type t = {
+  r_unit : float;  (** wire resistance, ohm-equivalent ps/(fF*DBU) scale *)
+  c_unit : float;  (** wire capacitance per DBU, fF *)
+}
+
+(** [default] is the technology used by the synthetic benchmarks. *)
+val default : t
+
+(** [make ~r_unit ~c_unit] builds a wire model.
+    @raise Invalid_argument on non-positive parameters. *)
+val make : r_unit:float -> c_unit:float -> t
+
+(** [delay t ~r_drive ~len] is the Elmore branch delay in ps for Manhattan
+    length [len] (DBU). *)
+val delay : t -> r_drive:float -> len:float -> float
+
+(** [cap t ~len] is the capacitive load the branch presents, fF. *)
+val cap : t -> len:float -> float
+
+(** [length_for_delay t ~r_drive ~target] is the branch length whose Elmore
+    delay equals [target] ps (0 when [target <= 0]); the positive root of
+    the quadratic. This is the Elmore conversion of Eq. (16). *)
+val length_for_delay : t -> r_drive:float -> target:float -> float

@@ -1,0 +1,1 @@
+lib/mmwc/digraph.ml: Array List Printf

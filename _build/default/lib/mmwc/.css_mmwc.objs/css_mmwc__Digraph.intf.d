@@ -1,0 +1,1 @@
+lib/mmwc/digraph.mli:

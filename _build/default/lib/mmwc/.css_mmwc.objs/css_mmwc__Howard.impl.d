@@ -1,0 +1,1 @@
+lib/mmwc/howard.ml: Array Digraph Float List Option Scc

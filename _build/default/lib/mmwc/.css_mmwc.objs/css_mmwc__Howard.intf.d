@@ -1,0 +1,1 @@
+lib/mmwc/howard.mli: Digraph

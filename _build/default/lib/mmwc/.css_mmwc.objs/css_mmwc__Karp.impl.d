@@ -1,0 +1,1 @@
+lib/mmwc/karp.ml: Array Digraph List Option Scc

@@ -1,0 +1,1 @@
+lib/mmwc/karp.mli: Digraph

@@ -1,0 +1,1 @@
+lib/mmwc/lawler.ml: Array Digraph Float List Option

@@ -1,0 +1,1 @@
+lib/mmwc/lawler.mli: Digraph

@@ -1,0 +1,1 @@
+lib/mmwc/scc.ml: Array Digraph List

@@ -1,0 +1,1 @@
+lib/mmwc/scc.mli: Digraph

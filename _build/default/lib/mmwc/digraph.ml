@@ -1,0 +1,40 @@
+type t = {
+  n : int;
+  adj : (int * float) list array;
+  edge_count : int;
+}
+
+let make ~n edges =
+  let adj = Array.make (max n 1) [] in
+  List.iter
+    (fun (u, v, w) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg (Printf.sprintf "Digraph.make: edge (%d,%d) out of range [0,%d)" u v n);
+      adj.(u) <- (v, w) :: adj.(u))
+    edges;
+  { n; adj; edge_count = List.length edges }
+
+let num_vertices t = t.n
+
+let num_edges t = t.edge_count
+
+let iter_out t v f = List.iter (fun (dst, w) -> f dst w) t.adj.(v)
+
+let edges t =
+  let acc = ref [] in
+  for u = t.n - 1 downto 0 do
+    List.iter (fun (v, w) -> acc := (u, v, w) :: !acc) t.adj.(u)
+  done;
+  !acc
+
+let induced t vs =
+  let old_of_new = Array.of_list vs in
+  let new_of_old = Array.make t.n (-1) in
+  Array.iteri (fun i v -> new_of_old.(v) <- i) old_of_new;
+  let sub_edges = ref [] in
+  Array.iteri
+    (fun i v ->
+      iter_out t v (fun dst w ->
+          if new_of_old.(dst) >= 0 then sub_edges := (i, new_of_old.(dst), w) :: !sub_edges))
+    old_of_new;
+  (make ~n:(Array.length old_of_new) !sub_edges, old_of_new)

@@ -1,0 +1,20 @@
+(** A small immutable weighted digraph shared by the cycle solvers. *)
+
+type t
+
+(** [make ~n edges] builds a graph on vertices [0..n-1]; edges are
+    [(src, dst, weight)].
+    @raise Invalid_argument on out-of-range vertex ids. *)
+val make : n:int -> (int * int * float) list -> t
+
+val num_vertices : t -> int
+val num_edges : t -> int
+
+(** [iter_out t v f] calls [f dst weight] for each out-edge of [v]. *)
+val iter_out : t -> int -> (int -> float -> unit) -> unit
+
+val edges : t -> (int * int * float) list
+
+(** [induced t vs] is the subgraph induced by vertex set [vs], together
+    with the mapping from new ids to original ids. *)
+val induced : t -> int list -> t * int array

@@ -1,0 +1,145 @@
+(* Multi-chain Howard policy iteration on one strongly connected
+   component (every vertex has an out-edge there). The policy graph is
+   functional, so following it from any vertex reaches exactly one cycle;
+   value determination labels each vertex with that cycle's mean (gain)
+   and a relative bias, and the improvement step switches any edge that
+   reaches a strictly smaller gain, or an equal gain with a smaller
+   bias. *)
+
+let eps = 1e-9
+
+let min_mean_cycle_scc sub =
+  let n = Digraph.num_vertices sub in
+  (* out-edge arrays *)
+  let out = Array.make n [] in
+  for u = 0 to n - 1 do
+    let lst = ref [] in
+    Digraph.iter_out sub u (fun v w -> lst := (v, w) :: !lst);
+    out.(u) <- !lst
+  done;
+  let policy = Array.map (fun l -> List.hd l) out in
+  let gain = Array.make n 0.0 in
+  let bias = Array.make n 0.0 in
+  (* value determination: walk the policy's functional graph *)
+  let determine () =
+    let state = Array.make n 0 (* 0 unseen, 1 in progress, 2 done *) in
+    let order = Array.make n 0 in
+    for s = 0 to n - 1 do
+      if state.(s) = 0 then begin
+        (* walk until we hit a processed vertex or close a cycle *)
+        let depth = ref 0 in
+        let v = ref s in
+        while state.(!v) = 0 do
+          state.(!v) <- 1;
+          order.(!depth) <- !v;
+          incr depth;
+          v := fst policy.(!v)
+        done;
+        if state.(!v) = 1 then begin
+          (* closed a new cycle at !v: compute its mean *)
+          let total = ref 0.0 and len = ref 0 in
+          let u = ref !v in
+          let continue_ = ref true in
+          while !continue_ do
+            total := !total +. snd policy.(!u);
+            incr len;
+            u := fst policy.(!u);
+            if !u = !v then continue_ := false
+          done;
+          let lambda = !total /. float_of_int !len in
+          (* biases around the cycle: fix bias(!v) = 0 *)
+          gain.(!v) <- lambda;
+          bias.(!v) <- 0.0;
+          state.(!v) <- 2;
+          (* walking forward: bias(prev) = w(prev,u) - lambda + bias(u),
+             i.e. bias(u) = bias(prev) - (w(prev,u) - lambda) *)
+          let u = ref (fst policy.(!v)) in
+          let prev = ref !v in
+          while !u <> !v do
+            bias.(!u) <- bias.(!prev) -. (snd policy.(!prev) -. lambda);
+            gain.(!u) <- lambda;
+            state.(!u) <- 2;
+            prev := !u;
+            u := fst policy.(!u)
+          done
+        end;
+        (* unwind the walked path (suffix may already be done) *)
+        for i = !depth - 1 downto 0 do
+          let u = order.(i) in
+          if state.(u) <> 2 then begin
+            let succ, w = policy.(u) in
+            gain.(u) <- gain.(succ);
+            bias.(u) <- (w -. gain.(succ)) +. bias.(succ);
+            state.(u) <- 2
+          end
+        done
+      end
+    done
+  in
+  (* policy improvement *)
+  let improve () =
+    let changed = ref false in
+    for u = 0 to n - 1 do
+      List.iter
+        (fun (v, w) ->
+          if
+            gain.(v) < gain.(u) -. eps
+            || (Float.abs (gain.(v) -. gain.(u)) <= eps
+               && w -. gain.(u) +. bias.(v) < bias.(u) -. eps)
+          then begin
+            policy.(u) <- (v, w);
+            changed := true
+          end)
+        out.(u)
+    done;
+    !changed
+  in
+  let guard = ref 0 in
+  determine ();
+  while improve () && !guard < 10 * n * n do
+    incr guard;
+    determine ()
+  done;
+  (* the optimal policy's best cycle *)
+  let best_v = ref 0 in
+  for v = 1 to n - 1 do
+    if gain.(v) < gain.(!best_v) then best_v := v
+  done;
+  (* walk the policy from best_v to its cycle and report it *)
+  let seen = Array.make n (-1) in
+  let v = ref !best_v in
+  let steps = ref 0 in
+  while seen.(!v) < 0 do
+    seen.(!v) <- !steps;
+    incr steps;
+    v := fst policy.(!v)
+  done;
+  let start = !v in
+  let cycle = ref [ start ] in
+  let u = ref (fst policy.(start)) in
+  while !u <> start do
+    cycle := !u :: !cycle;
+    u := fst policy.(!u)
+  done;
+  Some (gain.(!best_v), List.rev !cycle)
+
+let min_mean_cycle g =
+  let sccs = Scc.nontrivial g in
+  List.fold_left
+    (fun acc members ->
+      let sub, old_of_new = Digraph.induced g members in
+      match min_mean_cycle_scc sub with
+      | None -> acc
+      | Some (mean, cyc) ->
+        let cyc = List.map (fun v -> old_of_new.(v)) cyc in
+        (match acc with
+        | Some (best, _) when best <= mean -> acc
+        | Some _ | None -> Some (mean, cyc)))
+    None sccs
+
+let max_mean_cycle g =
+  let neg =
+    Digraph.make ~n:(Digraph.num_vertices g)
+      (List.map (fun (u, v, w) -> (u, v, -.w)) (Digraph.edges g))
+  in
+  Option.map (fun (mean, cyc) -> (-.mean, cyc)) (min_mean_cycle neg)

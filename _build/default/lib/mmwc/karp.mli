@@ -1,0 +1,15 @@
+(** Karp's minimum / maximum mean cycle algorithm.
+
+    Exact, [O(n*m)] per strongly connected component. In the slack-weighted
+    sequential graph the *minimum* mean cycle is the critical one: its mean
+    weight is the best slack any skew assignment can achieve on the cycle
+    (Section III-B2); the classic MMWC literature states the same result on
+    delay weights as a maximization. *)
+
+(** [min_mean_cycle g] is [Some (mean, cycle)] where [cycle] lists the
+    vertices of a cycle achieving the minimum mean edge weight, in cycle
+    order; [None] when [g] is acyclic. *)
+val min_mean_cycle : Digraph.t -> (float * int list) option
+
+(** [max_mean_cycle g] is the same on negated weights. *)
+val max_mean_cycle : Digraph.t -> (float * int list) option

@@ -1,0 +1,11 @@
+(** Lawler's minimum mean cycle algorithm: binary search on the mean with
+    Bellman-Ford negative-cycle detection. Used as an independent check of
+    {!Karp} and for graphs whose SCCs are too large for Karp's quadratic
+    table. *)
+
+(** [min_mean_cycle ?precision g] is [Some (mean, cycle)], [None] when
+    acyclic. [precision] bounds the binary-search error (default 1e-9). *)
+val min_mean_cycle : ?precision:float -> Digraph.t -> (float * int list) option
+
+(** [max_mean_cycle ?precision g] is the same on negated weights. *)
+val max_mean_cycle : ?precision:float -> Digraph.t -> (float * int list) option

@@ -1,0 +1,84 @@
+(* Iterative Tarjan: an explicit stack carries (vertex, remaining out
+   list) frames so deep sequential graphs cannot overflow the OCaml
+   stack. *)
+
+let components g =
+  let n = Digraph.num_vertices g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  let out = Array.make n [] in
+  for v = 0 to n - 1 do
+    let lst = ref [] in
+    Digraph.iter_out g v (fun dst _ -> lst := dst :: !lst);
+    out.(v) <- !lst
+  done;
+  let visit root =
+    let frames = ref [ (root, out.(root)) ] in
+    index.(root) <- !next_index;
+    lowlink.(root) <- !next_index;
+    incr next_index;
+    stack := root :: !stack;
+    on_stack.(root) <- true;
+    while !frames <> [] do
+      match !frames with
+      | [] -> ()
+      | (v, succs) :: rest -> (
+        match succs with
+        | w :: more ->
+          frames := (v, more) :: rest;
+          if index.(w) < 0 then begin
+            index.(w) <- !next_index;
+            lowlink.(w) <- !next_index;
+            incr next_index;
+            stack := w :: !stack;
+            on_stack.(w) <- true;
+            frames := (w, out.(w)) :: !frames
+          end
+          else if on_stack.(w) && index.(w) < lowlink.(v) then lowlink.(v) <- index.(w)
+        | [] ->
+          frames := rest;
+          (match rest with
+          | (parent, _) :: _ -> if lowlink.(v) < lowlink.(parent) then lowlink.(parent) <- lowlink.(v)
+          | [] -> ());
+          if lowlink.(v) = index.(v) then begin
+            let rec pop () =
+              match !stack with
+              | [] -> ()
+              | w :: tl ->
+                stack := tl;
+                on_stack.(w) <- false;
+                comp.(w) <- !next_comp;
+                if w <> v then pop ()
+            in
+            pop ();
+            incr next_comp
+          end)
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then visit v
+  done;
+  (comp, !next_comp)
+
+let nontrivial g =
+  let comp, k = components g in
+  let n = Digraph.num_vertices g in
+  let members = Array.make k [] in
+  for v = n - 1 downto 0 do
+    members.(comp.(v)) <- v :: members.(comp.(v))
+  done;
+  let has_self_loop v =
+    let found = ref false in
+    Digraph.iter_out g v (fun dst _ -> if dst = v then found := true);
+    !found
+  in
+  Array.to_list members
+  |> List.filter (function
+       | [] -> false
+       | [ v ] -> has_self_loop v
+       | _ :: _ :: _ -> true)

@@ -1,0 +1,14 @@
+(** Strongly connected components (Tarjan, iterative).
+
+    The scheduler uses SCCs to find sequential-graph cycles: any SCC with
+    more than one vertex — or a self-loop — contains a cycle whose
+    negative slack no skew assignment can eliminate (Section III-B2). *)
+
+(** [components g] assigns each vertex a component id in [0..k-1];
+    returns [(ids, k)]. Components are numbered in reverse topological
+    order of the condensation. *)
+val components : Digraph.t -> int array * int
+
+(** [nontrivial g] lists the vertex sets of SCCs that contain a cycle
+    (size >= 2, or a single vertex with a self-loop). *)
+val nontrivial : Digraph.t -> int list list

@@ -1,0 +1,1 @@
+lib/netlist/design.ml: Array Css_geometry Css_liberty Css_util Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/netlist/design.mli: Css_geometry Css_liberty

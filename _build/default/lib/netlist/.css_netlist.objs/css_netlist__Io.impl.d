@@ -1,0 +1,1 @@
+lib/netlist/io.ml: Array Buffer Css_geometry Css_liberty Design Fun Hashtbl List Printf String

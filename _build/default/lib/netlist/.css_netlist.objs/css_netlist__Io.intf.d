@@ -1,0 +1,1 @@
+lib/netlist/io.mli: Css_liberty Design

@@ -1,0 +1,1 @@
+lib/netlist/sdc.ml: Array Design Float Fun Hashtbl List Printf String

@@ -1,0 +1,349 @@
+module Vec = Css_util.Vec
+module Point = Css_geometry.Point
+module Rect = Css_geometry.Rect
+module Cell = Css_liberty.Cell
+module Library = Css_liberty.Library
+module Wire = Css_liberty.Wire
+
+type cell_id = int
+type pin_id = int
+type net_id = int
+type port_id = int
+
+type port_dir =
+  | In
+  | Out
+
+type pin_owner =
+  | Cell_pin of cell_id * string
+  | Port_pin of port_id
+
+type t = {
+  name : string;
+  library : Library.t;
+  die : Rect.t;
+  clock_period : float;
+  (* cells *)
+  cell_master : Cell.t Vec.t;
+  cell_name : string Vec.t;
+  cell_pos : Point.t Vec.t;
+  cell_orig_pos : Point.t Vec.t;
+  cell_pins : (string * pin_id) list Vec.t;
+  cell_sched_latency : float Vec.t;
+  (* ports *)
+  port_name : string Vec.t;
+  port_dir : port_dir Vec.t;
+  port_pos : Point.t Vec.t;
+  port_pin : pin_id Vec.t;
+  (* pins *)
+  pin_owner : pin_owner Vec.t;
+  pin_net : net_id option Vec.t;
+  (* nets *)
+  net_name : string Vec.t;
+  net_driver : pin_id option Vec.t;
+  net_sinks : pin_id Vec.t Vec.t;
+  (* clock *)
+  mutable clock_root : port_id option;
+  mutable ff_cache : cell_id array option;
+  mutable lcb_cache : cell_id array option;
+  latency_bounds : (cell_id, float * float) Hashtbl.t;
+}
+
+let create ~name ~library ~die ~clock_period () =
+  {
+    name;
+    library;
+    die;
+    clock_period;
+    cell_master = Vec.create ();
+    cell_name = Vec.create ();
+    cell_pos = Vec.create ();
+    cell_orig_pos = Vec.create ();
+    cell_pins = Vec.create ();
+    cell_sched_latency = Vec.create ();
+    port_name = Vec.create ();
+    port_dir = Vec.create ();
+    port_pos = Vec.create ();
+    port_pin = Vec.create ();
+    pin_owner = Vec.create ();
+    pin_net = Vec.create ();
+    net_name = Vec.create ();
+    net_driver = Vec.create ();
+    net_sinks = Vec.create ();
+    clock_root = None;
+    ff_cache = None;
+    lcb_cache = None;
+    latency_bounds = Hashtbl.create 16;
+  }
+
+let new_pin t owner =
+  let id = Vec.push t.pin_owner owner in
+  ignore (Vec.push t.pin_net None);
+  id
+
+let add_port t ~name ~dir ~pos =
+  let id = Vec.push t.port_name name in
+  ignore (Vec.push t.port_dir dir);
+  ignore (Vec.push t.port_pos pos);
+  let pin = new_pin t (Port_pin id) in
+  ignore (Vec.push t.port_pin pin);
+  id
+
+let add_cell t ~name ~master ~pos =
+  let cell = Library.find t.library master in
+  let id = Vec.push t.cell_master cell in
+  ignore (Vec.push t.cell_name name);
+  ignore (Vec.push t.cell_pos pos);
+  ignore (Vec.push t.cell_orig_pos pos);
+  ignore (Vec.push t.cell_sched_latency 0.0);
+  let pins =
+    List.map (fun pn -> (pn, new_pin t (Cell_pin (id, pn)))) (cell.Cell.inputs @ cell.Cell.outputs)
+  in
+  ignore (Vec.push t.cell_pins pins);
+  t.ff_cache <- None;
+  t.lcb_cache <- None;
+  id
+
+let pin_owner t p = Vec.get t.pin_owner p
+
+let pin_net t p = Vec.get t.pin_net p
+
+let cell_master t c = Vec.get t.cell_master c
+
+let pin_is_output t p =
+  match pin_owner t p with
+  | Port_pin port -> Vec.get t.port_dir port = In
+  | Cell_pin (c, pn) -> List.mem pn (cell_master t c).Cell.outputs
+
+let add_net t ~name ~driver ~sinks =
+  if not (pin_is_output t driver) then
+    invalid_arg (Printf.sprintf "Design.add_net %s: driver pin is not a signal source" name);
+  List.iter
+    (fun p ->
+      if pin_net t p <> None then
+        invalid_arg (Printf.sprintf "Design.add_net %s: pin already connected" name))
+    (driver :: sinks);
+  let id = Vec.push t.net_name name in
+  ignore (Vec.push t.net_driver (Some driver));
+  ignore (Vec.push t.net_sinks (Vec.of_list sinks));
+  Vec.set t.pin_net driver (Some id);
+  List.iter (fun p -> Vec.set t.pin_net p (Some id)) sinks;
+  id
+
+let net_add_sink t n p =
+  if pin_net t p <> None then invalid_arg "Design.net_add_sink: pin already connected";
+  if pin_is_output t p then invalid_arg "Design.net_add_sink: pin is a signal source";
+  ignore (Vec.push (Vec.get t.net_sinks n) p);
+  Vec.set t.pin_net p (Some n)
+
+let set_clock_root t port = t.clock_root <- Some port
+
+let name t = t.name
+let library t = t.library
+let die t = t.die
+let clock_period t = t.clock_period
+let num_cells t = Vec.length t.cell_master
+let num_pins t = Vec.length t.pin_owner
+let num_nets t = Vec.length t.net_name
+let num_ports t = Vec.length t.port_name
+let cell_name t c = Vec.get t.cell_name c
+let cell_pos t c = Vec.get t.cell_pos c
+let cell_orig_pos t c = Vec.get t.cell_orig_pos c
+
+let move_cell t c pos = Vec.set t.cell_pos c pos
+
+let swap_master t c master =
+  let next = Library.find t.library master in
+  let current = cell_master t c in
+  if not (Cell.same_interface current next) then
+    invalid_arg
+      (Printf.sprintf "Design.swap_master: %s and %s have different interfaces"
+         current.Cell.name next.Cell.name);
+  Vec.set t.cell_master c next
+
+let cell_pin t c pin_name =
+  match List.assoc_opt pin_name (Vec.get t.cell_pins c) with
+  | Some p -> p
+  | None -> raise Not_found
+
+let port_name t p = Vec.get t.port_name p
+let port_dir t p = Vec.get t.port_dir p
+let port_pos t p = Vec.get t.port_pos p
+let port_pin t p = Vec.get t.port_pin p
+
+let pin_pos t p =
+  match pin_owner t p with
+  | Cell_pin (c, _) -> cell_pos t c
+  | Port_pin port -> port_pos t port
+
+let net_name t n = Vec.get t.net_name n
+let net_driver t n = Vec.get t.net_driver n
+let net_sinks t n = Vec.to_list (Vec.get t.net_sinks n)
+let net_fanout t n = Vec.length (Vec.get t.net_sinks n)
+
+let iter_cells t f =
+  for c = 0 to num_cells t - 1 do
+    f c
+  done
+
+let iter_nets t f =
+  for n = 0 to num_nets t - 1 do
+    f n
+  done
+
+let iter_ports t f =
+  for p = 0 to num_ports t - 1 do
+    f p
+  done
+
+let is_ff t c = Cell.is_sequential (cell_master t c)
+
+let is_lcb t c = Cell.is_clock_buffer (cell_master t c)
+
+let collect t pred =
+  let acc = Vec.create () in
+  iter_cells t (fun c -> if pred c then ignore (Vec.push acc c));
+  Vec.to_array acc
+
+let ffs t =
+  match t.ff_cache with
+  | Some a -> a
+  | None ->
+    let a = collect t (is_ff t) in
+    t.ff_cache <- Some a;
+    a
+
+let lcbs t =
+  match t.lcb_cache with
+  | Some a -> a
+  | None ->
+    let a = collect t (is_lcb t) in
+    t.lcb_cache <- Some a;
+    a
+
+let clock_root t = t.clock_root
+
+let ck_pin_name = "CK"
+
+let lcb_out_pin_name = "CKO"
+
+let lcb_of_ff t ff =
+  let ck = cell_pin t ff ck_pin_name in
+  match pin_net t ck with
+  | None -> raise Not_found
+  | Some net -> (
+    match net_driver t net with
+    | None -> raise Not_found
+    | Some drv -> (
+      match pin_owner t drv with
+      | Cell_pin (c, _) when is_lcb t c -> c
+      | Cell_pin _ | Port_pin _ -> raise Not_found))
+
+let lcb_out_net t lcb =
+  match pin_net t (cell_pin t lcb lcb_out_pin_name) with
+  | Some n -> n
+  | None -> invalid_arg "Design: LCB has no output net"
+
+let ffs_of_lcb t lcb =
+  let net = lcb_out_net t lcb in
+  List.filter_map
+    (fun p ->
+      match pin_owner t p with
+      | Cell_pin (c, pn) when pn = ck_pin_name && is_ff t c -> Some c
+      | Cell_pin _ | Port_pin _ -> None)
+    (net_sinks t net)
+
+let lcb_fanout t lcb = net_fanout t (lcb_out_net t lcb)
+
+let reconnect_ff_to_lcb t ~ff ~lcb =
+  if not (is_lcb t lcb) then invalid_arg "Design.reconnect_ff_to_lcb: target is not an LCB";
+  let new_net = lcb_out_net t lcb in
+  let ck = cell_pin t ff ck_pin_name in
+  (match pin_net t ck with
+  | None -> ()
+  | Some old_net ->
+    let sinks = Vec.get t.net_sinks old_net in
+    (match Vec.find_index (fun p -> p = ck) sinks with
+    | None -> ()
+    | Some i ->
+      (* order within a net does not matter; swap-remove *)
+      let last = Vec.pop sinks in
+      if i < Vec.length sinks then Vec.set sinks i last);
+    Vec.set t.pin_net ck None);
+  ignore (Vec.push (Vec.get t.net_sinks new_net) ck);
+  Vec.set t.pin_net ck (Some new_net)
+
+let physical_clock_latency t ff =
+  match lcb_of_ff t ff with
+  | exception Not_found -> 0.0
+  | lcb ->
+    let master = cell_master t lcb in
+    let insertion =
+      match master.Cell.role with
+      | Cell.Clock_buffer { insertion } -> insertion
+      | Cell.Combinational | Cell.Flip_flop _ -> 0.0
+    in
+    let wire = Library.wire t.library in
+    let len = Point.manhattan (cell_pos t lcb) (cell_pos t ff) in
+    insertion +. Wire.delay wire ~r_drive:master.Cell.drive_res ~len
+
+let scheduled_latency t ff = Vec.get t.cell_sched_latency ff
+
+let set_scheduled_latency t ff v = Vec.set t.cell_sched_latency ff v
+
+let clear_scheduled_latencies t =
+  iter_cells t (fun c -> Vec.set t.cell_sched_latency c 0.0)
+
+let clock_latency t ff = physical_clock_latency t ff +. scheduled_latency t ff
+
+let set_latency_bounds t ff ~lo ~hi =
+  if lo < 0.0 || hi < 0.0 || lo > hi then
+    invalid_arg "Design.set_latency_bounds: need 0 <= lo <= hi";
+  Hashtbl.replace t.latency_bounds ff (lo, hi)
+
+let latency_bounds t ff =
+  Option.value ~default:(0.0, infinity) (Hashtbl.find_opt t.latency_bounds ff)
+
+let clear_latency_bounds t ff = Hashtbl.remove t.latency_bounds ff
+
+let net_pin_points t n =
+  let pts =
+    match net_driver t n with
+    | None -> []
+    | Some d -> [ pin_pos t d ]
+  in
+  pts @ List.map (pin_pos t) (net_sinks t n)
+
+let net_hpwl t n = Css_geometry.Hpwl.of_points (net_pin_points t n)
+
+let total_hpwl t =
+  let acc = ref 0.0 in
+  iter_nets t (fun n -> acc := !acc +. net_hpwl t n);
+  !acc
+
+let check t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  iter_nets t (fun n ->
+      (match net_driver t n with
+      | None -> err "net %s has no driver" (net_name t n)
+      | Some d ->
+        if pin_net t d <> Some n then err "net %s: driver pin points to another net" (net_name t n));
+      List.iter
+        (fun p ->
+          if pin_net t p <> Some n then err "net %s: sink pin points to another net" (net_name t n);
+          if pin_is_output t p then err "net %s: sink pin is a signal source" (net_name t n))
+        (net_sinks t n));
+  Array.iter
+    (fun ff ->
+      match lcb_of_ff t ff with
+      | exception Not_found -> err "flip-flop %s has no LCB clock source" (cell_name t ff)
+      | _ -> ())
+    (ffs t);
+  Array.iter
+    (fun lcb ->
+      match pin_net t (cell_pin t lcb "CKI") with
+      | None -> err "LCB %s has an unconnected clock input" (cell_name t lcb)
+      | Some _ -> ())
+    (lcbs t);
+  List.rev !errors

@@ -1,0 +1,207 @@
+(** The design database: cells, pins, nets, ports, placement, clock tree.
+
+    All entities are referenced by dense integer ids so the timing engine
+    can use flat arrays. Cells are instantiated from a
+    {!Css_liberty.Library.t} master; flip-flop clock pins connect to local
+    clock buffer (LCB) output nets, forming the two-level clock tree the
+    ICCAD-2015 contest uses: clock root port -> LCBs -> FFs.
+
+    The clock network is modelled analytically rather than as timing-graph
+    arcs: the physical clock latency of a flip-flop is the LCB insertion
+    delay plus the Elmore delay of the LCB-to-FF branch
+    ({!physical_clock_latency}). Clock skew scheduling explores *virtual*
+    latencies on top via {!set_scheduled_latency}; the optimization phase
+    then re-connects FFs to realize them physically. *)
+
+type cell_id = int
+type pin_id = int
+type net_id = int
+type port_id = int
+
+type port_dir =
+  | In
+  | Out
+
+type pin_owner =
+  | Cell_pin of cell_id * string  (** instance id and master pin name *)
+  | Port_pin of port_id
+
+type t
+
+(** {1 Construction} *)
+
+(** [create ~name ~library ~die ~clock_period ()] is an empty design. *)
+val create :
+  name:string ->
+  library:Css_liberty.Library.t ->
+  die:Css_geometry.Rect.t ->
+  clock_period:float ->
+  unit ->
+  t
+
+(** [add_port t ~name ~dir ~pos] creates a primary port and its pin. *)
+val add_port : t -> name:string -> dir:port_dir -> pos:Css_geometry.Point.t -> port_id
+
+(** [add_cell t ~name ~master ~pos] instantiates [master] (a library cell
+    name) and creates its pins.
+    @raise Not_found if [master] is not in the library. *)
+val add_cell : t -> name:string -> master:string -> pos:Css_geometry.Point.t -> cell_id
+
+(** [add_net t ~name ~driver ~sinks] connects a driver pin to sink pins.
+    @raise Invalid_argument if any pin is already connected or the driver
+    is an input-type pin. *)
+val add_net : t -> name:string -> driver:pin_id -> sinks:pin_id list -> net_id
+
+(** [net_add_sink t n p] attaches the unconnected input-type pin [p] to
+    the existing net [n] — used when new clock buffers are inserted into
+    a built design.
+    @raise Invalid_argument if [p] is already connected or is a signal
+    source. *)
+val net_add_sink : t -> net_id -> pin_id -> unit
+
+(** [set_clock_root t port] declares the clock source port. *)
+val set_clock_root : t -> port_id -> unit
+
+(** {1 Entity access} *)
+
+val name : t -> string
+val library : t -> Css_liberty.Library.t
+val die : t -> Css_geometry.Rect.t
+val clock_period : t -> float
+val num_cells : t -> int
+val num_pins : t -> int
+val num_nets : t -> int
+val num_ports : t -> int
+val cell_name : t -> cell_id -> string
+val cell_master : t -> cell_id -> Css_liberty.Cell.t
+val cell_pos : t -> cell_id -> Css_geometry.Point.t
+
+(** [cell_orig_pos t c] is the placement position at construction time,
+    the reference for the max-displacement constraint. *)
+val cell_orig_pos : t -> cell_id -> Css_geometry.Point.t
+
+(** [move_cell t c pos] re-places [c]; wire delays will reflect the new
+    location on the next timing propagation. *)
+val move_cell : t -> cell_id -> Css_geometry.Point.t -> unit
+
+(** [swap_master t c master] re-binds instance [c] to a different library
+    cell with the same pin interface (gate sizing). Connectivity and pin
+    ids are untouched; use {!Css_sta.Timer.resize_cell} to keep a live
+    timer consistent.
+    @raise Not_found if [master] is not in the library.
+    @raise Invalid_argument if the interfaces differ. *)
+val swap_master : t -> cell_id -> string -> unit
+
+(** [cell_pin t c pin_name] is the pin id of [c]'s pin named [pin_name].
+    @raise Not_found if absent. *)
+val cell_pin : t -> cell_id -> string -> pin_id
+
+val port_name : t -> port_id -> string
+val port_dir : t -> port_id -> port_dir
+val port_pos : t -> port_id -> Css_geometry.Point.t
+val port_pin : t -> port_id -> pin_id
+val pin_owner : t -> pin_id -> pin_owner
+
+(** [pin_net t p] is the net connected to [p], if any. *)
+val pin_net : t -> pin_id -> net_id option
+
+(** [pin_pos t p] is the pin's physical location (its cell's or port's). *)
+val pin_pos : t -> pin_id -> Css_geometry.Point.t
+
+(** [pin_is_output t p] is true for cell output pins and input-port pins
+    (the signal sources of their nets). *)
+val pin_is_output : t -> pin_id -> bool
+
+val net_name : t -> net_id -> string
+val net_driver : t -> net_id -> pin_id option
+val net_sinks : t -> net_id -> pin_id list
+val net_fanout : t -> net_id -> int
+
+(** {1 Iteration} *)
+
+val iter_cells : t -> (cell_id -> unit) -> unit
+val iter_nets : t -> (net_id -> unit) -> unit
+val iter_ports : t -> (port_id -> unit) -> unit
+
+(** {1 Sequential elements and the clock tree} *)
+
+(** [is_ff t c] / [is_lcb t c] classify an instance by its master. *)
+val is_ff : t -> cell_id -> bool
+
+val is_lcb : t -> cell_id -> bool
+
+(** [ffs t] are all flip-flop instance ids in ascending order. *)
+val ffs : t -> cell_id array
+
+(** [lcbs t] are all LCB instance ids in ascending order. *)
+val lcbs : t -> cell_id array
+
+val clock_root : t -> port_id option
+
+(** [lcb_of_ff t ff] is the LCB currently driving [ff]'s clock pin.
+    @raise Not_found if the FF's CK pin is unconnected or not driven by an
+    LCB. *)
+val lcb_of_ff : t -> cell_id -> cell_id
+
+(** [ffs_of_lcb t lcb] are the FFs on the LCB's output net. *)
+val ffs_of_lcb : t -> cell_id -> cell_id list
+
+(** [lcb_fanout t lcb] is the number of sinks on the LCB output net. *)
+val lcb_fanout : t -> cell_id -> int
+
+(** [reconnect_ff_to_lcb t ~ff ~lcb] moves the FF's CK pin from its current
+    clock net to [lcb]'s output net. The physical clock latency changes
+    accordingly.
+    @raise Invalid_argument if [lcb] is not an LCB or has no output net. *)
+val reconnect_ff_to_lcb : t -> ff:cell_id -> lcb:cell_id -> unit
+
+(** [physical_clock_latency t ff] is the clock arrival at the FF's CK pin:
+    LCB insertion delay plus Elmore delay of the LCB-to-FF branch. FFs with
+    an unconnected clock see latency 0. *)
+val physical_clock_latency : t -> cell_id -> float
+
+(** [scheduled_latency t ff] is the virtual latency CSS has assigned on top
+    of the physical one (initially 0). *)
+val scheduled_latency : t -> cell_id -> float
+
+val set_scheduled_latency : t -> cell_id -> float -> unit
+
+(** [clear_scheduled_latencies t] resets every virtual latency to 0. *)
+val clear_scheduled_latencies : t -> unit
+
+(** [clock_latency t ff] is [physical_clock_latency + scheduled_latency],
+    the value the timer uses. *)
+val clock_latency : t -> cell_id -> float
+
+(** {1 Clock latency bounds (the paper's Eq. 5)}
+
+    Designers may pin a flip-flop's total clock latency into a window —
+    e.g. flops talking to an external interface, or regions where the
+    clock tree budget is fixed. The scheduler folds the upper bound into
+    its per-iteration caps; the evaluator reports violations of either
+    bound. *)
+
+(** [set_latency_bounds t ff ~lo ~hi] constrains [ff]'s total clock
+    latency to [\[lo, hi\]].
+    @raise Invalid_argument if [lo > hi] or either is negative. *)
+val set_latency_bounds : t -> cell_id -> lo:float -> hi:float -> unit
+
+(** [latency_bounds t ff] is the window, [(0., infinity)] by default. *)
+val latency_bounds : t -> cell_id -> float * float
+
+(** [clear_latency_bounds t ff] restores the default window. *)
+val clear_latency_bounds : t -> cell_id -> unit
+
+(** {1 Metrics and validation} *)
+
+(** [net_hpwl t n] is the half-perimeter wire length of one net. *)
+val net_hpwl : t -> net_id -> float
+
+(** [total_hpwl t] sums HPWL over all nets (clock nets included, as in the
+    contest evaluator). *)
+val total_hpwl : t -> float
+
+(** [check t] returns human-readable consistency violations: dangling pins
+    on nets, nets without drivers, FFs without clocks, LCBs driven by a
+    non-clock source. Empty means well-formed. *)
+val check : t -> string list

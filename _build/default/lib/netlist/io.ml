@@ -1,0 +1,158 @@
+module Point = Css_geometry.Point
+module Rect = Css_geometry.Rect
+
+let pin_ref t p =
+  match Design.pin_owner t p with
+  | Design.Cell_pin (c, pin_name) -> Printf.sprintf "%s:%s" (Design.cell_name t c) pin_name
+  | Design.Port_pin port -> Printf.sprintf "port:%s" (Design.port_name t port)
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "design %s period %.6g" (Design.name t) (Design.clock_period t);
+  let die = Design.die t in
+  line "die %.6g %.6g %.6g %.6g" die.Rect.lx die.Rect.ly die.Rect.hx die.Rect.hy;
+  Design.iter_ports t (fun p ->
+      let pos = Design.port_pos t p in
+      line "port %s %s %.6g %.6g" (Design.port_name t p)
+        (match Design.port_dir t p with Design.In -> "in" | Design.Out -> "out")
+        pos.Point.x pos.Point.y);
+  Design.iter_cells t (fun c ->
+      let pos = Design.cell_pos t c in
+      line "cell %s %s %.6g %.6g" (Design.cell_name t c)
+        (Design.cell_master t c).Css_liberty.Cell.name pos.Point.x pos.Point.y);
+  Design.iter_nets t (fun n ->
+      match Design.net_driver t n with
+      | None -> ()
+      | Some d ->
+        let refs = List.map (pin_ref t) (d :: Design.net_sinks t n) in
+        line "net %s %s" (Design.net_name t n) (String.concat " " refs));
+  (match Design.clock_root t with
+  | None -> ()
+  | Some p -> line "clockroot %s" (Design.port_name t p));
+  Design.iter_cells t (fun c ->
+      let l = Design.scheduled_latency t c in
+      if l <> 0.0 then line "latency %s %.6g" (Design.cell_name t c) l);
+  Array.iter
+    (fun ff ->
+      let lo, hi = Design.latency_bounds t ff in
+      if lo > 0.0 || hi < infinity then line "bounds %s %.6g %.6g" (Design.cell_name t ff) lo hi)
+    (Design.ffs t);
+  Buffer.contents buf
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let fail_line lineno fmt =
+  Printf.ksprintf (fun s -> failwith (Printf.sprintf "Io.load: line %d: %s" lineno s)) fmt
+
+let of_string ~library s =
+  let lines = String.split_on_char '\n' s in
+  let design = ref None in
+  let cells = Hashtbl.create 64 in
+  let ports = Hashtbl.create 16 in
+  let pending_die = ref None in
+  let header = ref None in
+  let get_design lineno =
+    match !design with
+    | Some d -> d
+    | None -> fail_line lineno "design header incomplete (need both 'design' and 'die' lines)"
+  in
+  let maybe_create () =
+    match (!header, !pending_die) with
+    | Some (name, period), Some die when !design = None ->
+      design := Some (Design.create ~name ~library ~die ~clock_period:period ())
+    | _ -> ()
+  in
+  let resolve lineno d r =
+    match String.index_opt r ':' with
+    | Some i when String.sub r 0 i = "port" ->
+      let pname = String.sub r (i + 1) (String.length r - i - 1) in
+      (match Hashtbl.find_opt ports pname with
+      | Some p -> Design.port_pin d p
+      | None -> fail_line lineno "unknown port %s" pname)
+    | Some i ->
+      let cname = String.sub r 0 i in
+      let pin = String.sub r (i + 1) (String.length r - i - 1) in
+      (match Hashtbl.find_opt cells cname with
+      | Some c -> (
+        try Design.cell_pin d c pin with Not_found -> fail_line lineno "unknown pin %s" r)
+      | None -> fail_line lineno "unknown cell %s" cname)
+    | None -> fail_line lineno "malformed pin reference %s" r
+  in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let line = String.trim raw in
+      if line <> "" && line.[0] <> '#' then begin
+        let words = String.split_on_char ' ' line |> List.filter (fun w -> w <> "") in
+        match words with
+        | [ "design"; name; "period"; t ] ->
+          header := Some (name, float_of_string t);
+          maybe_create ()
+        | [ "die"; lx; ly; hx; hy ] ->
+          pending_die :=
+            Some
+              (Rect.make ~lx:(float_of_string lx) ~ly:(float_of_string ly)
+                 ~hx:(float_of_string hx) ~hy:(float_of_string hy));
+          maybe_create ()
+        | [ "port"; name; dir; x; y ] ->
+          let d = get_design lineno in
+          let dir =
+            match dir with
+            | "in" -> Design.In
+            | "out" -> Design.Out
+            | _ -> fail_line lineno "bad port direction %s" dir
+          in
+          let p =
+            Design.add_port d ~name ~dir ~pos:(Point.make (float_of_string x) (float_of_string y))
+          in
+          Hashtbl.replace ports name p
+        | [ "cell"; name; master; x; y ] ->
+          let d = get_design lineno in
+          let c =
+            try
+              Design.add_cell d ~name ~master
+                ~pos:(Point.make (float_of_string x) (float_of_string y))
+            with Not_found -> fail_line lineno "unknown master %s" master
+          in
+          Hashtbl.replace cells name c
+        | "net" :: name :: driver :: sinks ->
+          let d = get_design lineno in
+          ignore
+            (Design.add_net d ~name ~driver:(resolve lineno d driver)
+               ~sinks:(List.map (resolve lineno d) sinks))
+        | [ "clockroot"; name ] ->
+          let d = get_design lineno in
+          (match Hashtbl.find_opt ports name with
+          | Some p -> Design.set_clock_root d p
+          | None -> fail_line lineno "unknown clock root port %s" name)
+        | [ "latency"; name; v ] ->
+          let d = get_design lineno in
+          (match Hashtbl.find_opt cells name with
+          | Some c -> Design.set_scheduled_latency d c (float_of_string v)
+          | None -> fail_line lineno "unknown cell %s" name)
+        | [ "bounds"; name; lo; hi ] ->
+          let d = get_design lineno in
+          (match Hashtbl.find_opt cells name with
+          | Some c ->
+            Design.set_latency_bounds d c ~lo:(float_of_string lo) ~hi:(float_of_string hi)
+          | None -> fail_line lineno "unknown cell %s" name)
+        | _ -> fail_line lineno "unrecognized line: %s" line
+      end)
+    lines;
+  match !design with
+  | Some d -> d
+  | None -> failwith "Io.of_string: missing design header"
+
+let load ~library path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      of_string ~library s)

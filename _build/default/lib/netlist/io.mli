@@ -1,0 +1,30 @@
+(** Plain-text save/load of designs.
+
+    The format is line-oriented and self-describing:
+
+    {v
+    design <name> period <T>
+    die <lx> <ly> <hx> <hy>
+    port <name> in|out <x> <y>
+    cell <name> <master> <x> <y>
+    net <name> <ref> <ref> ...          # first ref is the driver
+    clockroot <portname>
+    latency <cellname> <ps>             # scheduled (virtual) latency
+    v}
+
+    where [<ref>] is [cell:pin] for instance pins and [port:<name>] for
+    primary ports. Loading requires the same cell library the design was
+    built against (masters are referenced by name). *)
+
+(** [save t path] writes the design. *)
+val save : Design.t -> string -> unit
+
+(** [to_string t] is the serialized form. *)
+val to_string : Design.t -> string
+
+(** [load ~library path] reads a design back.
+    @raise Failure with a line-numbered message on malformed input. *)
+val load : library:Css_liberty.Library.t -> string -> Design.t
+
+(** [of_string ~library s] parses the serialized form. *)
+val of_string : library:Css_liberty.Library.t -> string -> Design.t

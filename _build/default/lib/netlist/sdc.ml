@@ -1,0 +1,88 @@
+type t = {
+  period : float option;
+  setup_uncertainty : float;
+  hold_uncertainty : float;
+  early_derate : float option;
+  latency_bounds : (string * float * float) list;
+  max_displacement : float option;
+  lcb_fanout_limit : int option;
+}
+
+let empty =
+  {
+    period = None;
+    setup_uncertainty = 0.0;
+    hold_uncertainty = 0.0;
+    early_derate = None;
+    latency_bounds = [];
+    max_displacement = None;
+    lcb_fanout_limit = None;
+  }
+
+let fail_line n fmt =
+  Printf.ksprintf (fun s -> failwith (Printf.sprintf "Sdc.parse: line %d: %s" n s)) fmt
+
+let parse s =
+  let acc = ref empty in
+  let number lineno v =
+    match float_of_string_opt v with
+    | Some x -> x
+    | None -> fail_line lineno "expected a number, got %S" v
+  in
+  String.split_on_char '\n' s
+  |> List.iteri (fun i raw ->
+         let lineno = i + 1 in
+         (* strip trailing comments *)
+         let line =
+           match String.index_opt raw '#' with
+           | Some j -> String.sub raw 0 j
+           | None -> raw
+         in
+         let words =
+           String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "")
+         in
+         match words with
+         | [] -> ()
+         | [ "create_clock"; "-period"; v ] -> acc := { !acc with period = Some (number lineno v) }
+         | [ "set_clock_uncertainty"; "-setup"; v ] ->
+           acc := { !acc with setup_uncertainty = number lineno v }
+         | [ "set_clock_uncertainty"; "-hold"; v ] ->
+           acc := { !acc with hold_uncertainty = number lineno v }
+         | [ "set_timing_derate"; "-early"; v ] ->
+           acc := { !acc with early_derate = Some (number lineno v) }
+         | [ "set_latency_bounds"; cell; lo; hi ] ->
+           acc :=
+             {
+               !acc with
+               latency_bounds = (cell, number lineno lo, number lineno hi) :: !acc.latency_bounds;
+             }
+         | [ "set_max_displacement"; v ] ->
+           acc := { !acc with max_displacement = Some (number lineno v) }
+         | [ "set_lcb_fanout_limit"; v ] ->
+           acc := { !acc with lcb_fanout_limit = Some (int_of_float (number lineno v)) }
+         | cmd :: _ -> fail_line lineno "unknown or malformed command %S" cmd);
+  { !acc with latency_bounds = List.rev !acc.latency_bounds }
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+let apply t design =
+  (match t.period with
+  | Some p when Float.abs (p -. Design.clock_period design) > 1e-9 ->
+    failwith
+      (Printf.sprintf "Sdc.apply: constraint period %.6g disagrees with the design's %.6g" p
+         (Design.clock_period design))
+  | Some _ | None -> ());
+  let by_name = Hashtbl.create 64 in
+  Array.iter
+    (fun ff -> Hashtbl.replace by_name (Design.cell_name design ff) ff)
+    (Design.ffs design);
+  List.iter
+    (fun (name, lo, hi) ->
+      match Hashtbl.find_opt by_name name with
+      | Some ff -> Design.set_latency_bounds design ff ~lo ~hi
+      | None -> failwith (Printf.sprintf "Sdc.apply: no flip-flop named %S" name))
+    t.latency_bounds

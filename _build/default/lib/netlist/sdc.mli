@@ -1,0 +1,49 @@
+(** SDC-lite timing constraints.
+
+    A small subset of the Synopsys Design Constraints vocabulary, enough
+    to configure an analysis and scheduling run from a side file instead
+    of code:
+
+    {v
+    # comments and blank lines are ignored
+    create_clock -period 600
+    set_clock_uncertainty -setup 25
+    set_clock_uncertainty -hold 10
+    set_timing_derate -early 0.9
+    set_latency_bounds ff12 0 150        # Eq. (5) window, ps
+    set_max_displacement 400             # placement ECO budget, DBU
+    set_lcb_fanout_limit 50
+    v}
+
+    [create_clock] cannot change a built design's period (the period is
+    a construction parameter); it is instead validated against it, so a
+    stale constraint file fails loudly. Consumers fold the analysis knobs
+    ([setup_uncertainty], [hold_uncertainty], [early_derate]) into their
+    timer configuration and the physical knobs into the evaluator's. *)
+
+type t = {
+  period : float option;  (** validated against the design *)
+  setup_uncertainty : float;
+  hold_uncertainty : float;
+  early_derate : float option;
+  latency_bounds : (string * float * float) list;  (** cell name, lo, hi *)
+  max_displacement : float option;
+  lcb_fanout_limit : int option;
+}
+
+(** [empty] constrains nothing. *)
+val empty : t
+
+(** [parse s] reads the constraint text.
+    @raise Failure with a line-numbered message on unknown or malformed
+    commands. *)
+val parse : string -> t
+
+(** [load path] reads and parses a file. *)
+val load : string -> t
+
+(** [apply t design] installs the per-flip-flop latency windows on the
+    design and validates the clock period.
+    @raise Failure if the period disagrees with the design's or a named
+    cell does not exist or is not a flip-flop. *)
+val apply : t -> Design.t -> unit

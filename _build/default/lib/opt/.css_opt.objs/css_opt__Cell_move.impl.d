@@ -1,0 +1,1 @@
+lib/opt/cell_move.ml: Css_geometry Css_netlist Css_sta List

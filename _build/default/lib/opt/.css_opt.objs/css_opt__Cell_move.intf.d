@@ -1,0 +1,1 @@
+lib/opt/cell_move.mli: Css_sta

@@ -1,0 +1,1 @@
+lib/opt/cts_guide.ml: Array Css_geometry Css_liberty Css_netlist Css_sta Float List Printf

@@ -1,0 +1,1 @@
+lib/opt/cts_guide.mli: Css_geometry Css_netlist Css_sta

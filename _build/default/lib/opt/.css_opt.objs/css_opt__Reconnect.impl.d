@@ -1,0 +1,1 @@
+lib/opt/reconnect.ml: Array Css_geometry Css_liberty Css_netlist Css_sta Float Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/opt/reconnect.mli: Css_netlist Css_sta

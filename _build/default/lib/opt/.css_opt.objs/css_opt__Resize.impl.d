@@ -1,0 +1,1 @@
+lib/opt/resize.ml: Css_liberty Css_netlist Css_sta List

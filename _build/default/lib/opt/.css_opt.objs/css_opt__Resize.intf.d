@@ -1,0 +1,1 @@
+lib/opt/resize.mli: Css_sta

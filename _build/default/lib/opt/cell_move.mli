@@ -1,0 +1,29 @@
+(** Cell movement to refine early violations (Section IV-B).
+
+    For each hold-violated endpoint, the movable combinational cells along
+    the violating path are shifted north/south/east/west by a radius that
+    grows from 0.1x to 1.0x of the displacement budget; each trial is
+    followed by a local (incremental) timing update. A move is accepted
+    when the endpoint's early slack improves without degrading the
+    design's late WNS; per the paper, a cell that yields an improvement is
+    not moved again. *)
+
+type config = {
+  max_displacement : float;  (** contest displacement budget per cell, DBU *)
+  steps : int;  (** radius refinement steps (paper: 10, from 0.1x) *)
+  improve_eps : float;  (** minimal slack gain to accept a move, ps *)
+  late_guard : float;  (** tolerated late-WNS degradation, ps *)
+}
+
+val default_config : config
+
+type stats = {
+  mutable endpoints_processed : int;
+  mutable endpoints_fixed : int;
+  mutable moves_tried : int;
+  mutable moves_accepted : int;
+}
+
+(** [repair_early ?config timer] runs the pass over all currently
+    hold-violated endpoints, mutating placement and the timer. *)
+val repair_early : ?config:config -> Css_sta.Timer.t -> stats

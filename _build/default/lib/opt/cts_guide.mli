@@ -1,0 +1,53 @@
+(** Clock-tree-synthesis guidance — the paper's "apply our algorithm to
+    open-source flows to guide clock tree synthesis" extension
+    (Section VI).
+
+    Reconnection can only choose among *existing* LCBs, so large or
+    unusual latency targets are realized with error. This module goes one
+    step further: it clusters the flip-flops that carry CSS latency
+    targets (k-means over position and target) and proposes *new* LCB
+    sites whose branch Elmore delays meet the targets, then inserts those
+    LCBs into the design and re-homes the member flip-flops.
+
+    The plan/apply split lets a flow inspect or veto the proposal — the
+    plan is pure; only {!apply} mutates the design. *)
+
+type cluster = {
+  members : (Css_netlist.Design.cell_id * float) list;
+      (** flip-flop and its desired *additional* latency *)
+  lcb_pos : Css_geometry.Point.t;  (** proposed LCB site *)
+  expected_error : float;  (** mean |achieved - desired| over members, ps *)
+}
+
+type plan = { clusters : cluster list }
+
+type config = {
+  max_new_lcbs : int;  (** budget of LCBs the plan may propose *)
+  fanout_limit : int;  (** contest constraint per LCB *)
+  min_target : float;  (** FFs below this keep their current branch, ps *)
+  kmeans_iters : int;
+  member_tolerance : float;
+      (** members whose achieved latency would miss their desired value by
+          more than this are not re-homed (they fall back to
+          reconnection), ps *)
+}
+
+val default_config : config
+
+(** [plan ?config timer ~targets] clusters the targeted flip-flops and
+    sites one LCB per cluster. Pure: the design is not modified. *)
+val plan : ?config:config -> Css_sta.Timer.t -> targets:(Css_netlist.Design.cell_id * float) list -> plan
+
+type applied = {
+  new_lcbs : Css_netlist.Design.cell_id list;
+  hosted : Css_netlist.Design.cell_id list;
+      (** the flip-flops actually re-homed (members whose Eq. (5) window
+          the chosen site would violate are left on their old LCB and
+          must be realized by other means) *)
+}
+
+(** [apply timer plan] inserts the planned LCBs (named [cts_lcb<N>],
+    hooked onto the clock-root net), re-homes the admissible member
+    flip-flops, clears their scheduled latencies and incrementally
+    re-propagates. *)
+val apply : Css_sta.Timer.t -> plan -> applied

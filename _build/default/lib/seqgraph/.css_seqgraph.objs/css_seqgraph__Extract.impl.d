@@ -1,0 +1,1 @@
+lib/seqgraph/extract.ml: Array Css_liberty Css_netlist Css_sta Float List Seq_graph Vertex

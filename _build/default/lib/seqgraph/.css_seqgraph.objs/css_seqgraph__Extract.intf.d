@@ -1,0 +1,1 @@
+lib/seqgraph/extract.mli: Css_netlist Css_sta Seq_graph Vertex

@@ -1,0 +1,1 @@
+lib/seqgraph/seq_graph.ml: Array Css_sta Css_util Float Hashtbl List Option Vertex

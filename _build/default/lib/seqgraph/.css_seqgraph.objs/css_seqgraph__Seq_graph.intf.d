@@ -1,0 +1,1 @@
+lib/seqgraph/seq_graph.mli: Css_sta Vertex

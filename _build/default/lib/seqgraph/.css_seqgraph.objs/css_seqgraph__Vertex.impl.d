@@ -1,0 +1,1 @@
+lib/seqgraph/vertex.ml: Array Css_netlist Css_sta Hashtbl

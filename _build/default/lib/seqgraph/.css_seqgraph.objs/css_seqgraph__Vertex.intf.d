@@ -1,0 +1,1 @@
+lib/seqgraph/vertex.mli: Css_netlist Css_sta

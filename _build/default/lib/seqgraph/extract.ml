@@ -1,0 +1,281 @@
+module Timer = Css_sta.Timer
+module Graph = Css_sta.Graph
+module Design = Css_netlist.Design
+module Cell = Css_liberty.Cell
+
+type stats = {
+  mutable edges_extracted : int;
+  mutable cone_nodes : int;
+  mutable rounds : int;
+}
+
+let fresh_stats () = { edges_extracted = 0; cone_nodes = 0; rounds = 0 }
+
+let launchers_of_design timer =
+  let g = Timer.graph timer in
+  Array.to_list (Array.map (Graph.launcher_of_node g) (Graph.sources g))
+
+module Full = struct
+  let extract timer verts ~corner =
+    let stats = fresh_stats () in
+    let graph = Seq_graph.create verts ~corner in
+    List.iter
+      (fun launcher ->
+        let found, visited = Timer.cone_from_launcher timer corner launcher in
+        stats.cone_nodes <- stats.cone_nodes + visited;
+        List.iter
+          (fun (endpoint, delay) ->
+            let weight = Timer.edge_slack timer corner ~launcher ~endpoint ~delay in
+            ignore (Seq_graph.add_edge graph ~launcher ~endpoint ~delay ~weight);
+            stats.edges_extracted <- stats.edges_extracted + 1)
+          found)
+      (launchers_of_design timer);
+    stats.rounds <- 1;
+    (graph, stats)
+end
+
+module Essential = struct
+  type t = {
+    timer : Timer.t;
+    graph : Seq_graph.t;
+    stats : stats;
+  }
+
+  let create timer verts ~corner =
+    { timer; graph = Seq_graph.create verts ~corner; stats = fresh_stats () }
+
+  let graph t = t.graph
+  let stats t = t.stats
+
+  (* A violated endpoint needs (re-)extraction when its worst slack is not
+     already explained by a stored edge: either it was never walked, or a
+     previously positive (unextracted) path has turned negative. *)
+  let round ?(limit = max_int) t =
+    t.stats.rounds <- t.stats.rounds + 1;
+    let corner = Seq_graph.corner t.graph in
+    let added = ref 0 in
+    let walked = ref 0 in
+    List.iter
+      (fun (endpoint, slack) ->
+        let known = Seq_graph.min_weight_from_endpoint t.graph endpoint in
+        if !walked < limit && slack < known -. 1e-6 then begin
+          incr walked;
+          let found, visited = Timer.cone_to_endpoint t.timer corner endpoint in
+          t.stats.cone_nodes <- t.stats.cone_nodes + visited;
+          List.iter
+            (fun (launcher, delay) ->
+              let weight = Timer.edge_slack t.timer corner ~launcher ~endpoint ~delay in
+              if weight < 0.0 then begin
+                ignore (Seq_graph.add_edge t.graph ~launcher ~endpoint ~delay ~weight);
+                t.stats.edges_extracted <- t.stats.edges_extracted + 1;
+                incr added
+              end)
+            found
+        end)
+      (Timer.violated_endpoints t.timer corner);
+    !added
+end
+
+module Iccss = struct
+  type t = {
+    timer : Timer.t;
+    verts : Vertex.t;
+    graph : Seq_graph.t;
+    stats : stats;
+    bound : float array;  (* one-time extreme outgoing/incoming path delay *)
+    expanded : bool array;
+  }
+
+  (* One global DP giving, per vertex, the quantity Eq. (8) tests against:
+     late -> the max path delay from the vertex's launch pin to any
+     endpoint; early -> the min path delay from any launch pin to the
+     vertex's capture pin. Computed once, exactly as IC-CSS prescribes. *)
+  let compute_bound timer verts corner =
+    let g = Timer.graph timer in
+    let n = Graph.num_nodes g in
+    let topo = Graph.topo_order g in
+    let dist = Array.make n (match corner with Timer.Late -> neg_infinity | Timer.Early -> infinity) in
+    (match corner with
+    | Timer.Late ->
+      Array.iter (fun e -> dist.(e) <- 0.0) (Graph.endpoints g);
+      for i = Array.length topo - 1 downto 0 do
+        let u = topo.(i) in
+        if not (Graph.is_endpoint g u) then
+          Graph.iter_out g u (fun a v ->
+              if dist.(v) > neg_infinity then begin
+                let cand = Timer.arc_delay timer Timer.Late a +. dist.(v) in
+                if cand > dist.(u) then dist.(u) <- cand
+              end)
+      done
+    | Timer.Early ->
+      Array.iter (fun s -> dist.(s) <- 0.0) (Graph.sources g);
+      Array.iter
+        (fun v ->
+          if not (Graph.is_source g v) then
+            Graph.iter_in g v (fun a u ->
+                if dist.(u) < infinity then begin
+                  let cand = dist.(u) +. Timer.arc_delay timer Timer.Early a in
+                  if cand < dist.(v) then dist.(v) <- cand
+                end))
+        topo);
+    let bound =
+      Array.make (Vertex.num verts)
+        (match corner with Timer.Late -> neg_infinity | Timer.Early -> infinity)
+    in
+    let fold v cand =
+      match corner with
+      | Timer.Late -> if cand > bound.(v) then bound.(v) <- cand
+      | Timer.Early -> if cand < bound.(v) then bound.(v) <- cand
+    in
+    (match corner with
+    | Timer.Late ->
+      Array.iter
+        (fun s -> fold (Vertex.of_launcher verts (Graph.launcher_of_node g s)) dist.(s))
+        (Graph.sources g)
+    | Timer.Early ->
+      Array.iter
+        (fun e -> fold (Vertex.of_endpoint verts (Graph.endpoint_of_node g e)) dist.(e))
+        (Graph.endpoints g));
+    bound
+
+  let create timer verts ~corner =
+    {
+      timer;
+      verts;
+      graph = Seq_graph.create verts ~corner;
+      stats = fresh_stats ();
+      bound = compute_bound timer verts corner;
+      expanded = Array.make (Vertex.num verts) false;
+    }
+
+  let graph t = t.graph
+  let stats t = t.stats
+
+  let design t = Timer.design t.timer
+
+  let ref_ff_params t = Cell.ff_params (Css_liberty.Library.flip_flop (Design.library (design t)))
+
+  (* Eq. (8) adapted to the NSO problem. Albrecht's parametric search
+     drives the period variable down towards the maximum mean cycle, so a
+     vertex fires the callback as soon as it could become critical at any
+     period the search visits; with the period fixed, the equivalent test
+     gives every vertex a cushion equal to the current worst negative
+     slack — the depth to which the search would descend. *)
+  let critical t v =
+    let corner = Seq_graph.corner t.graph in
+    let d = design t in
+    let period = Design.clock_period d in
+    let p = ref_ff_params t in
+    let cushion = Float.max 0.0 (-.Timer.wns t.timer corner) in
+    match corner with
+    | Timer.Late ->
+      t.bound.(v) > neg_infinity
+      &&
+      let l_u, c2q =
+        match Vertex.ff_of t.verts v with
+        | Some ff ->
+          (Design.clock_latency d ff, (Cell.ff_params (Design.cell_master d ff)).Cell.clk_to_q)
+        | None -> (0.0, 0.0)
+      in
+      period -. p.Cell.setup -. (l_u +. c2q +. t.bound.(v)) < cushion
+    | Timer.Early ->
+      t.bound.(v) < infinity
+      &&
+      let l_v, hold =
+        match Vertex.ff_of t.verts v with
+        | Some ff ->
+          (Design.clock_latency d ff, (Cell.ff_params (Design.cell_master d ff)).Cell.hold)
+        | None -> (0.0, 0.0)
+      in
+      let derate = (Timer.config t.timer).Timer.early_derate in
+      (derate *. p.Cell.clk_to_q) +. t.bound.(v) -. (l_v +. hold) < cushion
+
+  (* The callback of IC-CSS: materialize *all* outgoing sequential edges
+     of the vertex — essential or not — which is exactly the over-
+     extraction the paper removes. *)
+  let expand t v =
+    let corner = Seq_graph.corner t.graph in
+    let d = design t in
+    let g = Timer.graph t.timer in
+    match corner with
+    | Timer.Late ->
+      let launchers =
+        match Vertex.ff_of t.verts v with
+        | Some ff -> [ Graph.Launch_ff ff ]
+        | None ->
+          (* the input supernode stands for every input port *)
+          List.filter_map
+            (fun s ->
+              match Graph.launcher_of_node g s with
+              | Graph.Launch_port _ as l -> Some l
+              | Graph.Launch_ff _ -> None)
+            (Array.to_list (Graph.sources g))
+      in
+      List.iter
+        (fun launcher ->
+          let found, visited = Timer.cone_from_launcher t.timer corner launcher in
+          t.stats.cone_nodes <- t.stats.cone_nodes + visited;
+          List.iter
+            (fun (endpoint, delay) ->
+              let weight = Timer.edge_slack t.timer corner ~launcher ~endpoint ~delay in
+              ignore (Seq_graph.add_edge t.graph ~launcher ~endpoint ~delay ~weight);
+              t.stats.edges_extracted <- t.stats.edges_extracted + 1)
+            found)
+        launchers
+    | Timer.Early ->
+      let endpoints =
+        match Vertex.ff_of t.verts v with
+        | Some ff -> [ Graph.End_ff ff ]
+        | None ->
+          List.filter_map
+            (fun e ->
+              match Graph.endpoint_of_node g e with
+              | Graph.End_port _ as ep -> Some ep
+              | Graph.End_ff _ -> None)
+            (Array.to_list (Graph.endpoints g))
+      in
+      ignore d;
+      List.iter
+        (fun endpoint ->
+          let found, visited = Timer.cone_to_endpoint t.timer corner endpoint in
+          t.stats.cone_nodes <- t.stats.cone_nodes + visited;
+          List.iter
+            (fun (launcher, delay) ->
+              let weight = Timer.edge_slack t.timer corner ~launcher ~endpoint ~delay in
+              ignore (Seq_graph.add_edge t.graph ~launcher ~endpoint ~delay ~weight);
+              t.stats.edges_extracted <- t.stats.edges_extracted + 1)
+            found)
+        endpoints
+
+  let extract_critical t =
+    t.stats.rounds <- t.stats.rounds + 1;
+    let fired = ref 0 in
+    (* In the late problem out-edges belong to the launch side of the
+       scheduling graph, i.e. vertex ids in the orientation's src role;
+       criticality is a per-vertex test either way. *)
+    for v = 0 to Vertex.num t.verts - 1 do
+      if (not t.expanded.(v)) && critical t v then begin
+        t.expanded.(v) <- true;
+        expand t v;
+        incr fired
+      end
+    done;
+    !fired
+
+  let extract_constraint_edges t ff =
+    let corner = Seq_graph.corner t.graph in
+    let other = match corner with Timer.Late -> Timer.Early | Timer.Early -> Timer.Late in
+    let count, visited =
+      match other with
+      | Timer.Early ->
+        let found, visited = Timer.cone_to_endpoint t.timer Timer.Early (Graph.End_ff ff) in
+        (List.length found, visited)
+      | Timer.Late ->
+        let found, visited = Timer.cone_from_launcher t.timer Timer.Late (Graph.Launch_ff ff) in
+        (List.length found, visited)
+    in
+    t.stats.cone_nodes <- t.stats.cone_nodes + visited;
+    let n = count in
+    t.stats.edges_extracted <- t.stats.edges_extracted + n;
+    n
+end

@@ -1,0 +1,80 @@
+(** Sequential-graph extraction engines.
+
+    Three engines populate a {!Seq_graph.t} from the gate-level timing
+    graph, reproducing the paper's comparison:
+
+    - {!Full}: exhaustive extraction — every launcher's fan-out cone.
+      The reference engine; [O(n*m')].
+    - {!Iccss}: Albrecht's callback extraction — a one-time global
+      outgoing-delay bound per vertex, and on criticality (Eq. 8) *all*
+      outgoing edges of the vertex are materialized, essential or not.
+    - {!Essential}: the paper's Update-Extract mechanism — after each
+      timing propagation, only endpoints whose violation is not yet
+      explained by already-extracted edges are walked, and only
+      negative-slack edges are materialized. [O(k*m')].
+
+    All engines share a {!stats} record; [edges_extracted] is the number
+    the paper's Table I reports as "#Extract Edge". *)
+
+type stats = {
+  mutable edges_extracted : int;  (** edges materialized into the graph *)
+  mutable cone_nodes : int;  (** gate-level nodes visited while extracting *)
+  mutable rounds : int;  (** extraction rounds performed *)
+}
+
+val fresh_stats : unit -> stats
+
+(** {1 Full extraction} *)
+
+module Full : sig
+  (** [extract timer verts ~corner] builds the complete sequential graph
+      for one corner. *)
+  val extract :
+    Css_sta.Timer.t -> Vertex.t -> corner:Css_sta.Timer.corner -> Seq_graph.t * stats
+end
+
+(** {1 The paper's iterative essential extraction (Section III-B)} *)
+
+module Essential : sig
+  type t
+
+  (** [create timer verts ~corner] starts with an empty graph. *)
+  val create : Css_sta.Timer.t -> Vertex.t -> corner:Css_sta.Timer.corner -> t
+
+  val graph : t -> Seq_graph.t
+  val stats : t -> stats
+
+  (** [round ?limit t] runs one Update-Extract round against the timer's
+      current state: every violated endpoint whose worst slack is not
+      explained by an already-extracted edge is cone-walked (at most
+      [limit] of them — the DESIGN.md A1 ablation; default unlimited),
+      and the negative-slack edges found are added. Returns the number of
+      edges added. Call after each timing propagation. *)
+  val round : ?limit:int -> t -> int
+end
+
+(** {1 IC-CSS callback extraction (Albrecht, adapted)} *)
+
+module Iccss : sig
+  type t
+
+  (** [create timer verts ~corner] computes the one-time global
+      outgoing-delay (late) / incoming-delay (early) bound used by the
+      criticality test of Eq. (8). *)
+  val create : Css_sta.Timer.t -> Vertex.t -> corner:Css_sta.Timer.corner -> t
+
+  val graph : t -> Seq_graph.t
+  val stats : t -> stats
+
+  (** [extract_critical t] fires the callback for every vertex that is
+      critical under current latencies and not yet expanded: *all* of its
+      outgoing sequential edges are materialized. Returns the number of
+      vertices newly expanded. *)
+  val extract_critical : t -> int
+
+  (** [extract_constraint_edges t ff] fires the Section III-E(ii)
+      callback: all cross-corner constraint edges of [ff] (its incoming
+      early paths when optimizing late, and vice versa) are enumerated and
+      charged to the extraction cost. Returns the number of edges seen. *)
+  val extract_constraint_edges : t -> Css_netlist.Design.cell_id -> int
+end

@@ -1,0 +1,98 @@
+module Vec = Css_util.Vec
+module Timer = Css_sta.Timer
+module Graph = Css_sta.Graph
+
+type edge = {
+  id : int;
+  src : Vertex.id;
+  dst : Vertex.id;
+  mutable weight : float;
+  mutable delay : float;
+  launcher : Graph.launcher;
+  endpoint : Graph.endpoint;
+}
+
+type t = {
+  verts : Vertex.t;
+  corner : Timer.corner;
+  edges : edge Vec.t;
+  by_pair : (Vertex.id * Vertex.id, int) Hashtbl.t;
+  out_adj : int list array;
+  in_adj : int list array;
+  by_endpoint : (Graph.endpoint, int list) Hashtbl.t;
+}
+
+let create verts ~corner =
+  let n = Vertex.num verts in
+  {
+    verts;
+    corner;
+    edges = Vec.create ();
+    by_pair = Hashtbl.create 256;
+    out_adj = Array.make n [];
+    in_adj = Array.make n [];
+    by_endpoint = Hashtbl.create 256;
+  }
+
+let corner t = t.corner
+let vertices t = t.verts
+let num_edges t = Vec.length t.edges
+
+(* Scheduling orientation: late edges run launch->capture, early edges
+   capture->launch, so that d(weight)/d(latency(dst)) = +1 either way. *)
+let orient t ~launcher ~endpoint =
+  let lv = Vertex.of_launcher t.verts launcher in
+  let ev = Vertex.of_endpoint t.verts endpoint in
+  match t.corner with Timer.Late -> (lv, ev) | Timer.Early -> (ev, lv)
+
+let add_edge t ~launcher ~endpoint ~delay ~weight =
+  let src, dst = orient t ~launcher ~endpoint in
+  match Hashtbl.find_opt t.by_pair (src, dst) with
+  | Some id ->
+    let e = Vec.get t.edges id in
+    if e.launcher = launcher && e.endpoint = endpoint then begin
+      (* same timing path re-extracted: the new values are the current
+         truth (placement or sizing may have changed the path delay) *)
+      e.weight <- weight;
+      e.delay <- delay
+    end
+    else if weight < e.weight then begin
+      (* a different launcher/endpoint pair collapsing onto the same
+         supernode vertices: keep the worse path *)
+      e.weight <- weight;
+      e.delay <- delay
+    end;
+    e
+  | None ->
+    let id = Vec.length t.edges in
+    let e = { id; src; dst; weight; delay; launcher; endpoint } in
+    ignore (Vec.push t.edges e);
+    Hashtbl.replace t.by_pair (src, dst) id;
+    t.out_adj.(src) <- id :: t.out_adj.(src);
+    t.in_adj.(dst) <- id :: t.in_adj.(dst);
+    let prev = Option.value ~default:[] (Hashtbl.find_opt t.by_endpoint endpoint) in
+    Hashtbl.replace t.by_endpoint endpoint (id :: prev);
+    e
+
+let find t ~src ~dst =
+  Option.map (fun id -> Vec.get t.edges id) (Hashtbl.find_opt t.by_pair (src, dst))
+
+let iter_edges t f = Vec.iter f t.edges
+
+let edges t = Vec.to_list t.edges
+
+let out_edges t v = List.rev_map (Vec.get t.edges) t.out_adj.(v)
+
+let in_edges t v = List.rev_map (Vec.get t.edges) t.in_adj.(v)
+
+let min_weight_from_endpoint t endpoint =
+  match Hashtbl.find_opt t.by_endpoint endpoint with
+  | None -> infinity
+  | Some ids ->
+    List.fold_left (fun acc id -> Float.min acc (Vec.get t.edges id).weight) infinity ids
+
+let apply_latency_delta t deltas =
+  iter_edges t (fun e -> e.weight <- e.weight +. deltas.(e.dst) -. deltas.(e.src))
+
+let recompute_weight t timer e =
+  Timer.edge_slack timer t.corner ~launcher:e.launcher ~endpoint:e.endpoint ~delay:e.delay

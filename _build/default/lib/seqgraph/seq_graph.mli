@@ -1,0 +1,69 @@
+(** The (partial) sequential graph [G = (V, E', w)].
+
+    Edges are stored in the *scheduling orientation*: raising the latency
+    of an edge's destination by [delta] raises the edge weight (slack) by
+    [delta], per Eq. (3). Concretely, for the late problem an edge runs
+    launch FF -> capture FF with weight [s^L]; for the early problem it
+    runs capture FF -> launch FF with weight [s^E]. One [t] therefore
+    serves both phases with identical scheduling machinery.
+
+    At most one edge is kept per (src, dst) pair — the minimum-slack
+    timing path between the two sequential elements, which is the only
+    one clock skew scheduling can act on. *)
+
+type edge = {
+  id : int;
+  src : Vertex.id;
+  dst : Vertex.id;
+  mutable weight : float;  (** current slack of the path under current latencies *)
+  mutable delay : float;  (** pure combinational path delay (launch pin to capture pin) *)
+  launcher : Css_sta.Graph.launcher;
+  endpoint : Css_sta.Graph.endpoint;
+}
+
+type t
+
+(** [create verts ~corner] is an empty graph for the given analysis
+    corner. *)
+val create : Vertex.t -> corner:Css_sta.Timer.corner -> t
+
+val corner : t -> Css_sta.Timer.corner
+val vertices : t -> Vertex.t
+val num_edges : t -> int
+
+(** [add_edge t ~launcher ~endpoint ~delay ~weight] inserts the edge in
+    scheduling orientation. A re-extraction of the *same* timing path
+    refreshes the stored weight and delay (the new values are the current
+    truth); a different path collapsing onto the same vertex pair (port
+    paths through a supernode) only replaces a smaller-weight entry.
+    Returns the edge. *)
+val add_edge :
+  t ->
+  launcher:Css_sta.Graph.launcher ->
+  endpoint:Css_sta.Graph.endpoint ->
+  delay:float ->
+  weight:float ->
+  edge
+
+(** [find t ~src ~dst] is the stored edge between the pair, if any. *)
+val find : t -> src:Vertex.id -> dst:Vertex.id -> edge option
+
+val iter_edges : t -> (edge -> unit) -> unit
+val edges : t -> edge list
+val out_edges : t -> Vertex.id -> edge list
+val in_edges : t -> Vertex.id -> edge list
+
+(** [min_weight_from_endpoint t e] is the smallest current weight among
+    stored edges whose timing endpoint is [e] ([infinity] when none) —
+    used to decide whether a violated endpoint needs re-extraction. *)
+val min_weight_from_endpoint : t -> Css_sta.Graph.endpoint -> float
+
+(** [apply_latency_delta t deltas] performs the Eq. (10) update:
+    [w += deltas.(dst) - deltas.(src)] on every edge ([deltas] is indexed
+    by vertex id). *)
+val apply_latency_delta : t -> float array -> unit
+
+(** [recompute_weight t timer e] re-derives [e.weight] from the timer's
+    current latencies via Eq. (1)/(2) — the reference the Eq. (10)
+    shortcut is property-tested against. *)
+val recompute_weight : t -> Css_sta.Timer.t -> edge -> float

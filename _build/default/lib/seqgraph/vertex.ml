@@ -1,0 +1,41 @@
+module Design = Css_netlist.Design
+
+type id = int
+
+type t = {
+  ffs : Design.cell_id array;
+  index_of_ff : (Design.cell_id, id) Hashtbl.t;
+  input_super : id;
+  output_super : id;
+}
+
+let of_design d =
+  let ffs = Design.ffs d in
+  let index_of_ff = Hashtbl.create (Array.length ffs) in
+  Array.iteri (fun i ff -> Hashtbl.replace index_of_ff ff i) ffs;
+  { ffs; index_of_ff; input_super = Array.length ffs; output_super = Array.length ffs + 1 }
+
+let num t = Array.length t.ffs + 2
+
+let input_super t = t.input_super
+
+let output_super t = t.output_super
+
+let is_super t v = v = t.input_super || v = t.output_super
+
+let of_ff t ff = Hashtbl.find t.index_of_ff ff
+
+let ff_of t v = if is_super t v then None else Some t.ffs.(v)
+
+let of_launcher t = function
+  | Css_sta.Graph.Launch_ff ff -> of_ff t ff
+  | Css_sta.Graph.Launch_port _ -> t.input_super
+
+let of_endpoint t = function
+  | Css_sta.Graph.End_ff ff -> of_ff t ff
+  | Css_sta.Graph.End_port _ -> t.output_super
+
+let name t design v =
+  if v = t.input_super then "<IN>"
+  else if v = t.output_super then "<OUT>"
+  else Design.cell_name design t.ffs.(v)

@@ -1,0 +1,40 @@
+(** Sequential-graph vertices: flip-flops plus two supernodes.
+
+    The paper's graph [G = (V, E', w)] has one vertex per flip-flop and
+    two supernodes standing for all input and all output ports. Supernode
+    latency is pinned at 0 — primary ports cannot be skewed. *)
+
+type t
+
+type id = int
+
+(** [of_design d] indexes all flip-flops of [d] and the two supernodes. *)
+val of_design : Css_netlist.Design.t -> t
+
+(** [num t] is the vertex count: [#FFs + 2]. *)
+val num : t -> int
+
+(** [input_super t] / [output_super t] are the supernode ids. *)
+val input_super : t -> id
+
+val output_super : t -> id
+
+val is_super : t -> id -> bool
+
+(** [of_ff t ff] is the vertex of flip-flop instance [ff].
+    @raise Not_found if [ff] is not a flip-flop of the design. *)
+val of_ff : t -> Css_netlist.Design.cell_id -> id
+
+(** [ff_of t v] is the flip-flop behind [v], or [None] for supernodes. *)
+val ff_of : t -> id -> Css_netlist.Design.cell_id option
+
+(** [of_launcher t l] maps a timing-graph launcher to its vertex (input
+    ports collapse onto the input supernode). *)
+val of_launcher : t -> Css_sta.Graph.launcher -> id
+
+(** [of_endpoint t e] maps a timing endpoint to its vertex (output ports
+    collapse onto the output supernode). *)
+val of_endpoint : t -> Css_sta.Graph.endpoint -> id
+
+(** [name t design v] is a printable vertex name. *)
+val name : t -> Css_netlist.Design.t -> id -> string

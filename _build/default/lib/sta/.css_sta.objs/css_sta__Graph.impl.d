@@ -1,0 +1,1 @@
+lib/sta/graph.ml: Array Css_liberty Css_netlist Css_util List

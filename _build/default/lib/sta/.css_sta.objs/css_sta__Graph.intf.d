@@ -1,0 +1,1 @@
+lib/sta/graph.mli: Css_liberty Css_netlist

@@ -1,0 +1,1 @@
+lib/sta/timer.ml: Array Css_geometry Css_liberty Css_netlist Css_util Graph Hashtbl List

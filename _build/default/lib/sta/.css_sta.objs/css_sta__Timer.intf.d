@@ -1,0 +1,1 @@
+lib/sta/timer.mli: Css_netlist Graph

@@ -1,0 +1,258 @@
+module Vec = Css_util.Vec
+module Design = Css_netlist.Design
+module Cell = Css_liberty.Cell
+
+type node = int
+
+type launcher =
+  | Launch_ff of Design.cell_id
+  | Launch_port of Design.port_id
+
+type endpoint =
+  | End_ff of Design.cell_id
+  | End_port of Design.port_id
+
+type arc_kind =
+  | Cell_arc of Css_liberty.Delay_model.t
+  | Net_arc
+
+type t = {
+  design : Design.t;
+  node_pin : Design.pin_id array;
+  node_of_pin : int array;  (* -1 when excluded *)
+  (* arcs, CSR in both directions *)
+  a_from : int array;
+  a_to : int array;
+  a_kind : arc_kind array;
+  out_start : int array;  (* node -> index into out_arcs *)
+  out_arcs : int array;  (* arc ids grouped by from-node *)
+  in_start : int array;
+  in_arcs : int array;
+  level : int array;
+  topo : int array;
+  sources : int array;
+  endpoints : int array;
+  node_launcher : launcher option array;
+  node_endpoint : endpoint option array;
+}
+
+let ck_pin = "CK"
+
+(* A pin participates in the data graph unless it belongs to the clock
+   network: LCB pins, FF CK pins, and the clock-root port pin. *)
+let is_data_pin d p =
+  match Design.pin_owner d p with
+  | Design.Port_pin port -> Design.clock_root d <> Some port
+  | Design.Cell_pin (c, pin_name) ->
+    (not (Design.is_lcb d c)) && not (Design.is_ff d c && pin_name = ck_pin)
+
+let build design =
+  let npins = Design.num_pins design in
+  let node_of_pin = Array.make npins (-1) in
+  let node_pin_v = Vec.create () in
+  for p = 0 to npins - 1 do
+    if is_data_pin design p then node_of_pin.(p) <- Vec.push node_pin_v p
+  done;
+  let node_pin = Vec.to_array node_pin_v in
+  let n = Array.length node_pin in
+  let arcs = Vec.create () in
+  let add_arc from_pin to_pin kind =
+    let u = node_of_pin.(from_pin) and v = node_of_pin.(to_pin) in
+    if u >= 0 && v >= 0 then ignore (Vec.push arcs (u, v, kind))
+  in
+  (* cell arcs *)
+  Design.iter_cells design (fun c ->
+      let master = Design.cell_master design c in
+      match master.Cell.role with
+      | Cell.Flip_flop _ | Cell.Clock_buffer _ ->
+        (* FF CK->Q is modelled as a launch source, not an arc; LCBs are
+           not part of the data graph at all. *)
+        ()
+      | Cell.Combinational ->
+        List.iter
+          (fun (arc : Cell.arc) ->
+            add_arc (Design.cell_pin design c arc.from_pin)
+              (Design.cell_pin design c arc.to_pin) (Cell_arc arc.model))
+          master.Cell.arcs);
+  (* net arcs *)
+  Design.iter_nets design (fun net ->
+      match Design.net_driver design net with
+      | None -> ()
+      | Some drv ->
+        if node_of_pin.(drv) >= 0 then
+          List.iter (fun sink -> add_arc drv sink Net_arc) (Design.net_sinks design net));
+  let m = Vec.length arcs in
+  let a_from = Array.make m 0 and a_to = Array.make m 0 and a_kind = Array.make m Net_arc in
+  Vec.iteri
+    (fun i (u, v, k) ->
+      a_from.(i) <- u;
+      a_to.(i) <- v;
+      a_kind.(i) <- k)
+    arcs;
+  let csr key =
+    let count = Array.make (n + 1) 0 in
+    Array.iter (fun a -> count.(key a + 1) <- count.(key a + 1) + 1) (Array.init m (fun i -> i));
+    for i = 1 to n do
+      count.(i) <- count.(i) + count.(i - 1)
+    done;
+    let start = Array.copy count in
+    let cursor = Array.copy count in
+    let ids = Array.make m 0 in
+    for a = 0 to m - 1 do
+      let k = key a in
+      ids.(cursor.(k)) <- a;
+      cursor.(k) <- cursor.(k) + 1
+    done;
+    (start, ids)
+  in
+  let out_start, out_arcs = csr (fun a -> a_from.(a)) in
+  let in_start, in_arcs = csr (fun a -> a_to.(a)) in
+  (* Kahn levelization *)
+  let indeg = Array.make n 0 in
+  Array.iter (fun v -> indeg.(v) <- indeg.(v) + 1) a_to;
+  let level = Array.make n 0 in
+  let topo = Array.make n 0 in
+  let head = ref 0 and tail = ref 0 in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then begin
+      topo.(!tail) <- v;
+      incr tail
+    end
+  done;
+  while !head < !tail do
+    let u = topo.(!head) in
+    incr head;
+    for i = out_start.(u) to out_start.(u + 1) - 1 do
+      let a = out_arcs.(i) in
+      let v = a_to.(a) in
+      if level.(v) < level.(u) + 1 then level.(v) <- level.(u) + 1;
+      indeg.(v) <- indeg.(v) - 1;
+      if indeg.(v) = 0 then begin
+        topo.(!tail) <- v;
+        incr tail
+      end
+    done
+  done;
+  if !tail <> n then failwith "Graph.build: combinational cycle detected";
+  (* classify sources and endpoints *)
+  let node_launcher = Array.make n None in
+  let node_endpoint = Array.make n None in
+  let sources = Vec.create () and endpoints = Vec.create () in
+  Array.iteri
+    (fun nd p ->
+      match Design.pin_owner design p with
+      | Design.Port_pin port ->
+        if Design.port_dir design port = Design.In then begin
+          node_launcher.(nd) <- Some (Launch_port port);
+          ignore (Vec.push sources nd)
+        end
+        else begin
+          node_endpoint.(nd) <- Some (End_port port);
+          ignore (Vec.push endpoints nd)
+        end
+      | Design.Cell_pin (c, pin_name) ->
+        if Design.is_ff design c then
+          if pin_name = "Q" then begin
+            node_launcher.(nd) <- Some (Launch_ff c);
+            ignore (Vec.push sources nd)
+          end
+          else if pin_name = "D" then begin
+            node_endpoint.(nd) <- Some (End_ff c);
+            ignore (Vec.push endpoints nd)
+          end)
+    node_pin;
+  {
+    design;
+    node_pin;
+    node_of_pin;
+    a_from;
+    a_to;
+    a_kind;
+    out_start;
+    out_arcs;
+    in_start;
+    in_arcs;
+    level;
+    topo;
+    sources = Vec.to_array sources;
+    endpoints = Vec.to_array endpoints;
+    node_launcher;
+    node_endpoint;
+  }
+
+let design t = t.design
+let num_nodes t = Array.length t.node_pin
+let num_arcs t = Array.length t.a_from
+
+let node_of_pin t p = if t.node_of_pin.(p) < 0 then None else Some t.node_of_pin.(p)
+
+let pin_of_node t n = t.node_pin.(n)
+let level t n = t.level.(n)
+let topo_order t = t.topo
+
+let iter_out t n f =
+  for i = t.out_start.(n) to t.out_start.(n + 1) - 1 do
+    let a = t.out_arcs.(i) in
+    f a t.a_to.(a)
+  done
+
+let iter_in t n f =
+  for i = t.in_start.(n) to t.in_start.(n + 1) - 1 do
+    let a = t.in_arcs.(i) in
+    f a t.a_from.(a)
+  done
+
+let arc_kind t a = t.a_kind.(a)
+
+let refresh_cell_arcs t c =
+  let master = Design.cell_master t.design c in
+  List.iter
+    (fun (arc : Cell.arc) ->
+      match
+        ( t.node_of_pin.(Design.cell_pin t.design c arc.Cell.from_pin),
+          t.node_of_pin.(Design.cell_pin t.design c arc.Cell.to_pin) )
+      with
+      | u, v when u >= 0 && v >= 0 ->
+        for i = t.out_start.(u) to t.out_start.(u + 1) - 1 do
+          let a = t.out_arcs.(i) in
+          if t.a_to.(a) = v then
+            match t.a_kind.(a) with
+            | Cell_arc _ -> t.a_kind.(a) <- Cell_arc arc.Cell.model
+            | Net_arc -> ()
+        done
+      | _ -> ())
+    master.Cell.arcs
+let arc_from t a = t.a_from.(a)
+let arc_to t a = t.a_to.(a)
+let sources t = t.sources
+let endpoints t = t.endpoints
+
+let launcher_of_node t n =
+  match t.node_launcher.(n) with
+  | Some l -> l
+  | None -> invalid_arg "Graph.launcher_of_node: not a source node"
+
+let endpoint_of_node t n =
+  match t.node_endpoint.(n) with
+  | Some e -> e
+  | None -> invalid_arg "Graph.endpoint_of_node: not an endpoint node"
+
+let is_source t n = t.node_launcher.(n) <> None
+let is_endpoint t n = t.node_endpoint.(n) <> None
+
+let node_of_pin_exn t p =
+  match node_of_pin t p with
+  | Some n -> n
+  | None -> invalid_arg "Graph: pin is not in the data graph"
+
+let ff_q_node t ff = node_of_pin_exn t (Design.cell_pin t.design ff "Q")
+
+let ff_d_node t ff = node_of_pin_exn t (Design.cell_pin t.design ff "D")
+
+let source_of_launcher t = function
+  | Launch_ff ff -> ff_q_node t ff
+  | Launch_port port -> node_of_pin_exn t (Design.port_pin t.design port)
+
+let node_of_endpoint t = function
+  | End_ff ff -> ff_d_node t ff
+  | End_port port -> node_of_pin_exn t (Design.port_pin t.design port)

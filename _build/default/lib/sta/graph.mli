@@ -1,0 +1,93 @@
+(** The gate-level timing graph.
+
+    Nodes are *data* pins: combinational cell pins, flip-flop D and Q
+    pins, and primary-port pins. The clock network (clock-root port, LCB
+    pins, FF CK pins) is deliberately absent — clock latency is computed
+    analytically by the design database, which is what lets clock skew
+    scheduling change latencies without touching graph topology.
+
+    Arcs are either cell arcs (input pin to output pin of one instance,
+    carrying a delay model) or net arcs (driver pin to one sink pin,
+    carrying Elmore wire delay evaluated from current placement).
+
+    Topology is immutable after {!build}: LCB reconnection only rewires
+    clock nets, and cell movement only changes arc *delays*. *)
+
+type node = int
+
+type launcher =
+  | Launch_ff of Css_netlist.Design.cell_id
+  | Launch_port of Css_netlist.Design.port_id
+
+type endpoint =
+  | End_ff of Css_netlist.Design.cell_id
+  | End_port of Css_netlist.Design.port_id
+
+type arc_kind =
+  | Cell_arc of Css_liberty.Delay_model.t
+  | Net_arc
+
+type t
+
+(** [build design] constructs the graph and its topological order.
+    @raise Failure if the combinational network contains a cycle. *)
+val build : Css_netlist.Design.t -> t
+
+val design : t -> Css_netlist.Design.t
+val num_nodes : t -> int
+val num_arcs : t -> int
+
+(** [node_of_pin t p] is the node for data pin [p], or [None] for clock
+    pins and other excluded pins. *)
+val node_of_pin : t -> Css_netlist.Design.pin_id -> node option
+
+val pin_of_node : t -> node -> Css_netlist.Design.pin_id
+
+(** [level t n] is the topological level (sources are 0). *)
+val level : t -> node -> int
+
+(** [topo_order t] lists all nodes in a valid topological order. *)
+val topo_order : t -> node array
+
+(** [iter_out t n f] / [iter_in t n f] visit incident arcs; [f] receives
+    the arc id and the neighbour node. *)
+val iter_out : t -> node -> (int -> node -> unit) -> unit
+
+val iter_in : t -> node -> (int -> node -> unit) -> unit
+
+val arc_kind : t -> int -> arc_kind
+
+(** [refresh_cell_arcs t c] re-reads the delay models of instance [c]'s
+    cell arcs from its (possibly swapped) master. Topology must be
+    unchanged — guaranteed by [Design.swap_master]'s interface check. *)
+val refresh_cell_arcs : t -> Css_netlist.Design.cell_id -> unit
+val arc_from : t -> int -> node
+val arc_to : t -> int -> node
+
+(** [sources t] are launch nodes: FF Q pins and input-port pins. *)
+val sources : t -> node array
+
+(** [endpoints t] are capture nodes: FF D pins and output-port pins. *)
+val endpoints : t -> node array
+
+(** [launcher_of_node t n] classifies a source node.
+    @raise Invalid_argument if [n] is not a source. *)
+val launcher_of_node : t -> node -> launcher
+
+(** [endpoint_of_node t n] classifies an endpoint node.
+    @raise Invalid_argument if [n] is not an endpoint. *)
+val endpoint_of_node : t -> node -> endpoint
+
+val is_source : t -> node -> bool
+val is_endpoint : t -> node -> bool
+
+(** [source_of_launcher t l] is the launch node of [l] (Q pin or port pin). *)
+val source_of_launcher : t -> launcher -> node
+
+(** [node_of_endpoint t e] is the capture node of [e]. *)
+val node_of_endpoint : t -> endpoint -> node
+
+(** [ff_q_node t ff] / [ff_d_node t ff] are the FF's graph nodes. *)
+val ff_q_node : t -> Css_netlist.Design.cell_id -> node
+
+val ff_d_node : t -> Css_netlist.Design.cell_id -> node

@@ -1,0 +1,572 @@
+module Design = Css_netlist.Design
+module Cell = Css_liberty.Cell
+module Library = Css_liberty.Library
+module Wire = Css_liberty.Wire
+module Delay_model = Css_liberty.Delay_model
+module Point = Css_geometry.Point
+module Heap = Css_util.Heap
+module Mark = Css_util.Mark
+
+type corner =
+  | Early
+  | Late
+
+type config = {
+  early_derate : float;
+  initial_slew : float;
+  port_drive_res : float;
+  port_cap : float;
+  setup_uncertainty : float;
+  hold_uncertainty : float;
+}
+
+let default_config =
+  {
+    early_derate = 0.88;
+    initial_slew = 10.0;
+    port_drive_res = 1.0;
+    port_cap = 2.0;
+    setup_uncertainty = 0.0;
+    hold_uncertainty = 0.0;
+  }
+
+type stats = {
+  mutable full_propagations : int;
+  mutable forward_visits : int;
+  mutable backward_visits : int;
+  mutable cone_visits : int;
+}
+
+type t = {
+  graph : Graph.t;
+  design : Design.t;
+  cfg : config;
+  stats : stats;
+  load : float array;  (* per node; meaningful for net drivers *)
+  at_max : float array;
+  at_min : float array;
+  slew : float array;
+  pred_max : int array;  (* incoming arc realizing at_max, -1 if none *)
+  pred_min : int array;
+  rat_late : float array;
+  rat_early : float array;
+  visit : Mark.t;  (* scratch for cones and worklists *)
+  scratch : float array;  (* scratch DP values for cones *)
+}
+
+let graph t = t.graph
+let design t = t.design
+let config t = t.cfg
+let stats t = t.stats
+
+(* ------------------------------------------------------------------ *)
+(* Loads                                                               *)
+
+let sink_cap t pin =
+  match Design.pin_owner t.design pin with
+  | Design.Cell_pin (c, _) -> (Design.cell_master t.design c).Cell.input_cap
+  | Design.Port_pin _ -> t.cfg.port_cap
+
+let refresh_load_of_driver t node =
+  let d = t.design in
+  let pin = Graph.pin_of_node t.graph node in
+  match Design.pin_net d pin with
+  | None -> t.load.(node) <- 0.0
+  | Some net ->
+    let wire = Library.wire (Design.library d) in
+    let dpos = Design.pin_pos d pin in
+    let total =
+      List.fold_left
+        (fun acc sink ->
+          let len = Point.manhattan dpos (Design.pin_pos d sink) in
+          acc +. Wire.cap wire ~len +. sink_cap t sink)
+        0.0 (Design.net_sinks d net)
+    in
+    t.load.(node) <- total
+
+let refresh_all_loads t =
+  let g = t.graph in
+  for n = 0 to Graph.num_nodes g - 1 do
+    let pin = Graph.pin_of_node g n in
+    if Design.pin_is_output t.design pin then refresh_load_of_driver t n
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Arc delays                                                          *)
+
+let driver_res t node =
+  let pin = Graph.pin_of_node t.graph node in
+  match Design.pin_owner t.design pin with
+  | Design.Cell_pin (c, _) -> (Design.cell_master t.design c).Cell.drive_res
+  | Design.Port_pin _ -> t.cfg.port_drive_res
+
+let arc_delay_max t a =
+  let g = t.graph in
+  match Graph.arc_kind g a with
+  | Graph.Cell_arc model ->
+    let u = Graph.arc_from g a and v = Graph.arc_to g a in
+    Delay_model.delay model ~slew:t.slew.(u) ~load:t.load.(v)
+  | Graph.Net_arc ->
+    let u = Graph.arc_from g a and v = Graph.arc_to g a in
+    let d = t.design in
+    let len =
+      Point.manhattan
+        (Design.pin_pos d (Graph.pin_of_node g u))
+        (Design.pin_pos d (Graph.pin_of_node g v))
+    in
+    let wire = Library.wire (Design.library d) in
+    Wire.delay wire ~r_drive:(driver_res t u) ~len
+
+let arc_delay t corner a =
+  let dmax = arc_delay_max t a in
+  match corner with Late -> dmax | Early -> t.cfg.early_derate *. dmax
+
+(* Slew seen at the head of arc [a] when the tail has slew [slew_u]. *)
+let arc_out_slew t a ~slew_u ~delay =
+  let g = t.graph in
+  match Graph.arc_kind g a with
+  | Graph.Cell_arc model -> Delay_model.output_slew model ~slew:slew_u ~load:t.load.(Graph.arc_to g a)
+  | Graph.Net_arc -> slew_u +. (0.3 *. delay)
+
+(* ------------------------------------------------------------------ *)
+(* Source arrivals and endpoint required times                         *)
+
+let ff_params t ff = Cell.ff_params (Design.cell_master t.design ff)
+
+let launch_latency_ff t ff = Design.clock_latency t.design ff
+
+let source_arrivals t node =
+  match Graph.launcher_of_node t.graph node with
+  | Graph.Launch_port _ -> (0.0, 0.0)
+  | Graph.Launch_ff ff ->
+    let l = launch_latency_ff t ff in
+    let c2q = (ff_params t ff).Cell.clk_to_q in
+    (l +. c2q, l +. (t.cfg.early_derate *. c2q))
+
+let endpoint_rats t node =
+  let period = Design.clock_period t.design in
+  match Graph.endpoint_of_node t.graph node with
+  | Graph.End_port _ -> (period -. t.cfg.setup_uncertainty, t.cfg.hold_uncertainty)
+  | Graph.End_ff ff ->
+    let l = Design.clock_latency t.design ff in
+    let p = ff_params t ff in
+    ( period +. l -. p.Cell.setup -. t.cfg.setup_uncertainty,
+      l +. p.Cell.hold +. t.cfg.hold_uncertainty )
+
+(* ------------------------------------------------------------------ *)
+(* Node recomputation                                                  *)
+
+(* Returns true when the forward state of [n] changed. *)
+let recompute_forward t n =
+  let g = t.graph in
+  let old_max = t.at_max.(n) and old_min = t.at_min.(n) and old_slew = t.slew.(n) in
+  if Graph.is_source g n then begin
+    let amax, amin = source_arrivals t n in
+    t.at_max.(n) <- amax;
+    t.at_min.(n) <- amin;
+    t.slew.(n) <- t.cfg.initial_slew;
+    t.pred_max.(n) <- -1;
+    t.pred_min.(n) <- -1
+  end
+  else begin
+    let best_max = ref neg_infinity and best_min = ref infinity in
+    let arg_max = ref (-1) and arg_min = ref (-1) in
+    let best_slew = ref t.cfg.initial_slew in
+    Graph.iter_in g n (fun a u ->
+        if t.at_max.(u) > neg_infinity then begin
+          let dmax = arc_delay_max t a in
+          let cand = t.at_max.(u) +. dmax in
+          if cand > !best_max then begin
+            best_max := cand;
+            arg_max := a;
+            best_slew := arc_out_slew t a ~slew_u:t.slew.(u) ~delay:dmax
+          end
+        end;
+        if t.at_min.(u) < infinity then begin
+          let dmin = arc_delay t Early a in
+          let cand = t.at_min.(u) +. dmin in
+          if cand < !best_min then begin
+            best_min := cand;
+            arg_min := a
+          end
+        end);
+    t.at_max.(n) <- !best_max;
+    t.at_min.(n) <- !best_min;
+    t.slew.(n) <- (if !arg_max >= 0 then !best_slew else t.cfg.initial_slew);
+    t.pred_max.(n) <- !arg_max;
+    t.pred_min.(n) <- !arg_min
+  end;
+  t.stats.forward_visits <- t.stats.forward_visits + 1;
+  t.at_max.(n) <> old_max || t.at_min.(n) <> old_min || t.slew.(n) <> old_slew
+
+(* Returns true when the backward state of [n] changed. *)
+let recompute_backward t n =
+  let g = t.graph in
+  let old_late = t.rat_late.(n) and old_early = t.rat_early.(n) in
+  let best_late = ref infinity and best_early = ref neg_infinity in
+  if Graph.is_endpoint g n then begin
+    let late, early = endpoint_rats t n in
+    best_late := late;
+    best_early := early
+  end;
+  Graph.iter_out g n (fun a v ->
+      if t.rat_late.(v) < infinity then begin
+        let cand = t.rat_late.(v) -. arc_delay_max t a in
+        if cand < !best_late then best_late := cand
+      end;
+      if t.rat_early.(v) > neg_infinity then begin
+        let cand = t.rat_early.(v) -. arc_delay t Early a in
+        if cand > !best_early then best_early := cand
+      end);
+  t.rat_late.(n) <- !best_late;
+  t.rat_early.(n) <- !best_early;
+  t.stats.backward_visits <- t.stats.backward_visits + 1;
+  t.rat_late.(n) <> old_late || t.rat_early.(n) <> old_early
+
+(* ------------------------------------------------------------------ *)
+(* Full propagation                                                    *)
+
+let propagate t =
+  refresh_all_loads t;
+  let topo = Graph.topo_order t.graph in
+  Array.iter (fun n -> ignore (recompute_forward t n)) topo;
+  for i = Array.length topo - 1 downto 0 do
+    ignore (recompute_backward t topo.(i))
+  done;
+  t.stats.full_propagations <- t.stats.full_propagations + 1
+
+(* ------------------------------------------------------------------ *)
+(* Incremental propagation                                             *)
+
+(* Level-ordered worklist sweep. [seeds] are recomputed unconditionally;
+   a node whose state changes pushes its neighbours. *)
+let sweep t ~seeds ~forward =
+  let g = t.graph in
+  let dir = if forward then 1 else -1 in
+  let heap = Heap.create ~cmp:(fun a b -> compare (dir * Graph.level g a) (dir * Graph.level g b)) in
+  Mark.reset t.visit;
+  let push n =
+    if not (Mark.is_marked t.visit n) then begin
+      Mark.mark t.visit n;
+      Heap.push heap n
+    end
+  in
+  List.iter push seeds;
+  let changed = ref [] in
+  while not (Heap.is_empty heap) do
+    let n = Heap.pop heap in
+    let delta = if forward then recompute_forward t n else recompute_backward t n in
+    if delta then begin
+      changed := n :: !changed;
+      if forward then Graph.iter_out g n (fun _ v -> push v)
+      else Graph.iter_in g n (fun _ u -> push u)
+    end
+  done;
+  !changed
+
+let update_after t ~fwd_seeds ~bwd_seeds =
+  let changed = sweep t ~seeds:fwd_seeds ~forward:true in
+  (* Required times depend on downstream rats *and* on local slews, so
+     every node whose forward state changed must be re-examined too. *)
+  ignore (sweep t ~seeds:(List.rev_append changed bwd_seeds) ~forward:false)
+
+let update_latencies t ffs =
+  let g = t.graph in
+  let fwd = List.map (Graph.ff_q_node g) ffs in
+  let bwd = List.map (Graph.ff_d_node g) ffs in
+  update_after t ~fwd_seeds:fwd ~bwd_seeds:bwd
+
+let update_moved_cells t cells =
+  let g = t.graph in
+  let d = t.design in
+  let fwd = ref [] and bwd = ref [] in
+  let add_node lst pin =
+    match Graph.node_of_pin g pin with Some n -> lst := n :: !lst | None -> ()
+  in
+  let touch_net net =
+    match Design.net_driver d net with
+    | None -> ()
+    | Some drv -> (
+      match Graph.node_of_pin g drv with
+      | None -> () (* clock net *)
+      | Some drv_node ->
+        refresh_load_of_driver t drv_node;
+        add_node fwd drv;
+        add_node bwd drv;
+        (* the driving cell's input pins see a new cell-arc delay *)
+        (match Design.pin_owner d drv with
+        | Design.Cell_pin (c, _) ->
+          List.iter
+            (fun pn -> add_node bwd (Design.cell_pin d c pn))
+            (Design.cell_master d c).Cell.inputs
+        | Design.Port_pin _ -> ());
+        List.iter
+          (fun sink ->
+            add_node fwd sink;
+            add_node bwd sink)
+          (Design.net_sinks d net))
+  in
+  let nets = Hashtbl.create 16 in
+  let moved_ffs = ref [] in
+  List.iter
+    (fun c ->
+      if Design.is_ff d c then moved_ffs := c :: !moved_ffs;
+      let master = Design.cell_master d c in
+      List.iter
+        (fun pn ->
+          match Design.pin_net d (Design.cell_pin d c pn) with
+          | Some net -> Hashtbl.replace nets net ()
+          | None -> ())
+        (master.Cell.inputs @ master.Cell.outputs))
+    cells;
+  Hashtbl.iter (fun net () -> touch_net net) nets;
+  (* FFs that moved see a different LCB branch length, i.e. latency. *)
+  List.iter
+    (fun ff ->
+      add_node fwd (Design.cell_pin d ff "Q");
+      add_node bwd (Design.cell_pin d ff "D"))
+    !moved_ffs;
+  update_after t ~fwd_seeds:!fwd ~bwd_seeds:!bwd
+
+let resize_cell t c master =
+  Design.swap_master t.design c master;
+  Graph.refresh_cell_arcs t.graph c;
+  (* the same cones as a placement change are affected: incident net
+     loads, the cell's own arcs, and everything downstream *)
+  update_moved_cells t [ c ]
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+
+let arrival t corner n = match corner with Late -> t.at_max.(n) | Early -> t.at_min.(n)
+
+let required t corner n = match corner with Late -> t.rat_late.(n) | Early -> t.rat_early.(n)
+
+let slack t corner n =
+  match corner with
+  | Late ->
+    if t.at_max.(n) = neg_infinity || t.rat_late.(n) = infinity then infinity
+    else t.rat_late.(n) -. t.at_max.(n)
+  | Early ->
+    if t.at_min.(n) = infinity || t.rat_early.(n) = neg_infinity then infinity
+    else t.at_min.(n) -. t.rat_early.(n)
+
+let slew t n = t.slew.(n)
+
+let endpoint_slack t corner e = slack t corner (Graph.node_of_endpoint t.graph e)
+
+let launch_slack t corner l = slack t corner (Graph.source_of_launcher t.graph l)
+
+let launch_latency t = function
+  | Graph.Launch_ff ff -> launch_latency_ff t ff
+  | Graph.Launch_port _ -> 0.0
+
+let endpoint_latency t = function
+  | Graph.End_ff ff -> Design.clock_latency t.design ff
+  | Graph.End_port _ -> 0.0
+
+let edge_slack t corner ~launcher ~endpoint ~delay =
+  let period = Design.clock_period t.design in
+  let l_u = launch_latency t launcher in
+  let c2q =
+    match launcher with
+    | Graph.Launch_ff ff -> (ff_params t ff).Cell.clk_to_q
+    | Graph.Launch_port _ -> 0.0
+  in
+  let l_v = endpoint_latency t endpoint in
+  match corner with
+  | Late ->
+    let setup =
+      match endpoint with
+      | Graph.End_ff ff -> (ff_params t ff).Cell.setup
+      | Graph.End_port _ -> 0.0
+    in
+    period +. l_v -. setup -. t.cfg.setup_uncertainty -. (l_u +. c2q +. delay)
+  | Early ->
+    let hold =
+      match endpoint with
+      | Graph.End_ff ff -> (ff_params t ff).Cell.hold
+      | Graph.End_port _ -> 0.0
+    in
+    l_u +. (t.cfg.early_derate *. c2q) +. delay -. (l_v +. hold +. t.cfg.hold_uncertainty)
+
+let fold_endpoints t corner f acc =
+  Array.fold_left
+    (fun acc n ->
+      let s = slack t corner n in
+      f acc (Graph.endpoint_of_node t.graph n) s)
+    acc (Graph.endpoints t.graph)
+
+let wns t corner =
+  fold_endpoints t corner (fun acc _ s -> if s < acc then s else acc) 0.0
+
+let tns t corner = fold_endpoints t corner (fun acc _ s -> if s < 0.0 then acc +. s else acc) 0.0
+
+let violated_endpoints t corner =
+  let vs = fold_endpoints t corner (fun acc e s -> if s < 0.0 then (e, s) :: acc else acc) [] in
+  List.sort (fun (_, a) (_, b) -> compare a b) vs
+
+(* ------------------------------------------------------------------ *)
+(* Cone enumeration                                                    *)
+
+(* Collect the cone of [root] (backward when [forward = false]) as node
+   ids, then run a longest/shortest-path DP restricted to the cone. *)
+let cone t corner ~root ~forward =
+  let g = t.graph in
+  Mark.reset t.visit;
+  let members = ref [] in
+  let count = ref 0 in
+  let rec collect n =
+    if not (Mark.is_marked t.visit n) then begin
+      Mark.mark t.visit n;
+      incr count;
+      members := n :: !members;
+      if forward then begin
+        if not (Graph.is_endpoint g n) then Graph.iter_out g n (fun _ v -> collect v)
+      end
+      else if not (Graph.is_source g n) then Graph.iter_in g n (fun _ u -> collect u)
+    end
+  in
+  collect root;
+  t.stats.cone_visits <- t.stats.cone_visits + !count;
+  let members = Array.of_list !members in
+  (* DP in level order: ascending when walking backward from the root so
+     that successors-in-cone are final (we relax over out-arcs), and
+     descending for the forward cone (we relax over in-arcs). *)
+  Array.sort
+    (fun a b ->
+      if forward then compare (Graph.level g a) (Graph.level g b)
+      else compare (Graph.level g b) (Graph.level g a))
+    members;
+  let better a b = match corner with Late -> a > b | Early -> a < b in
+  let worst = match corner with Late -> neg_infinity | Early -> infinity in
+  Array.iter (fun n -> t.scratch.(n) <- worst) members;
+  t.scratch.(root) <- 0.0;
+  let results = ref [] in
+  Array.iter
+    (fun n ->
+      if n <> root then begin
+        let best = ref worst in
+        if forward then
+          Graph.iter_in g n (fun a u ->
+              if Mark.is_marked t.visit u && t.scratch.(u) <> worst then begin
+                let cand = t.scratch.(u) +. arc_delay t corner a in
+                if better cand !best then best := cand
+              end)
+        else
+          Graph.iter_out g n (fun a v ->
+              if Mark.is_marked t.visit v && t.scratch.(v) <> worst then begin
+                let cand = arc_delay t corner a +. t.scratch.(v) in
+                if better cand !best then best := cand
+              end);
+        t.scratch.(n) <- !best
+      end;
+      if t.scratch.(n) <> worst then
+        if forward then begin
+          if Graph.is_endpoint g n && n <> root then
+            results := (n, t.scratch.(n)) :: !results
+        end
+        else if Graph.is_source g n && n <> root then results := (n, t.scratch.(n)) :: !results)
+    members;
+  (!results, !count)
+
+let cone_to_endpoint t corner e =
+  let root = Graph.node_of_endpoint t.graph e in
+  let raw, visited = cone t corner ~root ~forward:false in
+  (List.map (fun (n, d) -> (Graph.launcher_of_node t.graph n, d)) raw, visited)
+
+let cone_from_launcher t corner l =
+  let root = Graph.source_of_launcher t.graph l in
+  let raw, visited = cone t corner ~root ~forward:true in
+  (List.map (fun (n, d) -> (Graph.endpoint_of_node t.graph n, d)) raw, visited)
+
+(* ------------------------------------------------------------------ *)
+(* Path tracing                                                        *)
+
+let worst_path t corner e =
+  let g = t.graph in
+  let pred = match corner with Late -> t.pred_max | Early -> t.pred_min in
+  let rec walk n acc =
+    let acc = Graph.pin_of_node g n :: acc in
+    let a = pred.(n) in
+    if a < 0 then acc else walk (Graph.arc_from g a) acc
+  in
+  let n = Graph.node_of_endpoint g e in
+  if arrival t corner n = neg_infinity || arrival t corner n = infinity then []
+  else walk n []
+
+(* Best-first enumeration of the k most critical paths into an endpoint.
+   A queue item is a backward prefix from the endpoint to [node] with
+   accumulated suffix delay [acc]; its score [arrival(node) + acc] is the
+   exact arrival the best completion of this prefix realizes, so items
+   pop in true criticality order and each source pop is a final path. *)
+let k_worst_paths t corner e ~k =
+  if k <= 0 then []
+  else begin
+    let g = t.graph in
+    let root = Graph.node_of_endpoint g e in
+    let arrival_of n = match corner with Late -> t.at_max.(n) | Early -> t.at_min.(n) in
+    let unreachable n =
+      match corner with Late -> t.at_max.(n) = neg_infinity | Early -> t.at_min.(n) = infinity
+    in
+    if unreachable root then []
+    else begin
+      (* pop the largest arrival first for Late, smallest for Early *)
+      let cmp (s1, _, _, _) (s2, _, _, _) =
+        match corner with Late -> compare s2 s1 | Early -> compare s1 s2
+      in
+      let heap = Heap.create ~cmp in
+      (* (score, node, suffix delay, suffix node list including node) *)
+      Heap.push heap (arrival_of root, root, 0.0, [ root ]);
+      let results = ref [] in
+      let count = ref 0 in
+      let slack_of_arrival arr =
+        match corner with
+        | Late -> t.rat_late.(root) -. arr
+        | Early -> arr -. t.rat_early.(root)
+      in
+      while !count < k && not (Heap.is_empty heap) do
+        let _, node, acc, suffix = Heap.pop heap in
+        if Graph.is_source g node then begin
+          incr count;
+          let arr = arrival_of node +. acc in
+          results := (slack_of_arrival arr, List.map (Graph.pin_of_node g) suffix) :: !results
+        end
+        else
+          Graph.iter_in g node (fun a u ->
+              if not (unreachable u) then begin
+                let d = arc_delay t corner a in
+                Heap.push heap (arrival_of u +. d +. acc, u, acc +. d, u :: suffix)
+              end)
+      done;
+      List.rev !results
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+let build ?(config = default_config) design =
+  let graph = Graph.build design in
+  let n = Graph.num_nodes graph in
+  let t =
+    {
+      graph;
+      design;
+      cfg = config;
+      stats =
+        { full_propagations = 0; forward_visits = 0; backward_visits = 0; cone_visits = 0 };
+      load = Array.make (max n 1) 0.0;
+      at_max = Array.make (max n 1) neg_infinity;
+      at_min = Array.make (max n 1) infinity;
+      slew = Array.make (max n 1) config.initial_slew;
+      pred_max = Array.make (max n 1) (-1);
+      pred_min = Array.make (max n 1) (-1);
+      rat_late = Array.make (max n 1) infinity;
+      rat_early = Array.make (max n 1) neg_infinity;
+      visit = Mark.create (max n 1);
+      scratch = Array.make (max n 1) 0.0;
+    }
+  in
+  propagate t;
+  t

@@ -1,0 +1,156 @@
+(** The static timing analyser.
+
+    Maintains min/max arrival times, slews, and early/late required times
+    over a {!Graph.t}; answers the queries the clock-skew scheduler needs:
+
+    - endpoint and per-pin slacks (Eq. (1)(2) of the paper);
+    - the launch-pin late slack, which is the sequential-graph vertex
+      weight [w^out] of Eq. (6), with no extraction;
+    - the capture-pin early slack, which is the latency bound [s^E_v] of
+      Eq. (11), again with no extraction;
+    - fan-in / fan-out cone delay enumeration, the primitive underlying
+      all three sequential-graph extraction engines;
+    - incremental re-propagation after clock-latency changes or cell
+      moves, the paper's "Update" step.
+
+    Hold analysis uses the standard industrial form
+    [slack^E = (l_u + c2q_u^early + d^min) - (l_v + hold_v)]; the paper's
+    Eq. (1) subtracts the capture c2q as well, which does not affect any
+    slack *increment* (Eq. (3)) and hence none of the algorithms. *)
+
+type corner =
+  | Early  (** hold / min-delay analysis *)
+  | Late  (** setup / max-delay analysis *)
+
+type config = {
+  early_derate : float;  (** min-corner delay = derate * max-corner *)
+  initial_slew : float;  (** slew at launch pins, ps *)
+  port_drive_res : float;  (** drive resistance of input ports *)
+  port_cap : float;  (** pin cap of output ports, fF *)
+  setup_uncertainty : float;  (** clock uncertainty margin on setup checks, ps *)
+  hold_uncertainty : float;  (** clock uncertainty margin on hold checks, ps *)
+}
+
+val default_config : config
+
+type stats = {
+  mutable full_propagations : int;
+  mutable forward_visits : int;  (** node recomputations, fwd *)
+  mutable backward_visits : int;  (** node recomputations, bwd *)
+  mutable cone_visits : int;  (** nodes touched by cone extraction *)
+}
+
+type t
+
+(** [build ?config design] constructs the graph and runs a full
+    propagation. *)
+val build : ?config:config -> Css_netlist.Design.t -> t
+
+val graph : t -> Graph.t
+val design : t -> Css_netlist.Design.t
+val config : t -> config
+val stats : t -> stats
+
+(** {1 Propagation} *)
+
+(** [propagate t] recomputes all arrivals, slews and required times from
+    scratch. *)
+val propagate : t -> unit
+
+(** [update_latencies t ffs] incrementally re-propagates after the clock
+    latencies of [ffs] changed (scheduled or physical, e.g. after
+    reconnection). Equivalent to [propagate] but touches only the affected
+    cones. *)
+val update_latencies : t -> Css_netlist.Design.cell_id list -> unit
+
+(** [update_moved_cells t cells] incrementally re-propagates after the
+    placement of [cells] changed. Flip-flops among them also get their
+    clock latency refreshed. *)
+val update_moved_cells : t -> Css_netlist.Design.cell_id list -> unit
+
+(** [resize_cell t c master] swaps instance [c]'s library master (gate
+    sizing), refreshes the affected timing arcs and loads, and
+    incrementally re-propagates. Same preconditions as
+    [Design.swap_master]. *)
+val resize_cell : t -> Css_netlist.Design.cell_id -> string -> unit
+
+(** {1 Node state} *)
+
+(** [arrival t corner n] is the min (Early) or max (Late) arrival time.
+    [neg_infinity]/[infinity] when no path reaches [n]. *)
+val arrival : t -> corner -> Graph.node -> float
+
+(** [required t corner n] is the required time ([infinity]/[neg_infinity]
+    when unconstrained). *)
+val required : t -> corner -> Graph.node -> float
+
+(** [slack t corner n] is [required - arrival] for Late and
+    [arrival - required] for Early; [infinity] when unconstrained. *)
+val slack : t -> corner -> Graph.node -> float
+
+val slew : t -> Graph.node -> float
+
+(** {1 Scheduler-facing queries} *)
+
+val endpoint_slack : t -> corner -> Graph.endpoint -> float
+
+(** [launch_slack t corner l] is the slack at the launch pin of [l]: for
+    [Late] this is Eq. (6)'s vertex weight [w^out] (the worst late slack
+    over all of [l]'s outgoing timing paths); for [Early] the analogous
+    worst early slack over outgoing paths. *)
+val launch_slack : t -> corner -> Graph.launcher -> float
+
+(** [launch_latency t l] is the current clock latency of the launcher
+    (0 for ports). *)
+val launch_latency : t -> Graph.launcher -> float
+
+(** [endpoint_latency t e] is the capture clock latency (0 for ports). *)
+val endpoint_latency : t -> Graph.endpoint -> float
+
+(** [edge_slack t corner ~launcher ~endpoint ~delay] evaluates Eq. (1) or
+    (2) for a sequential edge given its pure combinational path [delay]
+    (launch-pin-to-capture-pin, excluding clk-to-q) under the *current*
+    latencies. *)
+val edge_slack :
+  t -> corner -> launcher:Graph.launcher -> endpoint:Graph.endpoint -> delay:float -> float
+
+val wns : t -> corner -> float
+val tns : t -> corner -> float
+
+(** [violated_endpoints t corner] are endpoints with negative slack,
+    worst first. *)
+val violated_endpoints : t -> corner -> (Graph.endpoint * float) list
+
+(** [arc_delay t corner a] evaluates one timing arc's delay under current
+    slews, loads and placement (min-corner delays are derated). *)
+val arc_delay : t -> corner -> int -> float
+
+(** {1 Cone enumeration (extraction primitives)} *)
+
+(** [cone_to_endpoint t corner e] walks the fan-in cone of [e] and returns
+    every launcher that reaches [e] with its extreme pure path delay (max
+    for [Late], min for [Early]), plus the number of graph nodes visited —
+    the extraction cost the paper's Table I accounts as "#Extract Edge"
+    work. *)
+val cone_to_endpoint : t -> corner -> Graph.endpoint -> (Graph.launcher * float) list * int
+
+(** [cone_from_launcher t corner l] is the symmetric fan-out walk used by
+    the IC-CSS callback: every endpoint reached from [l] with its extreme
+    path delay, plus nodes visited. *)
+val cone_from_launcher : t -> corner -> Graph.launcher -> (Graph.endpoint * float) list * int
+
+(** {1 Path tracing} *)
+
+(** [worst_path t corner e] is the critical path into [e] as a pin list,
+    launch pin first. Empty when no path reaches [e]. *)
+val worst_path : t -> corner -> Graph.endpoint -> Css_netlist.Design.pin_id list
+
+(** [k_worst_paths t corner e ~k] enumerates up to [k] distinct paths into
+    [e] in criticality order (most negative slack first), each as
+    [(slack, pins)] with the launch pin first. [k_worst_paths ~k:1]
+    agrees with {!worst_path} and the endpoint slack. Implemented as a
+    best-first search over backward path prefixes scored by the exact
+    arrival they would realize — no path is materialized unless it is
+    among the [k] best. *)
+val k_worst_paths :
+  t -> corner -> Graph.endpoint -> k:int -> (float * Css_netlist.Design.pin_id list) list

@@ -1,0 +1,1 @@
+lib/util/wall_clock.ml: Unix

@@ -1,0 +1,64 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  elems : 'a Vec.t;
+}
+
+let create ~cmp = { cmp; elems = Vec.create () }
+
+let length h = Vec.length h.elems
+
+let is_empty h = Vec.is_empty h.elems
+
+let swap h i j =
+  let x = Vec.get h.elems i in
+  Vec.set h.elems i (Vec.get h.elems j);
+  Vec.set h.elems j x
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.cmp (Vec.get h.elems i) (Vec.get h.elems parent) < 0 then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let n = Vec.length h.elems in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < n && h.cmp (Vec.get h.elems l) (Vec.get h.elems !smallest) < 0 then smallest := l;
+  if r < n && h.cmp (Vec.get h.elems r) (Vec.get h.elems !smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h x =
+  let i = Vec.push h.elems x in
+  sift_up h i
+
+let peek h =
+  if is_empty h then raise Not_found;
+  Vec.get h.elems 0
+
+let pop h =
+  if is_empty h then raise Not_found;
+  let top = Vec.get h.elems 0 in
+  let last = Vec.pop h.elems in
+  if not (Vec.is_empty h.elems) then begin
+    Vec.set h.elems 0 last;
+    sift_down h 0
+  end;
+  top
+
+let clear h = Vec.clear h.elems
+
+let of_list ~cmp xs =
+  let h = create ~cmp in
+  List.iter (push h) xs;
+  h
+
+let pop_all h =
+  let rec loop acc = if is_empty h then List.rev acc else loop (pop h :: acc) in
+  loop []

@@ -1,0 +1,19 @@
+type t = {
+  mutable stamp : int array;
+  mutable epoch : int;
+}
+
+let create n = { stamp = Array.make (max n 1) 0; epoch = 1 }
+
+let reset t = t.epoch <- t.epoch + 1
+
+let mark t i = t.stamp.(i) <- t.epoch
+
+let is_marked t i = t.stamp.(i) = t.epoch
+
+let ensure t n =
+  if n > Array.length t.stamp then begin
+    let stamp' = Array.make (max n (2 * Array.length t.stamp)) 0 in
+    Array.blit t.stamp 0 stamp' 0 (Array.length t.stamp);
+    t.stamp <- stamp'
+  end

@@ -1,0 +1,23 @@
+(** Epoch-based visited marks over dense integer ids.
+
+    Cone traversals in the timing graph repeatedly need a "visited" set
+    over pins. Clearing a full array per traversal would dominate the cost
+    of small cones, so marks are compared against an epoch counter and
+    "cleared" in O(1) by bumping the epoch. *)
+
+type t
+
+(** [create n] supports ids in [\[0, n)]. *)
+val create : int -> t
+
+(** [reset t] un-marks every id in O(1). *)
+val reset : t -> unit
+
+(** [mark t i] marks id [i] in the current epoch. *)
+val mark : t -> int -> unit
+
+(** [is_marked t i] tests membership in the current epoch. *)
+val is_marked : t -> int -> bool
+
+(** [ensure t n] grows capacity so ids up to [n - 1] are valid. *)
+val ensure : t -> int -> unit

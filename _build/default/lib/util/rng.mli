@@ -1,0 +1,41 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Every stochastic component of the repository (benchmark generation,
+    property-test workloads) draws from this generator so that results are
+    reproducible from a seed alone. *)
+
+type t
+
+(** [create seed] is a fresh generator. Equal seeds yield equal streams. *)
+val create : int -> t
+
+(** [copy t] is an independent generator with the same state. *)
+val copy : t -> t
+
+(** [int t bound] is uniform in [\[0, bound)]. @raise Invalid_argument if
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+val int_in : t -> int -> int -> int
+
+(** [float t bound] is uniform in [\[0, bound)]. *)
+val float : t -> float -> float
+
+(** [float_in t lo hi] is uniform in [\[lo, hi)]. *)
+val float_in : t -> float -> float -> float
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** [gaussian t ~mu ~sigma] is normally distributed (Box-Muller). *)
+val gaussian : t -> mu:float -> sigma:float -> float
+
+(** [choose t xs] picks a uniform element of the non-empty array [xs]. *)
+val choose : t -> 'a array -> 'a
+
+(** [shuffle t a] permutes [a] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [split t] derives a new independent generator from [t]'s stream. *)
+val split : t -> t

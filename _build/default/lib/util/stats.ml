@@ -1,0 +1,59 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable minv : float;
+  mutable maxv : float;
+  mutable sum : float;
+}
+
+let create () = { n = 0; mean = 0.0; m2 = 0.0; minv = nan; maxv = nan; sum = 0.0 }
+
+let add t x =
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if t.n = 1 then begin
+    t.minv <- x;
+    t.maxv <- x
+  end
+  else begin
+    if x < t.minv then t.minv <- x;
+    if x > t.maxv then t.maxv <- x
+  end
+
+let count t = t.n
+
+let mean t = if t.n = 0 then nan else t.mean
+
+let stddev t = if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
+
+let min t = t.minv
+
+let max t = t.maxv
+
+let sum t = t.sum
+
+let of_list xs =
+  let t = create () in
+  List.iter (add t) xs;
+  t
+
+let percentile xs p =
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty list"
+  | xs ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+
+let fequal ?(eps = 1e-9) a b =
+  let d = Float.abs (a -. b) in
+  d <= eps || d <= eps *. Float.max (Float.abs a) (Float.abs b)

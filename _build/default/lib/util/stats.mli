@@ -1,0 +1,32 @@
+(** Streaming descriptive statistics and small numeric helpers. *)
+
+type t
+
+(** [create ()] is an empty accumulator. *)
+val create : unit -> t
+
+(** [add t x] folds one observation in (Welford's online algorithm). *)
+val add : t -> float -> unit
+
+val count : t -> int
+
+(** [mean t] / [stddev t] / [min t] / [max t] / [sum t] of the observations
+    so far; [mean], [min] and [max] are [nan] when empty, [stddev] is [0.]
+    for fewer than two observations. *)
+val mean : t -> float
+
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+val sum : t -> float
+
+(** [of_list xs] folds a whole list. *)
+val of_list : float list -> t
+
+(** [percentile xs p] is the [p]-th percentile ([0. <= p <= 100.]) of [xs]
+    by linear interpolation. @raise Invalid_argument on an empty list. *)
+val percentile : float list -> float -> float
+
+(** [fequal ?eps a b] is absolute-or-relative float equality with tolerance
+    [eps] (default [1e-9]). *)
+val fequal : ?eps:float -> float -> float -> bool

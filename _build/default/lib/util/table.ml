@@ -1,0 +1,79 @@
+type align = Left | Right | Center
+
+type row = Cells of string list | Sep
+
+type t = {
+  headers : string list;
+  ncols : int;
+  mutable aligns : align list;
+  rows : row Vec.t;
+}
+
+let create headers =
+  let ncols = List.length headers in
+  { headers; ncols; aligns = List.map (fun _ -> Left) headers; rows = Vec.create () }
+
+let set_aligns t aligns =
+  if List.length aligns <> t.ncols then invalid_arg "Table.set_aligns: column count mismatch";
+  t.aligns <- aligns
+
+let add_row t cells =
+  let n = List.length cells in
+  if n > t.ncols then invalid_arg "Table.add_row: too many cells";
+  let padded = cells @ List.init (t.ncols - n) (fun _ -> "") in
+  ignore (Vec.push t.rows (Cells padded))
+
+let add_sep t = ignore (Vec.push t.rows Sep)
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = width - n in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+    | Center ->
+      let left = fill / 2 in
+      String.make left ' ' ^ s ^ String.make (fill - left) ' '
+
+let render t =
+  let widths = Array.of_list (List.map String.length t.headers) in
+  Vec.iter
+    (function
+      | Sep -> ()
+      | Cells cells ->
+        List.iteri (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c) cells)
+    t.rows;
+  let buf = Buffer.create 1024 in
+  let sep_line () =
+    Array.iteri
+      (fun i w ->
+        Buffer.add_string buf (if i = 0 then "+" else "+");
+        Buffer.add_string buf (String.make (w + 2) '-'))
+      widths;
+    Buffer.add_string buf "+\n"
+  in
+  let emit_cells aligns cells =
+    List.iteri
+      (fun i c ->
+        Buffer.add_string buf "| ";
+        Buffer.add_string buf (pad (List.nth aligns i) widths.(i) c);
+        Buffer.add_char buf ' ')
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  sep_line ();
+  emit_cells (List.map (fun _ -> Center) t.headers) t.headers;
+  sep_line ();
+  Vec.iter
+    (function
+      | Sep -> sep_line ()
+      | Cells cells -> emit_cells t.aligns cells)
+    t.rows;
+  sep_line ();
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  flush stdout

@@ -1,0 +1,28 @@
+(** Plain-text table rendering for reports and the benchmark harness. *)
+
+type align = Left | Right | Center
+
+type t
+
+(** [create headers] starts a table; each column defaults to left
+    alignment. *)
+val create : string list -> t
+
+(** [set_aligns t aligns] overrides column alignments (list length must
+    match the header count). *)
+val set_aligns : t -> align list -> unit
+
+(** [add_row t cells] appends a data row. Short rows are padded with empty
+    cells; long rows are rejected.
+    @raise Invalid_argument if more cells than columns. *)
+val add_row : t -> string list -> unit
+
+(** [add_sep t] inserts a horizontal separator row. *)
+val add_sep : t -> unit
+
+(** [render t] lays the table out with one space of padding and [|]
+    column separators. *)
+val render : t -> string
+
+(** [print t] renders to standard output followed by a newline flush. *)
+val print : t -> unit

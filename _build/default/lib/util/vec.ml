@@ -1,0 +1,97 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create ?(capacity = 0) () = { data = Array.make (max capacity 0) (Obj.magic 0); len = 0 }
+
+let make n x = { data = Array.make (max n 1) x; len = n }
+
+let length v = v.len
+
+let is_empty v = v.len = 0
+
+let check v i name =
+  if i < 0 || i >= v.len then
+    invalid_arg (Printf.sprintf "Vec.%s: index %d out of bounds [0,%d)" name i v.len)
+
+let get v i =
+  check v i "get";
+  Array.unsafe_get v.data i
+
+let set v i x =
+  check v i "set";
+  Array.unsafe_set v.data i x
+
+let grow v x =
+  let cap = Array.length v.data in
+  let cap' = if cap = 0 then 8 else 2 * cap in
+  let data' = Array.make cap' x in
+  Array.blit v.data 0 data' 0 v.len;
+  v.data <- data'
+
+let push v x =
+  if v.len = Array.length v.data then grow v x;
+  Array.unsafe_set v.data v.len x;
+  let i = v.len in
+  v.len <- v.len + 1;
+  i
+
+let pop v =
+  if v.len = 0 then invalid_arg "Vec.pop: empty vector";
+  v.len <- v.len - 1;
+  Array.unsafe_get v.data v.len
+
+let clear v = v.len <- 0
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f (Array.unsafe_get v.data i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i (Array.unsafe_get v.data i)
+  done
+
+let fold f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc (Array.unsafe_get v.data i)
+  done;
+  !acc
+
+let exists p v =
+  let rec loop i = i < v.len && (p (Array.unsafe_get v.data i) || loop (i + 1)) in
+  loop 0
+
+let for_all p v = not (exists (fun x -> not (p x)) v)
+
+let map f v =
+  let r = create ~capacity:v.len () in
+  iter (fun x -> ignore (push r (f x))) v;
+  r
+
+let to_list v =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (get v i :: acc) in
+  loop (v.len - 1) []
+
+let to_array v = Array.init v.len (fun i -> Array.unsafe_get v.data i)
+
+let of_list xs =
+  let v = create ~capacity:(List.length xs) () in
+  List.iter (fun x -> ignore (push v x)) xs;
+  v
+
+let of_array a =
+  let v = create ~capacity:(Array.length a) () in
+  Array.iter (fun x -> ignore (push v x)) a;
+  v
+
+let find_index p v =
+  let rec loop i =
+    if i >= v.len then None
+    else if p (Array.unsafe_get v.data i) then Some i
+    else loop (i + 1)
+  in
+  loop 0

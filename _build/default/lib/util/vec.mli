@@ -1,0 +1,54 @@
+(** Growable arrays.
+
+    A thin imperative vector used throughout the timing data structures,
+    where entity counts are discovered incrementally while building a
+    design or a graph. *)
+
+type 'a t
+
+(** [create ()] is an empty vector. [capacity] pre-allocates storage. *)
+val create : ?capacity:int -> unit -> 'a t
+
+(** [make n x] is a vector of [n] copies of [x]. *)
+val make : int -> 'a -> 'a t
+
+(** [length v] is the number of stored elements. *)
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [get v i] is element [i]. @raise Invalid_argument if out of bounds. *)
+val get : 'a t -> int -> 'a
+
+(** [set v i x] replaces element [i]. @raise Invalid_argument if out of
+    bounds. *)
+val set : 'a t -> int -> 'a -> unit
+
+(** [push v x] appends [x] and returns its index. *)
+val push : 'a t -> 'a -> int
+
+(** [pop v] removes and returns the last element.
+    @raise Invalid_argument on an empty vector. *)
+val pop : 'a t -> 'a
+
+(** [clear v] removes all elements (capacity is kept). *)
+val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val exists : ('a -> bool) -> 'a t -> bool
+val for_all : ('a -> bool) -> 'a t -> bool
+
+(** [map f v] is a fresh vector of the images of [v]'s elements. *)
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+(** [to_list v] / [to_array v] snapshot the contents in index order. *)
+val to_list : 'a t -> 'a list
+
+val to_array : 'a t -> 'a array
+val of_list : 'a list -> 'a t
+val of_array : 'a array -> 'a t
+
+(** [find_index p v] is the first index satisfying [p], if any. *)
+val find_index : ('a -> bool) -> 'a t -> int option

@@ -1,0 +1,24 @@
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let x = f () in
+  (x, now () -. t0)
+
+type t = {
+  mutable acc : float;
+  mutable started : float option;
+}
+
+let create () = { acc = 0.0; started = None }
+
+let start t = t.started <- Some (now ())
+
+let stop t =
+  match t.started with
+  | None -> invalid_arg "Wall_clock.stop: not started"
+  | Some t0 ->
+    t.acc <- t.acc +. (now () -. t0);
+    t.started <- None
+
+let elapsed t = t.acc

@@ -1,0 +1,23 @@
+(** Wall-clock measurement for the flow and benchmark harness. *)
+
+(** [now ()] is the current time in seconds (monotone enough for coarse
+    phase timing). *)
+val now : unit -> float
+
+(** [time f] runs [f ()] and returns its result together with the elapsed
+    wall time in seconds. *)
+val time : (unit -> 'a) -> 'a * float
+
+(** A restartable accumulator: phases of the same kind (e.g. "CSS" and
+    "OPT") are timed separately and summed. *)
+type t
+
+val create : unit -> t
+val start : t -> unit
+
+(** [stop t] adds the elapsed time since the matching [start] to the
+    accumulator. @raise Invalid_argument if not started. *)
+val stop : t -> unit
+
+(** [elapsed t] is the accumulated seconds over all start/stop spans. *)
+val elapsed : t -> float

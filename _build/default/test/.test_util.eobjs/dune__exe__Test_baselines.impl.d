@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Css_baselines Css_benchgen Css_core Css_netlist Css_seqgraph Css_sta Float

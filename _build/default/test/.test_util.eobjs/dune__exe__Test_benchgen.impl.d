@@ -1,0 +1,1 @@
+test/test_benchgen.ml: Alcotest Array Css_benchgen Css_eval Css_netlist Css_seqgraph Css_sta Css_util List Option Printf

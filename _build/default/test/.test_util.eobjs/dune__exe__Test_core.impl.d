@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Css_benchgen Css_core Css_netlist Css_seqgraph Css_sta Css_util Float List Printf

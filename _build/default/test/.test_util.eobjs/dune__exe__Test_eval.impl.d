@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Css_benchgen Css_eval Css_geometry Css_netlist Css_sta Float List String

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Css_baselines Css_benchgen Css_core Css_eval Css_flow Css_netlist Css_seqgraph Css_sta Float Lazy List Option

@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Css_geometry Float List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_liberty.ml: Alcotest Css_liberty Float List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mmwc.ml: Alcotest Array Css_mmwc Css_util List Printf

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Css_geometry Css_liberty Css_netlist Filename Fun List Option Printf String Sys

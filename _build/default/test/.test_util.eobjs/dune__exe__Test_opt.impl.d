@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Css_benchgen Css_core Css_eval Css_geometry Css_liberty Css_netlist Css_opt Css_seqgraph Css_sta Float Printf

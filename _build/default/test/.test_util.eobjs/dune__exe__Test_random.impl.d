@@ -1,0 +1,1 @@
+test/test_random.ml: Alcotest Array Css_benchgen Css_core Css_eval Css_flow Css_netlist Css_seqgraph Css_sta Css_util Float List Option Printf

@@ -1,0 +1,1 @@
+test/test_seqgraph.ml: Alcotest Array Css_benchgen Css_netlist Css_seqgraph Css_sta Css_util Float List Option Printf

@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Array Css_benchgen Css_geometry Css_liberty Css_netlist Css_sta Css_util Float Fun Hashtbl List Option Printf

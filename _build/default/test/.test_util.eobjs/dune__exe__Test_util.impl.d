@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Css_util Float Fun Gen List QCheck QCheck_alcotest String

@@ -1,0 +1,128 @@
+(* Tests for the IC-CSS+ and FPM baselines: they must solve the same
+   problem (comparable slack results) while paying the extraction costs
+   the paper attributes to them. *)
+
+module Design = Css_netlist.Design
+module Timer = Css_sta.Timer
+module Extract = Css_seqgraph.Extract
+module Scheduler = Css_core.Scheduler
+module Engine = Css_core.Engine
+module Iccss_plus = Css_baselines.Iccss_plus
+module Fpm = Css_baselines.Fpm
+module Generator = Css_benchgen.Generator
+module Profile = Css_benchgen.Profile
+
+let checkb = Alcotest.check Alcotest.bool
+let checkf eps = Alcotest.check (Alcotest.float eps)
+
+let fresh () =
+  let design = Generator.generate Profile.tiny in
+  (design, Timer.build design)
+
+(* ------------------------------------------------------------------ *)
+(* IC-CSS+ *)
+
+let test_iccss_plus_improves () =
+  let _, timer = fresh () in
+  let tns0 = Timer.tns timer Timer.Late in
+  let result, _ = Iccss_plus.run timer ~corner:Timer.Late in
+  checkb "late TNS improved" true (Timer.tns timer Timer.Late > tns0);
+  checkb "iterated" true (result.Scheduler.iterations >= 1)
+
+let test_iccss_plus_matches_ours_quality () =
+  (* Section III-E: IC-CSS+ solves the same NSO problem; the final slack
+     state must essentially match the proposed algorithm's (Table I shows
+     identical WNS/TNS columns). *)
+  let d1, t1 = fresh () in
+  ignore (Engine.run_ours t1 ~corner:Timer.Late);
+  let d2, t2 = fresh () in
+  ignore (Iccss_plus.run t2 ~corner:Timer.Late);
+  checkf 0.5 "late WNS agree" (Timer.wns t1 Timer.Late) (Timer.wns t2 Timer.Late);
+  let tns1 = Timer.tns t1 Timer.Late and tns2 = Timer.tns t2 Timer.Late in
+  checkb "late TNS within 2%" true
+    (Float.abs (tns1 -. tns2) <= 0.02 *. Float.max 1.0 (Float.abs tns1));
+  ignore (d1, d2)
+
+let test_iccss_plus_extracts_more () =
+  (* the headline claim: IC-CSS+ pays a much larger extraction bill *)
+  let _, t1 = fresh () in
+  let _, stats1 = Engine.run_ours t1 ~corner:Timer.Late in
+  let _, t2 = fresh () in
+  let _, stats2 = Iccss_plus.run t2 ~corner:Timer.Late in
+  checkb "IC-CSS+ extracts more edges" true
+    (stats2.Extract.edges_extracted > stats1.Extract.edges_extracted);
+  checkb "IC-CSS+ walks more gate-level nodes" true
+    (stats2.Extract.cone_nodes > stats1.Extract.cone_nodes)
+
+let test_iccss_plus_early () =
+  let _, timer = fresh () in
+  let tns0 = Timer.tns timer Timer.Early in
+  ignore (Iccss_plus.run timer ~corner:Timer.Early);
+  checkb "early TNS improved" true (Timer.tns timer Timer.Early > tns0)
+
+(* ------------------------------------------------------------------ *)
+(* FPM *)
+
+let test_fpm_improves_early () =
+  let _, timer = fresh () in
+  let tns0 = Timer.tns timer Timer.Early in
+  let result, stats = Fpm.run timer in
+  checkb "early TNS improved" true (Timer.tns timer Timer.Early > tns0);
+  checkb "swept at least once" true (result.Fpm.sweeps >= 1);
+  checkb "full extraction cost" true (stats.Extract.edges_extracted > 0)
+
+let test_fpm_only_touches_early () =
+  (* FPM is early-only: its skew must never make late WNS materially
+     worse than the static cap promised *)
+  let _, timer = fresh () in
+  let late0 = Timer.wns timer Timer.Late in
+  ignore (Fpm.run timer);
+  checkb "late WNS not degraded beyond its positive margins" true
+    (Timer.wns timer Timer.Late >= Float.min late0 0.0 -. 1e-6)
+
+let test_fpm_extraction_dominates_ours () =
+  (* the 27x story: FPM's one-shot full extraction walks far more of the
+     gate-level graph than the iterative engine *)
+  let _, t1 = fresh () in
+  let _, stats1 = Engine.run_ours t1 ~corner:Timer.Early in
+  let _, t2 = fresh () in
+  let _, stats2 = Fpm.run t2 in
+  checkb "FPM cone walk larger" true (stats2.Extract.cone_nodes > stats1.Extract.cone_nodes);
+  checkb "FPM edge count larger" true
+    (stats2.Extract.edges_extracted > stats1.Extract.edges_extracted)
+
+let test_fpm_quality_not_better_than_ours () =
+  (* Table I: Ours-Early dominates FPM on early WNS/TNS *)
+  let _, t1 = fresh () in
+  ignore (Engine.run_ours t1 ~corner:Timer.Early);
+  let _, t2 = fresh () in
+  ignore (Fpm.run t2);
+  checkb "ours-early at least as good (TNS)" true
+    (Timer.tns t1 Timer.Early >= Timer.tns t2 Timer.Early -. 1e-6)
+
+let test_fpm_latencies_nonnegative () =
+  let _, timer = fresh () in
+  let result, _ = Fpm.run timer in
+  Array.iter
+    (fun l -> checkb "non-negative" true (l >= 0.0))
+    result.Fpm.target_latency
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "iccss+",
+        [
+          Alcotest.test_case "improves late" `Quick test_iccss_plus_improves;
+          Alcotest.test_case "matches ours quality" `Quick test_iccss_plus_matches_ours_quality;
+          Alcotest.test_case "extracts more" `Quick test_iccss_plus_extracts_more;
+          Alcotest.test_case "early corner" `Quick test_iccss_plus_early;
+        ] );
+      ( "fpm",
+        [
+          Alcotest.test_case "improves early" `Quick test_fpm_improves_early;
+          Alcotest.test_case "early-only safety" `Quick test_fpm_only_touches_early;
+          Alcotest.test_case "extraction dominates ours" `Quick test_fpm_extraction_dominates_ours;
+          Alcotest.test_case "not better than ours" `Quick test_fpm_quality_not_better_than_ours;
+          Alcotest.test_case "latencies non-negative" `Quick test_fpm_latencies_nonnegative;
+        ] );
+    ]

@@ -1,0 +1,588 @@
+(* Tests for the core scheduling machinery: bounds, non-negative
+   arborescence construction, the two-pass traversal (reproducing the
+   paper's Fig. 6 numbers exactly), cycle handling (Eq. 9), and
+   Algorithm 1 end to end. *)
+
+module Design = Css_netlist.Design
+module Graph = Css_sta.Graph
+module Timer = Css_sta.Timer
+module Vertex = Css_seqgraph.Vertex
+module Seq_graph = Css_seqgraph.Seq_graph
+module Bounds = Css_core.Bounds
+module Arborescence = Css_core.Arborescence
+module Two_pass = Css_core.Two_pass
+module Cycle = Css_core.Cycle
+module Scheduler = Css_core.Scheduler
+module Engine = Css_core.Engine
+module Generator = Css_benchgen.Generator
+module Profile = Css_benchgen.Profile
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf eps = Alcotest.check (Alcotest.float eps)
+
+(* Build synthetic sequential edges without a design: only src/dst/weight
+   matter for the construction and traversal algorithms. The launcher and
+   endpoint fields are never consulted by them, so a placeholder works. *)
+let synth_edges specs =
+  List.mapi
+    (fun id (src, dst, weight) ->
+      {
+        Seq_graph.id;
+        src;
+        dst;
+        weight;
+        delay = 0.0;
+        launcher = Graph.Launch_port 0;
+        endpoint = Graph.End_port 0;
+      })
+    specs
+
+(* ------------------------------------------------------------------ *)
+(* Arborescence *)
+
+let no_fixed _ = false
+
+let test_arborescence_smallest_edge_wins () =
+  (* two incoming edges; the smaller-weight one becomes the parent *)
+  let edges = synth_edges [ (0, 2, -5.0); (1, 2, -9.0) ] in
+  let arb = Arborescence.build ~n:3 ~fixed:no_fixed ~out_weight:(fun _ -> infinity) edges in
+  checki "parent is 1" 1 (Arborescence.parent arb 2);
+  checkf 1e-9 "parent weight" (-9.0) (Arborescence.parent_weight arb 2);
+  checkb "0 and 1 are roots" true (Arborescence.is_root arb 0 && Arborescence.is_root arb 1)
+
+let test_arborescence_alpha_beta () =
+  let edges = synth_edges [ (0, 1, -5.0); (1, 2, -3.0) ] in
+  let arb = Arborescence.build ~n:3 ~fixed:no_fixed ~out_weight:(fun _ -> infinity) edges in
+  checkf 1e-9 "alpha root" 0.0 (Arborescence.alpha arb 0);
+  checki "beta root" 0 (Arborescence.beta arb 0);
+  checkf 1e-9 "alpha v1" (-5.0) (Arborescence.alpha arb 1);
+  checki "beta v1" 1 (Arborescence.beta arb 1);
+  checkf 1e-9 "alpha v2" (-8.0) (Arborescence.alpha arb 2);
+  checki "beta v2" 2 (Arborescence.beta arb 2);
+  Alcotest.check (Alcotest.list Alcotest.int) "children of 1" [ 2 ] (Arborescence.children arb 1)
+
+let test_arborescence_nondecreasing_rule () =
+  (* edge into v is rejected when its weight is not below v's out-weight *)
+  let edges = synth_edges [ (0, 1, -2.0) ] in
+  let out_weight v = if v = 1 then -4.0 else infinity in
+  let arb = Arborescence.build ~n:2 ~fixed:no_fixed ~out_weight edges in
+  checkb "rejected: v stays root" true (Arborescence.is_root arb 1)
+
+let test_arborescence_fixed_never_attached () =
+  let edges = synth_edges [ (0, 1, -5.0) ] in
+  let arb =
+    Arborescence.build ~n:2 ~fixed:(fun v -> v = 1) ~out_weight:(fun _ -> infinity) edges
+  in
+  checkb "fixed vertex stays root" true (Arborescence.is_root arb 1)
+
+let test_arborescence_cycle_edge_skipped () =
+  (* a cycle-closing edge is skipped and counted, not crashed on *)
+  let edges = synth_edges [ (0, 1, -5.0); (1, 0, -4.0) ] in
+  let arb = Arborescence.build ~n:2 ~fixed:no_fixed ~out_weight:(fun _ -> infinity) edges in
+  checki "one cycle edge skipped" 1 (Arborescence.skipped_cycle_edges arb);
+  checkb "0 is root" true (Arborescence.is_root arb 0)
+
+let test_arborescence_self_loop_ignored () =
+  let edges = synth_edges [ (0, 0, -5.0) ] in
+  let arb = Arborescence.build ~n:1 ~fixed:no_fixed ~out_weight:(fun _ -> infinity) edges in
+  checkb "self loop ignored" true (Arborescence.is_root arb 0)
+
+let test_arborescence_weights_nondecreasing_to_leaf () =
+  (* with the w < w^out rule, tree-path weights never decrease *)
+  let rng = Css_util.Rng.create 42 in
+  for _ = 1 to 20 do
+    let n = 12 in
+    let specs =
+      List.init 30 (fun _ ->
+          (Css_util.Rng.int rng n, Css_util.Rng.int rng n, Css_util.Rng.float_in rng (-10.0) 0.0))
+      |> List.filter (fun (u, v, _) -> u <> v)
+    in
+    let edges = synth_edges specs in
+    (* Eq. (6): the vertex out-weight is the minimum outgoing edge weight *)
+    let out_weight v =
+      List.fold_left
+        (fun acc (u, _, w) -> if u = v then Float.min acc w else acc)
+        infinity specs
+    in
+    let arb = Arborescence.build ~n ~fixed:no_fixed ~out_weight edges in
+    for v = 0 to n - 1 do
+      if not (Arborescence.is_root arb v) then begin
+        let p = Arborescence.parent arb v in
+        if not (Arborescence.is_root arb p) then
+          checkb "non-decreasing root-to-leaf" true
+            (Arborescence.parent_weight arb p <= Arborescence.parent_weight arb v +. 1e-9)
+      end
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Two-pass traversal: the paper's Fig. 6 numbers *)
+
+(* Vertices: r=0, e=1, c=2, f=3, a=4, b=5.
+   Tree edges r->e (-5), e->c (-3), e->f (-1), a->b (-3); cross edge
+   b->c (-3). Margins chosen so that l^max_c = 6 and l^max_f = 2 as in the
+   figure; then the paper's published values follow:
+     w^avg_e via c = ((-5)+(-3)+6)/2 = -1   (the figure's example)
+     w^avg_e via f = ((-5)+(-1)+2)/2 = -2
+     l^max_e = 1*(-1) + 5 = 4
+     l_b = min(l^max_b, l_a - w_ab) = +3    ("vertex b requires only +3") *)
+let fig6 () =
+  (* the cross edge b->c gets a slightly larger weight so the ascending
+     construction deterministically attaches c under e *)
+  let specs = [ (0, 1, -5.0); (1, 2, -3.0); (1, 3, -1.0); (4, 5, -3.0); (5, 2, -2.9) ] in
+  let edges = synth_edges specs in
+  let margin = function
+    | 1 -> -3.0 (* e's worst outgoing, Eq. 6 *)
+    | 2 -> 5.0
+    | 3 -> 0.0
+    | 5 -> 20.0
+    | _ -> 0.0
+  in
+  let arb = Arborescence.build ~n:6 ~fixed:no_fixed ~out_weight:margin edges in
+  let tp =
+    Two_pass.compute ~n:6 ~edges ~arb ~fixed:no_fixed ~margin ~hard_cap:(fun _ -> 100.0)
+  in
+  (arb, tp)
+
+let test_fig6_structure () =
+  let arb, _ = fig6 () in
+  checki "e under r" 0 (Arborescence.parent arb 1);
+  checki "c under e" 1 (Arborescence.parent arb 2);
+  checki "f under e" 1 (Arborescence.parent arb 3);
+  checki "b under a" 4 (Arborescence.parent arb 5);
+  checkb "cross edge not in tree" true (Arborescence.is_root arb 4)
+
+let test_fig6_pass1 () =
+  let _, tp = fig6 () in
+  checkf 1e-9 "l^max_c = 6" 6.0 tp.Two_pass.l_max.(2);
+  checkf 1e-9 "l^max_f = 2" 2.0 tp.Two_pass.l_max.(3);
+  checkf 1e-9 "w^avg_e = -1 (paper's example)" (-1.0) tp.Two_pass.w_avg.(1);
+  checkf 1e-9 "l^max_e = 4" 4.0 tp.Two_pass.l_max.(1)
+
+let test_fig6_pass2 () =
+  let _, tp = fig6 () in
+  checkf 1e-9 "l_e" 4.0 tp.Two_pass.l.(1);
+  checkf 1e-9 "l_c" 6.0 tp.Two_pass.l.(2);
+  checkf 1e-9 "l_f" 2.0 tp.Two_pass.l.(3);
+  checkf 1e-9 "l_b = +3 (paper)" 3.0 tp.Two_pass.l.(5);
+  checkf 1e-9 "roots stay 0" 0.0 tp.Two_pass.l.(0)
+
+let test_two_pass_nonnegative_and_capped () =
+  let rng = Css_util.Rng.create 11 in
+  for _ = 1 to 30 do
+    let n = 10 in
+    let specs =
+      List.init 20 (fun _ ->
+          (Css_util.Rng.int rng n, Css_util.Rng.int rng n, Css_util.Rng.float_in rng (-20.0) (-0.1)))
+      |> List.filter (fun (u, v, _) -> u < v)
+      (* u < v keeps it a DAG *)
+    in
+    let edges = synth_edges specs in
+    let margin v = Css_util.Rng.float_in rng (-5.0) 50.0 +. float_of_int v *. 0.0 in
+    let cap _ = 15.0 in
+    let out_weight v =
+      List.fold_left (fun acc (u, _, w) -> if u = v then Float.min acc w else acc) infinity specs
+    in
+    let arb = Arborescence.build ~n ~fixed:no_fixed ~out_weight edges in
+    let tp = Two_pass.compute ~n ~edges ~arb ~fixed:no_fixed ~margin ~hard_cap:cap in
+    Array.iter (fun l -> checkb "non-negative" true (l >= 0.0)) tp.Two_pass.l;
+    Array.iteri
+      (fun v l -> checkb "capped" true (l <= cap v +. 1e-9))
+      tp.Two_pass.l
+  done
+
+let test_two_pass_zero_targets_nothing_beyond_need () =
+  (* pass 2 raises just enough: a single edge chain stops at exactly -w *)
+  let edges = synth_edges [ (0, 1, -7.0) ] in
+  let arb =
+    Arborescence.build ~n:2 ~fixed:no_fixed ~out_weight:(fun _ -> infinity) edges
+  in
+  let tp =
+    Two_pass.compute ~n:2 ~edges ~arb ~fixed:no_fixed
+      ~margin:(fun _ -> infinity)
+      ~hard_cap:(fun _ -> infinity)
+  in
+  checkf 1e-9 "exactly enough" 7.0 tp.Two_pass.l.(1)
+
+let test_two_pass_rejects_cycles () =
+  let edges = synth_edges [ (0, 1, -1.0); (1, 0, -1.0) ] in
+  let arb = Arborescence.build ~n:2 ~fixed:no_fixed ~out_weight:(fun _ -> infinity) edges in
+  Alcotest.check_raises "cycle detected"
+    (Invalid_argument "Two_pass.compute: essential edges contain a cycle") (fun () ->
+      ignore
+        (Two_pass.compute ~n:2 ~edges ~arb ~fixed:no_fixed
+           ~margin:(fun _ -> 0.0)
+           ~hard_cap:(fun _ -> 0.0)))
+
+(* A pure-graph fixpoint loop: iterate arborescence + two-pass + Eq. (10)
+   on synthetic edges until increments vanish — the scheduler's skeleton
+   without a timer. Margins are fixed per vertex. *)
+let pure_fixpoint ~n ~specs ~margin ~cap ~iters =
+  let weights = Array.of_list (List.map (fun (_, _, w) -> w) specs) in
+  let srcs = Array.of_list (List.map (fun (s, _, _) -> s) specs) in
+  let dsts = Array.of_list (List.map (fun (_, d, _) -> d) specs) in
+  let current_margin = Array.init n margin in
+  let latency = Array.make n 0.0 in
+  let continue_ = ref true in
+  let count = ref 0 in
+  while !continue_ && !count < iters do
+    incr count;
+    let edge_list = ref [] in
+    Array.iteri
+      (fun i w ->
+        if w < -1e-9 then
+          edge_list :=
+            {
+              Seq_graph.id = i;
+              src = srcs.(i);
+              dst = dsts.(i);
+              weight = w;
+              delay = 0.0;
+              launcher = Graph.Launch_port 0;
+              endpoint = Graph.End_port 0;
+            }
+            :: !edge_list)
+      weights;
+    let neg = !edge_list in
+    if neg = [] then continue_ := false
+    else begin
+      let m v = current_margin.(v) in
+      let arb = Arborescence.build ~n ~fixed:no_fixed ~out_weight:m neg in
+      let tp = Two_pass.compute ~n ~edges:neg ~arb ~fixed:no_fixed ~margin:m ~hard_cap:cap in
+      let max_inc = Array.fold_left Float.max 0.0 tp.Two_pass.l in
+      if max_inc <= 1e-9 then continue_ := false
+      else begin
+        Array.iteri
+          (fun i _ -> weights.(i) <- weights.(i) +. tp.Two_pass.l.(dsts.(i)) -. tp.Two_pass.l.(srcs.(i)))
+          weights;
+        Array.iteri
+          (fun v l ->
+            latency.(v) <- latency.(v) +. l;
+            (* raising v consumes its own outgoing margin *)
+            current_margin.(v) <- current_margin.(v) -. l)
+          tp.Two_pass.l
+      end
+    end
+  done;
+  (weights, latency)
+
+let test_pure_fixpoint_zeroes_dag () =
+  (* with unlimited margins every DAG violation is fully repairable and
+     the fixpoint must reach min slack >= 0 *)
+  let rng = Css_util.Rng.create 97 in
+  for case = 1 to 25 do
+    let n = 8 in
+    let specs =
+      List.init 14 (fun _ ->
+          (Css_util.Rng.int rng n, Css_util.Rng.int rng n, Css_util.Rng.float_in rng (-30.0) (-1.0)))
+      |> List.filter (fun (u, v, _) -> u < v)
+    in
+    if specs <> [] then begin
+      let weights, latency =
+        pure_fixpoint ~n ~specs ~margin:(fun _ -> infinity) ~cap:(fun _ -> infinity) ~iters:50
+      in
+      Array.iter
+        (fun w ->
+          checkb (Printf.sprintf "case %d: edge repaired" case) true (w >= -1e-6))
+        weights;
+      Array.iter
+        (fun l -> checkb (Printf.sprintf "case %d: latency >= 0" case) true (l >= -1e-9))
+        latency
+    end
+  done
+
+let test_pure_fixpoint_respects_margin_balance () =
+  (* one edge against one margin: the fixpoint balances them at half *)
+  let specs = [ (0, 1, -10.0) ] in
+  let margin = function 1 -> 4.0 | _ -> infinity in
+  let weights, latency =
+    pure_fixpoint ~n:2 ~specs ~margin ~cap:(fun _ -> infinity) ~iters:50
+  in
+  (* l_1 raises until the edge and the margin meet: -10 + l = 4 - l
+     => l = 7, final slack -3 on both sides *)
+  checkf 0.01 "balanced latency" 7.0 latency.(1);
+  checkf 0.01 "balanced residual" (-3.0) weights.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Cycle handling *)
+
+let test_cycle_equalizes_at_mean () =
+  let specs = [ (0, 1, -4.0); (1, 2, -2.0); (2, 0, -3.0) ] in
+  let edges = synth_edges specs in
+  match
+    Cycle.find_and_schedule ~n:3 ~edges ~fixed:no_fixed ~hard_cap:(fun _ -> infinity)
+  with
+  | None -> Alcotest.fail "cycle expected"
+  | Some r ->
+    checkf 1e-9 "mean" (-3.0) r.Cycle.mean;
+    checki "members" 3 (List.length r.Cycle.members);
+    (* after the Eq. (10) update, every cycle edge sits at the mean *)
+    List.iter
+      (fun (u, v, w) ->
+        let w' = w +. r.Cycle.increments.(v) -. r.Cycle.increments.(u) in
+        checkf 1e-9 "equalized" (-3.0) w')
+      specs;
+    Array.iter (fun l -> checkb "non-negative" true (l >= 0.0)) r.Cycle.increments
+
+let test_cycle_none_on_dag () =
+  let edges = synth_edges [ (0, 1, -4.0); (1, 2, -2.0) ] in
+  checkb "no cycle" true
+    (Cycle.find_and_schedule ~n:3 ~edges ~fixed:no_fixed ~hard_cap:(fun _ -> infinity) = None)
+
+let test_cycle_fixed_member_stays () =
+  let specs = [ (0, 1, -4.0); (1, 0, -2.0) ] in
+  let edges = synth_edges specs in
+  match
+    Cycle.find_and_schedule ~n:2 ~edges ~fixed:(fun v -> v = 0) ~hard_cap:(fun _ -> infinity)
+  with
+  | None -> Alcotest.fail "cycle expected"
+  | Some r -> checkf 1e-9 "fixed member keeps 0" 0.0 r.Cycle.increments.(0)
+
+let test_cycle_caps_respected () =
+  let specs = [ (0, 1, -10.0); (1, 0, -2.0) ] in
+  let edges = synth_edges specs in
+  match Cycle.find_and_schedule ~n:2 ~edges ~fixed:no_fixed ~hard_cap:(fun _ -> 1.5) with
+  | None -> Alcotest.fail "cycle expected"
+  | Some r -> Array.iter (fun l -> checkb "capped" true (l <= 1.5 +. 1e-9)) r.Cycle.increments
+
+let test_cycle_self_loop_ignored () =
+  let edges = synth_edges [ (0, 0, -4.0) ] in
+  checkb "self loop is not a schedulable cycle" true
+    (Cycle.find_and_schedule ~n:1 ~edges ~fixed:no_fixed ~hard_cap:(fun _ -> infinity) = None)
+
+(* ------------------------------------------------------------------ *)
+(* Optimum bound *)
+
+module Optimum = Css_core.Optimum
+
+let test_optimum_cycle_bound () =
+  (* a pure 2-cycle: the bound is its mean *)
+  let design = Generator.generate Profile.tiny in
+  let verts = Vertex.of_design design in
+  let g = Seq_graph.create verts ~corner:Timer.Late in
+  let ffs = Design.ffs design in
+  let add i j w =
+    ignore
+      (Seq_graph.add_edge g ~launcher:(Graph.Launch_ff ffs.(i)) ~endpoint:(Graph.End_ff ffs.(j))
+         ~delay:1.0 ~weight:w)
+  in
+  add 0 1 (-4.0);
+  add 1 0 (-2.0);
+  (match Optimum.achievable_wns g ~fixed:(Vertex.is_super verts) with
+  | Some b -> checkf 1e-9 "cycle mean" (-3.0) b
+  | None -> Alcotest.fail "expected a bound");
+  (* acyclic graph among free vertices: no bound *)
+  let g2 = Seq_graph.create verts ~corner:Timer.Late in
+  let e =
+    Seq_graph.add_edge g2 ~launcher:(Graph.Launch_ff ffs.(0)) ~endpoint:(Graph.End_ff ffs.(1))
+      ~delay:1.0 ~weight:(-4.0)
+  in
+  ignore e;
+  checkb "no cycle, no bound" true
+    (Optimum.achievable_wns g2 ~fixed:(Vertex.is_super verts) = None)
+
+let test_optimum_fixed_path_bound () =
+  (* a port-to-port path contracts into a self-loop: its own slack is the
+     bound *)
+  let design = Generator.generate Profile.tiny in
+  let verts = Vertex.of_design design in
+  let g = Seq_graph.create verts ~corner:Timer.Late in
+  ignore
+    (Seq_graph.add_edge g ~launcher:(Graph.Launch_port 1) ~endpoint:(Graph.End_port 0)
+       ~delay:1.0 ~weight:(-7.0));
+  match Optimum.achievable_wns g ~fixed:(Vertex.is_super verts) with
+  | Some b -> checkf 1e-9 "port path is invariant" (-7.0) b
+  | None -> Alcotest.fail "expected a bound"
+
+let test_optimum_scheduler_never_beats_bound () =
+  let design = Generator.generate Profile.tiny in
+  let timer = Timer.build design in
+  let bound, _ = Optimum.gap timer ~corner:Timer.Late in
+  ignore (Engine.run_ours timer ~corner:Timer.Late);
+  checkb "achieved WNS <= theoretical bound" true (Timer.wns timer Timer.Late <= bound +. 1e-6)
+
+let test_optimum_gap_shape () =
+  let design = Generator.micro () in
+  let timer = Timer.build design in
+  let bound, wns = Optimum.gap timer ~corner:Timer.Late in
+  checkb "bound at least as good as current" true (bound >= wns -. 1e-6);
+  checkb "bound non-positive" true (bound <= 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Bounds *)
+
+let test_bounds_micro () =
+  let design = Generator.micro () in
+  let timer = Timer.build design in
+  let verts = Vertex.of_design design in
+  (* supernodes are pinned *)
+  checkf 1e-9 "IN cap" 0.0 (Bounds.hard_cap timer verts Timer.Late (Vertex.input_super verts));
+  checkf 1e-9 "OUT margin" 0.0 (Bounds.margin timer verts Timer.Late (Vertex.output_super verts));
+  Array.iter
+    (fun ff ->
+      let v = Vertex.of_ff verts ff in
+      checkb "cap non-negative" true (Bounds.hard_cap timer verts Timer.Late v >= 0.0);
+      checkb "cap non-negative early" true (Bounds.hard_cap timer verts Timer.Early v >= 0.0);
+      (* margin for late = launch-pin late slack *)
+      checkf 1e-9 "late margin = Q slack"
+        (Timer.launch_slack timer Timer.Late (Graph.Launch_ff ff))
+        (Bounds.margin timer verts Timer.Late v))
+    (Design.ffs design)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler (Algorithm 1) *)
+
+let test_scheduler_micro_early () =
+  let design = Generator.micro () in
+  let timer = Timer.build design in
+  let wns0 = Timer.wns timer Timer.Early in
+  let result, stats = Engine.run_ours timer ~corner:Timer.Early in
+  checkb "early WNS improved" true (Timer.wns timer Timer.Early > wns0);
+  checkb "some iterations" true (result.Scheduler.iterations >= 1);
+  checkb "extracted something" true (stats.Css_seqgraph.Extract.edges_extracted >= 1);
+  Array.iter (fun l -> checkb "targets non-negative" true (l >= 0.0)) result.Scheduler.target_latency
+
+let test_scheduler_micro_late () =
+  let design = Generator.micro () in
+  let timer = Timer.build design in
+  let tns0 = Timer.tns timer Timer.Late in
+  ignore (Engine.run_ours timer ~corner:Timer.Late);
+  checkb "late TNS improved" true (Timer.tns timer Timer.Late > tns0)
+
+let test_scheduler_never_assigns_to_supernodes () =
+  let design = Generator.micro () in
+  let timer = Timer.build design in
+  let extraction, _ = Engine.ours timer ~corner:Timer.Late in
+  let verts = Seq_graph.vertices extraction.Scheduler.graph in
+  let result = Scheduler.run timer extraction in
+  checkf 1e-9 "IN stays 0" 0.0 result.Scheduler.target_latency.(Vertex.input_super verts);
+  checkf 1e-9 "OUT stays 0" 0.0 result.Scheduler.target_latency.(Vertex.output_super verts)
+
+let test_scheduler_trace_monotone () =
+  (* the scheduling corner's TNS never gets worse along the trace *)
+  let design = Generator.generate Profile.tiny in
+  let timer = Timer.build design in
+  let result, _ = Engine.run_ours timer ~corner:Timer.Late in
+  let rec pairs = function
+    | a :: (b :: _ as rest) ->
+      checkb "late TNS monotone" true
+        (b.Scheduler.tns_late >= a.Scheduler.tns_late -. 1e-6);
+      pairs rest
+    | [ _ ] | [] -> ()
+  in
+  pairs result.Scheduler.trace
+
+let test_scheduler_handles_generated_cycles () =
+  (* the tiny profile contains a reciprocal violating pair *)
+  let design = Generator.generate Profile.tiny in
+  let timer = Timer.build design in
+  let result, _ = Engine.run_ours timer ~corner:Timer.Late in
+  checkb "cycle handled" true (result.Scheduler.cycles_handled >= 1)
+
+let test_scheduler_verify_weights_mode_agrees () =
+  let run verify =
+    let design = Generator.generate Profile.tiny in
+    let timer = Timer.build design in
+    let config = { Scheduler.default_config with Scheduler.verify_weights = verify } in
+    let extraction, _ = Engine.ours timer ~corner:Timer.Late in
+    ignore (Scheduler.run ~config timer extraction);
+    Timer.tns timer Timer.Late
+  in
+  checkf 1e-3 "Eq.(10) shortcut = recomputed weights" (run true) (run false)
+
+let test_scheduler_targets_match_design_state () =
+  let design = Generator.micro () in
+  let timer = Timer.build design in
+  let extraction, _ = Engine.ours timer ~corner:Timer.Late in
+  let verts = Seq_graph.vertices extraction.Scheduler.graph in
+  let result = Scheduler.run timer extraction in
+  Array.iter
+    (fun ff ->
+      checkf 1e-9
+        (Printf.sprintf "scheduled latency of %s" (Design.cell_name design ff))
+        result.Scheduler.target_latency.(Vertex.of_ff verts ff)
+        (Design.scheduled_latency design ff))
+    (Design.ffs design)
+
+let test_scheduler_idempotent_when_clean () =
+  (* running again after convergence does nothing *)
+  let design = Generator.micro () in
+  let timer = Timer.build design in
+  ignore (Engine.run_ours timer ~corner:Timer.Early);
+  let tns = Timer.tns timer Timer.Early in
+  let result, _ = Engine.run_ours timer ~corner:Timer.Early in
+  checkf 1e-6 "no further change" tns (Timer.tns timer Timer.Early);
+  checkb "terminates quickly" true (result.Scheduler.iterations <= 3)
+
+let test_scheduler_does_not_create_cross_corner_wns_violations () =
+  (* Eq. (11): late optimization must not make early WNS worse (beyond
+     numeric noise), because caps come from the live timer *)
+  let design = Generator.generate Profile.tiny in
+  let timer = Timer.build design in
+  ignore (Engine.run_ours timer ~corner:Timer.Early);
+  let early_before = Timer.wns timer Timer.Early in
+  ignore (Engine.run_ours timer ~corner:Timer.Late);
+  let early_after = Timer.wns timer Timer.Early in
+  checkb "early WNS not degraded below 0 by late phase" true
+    (early_after >= Float.min early_before 0.0 -. 1e-6)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "arborescence",
+        [
+          Alcotest.test_case "smallest edge wins" `Quick test_arborescence_smallest_edge_wins;
+          Alcotest.test_case "alpha/beta" `Quick test_arborescence_alpha_beta;
+          Alcotest.test_case "non-decreasing rule" `Quick test_arborescence_nondecreasing_rule;
+          Alcotest.test_case "fixed never attached" `Quick test_arborescence_fixed_never_attached;
+          Alcotest.test_case "cycle edge skipped" `Quick test_arborescence_cycle_edge_skipped;
+          Alcotest.test_case "self loop ignored" `Quick test_arborescence_self_loop_ignored;
+          Alcotest.test_case "weights non-decreasing to leaf" `Quick
+            test_arborescence_weights_nondecreasing_to_leaf;
+        ] );
+      ( "two-pass",
+        [
+          Alcotest.test_case "fig6 structure" `Quick test_fig6_structure;
+          Alcotest.test_case "fig6 pass 1 (paper values)" `Quick test_fig6_pass1;
+          Alcotest.test_case "fig6 pass 2 (paper values)" `Quick test_fig6_pass2;
+          Alcotest.test_case "non-negative and capped" `Quick test_two_pass_nonnegative_and_capped;
+          Alcotest.test_case "raises just enough" `Quick
+            test_two_pass_zero_targets_nothing_beyond_need;
+          Alcotest.test_case "rejects cycles" `Quick test_two_pass_rejects_cycles;
+          Alcotest.test_case "fixpoint zeroes DAGs" `Quick test_pure_fixpoint_zeroes_dag;
+          Alcotest.test_case "fixpoint balances margins" `Quick
+            test_pure_fixpoint_respects_margin_balance;
+        ] );
+      ( "cycle",
+        [
+          Alcotest.test_case "equalizes at mean" `Quick test_cycle_equalizes_at_mean;
+          Alcotest.test_case "none on DAG" `Quick test_cycle_none_on_dag;
+          Alcotest.test_case "fixed member stays" `Quick test_cycle_fixed_member_stays;
+          Alcotest.test_case "caps respected" `Quick test_cycle_caps_respected;
+          Alcotest.test_case "self loop ignored" `Quick test_cycle_self_loop_ignored;
+        ] );
+      ( "optimum",
+        [
+          Alcotest.test_case "cycle bound" `Quick test_optimum_cycle_bound;
+          Alcotest.test_case "fixed path bound" `Quick test_optimum_fixed_path_bound;
+          Alcotest.test_case "never beats bound" `Quick test_optimum_scheduler_never_beats_bound;
+          Alcotest.test_case "gap shape" `Quick test_optimum_gap_shape;
+        ] );
+      ("bounds", [ Alcotest.test_case "micro" `Quick test_bounds_micro ]);
+      ( "scheduler",
+        [
+          Alcotest.test_case "micro early" `Quick test_scheduler_micro_early;
+          Alcotest.test_case "micro late" `Quick test_scheduler_micro_late;
+          Alcotest.test_case "supernodes pinned" `Quick test_scheduler_never_assigns_to_supernodes;
+          Alcotest.test_case "trace monotone" `Quick test_scheduler_trace_monotone;
+          Alcotest.test_case "handles cycles" `Quick test_scheduler_handles_generated_cycles;
+          Alcotest.test_case "verify-weights agrees" `Quick
+            test_scheduler_verify_weights_mode_agrees;
+          Alcotest.test_case "targets = design state" `Quick
+            test_scheduler_targets_match_design_state;
+          Alcotest.test_case "idempotent when clean" `Quick test_scheduler_idempotent_when_clean;
+          Alcotest.test_case "cross-corner safety" `Quick
+            test_scheduler_does_not_create_cross_corner_wns_violations;
+        ] );
+    ]

@@ -1,0 +1,155 @@
+(* Integration tests: the four end-to-end flows on generated designs —
+   the relationships Table I reports must hold in miniature. *)
+
+module Design = Css_netlist.Design
+module Evaluator = Css_eval.Evaluator
+module Flow = Css_flow.Flow
+module Generator = Css_benchgen.Generator
+module Profile = Css_benchgen.Profile
+
+let checkb = Alcotest.check Alcotest.bool
+
+let small_profile () = Profile.scale 0.35 (Option.get (Profile.by_name "sb18"))
+
+let base_design = lazy (Generator.generate (small_profile ()))
+
+let run algo =
+  let design = Flow.clone (Lazy.force base_design) in
+  Flow.run ~algo design
+
+let ours = lazy (run Flow.Ours)
+let ours_early = lazy (run Flow.Ours_early)
+let iccss = lazy (run Flow.Iccss_plus)
+let fpm = lazy (run Flow.Fpm)
+
+let test_clone_is_deep () =
+  let d = Lazy.force base_design in
+  let c = Flow.clone d in
+  let ff = (Design.ffs c).(0) in
+  Design.set_scheduled_latency c ff 99.0;
+  checkb "original untouched" true (Design.scheduled_latency d (Design.ffs d).(0) = 0.0)
+
+let test_flow_improves_early () =
+  let before = Evaluator.evaluate (Flow.clone (Lazy.force base_design)) in
+  let r = Lazy.force ours in
+  checkb "early TNS improved" true (r.Flow.report.Evaluator.tns_early > before.Evaluator.tns_early);
+  checkb "early WNS improved" true (r.Flow.report.Evaluator.wns_early > before.Evaluator.wns_early)
+
+let test_flow_improves_late () =
+  let before = Evaluator.evaluate (Flow.clone (Lazy.force base_design)) in
+  let r = Lazy.force ours in
+  checkb "late TNS improved" true (r.Flow.report.Evaluator.tns_late > before.Evaluator.tns_late)
+
+let test_flow_respects_constraints () =
+  checkb "ours constraints" true ((Lazy.force ours).Flow.report.Evaluator.constraint_errors = []);
+  checkb "iccss constraints" true ((Lazy.force iccss).Flow.report.Evaluator.constraint_errors = []);
+  checkb "fpm constraints" true ((Lazy.force fpm).Flow.report.Evaluator.constraint_errors = [])
+
+let test_ours_vs_iccss_same_quality () =
+  let a = Lazy.force ours and b = Lazy.force iccss in
+  let close x y tol = Float.abs (x -. y) <= tol *. Float.max 1.0 (Float.max (Float.abs x) (Float.abs y)) in
+  checkb "late TNS within 10%" true
+    (close a.Flow.report.Evaluator.tns_late b.Flow.report.Evaluator.tns_late 0.10);
+  checkb "early TNS comparable" true
+    (close a.Flow.report.Evaluator.tns_early b.Flow.report.Evaluator.tns_early 0.25
+    || Float.abs (a.Flow.report.Evaluator.tns_early -. b.Flow.report.Evaluator.tns_early) < 25.0)
+
+let test_ours_extracts_fewer_edges_than_iccss () =
+  (* compared per CSS phase on the same timer state — the flow-level
+     totals only separate at benchmark scale (see bench/EXPERIMENTS) *)
+  let design1 = Flow.clone (Lazy.force base_design) in
+  let t1 = Css_sta.Timer.build design1 in
+  let _, s1 = Css_core.Engine.run_ours t1 ~corner:Css_sta.Timer.Late in
+  let design2 = Flow.clone (Lazy.force base_design) in
+  let t2 = Css_sta.Timer.build design2 in
+  let _, s2 = Css_baselines.Iccss_plus.run t2 ~corner:Css_sta.Timer.Late in
+  checkb "fewer edges (the -90% claim, in shape)" true
+    (s1.Css_seqgraph.Extract.edges_extracted < s2.Css_seqgraph.Extract.edges_extracted)
+
+let test_ours_early_beats_fpm () =
+  let a = Lazy.force ours_early and b = Lazy.force fpm in
+  checkb "early TNS at least as good" true
+    (a.Flow.report.Evaluator.tns_early >= b.Flow.report.Evaluator.tns_early -. 1e-6);
+  checkb "FPM walked more of the gate-level graph" true (b.Flow.cone_nodes > a.Flow.cone_nodes)
+
+let test_ours_early_leaves_late_untouched () =
+  let before = Evaluator.evaluate (Flow.clone (Lazy.force base_design)) in
+  let r = Lazy.force ours_early in
+  (* early-only optimization must not significantly disturb late TNS
+     (Table I: Ours-Early's late columns match the baseline's) *)
+  let rel =
+    Float.abs (r.Flow.report.Evaluator.tns_late -. before.Evaluator.tns_late)
+    /. Float.max 1.0 (Float.abs before.Evaluator.tns_late)
+  in
+  checkb "late TNS within 5% of baseline" true (rel < 0.05)
+
+let test_trace_structure () =
+  let r = Lazy.force ours in
+  checkb "trace non-empty" true (List.length r.Flow.trace > 1);
+  (match r.Flow.trace with
+  | first :: _ -> checkb "starts with the initial snapshot" true (first.Flow.phase = "start")
+  | [] -> Alcotest.fail "empty trace");
+  checkb "contains css phases" true
+    (List.exists (fun p -> p.Flow.phase = "early-css") r.Flow.trace);
+  checkb "contains opt phases" true
+    (List.exists (fun p -> p.Flow.phase = "early-opt") r.Flow.trace)
+
+let test_metrics_populated () =
+  let r = Lazy.force ours in
+  checkb "css time measured" true (r.Flow.css_seconds >= 0.0);
+  checkb "total >= css + opt" true
+    (r.Flow.total_seconds +. 1e-3 >= r.Flow.css_seconds +. r.Flow.opt_seconds);
+  checkb "edges counted" true (r.Flow.extracted_edges > 0);
+  checkb "iterations counted" true (r.Flow.css_iterations > 0);
+  checkb "hpwl increase small" true
+    (r.Flow.hpwl_increase_pct >= 0.0 && r.Flow.hpwl_increase_pct < 25.0)
+
+let test_flow_with_resize () =
+  let design = Flow.clone (Lazy.force base_design) in
+  let config = { Flow.default_config with Flow.use_resize = true } in
+  let r = Flow.run ~config ~algo:Flow.Ours design in
+  let plain = Lazy.force ours in
+  checkb "constraints hold with sizing" true (r.Flow.report.Evaluator.constraint_errors = []);
+  checkb "sizing does not lose quality" true
+    (r.Flow.report.Evaluator.tns_late >= plain.Flow.report.Evaluator.tns_late -. 1e-6)
+
+let test_flow_with_cts () =
+  let design = Flow.clone (Lazy.force base_design) in
+  let config = { Flow.default_config with Flow.use_cts = true } in
+  let before = Evaluator.evaluate (Flow.clone (Lazy.force base_design)) in
+  let r = Flow.run ~config ~algo:Flow.Ours design in
+  checkb "constraints hold with CTS" true (r.Flow.report.Evaluator.constraint_errors = []);
+  checkb "CTS flow still improves late" true
+    (r.Flow.report.Evaluator.tns_late > before.Evaluator.tns_late);
+  checkb "CTS flow still improves early" true
+    (r.Flow.report.Evaluator.tns_early >= before.Evaluator.tns_early)
+
+let test_flow_on_micro () =
+  let design = Generator.micro () in
+  let r = Flow.run ~algo:Flow.Ours design in
+  let before = Evaluator.evaluate (Generator.micro ()) in
+  checkb "micro early improved" true
+    (r.Flow.report.Evaluator.tns_early > before.Evaluator.tns_early);
+  checkb "micro late improved" true (r.Flow.report.Evaluator.tns_late > before.Evaluator.tns_late)
+
+let () =
+  Alcotest.run "flow"
+    [
+      ( "flow",
+        [
+          Alcotest.test_case "clone is deep" `Quick test_clone_is_deep;
+          Alcotest.test_case "improves early" `Quick test_flow_improves_early;
+          Alcotest.test_case "improves late" `Quick test_flow_improves_late;
+          Alcotest.test_case "constraints hold" `Quick test_flow_respects_constraints;
+          Alcotest.test_case "ours = iccss quality" `Quick test_ours_vs_iccss_same_quality;
+          Alcotest.test_case "ours extracts fewer edges" `Quick
+            test_ours_extracts_fewer_edges_than_iccss;
+          Alcotest.test_case "ours-early beats fpm" `Quick test_ours_early_beats_fpm;
+          Alcotest.test_case "early-only leaves late" `Quick test_ours_early_leaves_late_untouched;
+          Alcotest.test_case "trace structure" `Quick test_trace_structure;
+          Alcotest.test_case "metrics populated" `Quick test_metrics_populated;
+          Alcotest.test_case "resize flag" `Quick test_flow_with_resize;
+          Alcotest.test_case "cts flag" `Quick test_flow_with_cts;
+          Alcotest.test_case "micro end-to-end" `Quick test_flow_on_micro;
+        ] );
+    ]

@@ -1,0 +1,185 @@
+(* Tests for delay models, the wire model and the cell library. *)
+
+module Delay_model = Css_liberty.Delay_model
+module Wire = Css_liberty.Wire
+module Cell = Css_liberty.Cell
+module Library = Css_liberty.Library
+
+let checkb = Alcotest.check Alcotest.bool
+let checkf eps = Alcotest.check (Alcotest.float eps)
+
+(* ------------------------------------------------------------------ *)
+(* Delay models *)
+
+let test_linear_model () =
+  let m = Delay_model.linear ~intrinsic:10.0 ~resistance:2.0 ~slew_impact:0.1 () in
+  checkf 1e-9 "no load" 10.5 (Delay_model.delay m ~slew:5.0 ~load:0.0);
+  checkf 1e-9 "with load" 30.5 (Delay_model.delay m ~slew:5.0 ~load:10.0)
+
+let lut_2x2 =
+  Delay_model.lut ~slew_axis:[| 10.0; 20.0 |] ~load_axis:[| 1.0; 3.0 |]
+    ~delays:[| [| 10.0; 20.0 |]; [| 30.0; 40.0 |] |]
+
+let test_lut_corners () =
+  checkf 1e-9 "corner 00" 10.0 (Delay_model.delay lut_2x2 ~slew:10.0 ~load:1.0);
+  checkf 1e-9 "corner 11" 40.0 (Delay_model.delay lut_2x2 ~slew:20.0 ~load:3.0)
+
+let test_lut_interpolation () =
+  checkf 1e-9 "midpoint both axes" 25.0 (Delay_model.delay lut_2x2 ~slew:15.0 ~load:2.0);
+  checkf 1e-9 "mid slew only" 20.0 (Delay_model.delay lut_2x2 ~slew:15.0 ~load:1.0)
+
+let test_lut_saturation () =
+  checkf 1e-9 "below axes clamps" 10.0 (Delay_model.delay lut_2x2 ~slew:1.0 ~load:0.1);
+  checkf 1e-9 "above axes clamps" 40.0 (Delay_model.delay lut_2x2 ~slew:99.0 ~load:99.0)
+
+let test_lut_validation () =
+  let bad axis = Delay_model.lut ~slew_axis:axis ~load_axis:[| 1.0 |] ~delays:[| [| 1.0 |] |] in
+  Alcotest.check_raises "non-ascending axis"
+    (Invalid_argument "Delay_model.lut: slew axis must be non-empty and strictly ascending")
+    (fun () -> ignore (bad [| 2.0; 1.0 |]));
+  Alcotest.check_raises "empty axis"
+    (Invalid_argument "Delay_model.lut: slew axis must be non-empty and strictly ascending")
+    (fun () -> ignore (bad [||]));
+  Alcotest.check_raises "matrix mismatch"
+    (Invalid_argument "Delay_model.lut: value matrix does not match the axes") (fun () ->
+      ignore
+        (Delay_model.lut ~slew_axis:[| 1.0; 2.0 |] ~load_axis:[| 1.0 |] ~delays:[| [| 1.0 |] |]))
+
+let test_output_slew_positive () =
+  let m = Delay_model.linear ~intrinsic:1.0 ~resistance:0.0 () in
+  checkb "slew has a floor" true (Delay_model.output_slew m ~slew:0.0 ~load:0.0 >= 2.0)
+
+let prop_lut_monotone_in_load =
+  (* the built-in LUTs have ascending rows, so interpolation must be
+     monotone in load *)
+  QCheck.Test.make ~name:"LUT monotone in load for ascending tables" ~count:200
+    QCheck.(pair (float_range 0.0 100.0) (pair (float_range 0.0 40.0) (float_range 0.0 40.0)))
+    (fun (slew, (l1, l2)) ->
+      let lo = Float.min l1 l2 and hi = Float.max l1 l2 in
+      Delay_model.delay lut_2x2 ~slew ~load:lo <= Delay_model.delay lut_2x2 ~slew ~load:hi +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Wire *)
+
+let test_wire_zero_length () =
+  checkf 1e-9 "zero delay" 0.0 (Wire.delay Wire.default ~r_drive:1.0 ~len:0.0);
+  checkf 1e-9 "zero cap" 0.0 (Wire.cap Wire.default ~len:0.0)
+
+let test_wire_inverse () =
+  let w = Wire.default in
+  List.iter
+    (fun target ->
+      let len = Wire.length_for_delay w ~r_drive:0.4 ~target in
+      checkf 1e-4 (Printf.sprintf "roundtrip %.1f" target) target
+        (Wire.delay w ~r_drive:0.4 ~len))
+    [ 1.0; 10.0; 50.0; 200.0; 1000.0 ]
+
+let test_wire_inverse_nonpositive () =
+  checkf 1e-9 "zero target" 0.0 (Wire.length_for_delay Wire.default ~r_drive:1.0 ~target:0.0);
+  checkf 1e-9 "negative target" 0.0
+    (Wire.length_for_delay Wire.default ~r_drive:1.0 ~target:(-5.0))
+
+let test_wire_validation () =
+  Alcotest.check_raises "non-positive r" (Invalid_argument "Wire.make: parameters must be positive")
+    (fun () -> ignore (Wire.make ~r_unit:0.0 ~c_unit:1.0))
+
+let prop_wire_monotone =
+  QCheck.Test.make ~name:"wire delay monotone in length" ~count:200
+    QCheck.(pair (float_range 0.0 5000.0) (float_range 0.0 5000.0))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      Wire.delay Wire.default ~r_drive:1.0 ~len:lo
+      <= Wire.delay Wire.default ~r_drive:1.0 ~len:hi +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Cells and the default library *)
+
+let test_cell_validation () =
+  let model = Delay_model.linear ~intrinsic:1.0 ~resistance:1.0 () in
+  Alcotest.check_raises "unknown pin in arc"
+    (Invalid_argument "Cell.make BAD: arc X->Z references unknown pin") (fun () ->
+      ignore
+        (Cell.make ~name:"BAD" ~inputs:[ "A" ] ~outputs:[ "Z" ]
+           ~arcs:[ { Cell.from_pin = "X"; to_pin = "Z"; model } ]
+           ~role:Cell.Combinational ~input_cap:1.0 ~drive_res:1.0 ~area:1.0));
+  Alcotest.check_raises "duplicate pins"
+    (Invalid_argument "Cell.make DUP: duplicate pin names") (fun () ->
+      ignore
+        (Cell.make ~name:"DUP" ~inputs:[ "A"; "A" ] ~outputs:[ "Z" ] ~arcs:[]
+           ~role:Cell.Combinational ~input_cap:1.0 ~drive_res:1.0 ~area:1.0))
+
+let test_default_library_contents () =
+  let lib = Library.default in
+  checkb "has inverter" true (Library.find_opt lib "INV_X1" <> None);
+  checkb "has DFF" true (Library.find_opt lib "DFF" <> None);
+  checkb "has LCB" true (Library.find_opt lib "LCB" <> None);
+  checkb "unknown cell" true (Library.find_opt lib "NO_SUCH" = None);
+  Alcotest.check_raises "find raises" Not_found (fun () -> ignore (Library.find lib "NO_SUCH"))
+
+let test_library_classification () =
+  let lib = Library.default in
+  let ff = Library.flip_flop lib in
+  checkb "ff is sequential" true (Cell.is_sequential ff);
+  checkb "ff is not lcb" false (Cell.is_clock_buffer ff);
+  let lcb = Library.clock_buffer lib in
+  checkb "lcb is clock buffer" true (Cell.is_clock_buffer lcb);
+  let combs = Library.combinational lib in
+  checkb "several combinational cells" true (List.length combs >= 5);
+  checkb "no sequential among comb" true
+    (List.for_all (fun c -> not (Cell.is_sequential c)) combs)
+
+let test_ff_params () =
+  let ff = Library.flip_flop Library.default in
+  let p = Cell.ff_params ff in
+  checkb "setup positive" true (p.Cell.setup > 0.0);
+  checkb "hold positive" true (p.Cell.hold > 0.0);
+  checkb "c2q positive" true (p.Cell.clk_to_q > 0.0);
+  let inv = Library.find Library.default "INV_X1" in
+  Alcotest.check_raises "ff_params on comb"
+    (Invalid_argument "Cell.ff_params: INV_X1 is not a flip-flop") (fun () ->
+      ignore (Cell.ff_params inv))
+
+let test_arc_between () =
+  let inv = Library.find Library.default "INV_X1" in
+  checkb "arc A->Z exists" true (Cell.arc_between inv ~from_pin:"A" ~to_pin:"Z" <> None);
+  checkb "arc Z->A absent" true (Cell.arc_between inv ~from_pin:"Z" ~to_pin:"A" = None)
+
+let test_duplicate_cell_names () =
+  let inv = Library.find Library.default "INV_X1" in
+  Alcotest.check_raises "duplicate cell"
+    (Invalid_argument "Library.make: duplicate cell INV_X1") (fun () ->
+      ignore (Library.make ~wire:Wire.default [ inv; inv ]))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "liberty"
+    [
+      ( "delay_model",
+        [
+          Alcotest.test_case "linear" `Quick test_linear_model;
+          Alcotest.test_case "lut corners" `Quick test_lut_corners;
+          Alcotest.test_case "lut interpolation" `Quick test_lut_interpolation;
+          Alcotest.test_case "lut saturation" `Quick test_lut_saturation;
+          Alcotest.test_case "lut validation" `Quick test_lut_validation;
+          Alcotest.test_case "output slew" `Quick test_output_slew_positive;
+        ] );
+      qsuite "delay-props" [ prop_lut_monotone_in_load ];
+      ( "wire",
+        [
+          Alcotest.test_case "zero length" `Quick test_wire_zero_length;
+          Alcotest.test_case "Elmore inverse roundtrip" `Quick test_wire_inverse;
+          Alcotest.test_case "inverse of non-positive" `Quick test_wire_inverse_nonpositive;
+          Alcotest.test_case "validation" `Quick test_wire_validation;
+        ] );
+      qsuite "wire-props" [ prop_wire_monotone ];
+      ( "cells",
+        [
+          Alcotest.test_case "validation" `Quick test_cell_validation;
+          Alcotest.test_case "default library" `Quick test_default_library_contents;
+          Alcotest.test_case "classification" `Quick test_library_classification;
+          Alcotest.test_case "ff params" `Quick test_ff_params;
+          Alcotest.test_case "arc lookup" `Quick test_arc_between;
+          Alcotest.test_case "duplicate names" `Quick test_duplicate_cell_names;
+        ] );
+    ]

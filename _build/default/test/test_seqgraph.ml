@@ -1,0 +1,314 @@
+(* Tests for sequential-graph vertices, the graph container, the Eq. (10)
+   weight update, and the three extraction engines — in particular the
+   key property that the iterative essential engine finds exactly the
+   negative edges full extraction finds. *)
+
+module Design = Css_netlist.Design
+module Graph = Css_sta.Graph
+module Timer = Css_sta.Timer
+module Vertex = Css_seqgraph.Vertex
+module Seq_graph = Css_seqgraph.Seq_graph
+module Extract = Css_seqgraph.Extract
+module Generator = Css_benchgen.Generator
+module Profile = Css_benchgen.Profile
+module Rng = Css_util.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf eps = Alcotest.check (Alcotest.float eps)
+
+let tiny_timer () =
+  let design = Generator.generate Profile.tiny in
+  (design, Timer.build design)
+
+(* ------------------------------------------------------------------ *)
+(* Vertex registry *)
+
+let test_vertex_indexing () =
+  let design, _ = tiny_timer () in
+  let verts = Vertex.of_design design in
+  let ffs = Design.ffs design in
+  checki "num = ffs + 2" (Array.length ffs + 2) (Vertex.num verts);
+  checkb "supers are super" true
+    (Vertex.is_super verts (Vertex.input_super verts)
+    && Vertex.is_super verts (Vertex.output_super verts));
+  checkb "supers distinct" true (Vertex.input_super verts <> Vertex.output_super verts);
+  Array.iter
+    (fun ff ->
+      let v = Vertex.of_ff verts ff in
+      checkb "not super" false (Vertex.is_super verts v);
+      Alcotest.check (Alcotest.option Alcotest.int) "roundtrip" (Some ff) (Vertex.ff_of verts v))
+    ffs
+
+let test_vertex_launcher_endpoint_mapping () =
+  let design, _ = tiny_timer () in
+  let verts = Vertex.of_design design in
+  let ff = (Design.ffs design).(0) in
+  checki "launcher of ff" (Vertex.of_ff verts ff) (Vertex.of_launcher verts (Graph.Launch_ff ff));
+  checki "endpoint of ff" (Vertex.of_ff verts ff) (Vertex.of_endpoint verts (Graph.End_ff ff));
+  checki "port launcher -> IN" (Vertex.input_super verts)
+    (Vertex.of_launcher verts (Graph.Launch_port 0));
+  checki "port endpoint -> OUT" (Vertex.output_super verts)
+    (Vertex.of_endpoint verts (Graph.End_port 0));
+  Alcotest.check Alcotest.string "IN name" "<IN>"
+    (Vertex.name verts design (Vertex.input_super verts))
+
+(* ------------------------------------------------------------------ *)
+(* Seq_graph container *)
+
+let test_orientation () =
+  let design, _ = tiny_timer () in
+  let verts = Vertex.of_design design in
+  let ffs = Design.ffs design in
+  let launcher = Graph.Launch_ff ffs.(0) and endpoint = Graph.End_ff ffs.(1) in
+  let late = Seq_graph.create verts ~corner:Timer.Late in
+  let e = Seq_graph.add_edge late ~launcher ~endpoint ~delay:10.0 ~weight:(-5.0) in
+  checki "late: src = launcher" (Vertex.of_ff verts ffs.(0)) e.Seq_graph.src;
+  checki "late: dst = endpoint" (Vertex.of_ff verts ffs.(1)) e.Seq_graph.dst;
+  let early = Seq_graph.create verts ~corner:Timer.Early in
+  let e2 = Seq_graph.add_edge early ~launcher ~endpoint ~delay:10.0 ~weight:(-5.0) in
+  checki "early: src = endpoint" (Vertex.of_ff verts ffs.(1)) e2.Seq_graph.src;
+  checki "early: dst = launcher" (Vertex.of_ff verts ffs.(0)) e2.Seq_graph.dst
+
+let test_parallel_edge_semantics () =
+  let design, _ = tiny_timer () in
+  let verts = Vertex.of_design design in
+  let ffs = Design.ffs design in
+  let g = Seq_graph.create verts ~corner:Timer.Late in
+  (* same timing path re-extracted: the latest values win (the timer's
+     current truth) *)
+  let launcher = Graph.Launch_ff ffs.(0) and endpoint = Graph.End_ff ffs.(1) in
+  ignore (Seq_graph.add_edge g ~launcher ~endpoint ~delay:10.0 ~weight:(-2.0));
+  ignore (Seq_graph.add_edge g ~launcher ~endpoint ~delay:20.0 ~weight:(-7.0));
+  ignore (Seq_graph.add_edge g ~launcher ~endpoint ~delay:5.0 ~weight:(-1.0));
+  checki "single stored edge" 1 (Seq_graph.num_edges g);
+  let e =
+    Option.get (Seq_graph.find g ~src:(Vertex.of_ff verts ffs.(0)) ~dst:(Vertex.of_ff verts ffs.(1)))
+  in
+  checkf 1e-9 "latest weight wins" (-1.0) e.Seq_graph.weight;
+  checkf 1e-9 "latest delay wins" 5.0 e.Seq_graph.delay;
+  (* different port paths collapsing onto the supernode pair: the worst
+     of the two is kept *)
+  ignore
+    (Seq_graph.add_edge g ~launcher:(Graph.Launch_port 0) ~endpoint:(Graph.End_ff ffs.(2))
+       ~delay:4.0 ~weight:(-3.0));
+  ignore
+    (Seq_graph.add_edge g ~launcher:(Graph.Launch_port 1) ~endpoint:(Graph.End_ff ffs.(2))
+       ~delay:9.0 ~weight:(-8.0));
+  ignore
+    (Seq_graph.add_edge g ~launcher:(Graph.Launch_port 2) ~endpoint:(Graph.End_ff ffs.(2))
+       ~delay:1.0 ~weight:(-0.5));
+  let e2 =
+    Option.get
+      (Seq_graph.find g ~src:(Vertex.input_super verts) ~dst:(Vertex.of_ff verts ffs.(2)))
+  in
+  checkf 1e-9 "worst port path kept" (-8.0) e2.Seq_graph.weight
+
+let test_adjacency () =
+  let design, _ = tiny_timer () in
+  let verts = Vertex.of_design design in
+  let ffs = Design.ffs design in
+  let g = Seq_graph.create verts ~corner:Timer.Late in
+  let add i j w =
+    ignore
+      (Seq_graph.add_edge g ~launcher:(Graph.Launch_ff ffs.(i)) ~endpoint:(Graph.End_ff ffs.(j))
+         ~delay:1.0 ~weight:w)
+  in
+  add 0 1 (-1.0);
+  add 0 2 (-2.0);
+  add 3 1 (-3.0);
+  checki "out of v0" 2 (List.length (Seq_graph.out_edges g (Vertex.of_ff verts ffs.(0))));
+  checki "in of v1" 2 (List.length (Seq_graph.in_edges g (Vertex.of_ff verts ffs.(1))));
+  checki "out of v1" 0 (List.length (Seq_graph.out_edges g (Vertex.of_ff verts ffs.(1))));
+  checkf 1e-9 "min weight at endpoint v1" (-3.0)
+    (Seq_graph.min_weight_from_endpoint g (Graph.End_ff ffs.(1)));
+  checkb "min weight of unseen endpoint" true
+    (Seq_graph.min_weight_from_endpoint g (Graph.End_ff ffs.(4)) = infinity)
+
+let test_eq10_update () =
+  let design, _ = tiny_timer () in
+  let verts = Vertex.of_design design in
+  let ffs = Design.ffs design in
+  let g = Seq_graph.create verts ~corner:Timer.Late in
+  let e =
+    Seq_graph.add_edge g ~launcher:(Graph.Launch_ff ffs.(0)) ~endpoint:(Graph.End_ff ffs.(1))
+      ~delay:1.0 ~weight:(-10.0)
+  in
+  let deltas = Array.make (Vertex.num verts) 0.0 in
+  deltas.(Vertex.of_ff verts ffs.(1)) <- 4.0;
+  deltas.(Vertex.of_ff verts ffs.(0)) <- 1.0;
+  Seq_graph.apply_latency_delta g deltas;
+  checkf 1e-9 "w += l_dst - l_src" (-7.0) e.Seq_graph.weight
+
+(* Eq. (10) must agree with re-deriving weights from the timer after real
+   latency changes — the linearity the Update-Extract mechanism rests on. *)
+let test_eq10_matches_timer () =
+  let design, timer = tiny_timer () in
+  let verts = Vertex.of_design design in
+  let graph, _ = Extract.Full.extract timer verts ~corner:Timer.Late in
+  let rng = Rng.create 31 in
+  let ffs = Design.ffs design in
+  let deltas = Array.make (Vertex.num verts) 0.0 in
+  Array.iter
+    (fun ff ->
+      if Rng.bool rng then begin
+        let d = Rng.float rng 30.0 in
+        deltas.(Vertex.of_ff verts ff) <- d;
+        Design.set_scheduled_latency design ff (Design.scheduled_latency design ff +. d)
+      end)
+    ffs;
+  Timer.update_latencies timer (Array.to_list ffs);
+  Seq_graph.apply_latency_delta graph deltas;
+  Seq_graph.iter_edges graph (fun e ->
+      let reference = Seq_graph.recompute_weight graph timer e in
+      checkb "Eq.(10) = Eq.(2)" true (Float.abs (e.Seq_graph.weight -. reference) < 1e-6))
+
+(* ------------------------------------------------------------------ *)
+(* Extraction engines *)
+
+let test_full_extraction_covers_design () =
+  let design, timer = tiny_timer () in
+  let verts = Vertex.of_design design in
+  let graph, stats = Extract.Full.extract timer verts ~corner:Timer.Late in
+  checkb "many edges" true (Seq_graph.num_edges graph > Array.length (Design.ffs design) / 2);
+  checkb "visited nodes" true (stats.Extract.cone_nodes > 0);
+  checkb "edge count >= stored (parallel merged)" true
+    (stats.Extract.edges_extracted >= Seq_graph.num_edges graph)
+
+let test_essential_finds_all_negative_edges () =
+  (* the central extraction property: iterative essential = negative
+     subset of full, with equal weights *)
+  let design, timer = tiny_timer () in
+  let verts = Vertex.of_design design in
+  let full, _ = Extract.Full.extract timer verts ~corner:Timer.Late in
+  let essential = Extract.Essential.create timer verts ~corner:Timer.Late in
+  ignore (Extract.Essential.round essential);
+  let eg = Extract.Essential.graph essential in
+  (* Every negative full-graph edge whose endpoint is violated appears:
+     a violated endpoint's cone contains all its negative in-edges. *)
+  Seq_graph.iter_edges full (fun e ->
+      if e.Seq_graph.weight < -1e-9 then begin
+        match Seq_graph.find eg ~src:e.Seq_graph.src ~dst:e.Seq_graph.dst with
+        | None ->
+          Alcotest.fail
+            (Printf.sprintf "essential missed a negative edge (w=%.2f)" e.Seq_graph.weight)
+        | Some e' ->
+          checkb "weights agree" true (Float.abs (e'.Seq_graph.weight -. e.Seq_graph.weight) < 1e-6)
+      end);
+  (* and nothing non-negative is stored *)
+  Seq_graph.iter_edges eg (fun e -> checkb "only essential" true (e.Seq_graph.weight < 0.0))
+
+let test_essential_early_corner () =
+  let design, timer = tiny_timer () in
+  let verts = Vertex.of_design design in
+  let full, _ = Extract.Full.extract timer verts ~corner:Timer.Early in
+  let essential = Extract.Essential.create timer verts ~corner:Timer.Early in
+  ignore (Extract.Essential.round essential);
+  let eg = Extract.Essential.graph essential in
+  Seq_graph.iter_edges full (fun e ->
+      if e.Seq_graph.weight < -1e-9 then
+        checkb "early essential found" true
+          (Seq_graph.find eg ~src:e.Seq_graph.src ~dst:e.Seq_graph.dst <> None))
+
+let test_essential_skips_explained_endpoints () =
+  let design, timer = tiny_timer () in
+  let verts = Vertex.of_design design in
+  let essential = Extract.Essential.create timer verts ~corner:Timer.Late in
+  let added1 = Extract.Essential.round essential in
+  let cones1 = (Extract.Essential.stats essential).Extract.cone_nodes in
+  (* a second round with unchanged timing walks nothing new *)
+  let added2 = Extract.Essential.round essential in
+  let cones2 = (Extract.Essential.stats essential).Extract.cone_nodes in
+  checkb "first round found edges" true (added1 > 0);
+  checki "second round adds nothing" 0 added2;
+  checki "second round walks nothing" cones1 cones2;
+  ignore design
+
+let test_essential_extracts_fewer_than_iccss () =
+  let design, timer = tiny_timer () in
+  let verts = Vertex.of_design design in
+  let essential = Extract.Essential.create timer verts ~corner:Timer.Late in
+  ignore (Extract.Essential.round essential);
+  let design2 = Generator.generate Profile.tiny in
+  let timer2 = Timer.build design2 in
+  let verts2 = Vertex.of_design design2 in
+  let iccss = Extract.Iccss.create timer2 verts2 ~corner:Timer.Late in
+  ignore (Extract.Iccss.extract_critical iccss);
+  let e1 = (Extract.Essential.stats essential).Extract.edges_extracted in
+  let e2 = (Extract.Iccss.stats iccss).Extract.edges_extracted in
+  checkb "essential extracts fewer edges than IC-CSS callback" true (e1 < e2);
+  ignore design
+
+let test_iccss_extracts_critical_outgoing () =
+  let design, timer = tiny_timer () in
+  let verts = Vertex.of_design design in
+  let iccss = Extract.Iccss.create timer verts ~corner:Timer.Late in
+  let fired = Extract.Iccss.extract_critical iccss in
+  checkb "some vertices critical" true (fired > 0);
+  let g = Extract.Iccss.graph iccss in
+  (* IC-CSS materializes non-essential edges too *)
+  let has_positive = ref false in
+  Seq_graph.iter_edges g (fun e -> if e.Seq_graph.weight >= 0.0 then has_positive := true);
+  checkb "positives included (over-extraction)" true !has_positive;
+  (* second call does not re-expand *)
+  let fired2 = Extract.Iccss.extract_critical iccss in
+  checki "no re-expansion without latency change" 0 fired2;
+  ignore design
+
+let test_iccss_constraint_edges_charge_cost () =
+  let design, timer = tiny_timer () in
+  let verts = Vertex.of_design design in
+  let iccss = Extract.Iccss.create timer verts ~corner:Timer.Late in
+  let before = (Extract.Iccss.stats iccss).Extract.edges_extracted in
+  let ff = (Design.ffs design).(0) in
+  let n = Extract.Iccss.extract_constraint_edges iccss ff in
+  let after = (Extract.Iccss.stats iccss).Extract.edges_extracted in
+  checki "cost charged" (before + n) after
+
+let test_iccss_criticality_grows_with_latency () =
+  (* raising a latency can only make more vertices critical (Eq. 8 uses
+     the one-time bound), firing new expansions *)
+  let design, timer = tiny_timer () in
+  let verts = Vertex.of_design design in
+  let iccss = Extract.Iccss.create timer verts ~corner:Timer.Late in
+  ignore (Extract.Iccss.extract_critical iccss);
+  let ffs = Design.ffs design in
+  Array.iter (fun ff -> Design.set_scheduled_latency design ff 300.0) ffs;
+  Timer.update_latencies timer (Array.to_list ffs);
+  let fired = Extract.Iccss.extract_critical iccss in
+  checkb "large latencies trigger more expansion" true (fired > 0)
+
+let () =
+  Alcotest.run "seqgraph"
+    [
+      ( "vertex",
+        [
+          Alcotest.test_case "indexing" `Quick test_vertex_indexing;
+          Alcotest.test_case "launcher/endpoint map" `Quick test_vertex_launcher_endpoint_mapping;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "orientation" `Quick test_orientation;
+          Alcotest.test_case "parallel edge semantics" `Quick test_parallel_edge_semantics;
+          Alcotest.test_case "adjacency" `Quick test_adjacency;
+          Alcotest.test_case "Eq.(10) update" `Quick test_eq10_update;
+          Alcotest.test_case "Eq.(10) matches timer" `Quick test_eq10_matches_timer;
+        ] );
+      ( "extraction",
+        [
+          Alcotest.test_case "full covers design" `Quick test_full_extraction_covers_design;
+          Alcotest.test_case "essential = negative(full)" `Quick
+            test_essential_finds_all_negative_edges;
+          Alcotest.test_case "essential early corner" `Quick test_essential_early_corner;
+          Alcotest.test_case "essential skips explained" `Quick
+            test_essential_skips_explained_endpoints;
+          Alcotest.test_case "essential < IC-CSS edges" `Quick
+            test_essential_extracts_fewer_than_iccss;
+          Alcotest.test_case "IC-CSS critical expansion" `Quick
+            test_iccss_extracts_critical_outgoing;
+          Alcotest.test_case "IC-CSS constraint-edge cost" `Quick
+            test_iccss_constraint_edges_charge_cost;
+          Alcotest.test_case "IC-CSS criticality grows" `Quick
+            test_iccss_criticality_grows_with_latency;
+        ] );
+    ]
