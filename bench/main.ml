@@ -10,15 +10,23 @@
      FIG 8     — the per-iteration WNS/TNS trajectory on sb18.
      FIG 2     — extraction-engine comparison (essential vs IC-CSS
                  callback vs full) on one design.
+     JSON      — BENCH_css.json, the machine-readable artifact: one
+                 record per (design, engine) with per-iteration traces
+                 and Obs counters (schema in docs/OBSERVABILITY.md).
      ABLATIONS — the DESIGN.md A1/A2/A4 design-choice studies.
      BECHAMEL  — micro-benchmarks of the computational kernels.
 
    Environment:
      CSS_BENCH_SCALE   scale factor on benchmark sizes (default 1.0)
-     CSS_BENCH_FAST    if set, only sb18 and sb16 are run
+     CSS_BENCH_FAST    if set, only sb18 and sb16 are run in Table I
+                       (the JSON section always runs its three designs)
      CSS_BENCH_SEEDS   replicate each benchmark with N extra seeds and
                        report mean values in Table I (default 1)
      CSS_BENCH_CSV     write the Table I rows to this CSV file
+     CSS_BENCH_JSON    path of the JSON artifact (default BENCH_css.json)
+     CSS_BENCH_DESIGNS comma-separated design list for the JSON section
+                       (default sb1,sb7,sb16,sb18)
+     CSS_BENCH_JSON_ONLY   if set, run only the JSON section
      CSS_BENCH_SKIP_BECHAMEL   if set, skip the micro-benchmarks *)
 
 module Design = Css_netlist.Design
@@ -324,6 +332,156 @@ let fig2 () =
   Table.print t
 
 (* ------------------------------------------------------------------ *)
+(* BENCH_css.json — machine-readable engine comparison                 *)
+
+module Obs = Css_util.Obs
+
+let json_path =
+  match Sys.getenv_opt "CSS_BENCH_JSON" with Some p -> p | None -> "BENCH_css.json"
+
+(* One CSS-only run (late corner) of one extraction engine on a fresh
+   copy of [p], instrumented with an Obs context. Returns the scheduler
+   result, the engine's extraction statistics, wall-clock milliseconds,
+   the obs context and the timer (for final WNS/TNS reads). *)
+let json_engine_run p engine_name =
+  let design = Generator.generate p in
+  let obs = Obs.create () in
+  let timer = Timer.build ~obs design in
+  let verts = Vertex.of_design design in
+  let t0 = Css_util.Wall_clock.now () in
+  let extraction, stats_of =
+    match engine_name with
+    | "iterative-essential" ->
+      let eng = Extract.Essential.create ~obs timer verts ~corner:Timer.Late in
+      ( {
+          Scheduler.extract = (fun () -> Extract.Essential.round eng);
+          graph = Extract.Essential.graph eng;
+          on_cap_hit = (fun _ -> ());
+        },
+        fun () -> Extract.Essential.stats eng )
+    | "iccss-callback" ->
+      let eng = Extract.Iccss.create ~obs timer verts ~corner:Timer.Late in
+      ( {
+          Scheduler.extract = (fun () -> Extract.Iccss.extract_critical eng);
+          graph = Extract.Iccss.graph eng;
+          on_cap_hit =
+            (fun v ->
+              match Vertex.ff_of verts v with
+              | Some ff -> ignore (Extract.Iccss.extract_constraint_edges eng ff)
+              | None -> ());
+        },
+        fun () -> Extract.Iccss.stats eng )
+    | _ ->
+      (* full extraction up front; the scheduler sees it as one huge
+         first round *)
+      let graph, fstats = Extract.Full.extract ~obs timer verts ~corner:Timer.Late in
+      let first = ref true in
+      ( {
+          Scheduler.extract =
+            (fun () ->
+              if !first then begin
+                first := false;
+                fstats.Extract.edges_extracted
+              end
+              else 0);
+          graph;
+          on_cap_hit = (fun _ -> ());
+        },
+        fun () -> fstats )
+  in
+  let result = Scheduler.run ~obs timer extraction in
+  let wall_ms = (Css_util.Wall_clock.now () -. t0) *. 1000.0 in
+  (result, stats_of (), wall_ms, obs, timer)
+
+let json_designs =
+  match Sys.getenv_opt "CSS_BENCH_DESIGNS" with
+  | Some s -> String.split_on_char ',' s |> List.filter (fun x -> x <> "")
+  | None -> [ "sb1"; "sb7"; "sb16"; "sb18" ]
+
+let bench_json () =
+  section "BENCH_css.json — machine-readable per-iteration engine comparison";
+  let module J = Obs.Json in
+  let bench_profiles =
+    List.map
+      (fun name ->
+        let p = Option.get (Profile.by_name name) in
+        if scale = 1.0 then p else Profile.scale scale p)
+      json_designs
+  in
+  let t = Table.create [ "design"; "engine"; "iters"; "#edges"; "#full"; "ratio"; "wall ms" ] in
+  Table.set_aligns t Table.[ Left; Left; Right; Right; Right; Right; Right ];
+  let entries =
+    List.concat_map
+      (fun (p : Profile.t) ->
+        (* the full engine first: its extraction count is the
+           denominator [edges_full] for every engine on this design *)
+        let engines = [ "full"; "iterative-essential"; "iccss-callback" ] in
+        let runs = List.map (fun e -> (e, json_engine_run p e)) engines in
+        let edges_full =
+          match List.assoc "full" runs with _, s, _, _, _ -> s.Extract.edges_extracted
+        in
+        List.map
+          (fun (engine_name, (result, stats, wall_ms, obs, timer)) ->
+            let edges = stats.Extract.edges_extracted in
+            Table.add_row t
+              [
+                p.Profile.name;
+                engine_name;
+                string_of_int result.Scheduler.iterations;
+                string_of_int edges;
+                string_of_int edges_full;
+                Printf.sprintf "%.1f%%" (100.0 *. float_of_int edges /. float_of_int (max 1 edges_full));
+                Printf.sprintf "%.1f" wall_ms;
+              ];
+            let per_iter =
+              J.List
+                (List.map
+                   (fun (it : Scheduler.iteration) ->
+                     J.Obj
+                       [
+                         ("iter", J.Int it.Scheduler.index);
+                         ("wns_early", J.Float it.Scheduler.wns_early);
+                         ("tns_early", J.Float it.Scheduler.tns_early);
+                         ("wns_late", J.Float it.Scheduler.wns_late);
+                         ("tns_late", J.Float it.Scheduler.tns_late);
+                         ("edges_in_graph", J.Int it.Scheduler.edges_in_graph);
+                         ("max_increment", J.Float it.Scheduler.max_increment);
+                       ])
+                   result.Scheduler.trace)
+            in
+            J.Obj
+              [
+                ("design", J.String p.Profile.name);
+                ("engine", J.String engine_name);
+                ("iterations", J.Int result.Scheduler.iterations);
+                ("edges_extracted", J.Int edges);
+                ("edges_full", J.Int edges_full);
+                ("wns_late", J.Float (Timer.wns timer Timer.Late));
+                ("wns_early", J.Float (Timer.wns timer Timer.Early));
+                ("tns", J.Float (Timer.tns timer Timer.Late));
+                ("wall_ms", J.Float wall_ms);
+                ("per_iter", per_iter);
+                ("counters", J.Obj (List.map (fun (n, v) -> (n, J.Int v)) (Obs.counters obs)));
+              ])
+          runs)
+      bench_profiles
+  in
+  Table.print t;
+  let oc = open_out json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "[\n";
+      List.iteri
+        (fun i e ->
+          if i > 0 then output_string oc ",\n";
+          output_string oc (J.to_string e))
+        entries;
+      output_string oc "\n]\n");
+  Printf.printf "wrote %s (%d records; schema in docs/OBSERVABILITY.md)\n%!" json_path
+    (List.length entries)
+
+(* ------------------------------------------------------------------ *)
 (* ABLATIONS                                                           *)
 
 let run_ablation ~name ~config ~limit p =
@@ -504,12 +662,16 @@ let () =
   Printf.printf "Clock skew scheduling benchmark harness\n";
   Printf.printf "(paper: A Fast, Iterative Clock Skew Scheduling Algorithm with Dynamic\n";
   Printf.printf " Sequential Graph Extraction, DAC 2025 — synthetic reproduction)\n";
-  let all = table_i () in
-  summary all;
-  fig8 ();
-  fig2 ();
-  optimality_gap ();
-  ablations ();
-  extensions ();
-  if Sys.getenv_opt "CSS_BENCH_SKIP_BECHAMEL" = None then bechamel_kernels ();
+  if Sys.getenv_opt "CSS_BENCH_JSON_ONLY" <> None then bench_json ()
+  else begin
+    let all = table_i () in
+    summary all;
+    fig8 ();
+    fig2 ();
+    bench_json ();
+    optimality_gap ();
+    ablations ();
+    extensions ();
+    if Sys.getenv_opt "CSS_BENCH_SKIP_BECHAMEL" = None then bechamel_kernels ()
+  end;
   Printf.printf "\ndone.\n"

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Build and run the benchmark harness in one command, leaving the
+# machine-readable artifact BENCH_css.json at the repository root
+# (schema: docs/OBSERVABILITY.md).
+#
+# Usage:
+#   bench/run.sh          full harness (Table I on all designs, figures,
+#                         ablations, micro-benchmarks)
+#   bench/run.sh --fast   Table I on sb16/sb18 only, no micro-benchmarks
+#                         (the JSON section always runs its three designs)
+#
+# All CSS_BENCH_* environment knobs documented in bench/main.ml pass
+# through; CSS_BENCH_JSON overrides the artifact path.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--fast" ]; then
+  export CSS_BENCH_FAST=1
+  export CSS_BENCH_SKIP_BECHAMEL=1
+fi
+export CSS_BENCH_JSON="${CSS_BENCH_JSON:-$PWD/BENCH_css.json}"
+
+dune build bench/main.exe
+dune exec bench/main.exe
+echo "artifact: $CSS_BENCH_JSON"

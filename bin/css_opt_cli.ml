@@ -4,6 +4,7 @@
 module Design = Css_netlist.Design
 module Evaluator = Css_eval.Evaluator
 module Flow = Css_flow.Flow
+module Obs = Css_util.Obs
 open Cmdliner
 
 let algo_conv =
@@ -42,8 +43,22 @@ let save_out =
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
 
 let trace_flag =
-  let doc = "Print the per-iteration optimization trajectory (Fig. 8 style)." in
+  let doc =
+    "Print the per-iteration optimization trajectory (Fig. 8 style) and stream \
+     observability events (span closings, scheduler snapshots) to stderr as they happen."
+  in
   Arg.(value & flag & info [ "trace" ] ~doc)
+
+let stats_json =
+  let doc =
+    "Write the run's observability dump (counters, phase spans, per-iteration snapshots; \
+     see docs/OBSERVABILITY.md) as JSON to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE" ~doc)
+
+let quiet_flag =
+  let doc = "Suppress normal progress output; print only errors (and --trace streams)." in
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
 
 let resize_flag =
   let doc = "Also run the gate-sizing passes in each OPT phase." in
@@ -86,32 +101,43 @@ let load_design benchmark input scale =
       let p = if scale = 1.0 then p else Css_benchgen.Profile.scale scale p in
       Ok (Css_benchgen.Generator.generate p))
 
-let setup_logs verbose =
+let setup_logs verbose quiet =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level
-    (match List.length verbose with
-    | 0 -> Some Logs.Warning
-    | 1 -> Some Logs.Info
-    | _ -> Some Logs.Debug)
+    (if quiet then Some Logs.Error
+     else
+       match List.length verbose with
+       | 0 -> Some Logs.Warning
+       | 1 -> Some Logs.Info
+       | _ -> Some Logs.Debug)
 
-let main benchmark input algo rounds scale save_out trace_flag resize cts verbose su hu sdc =
-  setup_logs verbose;
+let main benchmark input algo rounds scale save_out trace_flag stats_json quiet resize cts
+    verbose su hu sdc =
+  setup_logs verbose quiet;
+  let say fmt =
+    Printf.ksprintf (fun s -> if not quiet then print_string s) fmt
+  in
   match load_design benchmark input scale with
   | Error (`Msg m) ->
     prerr_endline ("css_opt: " ^ m);
     1
   | Ok design ->
+    let obs =
+      if trace_flag then Obs.create_trace stderr
+      else if stats_json <> None then Obs.create ()
+      else Obs.null
+    in
     let constraints =
       match sdc with
       | Some path ->
         let c = Css_netlist.Sdc.load path in
         Css_netlist.Sdc.apply c design;
-        Printf.printf "applied %s (%d latency windows)\n%!" path
+        say "applied %s (%d latency windows)\n%!" path
           (List.length c.Css_netlist.Sdc.latency_bounds);
         c
       | None -> Css_netlist.Sdc.empty
     in
-    Printf.printf "design %s: %d cells, %d FFs, %d LCBs, %d nets\n%!" (Design.name design)
+    say "design %s: %d cells, %d FFs, %d LCBs, %d nets\n%!" (Design.name design)
       (Design.num_cells design)
       (Array.length (Design.ffs design))
       (Array.length (Design.lcbs design))
@@ -133,7 +159,7 @@ let main benchmark input algo rounds scale save_out trace_flag resize cts verbos
         ~config:{ Evaluator.default_config with Evaluator.timer = timer_cfg_pre }
         design
     in
-    Printf.printf "before: %s\n%!" (Evaluator.summary before);
+    say "before: %s\n%!" (Evaluator.summary before);
     let config =
       {
         Flow.default_config with
@@ -141,14 +167,27 @@ let main benchmark input algo rounds scale save_out trace_flag resize cts verbos
         Flow.use_resize = resize;
         Flow.use_cts = cts;
         Flow.timer = timer_cfg_pre;
+        Flow.obs = obs;
       }
     in
     let res = Flow.run ~config ~algo design in
-    Printf.printf "after:  %s\n" (Evaluator.summary res.Flow.report);
-    Printf.printf "%s: CSS %.2fs, OPT %.2fs, total %.2fs, %d edges extracted, HPWL +%.4f%%\n"
+    say "after:  %s\n" (Evaluator.summary res.Flow.report);
+    say "%s: CSS %.2fs, OPT %.2fs, total %.2fs, %d edges extracted, HPWL +%.4f%%\n"
       res.Flow.algo res.Flow.css_seconds res.Flow.opt_seconds res.Flow.total_seconds
       res.Flow.extracted_edges res.Flow.hpwl_increase_pct;
-    if trace_flag then begin
+    let stats_ok =
+      match stats_json with
+      | None -> true
+      | Some path -> (
+        try
+          Obs.write_json obs path;
+          say "wrote %s\n" path;
+          true
+        with Sys_error m ->
+          prerr_endline ("css_opt: cannot write stats json: " ^ m);
+          false)
+    in
+    if trace_flag && not quiet then begin
       print_endline "round phase        iter  wns_early  tns_early   wns_late   tns_late";
       List.iter
         (fun (p : Flow.trace_point) ->
@@ -159,9 +198,9 @@ let main benchmark input algo rounds scale save_out trace_flag resize cts verbos
     (match save_out with
     | Some path ->
       Css_netlist.Io.save design path;
-      Printf.printf "wrote %s\n" path
+      say "wrote %s\n" path
     | None -> ());
-    0
+    if stats_ok then 0 else 1
 
 let cmd =
   let doc = "clock skew scheduling and slack optimization" in
@@ -169,6 +208,7 @@ let cmd =
   Cmd.v info
     Term.(
       const main $ benchmark $ input $ algo $ rounds $ scale $ save_out $ trace_flag
-      $ resize_flag $ cts_flag $ verbose $ setup_uncertainty $ hold_uncertainty $ sdc)
+      $ stats_json $ quiet_flag $ resize_flag $ cts_flag $ verbose $ setup_uncertainty
+      $ hold_uncertainty $ sdc)
 
 let () = exit (Cmd.eval' cmd)

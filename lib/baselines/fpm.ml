@@ -4,6 +4,7 @@ module Extract = Css_seqgraph.Extract
 module Vertex = Css_seqgraph.Vertex
 module Seq_graph = Css_seqgraph.Seq_graph
 module Bounds = Css_core.Bounds
+module Obs = Css_util.Obs
 
 type result = {
   target_latency : float array;
@@ -18,10 +19,11 @@ type config = {
 
 let default_config = { max_sweeps = 50; eps = 1e-6 }
 
-let run ?(config = default_config) timer =
+let run ?(config = default_config) ?(obs = Obs.null) timer =
   let design = Timer.design timer in
   let verts = Vertex.of_design design in
-  let graph, stats = Extract.Full.extract timer verts ~corner:Timer.Early in
+  let o_sweeps = Obs.counter obs "fpm.sweeps" in
+  let graph, stats = Extract.Full.extract ~obs timer verts ~corner:Timer.Early in
   let n = Vertex.num verts in
   (* Static caps, read once at extraction time — FPM does not refresh
      them, unlike the iterative algorithm. *)
@@ -35,6 +37,7 @@ let run ?(config = default_config) timer =
   let continue_ = ref true in
   while !continue_ && !sweeps < config.max_sweeps do
     incr sweeps;
+    Obs.incr o_sweeps;
     let delta = Array.make n 0.0 in
     Seq_graph.iter_edges graph (fun e ->
         if e.Seq_graph.weight < -.config.eps && not (fixed e.Seq_graph.dst) then begin
@@ -48,7 +51,14 @@ let run ?(config = default_config) timer =
       for v = 0 to n - 1 do
         assigned.(v) <- assigned.(v) +. delta.(v)
       done;
-      Seq_graph.apply_latency_delta graph delta
+      Seq_graph.apply_latency_delta graph delta;
+      if Obs.enabled obs then
+        Obs.snapshot obs ~label:"fpm.sweep"
+          [
+            ("sweep", Obs.Json.Int !sweeps);
+            ( "max_delta",
+              Obs.Json.Float (Array.fold_left Float.max 0.0 delta) );
+          ]
     end
     else continue_ := false
   done;

@@ -23,8 +23,15 @@ type config = {
 
 val default_config : config
 
-(** [run ?config timer] computes predictive early skews, applies them to
-    the design as scheduled latencies and re-propagates the timer.
-    Returns the result and the (full-graph) extraction statistics. *)
+(** [run ?config ?obs timer] computes predictive early skews, applies
+    them to the design as scheduled latencies and re-propagates the
+    timer. Returns the result and the (full-graph) extraction
+    statistics. [obs] receives the [extract.full.*] counters (FPM's
+    dominating cost — the whole-graph extraction the paper's engine
+    avoids), the [fpm.sweeps] counter, and one ["fpm.sweep"] snapshot
+    per relaxation sweep. *)
 val run :
-  ?config:config -> Css_sta.Timer.t -> result * Css_seqgraph.Extract.stats
+  ?config:config ->
+  ?obs:Css_util.Obs.t ->
+  Css_sta.Timer.t ->
+  result * Css_seqgraph.Extract.stats

@@ -1,10 +1,11 @@
 module Extract = Css_seqgraph.Extract
 module Vertex = Css_seqgraph.Vertex
 module Scheduler = Css_core.Scheduler
+module Obs = Css_util.Obs
 
-let extraction timer ~corner =
+let extraction ?(obs = Obs.null) timer ~corner =
   let verts = Vertex.of_design (Css_sta.Timer.design timer) in
-  let engine = Extract.Iccss.create timer verts ~corner in
+  let engine = Extract.Iccss.create ~obs timer verts ~corner in
   let extraction =
     {
       Scheduler.extract = (fun () -> Extract.Iccss.extract_critical engine);
@@ -18,7 +19,7 @@ let extraction timer ~corner =
   in
   (extraction, Extract.Iccss.stats engine)
 
-let run ?config timer ~corner =
-  let ext, stats = extraction timer ~corner in
-  let result = Scheduler.run ?config timer ext in
+let run ?config ?(obs = Obs.null) timer ~corner =
+  let ext, stats = extraction ~obs timer ~corner in
+  let result = Scheduler.run ?config ~obs timer ext in
   (result, stats)

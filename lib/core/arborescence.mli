@@ -35,7 +35,13 @@ val parent_weight : t -> int -> float
 val alpha : t -> int -> float
 
 val beta : t -> int -> int
+
+(** [is_root t v] holds when [v] has no tree parent — fixed vertices and
+    vertices no admissible edge reached. *)
 val is_root : t -> int -> bool
+
+(** [children t v] are the vertices whose tree parent is [v], the
+    forward-pass fan-out of the Eq. (14) traversal. *)
 val children : t -> int -> int list
 
 (** [skipped_cycle_edges t] counts admissible edges rejected only because

@@ -1,9 +1,10 @@
 module Extract = Css_seqgraph.Extract
 module Vertex = Css_seqgraph.Vertex
+module Obs = Css_util.Obs
 
-let ours timer ~corner =
+let ours ?(obs = Obs.null) timer ~corner =
   let verts = Vertex.of_design (Css_sta.Timer.design timer) in
-  let engine = Extract.Essential.create timer verts ~corner in
+  let engine = Extract.Essential.create ~obs timer verts ~corner in
   let extraction =
     {
       Scheduler.extract = (fun () -> Extract.Essential.round engine);
@@ -13,7 +14,7 @@ let ours timer ~corner =
   in
   (extraction, Extract.Essential.stats engine)
 
-let run_ours ?config timer ~corner =
-  let extraction, stats = ours timer ~corner in
-  let result = Scheduler.run ?config timer extraction in
+let run_ours ?config ?(obs = Obs.null) timer ~corner =
+  let extraction, stats = ours ~obs timer ~corner in
+  let result = Scheduler.run ?config ~obs timer extraction in
   (result, stats)

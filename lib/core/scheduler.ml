@@ -2,6 +2,7 @@ module Timer = Css_sta.Timer
 module Design = Css_netlist.Design
 module Vertex = Css_seqgraph.Vertex
 module Seq_graph = Css_seqgraph.Seq_graph
+module Obs = Css_util.Obs
 
 let log_src = Logs.Src.create "css.scheduler" ~doc:"iterative clock skew scheduler"
 
@@ -48,11 +49,18 @@ type result = {
   trace : iteration list;
 }
 
-let run ?(config = default_config) timer ext =
+let run ?(config = default_config) ?(obs = Obs.null) timer ext =
   let graph = ext.graph in
   let verts = Seq_graph.vertices graph in
   let corner = Seq_graph.corner graph in
+  let corner_name = match corner with Timer.Late -> "late" | Timer.Early -> "early" in
   let design = Timer.design timer in
+  let o_iters = Obs.counter obs "sched.iterations" in
+  let o_cycles = Obs.counter obs "sched.cycles_pinned" in
+  let o_arbs = Obs.counter obs "sched.arborescence_builds" in
+  let o_two_pass = Obs.counter obs "sched.two_pass_sweeps" in
+  let o_bounds = Obs.counter obs "sched.bound_refreshes" in
+  let o_raised = Obs.counter obs "sched.latency_increments" in
   let n = Vertex.num verts in
   let fixed = Array.make n false in
   fixed.(Vertex.input_super verts) <- true;
@@ -62,7 +70,7 @@ let run ?(config = default_config) timer ext =
   let trace = ref [] in
   let cycles = ref 0 in
   let record ~index ~handled_cycle ~max_increment =
-    trace :=
+    let it =
       {
         index;
         wns_early = Timer.wns timer Timer.Early;
@@ -73,7 +81,22 @@ let run ?(config = default_config) timer ext =
         handled_cycle;
         max_increment;
       }
-      :: !trace
+    in
+    trace := it :: !trace;
+    Obs.incr o_iters;
+    if Obs.enabled obs then
+      Obs.snapshot obs ~label:"sched.iter"
+        [
+          ("corner", Obs.Json.String corner_name);
+          ("iter", Obs.Json.Int index);
+          ("wns_early", Obs.Json.Float it.wns_early);
+          ("tns_early", Obs.Json.Float it.tns_early);
+          ("wns_late", Obs.Json.Float it.wns_late);
+          ("tns_late", Obs.Json.Float it.tns_late);
+          ("edges_in_graph", Obs.Json.Int it.edges_in_graph);
+          ("handled_cycle", Obs.Json.Bool handled_cycle);
+          ("max_increment", Obs.Json.Float max_increment);
+        ]
   in
   let apply increments =
     let changed = ref [] in
@@ -84,14 +107,21 @@ let run ?(config = default_config) timer ext =
           Design.set_scheduled_latency design ff
             (Design.scheduled_latency design ff +. increments.(v));
           changed := ff :: !changed;
+          Obs.incr o_raised;
           l_star.(v) <- l_star.(v) +. increments.(v)
         | None -> ()
     done;
     Timer.update_latencies timer !changed;
     Seq_graph.apply_latency_delta graph increments
   in
-  let margin = Bounds.margin timer verts corner in
-  let hard_cap = Bounds.hard_cap timer verts corner in
+  let margin v =
+    Obs.incr o_bounds;
+    Bounds.margin timer verts corner v
+  in
+  let hard_cap v =
+    Obs.incr o_bounds;
+    Bounds.hard_cap timer verts corner v
+  in
   (* Stall guard: increments can stay non-zero while the corner's negative
      slack no longer improves (e.g. balancing churn around caps); a few
      fruitless iterations end the loop. *)
@@ -131,6 +161,7 @@ let run ?(config = default_config) timer ext =
               (List.length cyc.Cycle.members) cyc.Cycle.mean);
         List.iter (fun v -> fixed.(v) <- true) cyc.Cycle.members;
         incr cycles;
+        Obs.incr o_cycles;
         apply cyc.Cycle.increments;
         let max_increment = Array.fold_left Float.max 0.0 cyc.Cycle.increments in
         record ~index:k ~handled_cycle:true ~max_increment;
@@ -142,8 +173,10 @@ let run ?(config = default_config) timer ext =
       | None ->
         let out_weight = if config.nonneg_rule then margin else fun _ -> infinity in
         let arb = Arborescence.build ~n ~fixed:is_fixed ~out_weight neg_edges in
+        Obs.incr o_arbs;
         assert (Arborescence.skipped_cycle_edges arb = 0);
         let tp = Two_pass.compute ~n ~edges:neg_edges ~arb ~fixed:is_fixed ~margin ~hard_cap in
+        Obs.incr o_two_pass;
         let max_increment = Array.fold_left Float.max 0.0 tp.Two_pass.l in
         if max_increment <= config.eps then begin
           record ~index:k ~handled_cycle:false ~max_increment;

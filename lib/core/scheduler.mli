@@ -67,7 +67,16 @@ type result = {
   trace : iteration list;  (** chronological, one record per iteration *)
 }
 
-(** [run ?config timer extraction] executes Algorithm 1 for the corner of
-    [extraction.graph], mutating the design's scheduled latencies and the
-    timer. *)
-val run : ?config:config -> Css_sta.Timer.t -> extraction -> result
+(** [run ?config ?obs timer extraction] executes Algorithm 1 for the
+    corner of [extraction.graph], mutating the design's scheduled
+    latencies and the timer.
+
+    [obs] (default {!Css_util.Obs.null}) receives the [sched.*]
+    counters — [iterations], [cycles_pinned] (lines 5-9),
+    [arborescence_builds] (line 4), [two_pass_sweeps] (line 10),
+    [bound_refreshes] (the Eq. (5)/(11) reads that replace constraint
+    -edge extraction), [latency_increments] (vertices raised on line
+    11) — and one ["sched.iter"] snapshot per iteration carrying both
+    corners' WNS/TNS, the partial graph's edge count, and the maximum
+    increment (the Fig. 8 trajectory). *)
+val run : ?config:config -> ?obs:Css_util.Obs.t -> Css_sta.Timer.t -> extraction -> result

@@ -9,6 +9,7 @@ module Reconnect = Css_opt.Reconnect
 module Cell_move = Css_opt.Cell_move
 module Evaluator = Css_eval.Evaluator
 module Wall_clock = Css_util.Wall_clock
+module Obs = Css_util.Obs
 
 let log_src = Logs.Src.create "css.flow" ~doc:"end-to-end slack optimization flow"
 
@@ -58,6 +59,7 @@ type config = {
   cell_move : Cell_move.config;
   use_resize : bool;
   use_cts : bool;
+  obs : Obs.t;
 }
 
 let default_config =
@@ -69,6 +71,7 @@ let default_config =
     cell_move = Cell_move.default_config;
     use_resize = false;
     use_cts = false;
+    obs = Obs.null;
   }
 
 let clone design =
@@ -99,7 +102,7 @@ type run_state = {
 }
 
 let snapshot st ~round ~phase ~iter =
-  st.trace_rev <-
+  let pt =
     {
       round;
       phase;
@@ -109,7 +112,19 @@ let snapshot st ~round ~phase ~iter =
       wns_late = Timer.wns st.timer Timer.Late;
       tns_late = Timer.tns st.timer Timer.Late;
     }
-    :: st.trace_rev
+  in
+  st.trace_rev <- pt :: st.trace_rev;
+  if Obs.enabled st.cfg.obs then
+    Obs.snapshot st.cfg.obs ~label:"flow.point"
+      [
+        ("round", Obs.Json.Int round);
+        ("phase", Obs.Json.String phase);
+        ("iter", Obs.Json.Int iter);
+        ("wns_early", Obs.Json.Float pt.wns_early);
+        ("tns_early", Obs.Json.Float pt.tns_early);
+        ("wns_late", Obs.Json.Float pt.wns_late);
+        ("tns_late", Obs.Json.Float pt.tns_late);
+      ]
 
 let record_scheduler_trace st ~round ~phase (res : Scheduler.result) =
   List.iter
@@ -154,7 +169,7 @@ let ours_engine st corner =
   match get () with
   | Some e -> e
   | None ->
-    let e = Extract.Essential.create st.timer st.verts ~corner in
+    let e = Extract.Essential.create ~obs:st.cfg.obs st.timer st.verts ~corner in
     set e;
     e
 
@@ -168,7 +183,7 @@ let iccss_engine st corner =
   match get () with
   | Some e -> e
   | None ->
-    let e = Extract.Iccss.create st.timer st.verts ~corner in
+    let e = Extract.Iccss.create ~obs:st.cfg.obs st.timer st.verts ~corner in
     set e;
     e
 
@@ -178,6 +193,7 @@ let css_opt_phase st ~round ~corner ~engine =
   let phase = match corner with Timer.Early -> "early" | Timer.Late -> "late" in
   Wall_clock.start st.css_clock;
   let targets =
+    Obs.span st.cfg.obs (phase ^ "-css") @@ fun () ->
     match engine with
     | `Ours ->
       let eng = ours_engine st corner in
@@ -189,7 +205,7 @@ let css_opt_phase st ~round ~corner ~engine =
           on_cap_hit = (fun _ -> ());
         }
       in
-      let res = Scheduler.run ~config:st.cfg.scheduler st.timer extraction in
+      let res = Scheduler.run ~config:st.cfg.scheduler ~obs:st.cfg.obs st.timer extraction in
       st.iterations <- st.iterations + res.Scheduler.iterations;
       record_scheduler_trace st ~round ~phase:(phase ^ "-css") res;
       targets_of st.verts res.Scheduler.target_latency
@@ -207,12 +223,12 @@ let css_opt_phase st ~round ~corner ~engine =
               | None -> ());
         }
       in
-      let res = Scheduler.run ~config:st.cfg.scheduler st.timer extraction in
+      let res = Scheduler.run ~config:st.cfg.scheduler ~obs:st.cfg.obs st.timer extraction in
       st.iterations <- st.iterations + res.Scheduler.iterations;
       record_scheduler_trace st ~round ~phase:(phase ^ "-css") res;
       targets_of st.verts res.Scheduler.target_latency
     | `Fpm ->
-      let res, stats = Css_baselines.Fpm.run st.timer in
+      let res, stats = Css_baselines.Fpm.run ~obs:st.cfg.obs st.timer in
       st.edges <- st.edges + stats.Extract.edges_extracted;
       st.cones <- st.cones + stats.Extract.cone_nodes;
       snapshot st ~round ~phase:(phase ^ "-css") ~iter:1;
@@ -220,6 +236,7 @@ let css_opt_phase st ~round ~corner ~engine =
   in
   Wall_clock.stop st.css_clock;
   Wall_clock.start st.opt_clock;
+  Obs.span st.cfg.obs (phase ^ "-opt") (fun () ->
   let targets =
     if st.cfg.use_cts && targets <> [] then begin
       (* CTS guidance first: clusters get purpose-built LCBs; anything the
@@ -232,13 +249,19 @@ let css_opt_phase st ~round ~corner ~engine =
     end
     else targets
   in
-  ignore (Reconnect.realize ~config:st.cfg.reconnect st.timer ~targets);
-  ignore (Cell_move.repair_early ~config:st.cfg.cell_move st.timer);
+  let rstats = Reconnect.realize ~config:st.cfg.reconnect st.timer ~targets in
+  let mstats = Cell_move.repair_early ~config:st.cfg.cell_move st.timer in
+  let obs = st.cfg.obs in
+  Obs.add (Obs.counter obs "opt.reconnect.attempted") rstats.Reconnect.attempted;
+  Obs.add (Obs.counter obs "opt.reconnect.reconnected") rstats.Reconnect.reconnected;
+  Obs.add (Obs.counter obs "opt.cell_move.moves_tried") mstats.Cell_move.moves_tried;
+  Obs.add (Obs.counter obs "opt.cell_move.moves_accepted") mstats.Cell_move.moves_accepted;
+  Obs.add (Obs.counter obs "opt.cell_move.endpoints_fixed") mstats.Cell_move.endpoints_fixed;
   if st.cfg.use_resize then begin
     match corner with
     | Timer.Late -> ignore (Css_opt.Resize.upsize_late st.timer)
     | Timer.Early -> ignore (Css_opt.Resize.downsize_early st.timer)
-  end;
+  end);
   Wall_clock.stop st.opt_clock;
   Log.info (fun m ->
       m "round %d %s done: early %.1f/%.1f late %.1f/%.1f" round phase
@@ -252,7 +275,7 @@ let clean st =
 let run ?(config = default_config) ~algo design =
   let hpwl_before = Design.total_hpwl design in
   let total_t0 = Wall_clock.now () in
-  let timer = Timer.build ~config:config.timer design in
+  let timer = Timer.build ~config:config.timer ~obs:config.obs design in
   let st =
     {
       cfg = config;

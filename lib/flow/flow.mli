@@ -57,6 +57,13 @@ type config = {
           {!Css_opt.Cts_guide} before falling back to reconnection
           (the paper's "guide clock tree synthesis" extension;
           default false) *)
+  obs : Css_util.Obs.t;
+      (** observability sink threaded through the timer, the extraction
+          engines, the scheduler and the OPT passes. The flow itself
+          contributes ["<phase>-css"] / ["<phase>-opt"] spans, one
+          ["flow.point"] snapshot per trajectory sample, and the
+          [opt.reconnect.*] / [opt.cell_move.*] counters.
+          Default {!Css_util.Obs.null} (zero overhead). *)
 }
 
 val default_config : config

@@ -2,6 +2,7 @@ module Timer = Css_sta.Timer
 module Graph = Css_sta.Graph
 module Design = Css_netlist.Design
 module Cell = Css_liberty.Cell
+module Obs = Css_util.Obs
 
 type stats = {
   mutable edges_extracted : int;
@@ -11,26 +12,51 @@ type stats = {
 
 let fresh_stats () = { edges_extracted = 0; cone_nodes = 0; rounds = 0 }
 
+(* Per-engine observability handles, resolved once per engine instance so
+   the extraction loops bump counters without name lookups. *)
+type obs_counters = {
+  o_edges : Obs.counter;  (* edges materialized into the graph *)
+  o_candidates : Obs.counter;  (* cone results examined (kept or not) *)
+  o_endpoints : Obs.counter;  (* endpoints / vertices cone-walked *)
+  o_cone : Obs.counter;
+  o_rounds : Obs.counter;
+}
+
+let resolve_obs obs engine =
+  {
+    o_edges = Obs.counter obs (Printf.sprintf "extract.%s.edges" engine);
+    o_candidates = Obs.counter obs (Printf.sprintf "extract.%s.candidate_edges" engine);
+    o_endpoints = Obs.counter obs (Printf.sprintf "extract.%s.endpoints_walked" engine);
+    o_cone = Obs.counter obs (Printf.sprintf "extract.%s.cone_nodes" engine);
+    o_rounds = Obs.counter obs (Printf.sprintf "extract.%s.rounds" engine);
+  }
+
 let launchers_of_design timer =
   let g = Timer.graph timer in
   Array.to_list (Array.map (Graph.launcher_of_node g) (Graph.sources g))
 
 module Full = struct
-  let extract timer verts ~corner =
+  let extract ?(obs = Obs.null) timer verts ~corner =
+    let oc = resolve_obs obs "full" in
     let stats = fresh_stats () in
     let graph = Seq_graph.create verts ~corner in
     List.iter
       (fun launcher ->
         let found, visited = Timer.cone_from_launcher timer corner launcher in
         stats.cone_nodes <- stats.cone_nodes + visited;
+        Obs.add oc.o_cone visited;
+        Obs.incr oc.o_endpoints;
         List.iter
           (fun (endpoint, delay) ->
             let weight = Timer.edge_slack timer corner ~launcher ~endpoint ~delay in
             ignore (Seq_graph.add_edge graph ~launcher ~endpoint ~delay ~weight);
-            stats.edges_extracted <- stats.edges_extracted + 1)
+            stats.edges_extracted <- stats.edges_extracted + 1;
+            Obs.incr oc.o_candidates;
+            Obs.incr oc.o_edges)
           found)
       (launchers_of_design timer);
     stats.rounds <- 1;
+    Obs.incr oc.o_rounds;
     (graph, stats)
 end
 
@@ -39,10 +65,16 @@ module Essential = struct
     timer : Timer.t;
     graph : Seq_graph.t;
     stats : stats;
+    oc : obs_counters;
   }
 
-  let create timer verts ~corner =
-    { timer; graph = Seq_graph.create verts ~corner; stats = fresh_stats () }
+  let create ?(obs = Obs.null) timer verts ~corner =
+    {
+      timer;
+      graph = Seq_graph.create verts ~corner;
+      stats = fresh_stats ();
+      oc = resolve_obs obs "essential";
+    }
 
   let graph t = t.graph
   let stats t = t.stats
@@ -52,6 +84,7 @@ module Essential = struct
      previously positive (unextracted) path has turned negative. *)
   let round ?(limit = max_int) t =
     t.stats.rounds <- t.stats.rounds + 1;
+    Obs.incr t.oc.o_rounds;
     let corner = Seq_graph.corner t.graph in
     let added = ref 0 in
     let walked = ref 0 in
@@ -60,14 +93,18 @@ module Essential = struct
         let known = Seq_graph.min_weight_from_endpoint t.graph endpoint in
         if !walked < limit && slack < known -. 1e-6 then begin
           incr walked;
+          Obs.incr t.oc.o_endpoints;
           let found, visited = Timer.cone_to_endpoint t.timer corner endpoint in
           t.stats.cone_nodes <- t.stats.cone_nodes + visited;
+          Obs.add t.oc.o_cone visited;
           List.iter
             (fun (launcher, delay) ->
+              Obs.incr t.oc.o_candidates;
               let weight = Timer.edge_slack t.timer corner ~launcher ~endpoint ~delay in
               if weight < 0.0 then begin
                 ignore (Seq_graph.add_edge t.graph ~launcher ~endpoint ~delay ~weight);
                 t.stats.edges_extracted <- t.stats.edges_extracted + 1;
+                Obs.incr t.oc.o_edges;
                 incr added
               end)
             found
@@ -82,6 +119,8 @@ module Iccss = struct
     verts : Vertex.t;
     graph : Seq_graph.t;
     stats : stats;
+    oc : obs_counters;
+    o_constraint : Obs.counter;  (* Section III-E(ii) constraint edges *)
     bound : float array;  (* one-time extreme outgoing/incoming path delay *)
     expanded : bool array;
   }
@@ -138,12 +177,14 @@ module Iccss = struct
         (Graph.endpoints g));
     bound
 
-  let create timer verts ~corner =
+  let create ?(obs = Obs.null) timer verts ~corner =
     {
       timer;
       verts;
       graph = Seq_graph.create verts ~corner;
       stats = fresh_stats ();
+      oc = resolve_obs obs "iccss";
+      o_constraint = Obs.counter obs "extract.iccss.constraint_edges";
       bound = compute_bound timer verts corner;
       expanded = Array.make (Vertex.num verts) false;
     }
@@ -215,11 +256,14 @@ module Iccss = struct
         (fun launcher ->
           let found, visited = Timer.cone_from_launcher t.timer corner launcher in
           t.stats.cone_nodes <- t.stats.cone_nodes + visited;
+          Obs.add t.oc.o_cone visited;
           List.iter
             (fun (endpoint, delay) ->
               let weight = Timer.edge_slack t.timer corner ~launcher ~endpoint ~delay in
               ignore (Seq_graph.add_edge t.graph ~launcher ~endpoint ~delay ~weight);
-              t.stats.edges_extracted <- t.stats.edges_extracted + 1)
+              t.stats.edges_extracted <- t.stats.edges_extracted + 1;
+              Obs.incr t.oc.o_candidates;
+              Obs.incr t.oc.o_edges)
             found)
         launchers
     | Timer.Early ->
@@ -239,16 +283,20 @@ module Iccss = struct
         (fun endpoint ->
           let found, visited = Timer.cone_to_endpoint t.timer corner endpoint in
           t.stats.cone_nodes <- t.stats.cone_nodes + visited;
+          Obs.add t.oc.o_cone visited;
           List.iter
             (fun (launcher, delay) ->
               let weight = Timer.edge_slack t.timer corner ~launcher ~endpoint ~delay in
               ignore (Seq_graph.add_edge t.graph ~launcher ~endpoint ~delay ~weight);
-              t.stats.edges_extracted <- t.stats.edges_extracted + 1)
+              t.stats.edges_extracted <- t.stats.edges_extracted + 1;
+              Obs.incr t.oc.o_candidates;
+              Obs.incr t.oc.o_edges)
             found)
         endpoints
 
   let extract_critical t =
     t.stats.rounds <- t.stats.rounds + 1;
+    Obs.incr t.oc.o_rounds;
     let fired = ref 0 in
     (* In the late problem out-edges belong to the launch side of the
        scheduling graph, i.e. vertex ids in the orientation's src role;
@@ -256,6 +304,7 @@ module Iccss = struct
     for v = 0 to Vertex.num t.verts - 1 do
       if (not t.expanded.(v)) && critical t v then begin
         t.expanded.(v) <- true;
+        Obs.incr t.oc.o_endpoints;
         expand t v;
         incr fired
       end
@@ -275,7 +324,9 @@ module Iccss = struct
         (List.length found, visited)
     in
     t.stats.cone_nodes <- t.stats.cone_nodes + visited;
+    Obs.add t.oc.o_cone visited;
     let n = count in
     t.stats.edges_extracted <- t.stats.edges_extracted + n;
+    Obs.add t.o_constraint n;
     n
 end

@@ -14,7 +14,14 @@
       negative-slack edges are materialized. [O(k*m')].
 
     All engines share a {!stats} record; [edges_extracted] is the number
-    the paper's Table I reports as "#Extract Edge". *)
+    the paper's Table I reports as "#Extract Edge".
+
+    Every engine also accepts an [?obs] context (default
+    {!Css_util.Obs.null}) and reports into the [extract.<engine>.*]
+    counter namespace: [edges] (materialized), [candidate_edges] (cone
+    results examined, kept or not — for {!Essential} the gap between the
+    two is the over-extraction avoided), [endpoints_walked],
+    [cone_nodes] and [rounds]. See [docs/OBSERVABILITY.md]. *)
 
 type stats = {
   mutable edges_extracted : int;  (** edges materialized into the graph *)
@@ -27,10 +34,15 @@ val fresh_stats : unit -> stats
 (** {1 Full extraction} *)
 
 module Full : sig
-  (** [extract timer verts ~corner] builds the complete sequential graph
-      for one corner. *)
+  (** [extract ?obs timer verts ~corner] builds the complete sequential
+      graph for one corner — every launcher's fan-out cone, the [O(n*m')]
+      reference the paper's Section II measures both baselines against. *)
   val extract :
-    Css_sta.Timer.t -> Vertex.t -> corner:Css_sta.Timer.corner -> Seq_graph.t * stats
+    ?obs:Css_util.Obs.t ->
+    Css_sta.Timer.t ->
+    Vertex.t ->
+    corner:Css_sta.Timer.corner ->
+    Seq_graph.t * stats
 end
 
 (** {1 The paper's iterative essential extraction (Section III-B)} *)
@@ -38,8 +50,11 @@ end
 module Essential : sig
   type t
 
-  (** [create timer verts ~corner] starts with an empty graph. *)
-  val create : Css_sta.Timer.t -> Vertex.t -> corner:Css_sta.Timer.corner -> t
+  (** [create ?obs timer verts ~corner] starts with an empty graph; the
+      partial graph then only ever grows across {!round} calls — the
+      "dynamic sequential graph" of the paper's title. *)
+  val create :
+    ?obs:Css_util.Obs.t -> Css_sta.Timer.t -> Vertex.t -> corner:Css_sta.Timer.corner -> t
 
   val graph : t -> Seq_graph.t
   val stats : t -> stats
@@ -58,10 +73,11 @@ end
 module Iccss : sig
   type t
 
-  (** [create timer verts ~corner] computes the one-time global
+  (** [create ?obs timer verts ~corner] computes the one-time global
       outgoing-delay (late) / incoming-delay (early) bound used by the
       criticality test of Eq. (8). *)
-  val create : Css_sta.Timer.t -> Vertex.t -> corner:Css_sta.Timer.corner -> t
+  val create :
+    ?obs:Css_util.Obs.t -> Css_sta.Timer.t -> Vertex.t -> corner:Css_sta.Timer.corner -> t
 
   val graph : t -> Seq_graph.t
   val stats : t -> stats

@@ -27,8 +27,15 @@ type t
     corner. *)
 val create : Vertex.t -> corner:Css_sta.Timer.corner -> t
 
+(** [corner t] is the analysis corner the graph's scheduling orientation
+    encodes (late: launch -> capture; early: capture -> launch). *)
 val corner : t -> Css_sta.Timer.corner
+
+(** [vertices t] is the vertex registry shared with the extractors. *)
 val vertices : t -> Vertex.t
+
+(** [num_edges t] is the current size of [E'] — for the paper's engine a
+    small fraction of the full sequential graph (Fig. 2). *)
 val num_edges : t -> int
 
 (** [add_edge t ~launcher ~endpoint ~delay ~weight] inserts the edge in
@@ -48,9 +55,18 @@ val add_edge :
 (** [find t ~src ~dst] is the stored edge between the pair, if any. *)
 val find : t -> src:Vertex.id -> dst:Vertex.id -> edge option
 
+(** [iter_edges t f] applies [f] to every stored edge (the scheduler's
+    per-iteration walk over [E'], the [m'] in its O(k·m') bound). *)
 val iter_edges : t -> (edge -> unit) -> unit
+
+(** [edges t] lists the stored edges (unspecified order). *)
 val edges : t -> edge list
+
+(** [out_edges t v] / [in_edges t v] are [v]'s edges in scheduling
+    orientation — [out_edges] drives the Eq. (6) out-weight check during
+    arborescence construction. *)
 val out_edges : t -> Vertex.id -> edge list
+
 val in_edges : t -> Vertex.id -> edge list
 
 (** [min_weight_from_endpoint t e] is the smallest current weight among

@@ -6,6 +6,7 @@ module Delay_model = Css_liberty.Delay_model
 module Point = Css_geometry.Point
 module Heap = Css_util.Heap
 module Mark = Css_util.Mark
+module Obs = Css_util.Obs
 
 type corner =
   | Early
@@ -37,11 +38,32 @@ type stats = {
   mutable cone_visits : int;
 }
 
+(* Pre-resolved observability counter handles — the hot loops bump these
+   without a name lookup; on Obs.null they all alias the dummy cell. *)
+type obs_counters = {
+  o_full_props : Obs.counter;
+  o_incr_updates : Obs.counter;
+  o_fwd : Obs.counter;
+  o_bwd : Obs.counter;
+  o_cone : Obs.counter;
+}
+
+let resolve_obs_counters obs =
+  {
+    o_full_props = Obs.counter obs "timer.full_propagations";
+    o_incr_updates = Obs.counter obs "timer.incremental_updates";
+    o_fwd = Obs.counter obs "timer.forward_visits";
+    o_bwd = Obs.counter obs "timer.backward_visits";
+    o_cone = Obs.counter obs "timer.cone_nodes";
+  }
+
 type t = {
   graph : Graph.t;
   design : Design.t;
   cfg : config;
   stats : stats;
+  mutable obs : Obs.t;
+  mutable oc : obs_counters;
   load : float array;  (* per node; meaningful for net drivers *)
   at_max : float array;
   at_min : float array;
@@ -58,6 +80,11 @@ let graph t = t.graph
 let design t = t.design
 let config t = t.cfg
 let stats t = t.stats
+let obs t = t.obs
+
+let set_obs t obs =
+  t.obs <- obs;
+  t.oc <- resolve_obs_counters obs
 
 (* ------------------------------------------------------------------ *)
 (* Loads                                                               *)
@@ -197,6 +224,7 @@ let recompute_forward t n =
     t.pred_min.(n) <- !arg_min
   end;
   t.stats.forward_visits <- t.stats.forward_visits + 1;
+  Obs.incr t.oc.o_fwd;
   t.at_max.(n) <> old_max || t.at_min.(n) <> old_min || t.slew.(n) <> old_slew
 
 (* Returns true when the backward state of [n] changed. *)
@@ -221,6 +249,7 @@ let recompute_backward t n =
   t.rat_late.(n) <- !best_late;
   t.rat_early.(n) <- !best_early;
   t.stats.backward_visits <- t.stats.backward_visits + 1;
+  Obs.incr t.oc.o_bwd;
   t.rat_late.(n) <> old_late || t.rat_early.(n) <> old_early
 
 (* ------------------------------------------------------------------ *)
@@ -233,7 +262,8 @@ let propagate t =
   for i = Array.length topo - 1 downto 0 do
     ignore (recompute_backward t topo.(i))
   done;
-  t.stats.full_propagations <- t.stats.full_propagations + 1
+  t.stats.full_propagations <- t.stats.full_propagations + 1;
+  Obs.incr t.oc.o_full_props
 
 (* ------------------------------------------------------------------ *)
 (* Incremental propagation                                             *)
@@ -265,6 +295,7 @@ let sweep t ~seeds ~forward =
   !changed
 
 let update_after t ~fwd_seeds ~bwd_seeds =
+  Obs.incr t.oc.o_incr_updates;
   let changed = sweep t ~seeds:fwd_seeds ~forward:true in
   (* Required times depend on downstream rats *and* on local slews, so
      every node whose forward state changed must be re-examined too. *)
@@ -429,6 +460,7 @@ let cone t corner ~root ~forward =
   in
   collect root;
   t.stats.cone_visits <- t.stats.cone_visits + !count;
+  Obs.add t.oc.o_cone !count;
   let members = Array.of_list !members in
   (* DP in level order: ascending when walking backward from the root so
      that successors-in-cone are final (we relax over out-arcs), and
@@ -546,7 +578,7 @@ let k_worst_paths t corner e ~k =
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
 
-let build ?(config = default_config) design =
+let build ?(config = default_config) ?(obs = Obs.null) design =
   let graph = Graph.build design in
   let n = Graph.num_nodes graph in
   let t =
@@ -556,6 +588,8 @@ let build ?(config = default_config) design =
       cfg = config;
       stats =
         { full_propagations = 0; forward_visits = 0; backward_visits = 0; cone_visits = 0 };
+      obs;
+      oc = resolve_obs_counters obs;
       load = Array.make (max n 1) 0.0;
       at_max = Array.make (max n 1) neg_infinity;
       at_min = Array.make (max n 1) infinity;

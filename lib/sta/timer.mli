@@ -42,14 +42,23 @@ type stats = {
 
 type t
 
-(** [build ?config design] constructs the graph and runs a full
-    propagation. *)
-val build : ?config:config -> Css_netlist.Design.t -> t
+(** [build ?config ?obs design] constructs the graph and runs a full
+    propagation. [obs] (default {!Css_util.Obs.null}) receives the
+    [timer.*] counters: full/incremental propagations, per-node forward
+    and backward recomputations, and cone nodes visited — the paper's
+    "Update" cost, reported per iteration by the scheduler. *)
+val build : ?config:config -> ?obs:Css_util.Obs.t -> Css_netlist.Design.t -> t
 
 val graph : t -> Graph.t
 val design : t -> Css_netlist.Design.t
 val config : t -> config
 val stats : t -> stats
+val obs : t -> Css_util.Obs.t
+
+(** [set_obs t obs] redirects the timer's counters to [obs] (e.g. when a
+    flow attaches observability to a timer built elsewhere). Counts
+    already accumulated are not transferred. *)
+val set_obs : t -> Css_util.Obs.t -> unit
 
 (** {1 Propagation} *)
 

@@ -1,0 +1,438 @@
+(* Observability contexts: counters, spans, snapshots, JSON dumping.
+   See obs.mli for the contract; docs/OBSERVABILITY.md for the taxonomy. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape_to b s =
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"'
+
+  (* Floats keep a decimal point (or exponent) so they parse back as
+     [Float], never [Int]; non-finite values have no JSON form and
+     degrade to null. *)
+  let float_repr x =
+    if Float.is_nan x || Float.abs x = infinity then "null"
+    else begin
+      let s = Printf.sprintf "%.12g" x in
+      if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s else s ^ ".0"
+    end
+
+  let rec to_buffer b = function
+    | Null -> Buffer.add_string b "null"
+    | Bool true -> Buffer.add_string b "true"
+    | Bool false -> Buffer.add_string b "false"
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float x -> Buffer.add_string b (float_repr x)
+    | String s -> escape_to b s
+    | List xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          to_buffer b x)
+        xs;
+      Buffer.add_char b ']'
+    | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          escape_to b k;
+          Buffer.add_char b ':';
+          to_buffer b v)
+        kvs;
+      Buffer.add_char b '}'
+
+  let to_string v =
+    let b = Buffer.create 256 in
+    to_buffer b v;
+    Buffer.contents b
+
+  (* Recursive-descent parser over a string with an index cell. *)
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = failwith (Printf.sprintf "Obs.Json.of_string: %s at offset %d" msg !pos) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if peek () = Some c then advance () else fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word v =
+      if !pos + String.length word <= n && String.sub s !pos (String.length word) = word then begin
+        pos := !pos + String.length word;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else begin
+          let c = s.[!pos] in
+          advance ();
+          match c with
+          | '"' -> Buffer.contents b
+          | '\\' ->
+            (if !pos >= n then fail "unterminated escape"
+             else begin
+               let e = s.[!pos] in
+               advance ();
+               match e with
+               | '"' -> Buffer.add_char b '"'
+               | '\\' -> Buffer.add_char b '\\'
+               | '/' -> Buffer.add_char b '/'
+               | 'n' -> Buffer.add_char b '\n'
+               | 'r' -> Buffer.add_char b '\r'
+               | 't' -> Buffer.add_char b '\t'
+               | 'b' -> Buffer.add_char b '\b'
+               | 'f' -> Buffer.add_char b '\012'
+               | 'u' ->
+                 if !pos + 4 > n then fail "bad \\u escape";
+                 let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+                 pos := !pos + 4;
+                 (* BMP only; encode as UTF-8 *)
+                 if code < 0x80 then Buffer.add_char b (Char.chr code)
+                 else if code < 0x800 then begin
+                   Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+                   Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                 end
+                 else begin
+                   Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+                   Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                   Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                 end
+               | _ -> fail "bad escape"
+             end);
+            go ()
+          | c ->
+            Buffer.add_char b c;
+            go ()
+        end
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while !pos < n && is_num_char s.[!pos] do
+        advance ()
+      done;
+      let tok = String.sub s start (!pos - start) in
+      if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok then
+        match float_of_string_opt tok with
+        | Some x -> Float x
+        | None -> fail "bad number"
+      else begin
+        match int_of_string_opt tok with
+        | Some i -> Int i
+        | None -> (
+          match float_of_string_opt tok with Some x -> Float x | None -> fail "bad number")
+      end
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> String (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              items (v :: acc)
+            | Some ']' ->
+              advance ();
+              List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          List (items [])
+        end
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec fields acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              fields ((k, v) :: acc)
+            | Some '}' ->
+              advance ();
+              List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (fields [])
+        end
+      | Some _ -> parse_number ()
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member name = function
+    | Obj kvs -> List.assoc_opt name kvs
+    | _ -> None
+
+  let to_float = function
+    | Int i -> float_of_int i
+    | Float x -> x
+    | _ -> failwith "Obs.Json.to_float: not a number"
+end
+
+(* ------------------------------------------------------------------ *)
+
+type counter = {
+  c_name : string;
+  mutable c_value : int;
+}
+
+(* One shared sink cell for every counter request on the null context;
+   increments land here and are never read. *)
+let dummy_counter = { c_name = ""; c_value = 0 }
+
+type span_cell = {
+  s_path : string;
+  mutable s_total : float;
+  mutable s_count : int;
+}
+
+type snap = {
+  sn_label : string;
+  sn_span : string;
+  sn_seq : int;
+  sn_fields : (string * Json.t) list;
+}
+
+type t = {
+  on : bool;
+  trace : out_channel option;
+  ctr_tbl : (string, counter) Hashtbl.t;
+  span_tbl : (string, span_cell) Hashtbl.t;
+  mutable stack : (string * float) list;  (* innermost first; (name, t0) *)
+  mutable snaps : snap list;  (* reversed *)
+  mutable seq : int;
+}
+
+let make ~trace =
+  {
+    on = true;
+    trace;
+    ctr_tbl = Hashtbl.create 32;
+    span_tbl = Hashtbl.create 16;
+    stack = [];
+    snaps = [];
+    seq = 0;
+  }
+
+let null =
+  {
+    on = false;
+    trace = None;
+    ctr_tbl = Hashtbl.create 1;
+    span_tbl = Hashtbl.create 1;
+    stack = [];
+    snaps = [];
+    seq = 0;
+  }
+
+let create () = make ~trace:None
+let create_trace oc = make ~trace:(Some oc)
+let enabled t = t.on
+
+(* --- counters --- *)
+
+let counter t name =
+  if not t.on then dummy_counter
+  else begin
+    match Hashtbl.find_opt t.ctr_tbl name with
+    | Some c -> c
+    | None ->
+      let c = { c_name = name; c_value = 0 } in
+      Hashtbl.add t.ctr_tbl name c;
+      c
+  end
+
+let incr c = c.c_value <- c.c_value + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Obs.add: counters are monotone (negative delta)";
+  c.c_value <- c.c_value + n
+
+let value c = c.c_value
+
+let counters t =
+  Hashtbl.fold (fun name c acc -> (name, c.c_value) :: acc) t.ctr_tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* --- spans --- *)
+
+let stack_path stack = String.concat "/" (List.rev_map fst stack)
+
+let open_span t name =
+  if t.on then t.stack <- (name, Unix.gettimeofday ()) :: t.stack
+
+let close_span t name =
+  if t.on then begin
+    match t.stack with
+    | [] -> invalid_arg "Obs.close_span: no open span"
+    | (top, t0) :: rest ->
+      if top <> name then
+        invalid_arg
+          (Printf.sprintf "Obs.close_span: closing %S but innermost open span is %S" name top);
+      let dt = Unix.gettimeofday () -. t0 in
+      let path = stack_path t.stack in
+      t.stack <- rest;
+      let cell =
+        match Hashtbl.find_opt t.span_tbl path with
+        | Some c -> c
+        | None ->
+          let c = { s_path = path; s_total = 0.0; s_count = 0 } in
+          Hashtbl.add t.span_tbl path c;
+          c
+      in
+      cell.s_total <- cell.s_total +. dt;
+      cell.s_count <- cell.s_count + 1;
+      match t.trace with
+      | Some oc -> Printf.fprintf oc "[obs] span  %-40s %9.3f ms\n%!" path (1000.0 *. dt)
+      | None -> ()
+  end
+
+let span t name f =
+  if not t.on then f ()
+  else begin
+    open_span t name;
+    Fun.protect ~finally:(fun () -> close_span t name) f
+  end
+
+let spans t =
+  Hashtbl.fold (fun _ c acc -> (c.s_path, c.s_total, c.s_count) :: acc) t.span_tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+(* --- snapshots --- *)
+
+let snapshot t ~label fields =
+  if t.on then begin
+    let seq = t.seq in
+    t.seq <- seq + 1;
+    t.snaps <- { sn_label = label; sn_span = stack_path t.stack; sn_seq = seq; sn_fields = fields } :: t.snaps;
+    match t.trace with
+    | Some oc ->
+      Printf.fprintf oc "[obs] snap  %s#%d" label seq;
+      List.iter
+        (fun (k, v) ->
+          let s =
+            match v with
+            | Json.Float x -> Printf.sprintf "%.2f" x
+            | v -> Json.to_string v
+          in
+          Printf.fprintf oc " %s=%s" k s)
+        fields;
+      Printf.fprintf oc "\n%!"
+    | None -> ()
+  end
+
+let snapshots t = List.rev_map (fun s -> (s.sn_label, s.sn_span, s.sn_fields)) t.snaps
+
+(* --- dumping --- *)
+
+let to_json t =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t)));
+      ( "spans",
+        Json.List
+          (List.map
+             (fun (path, total, count) ->
+               Json.Obj
+                 [
+                   ("path", Json.String path);
+                   ("total_s", Json.Float total);
+                   ("count", Json.Int count);
+                 ])
+             (spans t)) );
+      ( "snapshots",
+        Json.List
+          (List.map
+             (fun (label, span_path, fields) ->
+               Json.Obj
+                 [
+                   ("label", Json.String label);
+                   ("span", Json.String span_path);
+                   ("fields", Json.Obj fields);
+                 ])
+             (snapshots t)) );
+    ]
+
+let write_json t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      match to_json t with
+      | Json.Obj kvs ->
+        output_string oc "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then output_string oc ",\n";
+            let b = Buffer.create 256 in
+            Json.escape_to b k;
+            Buffer.add_string b ": ";
+            Json.to_buffer b v;
+            output_string oc (Buffer.contents b))
+          kvs;
+        output_string oc "\n}\n"
+      | v -> output_string oc (Json.to_string v))

@@ -1,0 +1,154 @@
+(** Observability: counters, phase spans, per-iteration snapshots.
+
+    Every layer of the pipeline (timer, extraction engines, scheduler,
+    baselines, flow) reports into an [Obs.t] context:
+
+    - {b monotone counters} — cheap named integers bumped on the hot path
+      (edges extracted, endpoints walked, timer propagations, two-pass
+      sweeps, arborescence builds, ...). The taxonomy is documented in
+      [docs/OBSERVABILITY.md].
+    - {b hierarchical phase spans} — wall-clock timed open/close pairs
+      ("flow" > "round1" > "late-css"), nested by a stack, each recording
+      total elapsed seconds and entry count per path.
+    - {b per-iteration snapshots} — one labelled record of named fields
+      per scheduler iteration (WNS/TNS, edge counts, max increment), the
+      feedback signal Fig. 8 plots.
+
+    Three sinks:
+
+    - {!null}: the shared disabled context. All operations on it are
+      allocation-free no-ops — counters resolve to one dummy cell, spans
+      skip the clock read — so instrumented code pays (almost) nothing
+      when observability is off.
+    - {!create_trace}: human-readable lines pushed to an [out_channel] as
+      spans close and snapshots arrive.
+    - {!create}: in-memory collection, dumped as JSON ({!to_json},
+      {!write_json}) in the [BENCH_css.json] schema.
+
+    A trace context also collects, so every live context can be dumped. *)
+
+(** {1 JSON values}
+
+    A minimal self-contained JSON tree (the container has no yojson);
+    the printer and parser round-trip ([of_string (to_string v) = v] for
+    trees without non-finite floats). *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  (** [to_string v] prints compact JSON. Non-finite floats print as
+      [null] (JSON has no representation for them). *)
+  val to_string : t -> string
+
+  (** [to_buffer b v] appends the compact form to [b]. *)
+  val to_buffer : Buffer.t -> t -> unit
+
+  (** [of_string s] parses one JSON value. Numbers without [.], [e] or
+      leading [-0]-style fractions parse as [Int] when they fit.
+      @raise Failure on malformed input. *)
+  val of_string : string -> t
+
+  (** [member name v] is the field [name] of object [v], if present. *)
+  val member : string -> t -> t option
+
+  (** [to_float v] coerces [Int]/[Float]. @raise Failure otherwise. *)
+  val to_float : t -> float
+end
+
+(** {1 Contexts} *)
+
+type t
+
+(** [null] is the shared disabled context: no sink, no collection, no
+    allocation on the hot path. [counter null _] returns a shared dummy
+    cell; [span null _ f] is [f ()] without reading the clock. *)
+val null : t
+
+(** [create ()] is an enabled in-memory context (JSON sink). *)
+val create : unit -> t
+
+(** [create_trace oc] is an enabled context that additionally prints
+    human-readable lines to [oc] as spans close and snapshots arrive. *)
+val create_trace : out_channel -> t
+
+(** [enabled t] is [false] exactly for {!null}. *)
+val enabled : t -> bool
+
+(** {1 Counters} *)
+
+(** A named monotone counter cell. Counters only grow: increments are
+    non-negative by construction ({!incr}, and {!add} raises on negative
+    deltas), so a counter read is a valid progress measure. *)
+type counter
+
+(** [counter t name] finds or creates the counter [name] in [t]. On
+    {!null} it returns the shared dummy cell (never registered, never
+    reported). Call once at setup time and keep the handle: the lookup
+    hashes, the increment does not. *)
+val counter : t -> string -> counter
+
+(** [incr c] adds 1. Allocation-free. *)
+val incr : counter -> unit
+
+(** [add c n] adds [n >= 0]. Allocation-free.
+    @raise Invalid_argument if [n < 0] (counters are monotone). *)
+val add : counter -> int -> unit
+
+(** [value c] is the current count. *)
+val value : counter -> int
+
+(** [counters t] lists registered [(name, value)] pairs sorted by name;
+    [[]] on {!null}. *)
+val counters : t -> (string * int) list
+
+(** {1 Spans} *)
+
+(** [span t name f] times [f ()] under the span [name], nested inside
+    whatever span is currently open. The elapsed wall-clock is added to
+    the span's path total even when [f] raises. On {!null} this is just
+    [f ()]. *)
+val span : t -> string -> (unit -> 'a) -> 'a
+
+(** [open_span t name] / [close_span t name] are the imperative form for
+    spans that cannot wrap a closure (accumulating phase clocks). Spans
+    must close in LIFO order; [close_span] checks [name] against the top
+    of the stack. @raise Invalid_argument on mismatch or empty stack
+    (never on {!null}). *)
+val open_span : t -> string -> unit
+
+val close_span : t -> string -> unit
+
+(** [spans t] lists [(path, total_seconds, count)] per distinct span
+    path (path components joined with ['/']), sorted by path so a
+    parent precedes its children. Still-open spans contribute only
+    their completed visits. *)
+val spans : t -> (string * float * int) list
+
+(** {1 Snapshots} *)
+
+(** [snapshot t ~label fields] records one per-iteration observation.
+    [label] names the stream (e.g. ["late-css"]); [fields] are
+    name/value pairs (WNS, TNS, edge counts...). The current span path
+    and a sequence number are attached. *)
+val snapshot : t -> label:string -> (string * Json.t) list -> unit
+
+(** [snapshots t] returns recorded snapshots in order as
+    [(label, span_path, fields)]. *)
+val snapshots : t -> (string * string * (string * Json.t) list) list
+
+(** {1 Dumping} *)
+
+(** [to_json t] is the whole context as
+    [{"counters": {...}, "spans": [...], "snapshots": [...]}]. *)
+val to_json : t -> Json.t
+
+(** [write_json t path] writes {!to_json} to [path] (pretty-printed one
+    top-level key per line). *)
+val write_json : t -> string -> unit

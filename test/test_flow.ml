@@ -66,6 +66,27 @@ let test_ours_extracts_fewer_edges_than_iccss () =
   checkb "fewer edges (the -90% claim, in shape)" true
     (s1.Css_seqgraph.Extract.edges_extracted < s2.Css_seqgraph.Extract.edges_extracted)
 
+let test_extracted_below_full_graph () =
+  (* the heart of the paper: the iterative engine's partial graph stays
+     a strict subset of the full sequential graph, and the obs counters
+     agree with the engine's own statistics *)
+  let design = Flow.clone (Lazy.force base_design) in
+  let obs = Css_util.Obs.create () in
+  let timer = Css_sta.Timer.build ~obs design in
+  let _, s = Css_core.Engine.run_ours ~obs timer ~corner:Css_sta.Timer.Late in
+  let design_full = Flow.clone (Lazy.force base_design) in
+  let timer_full = Css_sta.Timer.build design_full in
+  let verts = Css_seqgraph.Vertex.of_design design_full in
+  let _, sf =
+    Css_seqgraph.Extract.Full.extract timer_full verts ~corner:Css_sta.Timer.Late
+  in
+  let extracted = s.Css_seqgraph.Extract.edges_extracted in
+  let full = sf.Css_seqgraph.Extract.edges_extracted in
+  checkb "full graph is non-trivial" true (full > 0);
+  checkb "extracted < full" true (extracted < full);
+  checkb "counter matches engine stats" true
+    (List.assoc_opt "extract.essential.edges" (Css_util.Obs.counters obs) = Some extracted)
+
 let test_ours_early_beats_fpm () =
   let a = Lazy.force ours_early and b = Lazy.force fpm in
   checkb "early TNS at least as good" true
@@ -144,6 +165,8 @@ let () =
           Alcotest.test_case "ours = iccss quality" `Quick test_ours_vs_iccss_same_quality;
           Alcotest.test_case "ours extracts fewer edges" `Quick
             test_ours_extracts_fewer_edges_than_iccss;
+          Alcotest.test_case "extracted below full graph" `Quick
+            test_extracted_below_full_graph;
           Alcotest.test_case "ours-early beats fpm" `Quick test_ours_early_beats_fpm;
           Alcotest.test_case "early-only leaves late" `Quick test_ours_early_leaves_late_untouched;
           Alcotest.test_case "trace structure" `Quick test_trace_structure;

@@ -1,0 +1,266 @@
+(* Unit tests for the observability subsystem: counter monotonicity,
+   nested span timing, JSON round-trip, and the null sink's
+   allocation-free hot path. *)
+
+module Obs = Css_util.Obs
+module Json = Css_util.Obs.Json
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+(* --- counters --- *)
+
+let test_counter_basics () =
+  let t = Obs.create () in
+  let c = Obs.counter t "edges" in
+  checki "fresh counter is 0" 0 (Obs.value c);
+  Obs.incr c;
+  Obs.incr c;
+  Obs.add c 40;
+  checki "2 incrs + add 40" 42 (Obs.value c);
+  let c' = Obs.counter t "edges" in
+  Obs.incr c';
+  checki "same name is same cell" 43 (Obs.value c);
+  checkb "registered" true (Obs.counters t = [ ("edges", 43) ])
+
+let test_counter_monotone () =
+  let t = Obs.create () in
+  let c = Obs.counter t "m" in
+  let prev = ref (-1) in
+  for i = 0 to 999 do
+    if i mod 3 = 0 then Obs.incr c else Obs.add c (i mod 7);
+    let v = Obs.value c in
+    checkb "non-decreasing" true (v >= !prev);
+    prev := v
+  done;
+  Alcotest.check_raises "negative delta rejected"
+    (Invalid_argument "Obs.add: counters are monotone (negative delta)") (fun () ->
+      Obs.add c (-1))
+
+let test_counters_sorted () =
+  let t = Obs.create () in
+  List.iter (fun n -> ignore (Obs.counter t n)) [ "zeta"; "alpha"; "mid" ];
+  checkb "sorted by name" true
+    (List.map fst (Obs.counters t) = [ "alpha"; "mid"; "zeta" ])
+
+(* --- spans --- *)
+
+let spin_for seconds =
+  let t0 = Unix.gettimeofday () in
+  while Unix.gettimeofday () -. t0 < seconds do
+    ignore (Sys.opaque_identity (sin 1.0))
+  done
+
+let test_span_nesting () =
+  let t = Obs.create () in
+  Obs.span t "outer" (fun () ->
+      spin_for 0.01;
+      Obs.span t "inner" (fun () -> spin_for 0.01);
+      Obs.span t "inner" (fun () -> spin_for 0.01));
+  let find path =
+    match List.find_opt (fun (p, _, _) -> p = path) (Obs.spans t) with
+    | Some (_, total, count) -> (total, count)
+    | None -> Alcotest.failf "span %s not recorded" path
+  in
+  let outer_t, outer_n = find "outer" in
+  let inner_t, inner_n = find "outer/inner" in
+  checki "outer entered once" 1 outer_n;
+  checki "inner entered twice" 2 inner_n;
+  checkb "outer >= sum of inners" true (outer_t >= inner_t);
+  checkb "inner measured something" true (inner_t >= 0.015);
+  checkb "outer includes its own work" true (outer_t >= 0.025)
+
+let test_span_imperative_and_errors () =
+  let t = Obs.create () in
+  Obs.open_span t "a";
+  Obs.open_span t "b";
+  (try
+     Obs.close_span t "a";
+     Alcotest.fail "LIFO violation not detected"
+   with Invalid_argument _ -> ());
+  Obs.close_span t "b";
+  Obs.close_span t "a";
+  (try
+     Obs.close_span t "a";
+     Alcotest.fail "empty stack not detected"
+   with Invalid_argument _ -> ());
+  checkb "both paths recorded" true
+    (List.map (fun (p, _, _) -> p) (Obs.spans t) = [ "a"; "a/b" ])
+
+let test_span_survives_raise () =
+  let t = Obs.create () in
+  (try Obs.span t "boom" (fun () -> failwith "x") with Failure _ -> ());
+  checkb "span closed despite raise" true
+    (match Obs.spans t with [ ("boom", _, 1) ] -> true | _ -> false);
+  Obs.span t "after" (fun () -> ());
+  checkb "stack intact afterwards" true
+    (List.exists (fun (p, _, _) -> p = "after") (Obs.spans t))
+
+(* --- snapshots --- *)
+
+let test_snapshots () =
+  let t = Obs.create () in
+  Obs.span t "css" (fun () ->
+      Obs.snapshot t ~label:"iter" [ ("wns", Json.Float (-12.5)); ("edges", Json.Int 7) ];
+      Obs.snapshot t ~label:"iter" [ ("wns", Json.Float (-3.0)); ("edges", Json.Int 9) ]);
+  match Obs.snapshots t with
+  | [ (l1, sp1, f1); (l2, _, _) ] ->
+    checks "label" "iter" l1;
+    checks "span path attached" "css" sp1;
+    checks "label 2" "iter" l2;
+    checkb "fields kept in order" true (List.map fst f1 = [ "wns"; "edges" ])
+  | other -> Alcotest.failf "expected 2 snapshots, got %d" (List.length other)
+
+(* --- JSON --- *)
+
+let rec json_equal a b =
+  match (a, b) with
+  | Json.Float x, Json.Float y -> Float.abs (x -. y) <= 1e-9 *. Float.max 1.0 (Float.abs x)
+  | Json.List xs, Json.List ys ->
+    List.length xs = List.length ys && List.for_all2 json_equal xs ys
+  | Json.Obj xs, Json.Obj ys ->
+    List.length xs = List.length ys
+    && List.for_all2 (fun (k1, v1) (k2, v2) -> k1 = k2 && json_equal v1 v2) xs ys
+  | a, b -> a = b
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("design", Json.String "sb18");
+        ("iterations", Json.Int 12);
+        ("wns_late", Json.Float (-153.25));
+        ("tiny", Json.Float 1.5e-9);
+        ("ok", Json.Bool true);
+        ("nothing", Json.Null);
+        ("weird key \"q\"\n", Json.String "line1\nline2\ttab");
+        ( "per_iter",
+          Json.List
+            [
+              Json.Obj [ ("iter", Json.Int 1); ("edges", Json.Int 100) ];
+              Json.Obj [ ("iter", Json.Int 2); ("edges", Json.Int 140) ];
+              Json.List [];
+              Json.Obj [];
+            ] );
+      ]
+  in
+  let s = Json.to_string v in
+  checkb "round-trip" true (json_equal v (Json.of_string s));
+  (* floats never degrade to ints on the way back *)
+  checkb "float stays float" true
+    (match Json.of_string (Json.to_string (Json.Float 3.0)) with
+    | Json.Float 3.0 -> true
+    | _ -> false);
+  checkb "member" true (Json.member "iterations" v = Some (Json.Int 12));
+  checkb "to_float of int" true (Json.to_float (Json.Int 4) = 4.0)
+
+let test_json_parser_inputs () =
+  checkb "whitespace tolerated" true
+    (json_equal
+       (Json.of_string " { \"a\" : [ 1 , 2.5 , \"x\" ] , \"b\" : null } ")
+       (Json.Obj
+          [ ("a", Json.List [ Json.Int 1; Json.Float 2.5; Json.String "x" ]); ("b", Json.Null) ]));
+  checkb "negative numbers" true
+    (json_equal (Json.of_string "[-3,-2.5e2]") (Json.List [ Json.Int (-3); Json.Float (-250.0) ]));
+  checkb "unicode escape" true (Json.of_string "\"\\u0041\"" = Json.String "A");
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.failf "parser accepted %S" bad)
+    [ "{"; "[1,]"; "tru"; "\"unterminated"; "1 2"; "{\"a\":}" ]
+
+let test_obs_context_to_json () =
+  let t = Obs.create () in
+  let c = Obs.counter t "sched.iterations" in
+  Obs.incr c;
+  Obs.span t "flow" (fun () -> Obs.snapshot t ~label:"it" [ ("tns", Json.Float (-1.0)) ]);
+  let j = Obs.to_json t in
+  let reparsed = Json.of_string (Json.to_string j) in
+  checkb "context json round-trips" true (json_equal j reparsed);
+  (match Json.member "counters" j with
+  | Some (Json.Obj [ ("sched.iterations", Json.Int 1) ]) -> ()
+  | _ -> Alcotest.fail "counters object wrong");
+  match Json.member "snapshots" j with
+  | Some (Json.List [ snap ]) ->
+    checkb "snapshot label" true (Json.member "label" snap = Some (Json.String "it"))
+  | _ -> Alcotest.fail "snapshots wrong"
+
+let test_write_json_file () =
+  let t = Obs.create () in
+  Obs.add (Obs.counter t "extract.edges") 17;
+  let path = Filename.temp_file "obs_test" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.write_json t path;
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      checkb "file parses" true
+        (match Json.member "counters" (Json.of_string s) with
+        | Some (Json.Obj [ ("extract.edges", Json.Int 17) ]) -> true
+        | _ -> false))
+
+(* --- null sink --- *)
+
+let test_null_sink_noop () =
+  checkb "null disabled" false (Obs.enabled Obs.null);
+  let c = Obs.counter Obs.null "anything" in
+  Obs.incr c;
+  Obs.add c 5;
+  checkb "null registers nothing" true (Obs.counters Obs.null = []);
+  Obs.close_span Obs.null "never-opened";
+  (* no raise: null ignores span bookkeeping entirely *)
+  checki "null span runs the thunk" 7 (Obs.span Obs.null "s" (fun () -> 7));
+  Obs.snapshot Obs.null ~label:"x" [ ("a", Json.Int 1) ];
+  checkb "null collected no snapshots" true (Obs.snapshots Obs.null = [])
+
+let test_null_sink_allocation_free () =
+  let c = Obs.counter Obs.null "hot" in
+  (* warm up so any one-time allocation is out of the measured window *)
+  Obs.incr c;
+  Obs.add c 1;
+  let before = Gc.minor_words () in
+  for _ = 1 to 100_000 do
+    Obs.incr c;
+    Obs.add c 3
+  done;
+  let allocated = Gc.minor_words () -. before in
+  (* the loop itself allocates nothing; leave slack for instrumentation
+     noise (Gc.minor_words allocates a boxed float per call) *)
+  checkb
+    (Printf.sprintf "hot path allocation-free (%.0f minor words)" allocated)
+    true (allocated < 256.0)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "basics" `Quick test_counter_basics;
+          Alcotest.test_case "monotone" `Quick test_counter_monotone;
+          Alcotest.test_case "sorted listing" `Quick test_counters_sorted;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and timing" `Quick test_span_nesting;
+          Alcotest.test_case "imperative LIFO checks" `Quick test_span_imperative_and_errors;
+          Alcotest.test_case "survives raise" `Quick test_span_survives_raise;
+        ] );
+      ( "snapshots", [ Alcotest.test_case "recorded in order" `Quick test_snapshots ] );
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parser inputs" `Quick test_json_parser_inputs;
+          Alcotest.test_case "context to_json" `Quick test_obs_context_to_json;
+          Alcotest.test_case "write_json file" `Quick test_write_json_file;
+        ] );
+      ( "null sink",
+        [
+          Alcotest.test_case "no-op semantics" `Quick test_null_sink_noop;
+          Alcotest.test_case "allocation-free hot path" `Quick test_null_sink_allocation_free;
+        ] );
+    ]
