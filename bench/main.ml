@@ -454,6 +454,8 @@ let bench_json () =
                 ("design", J.String p.Profile.name);
                 ("engine", J.String engine_name);
                 ("iterations", J.Int result.Scheduler.iterations);
+                ( "stop_reason",
+                  J.String (Scheduler.stop_reason_name result.Scheduler.stop_reason) );
                 ("edges_extracted", J.Int edges);
                 ("edges_full", J.Int edges_full);
                 ("wns_late", J.Float (Timer.wns timer Timer.Late));

@@ -8,11 +8,34 @@
 #                         ablations, micro-benchmarks)
 #   bench/run.sh --fast   Table I on sb16/sb18 only, no micro-benchmarks
 #                         (the JSON section always runs its three designs)
+#   bench/run.sh --smoke  CI smoke test: build everything, run the CLI
+#                         end-to-end on the tiny benchmark, exit 0 on
+#                         success (no artifact, seconds not minutes)
 #
 # All CSS_BENCH_* environment knobs documented in bench/main.ml pass
 # through; CSS_BENCH_JSON overrides the artifact path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--smoke" ]; then
+  dune build
+  dune exec bin/css_opt_cli.exe -- --benchmark tiny --rounds 1 --quiet
+  # a malformed design must fail with the input-error exit code (2) and
+  # a one-line diagnostic, never a backtrace
+  tmp="$(mktemp)"
+  trap 'rm -f "$tmp"' EXIT
+  printf 'design broken period abc\n' > "$tmp"
+  set +e
+  dune exec bin/css_opt_cli.exe -- --input "$tmp" 2> /dev/null
+  rc=$?
+  set -e
+  if [ "$rc" -ne 2 ]; then
+    echo "smoke: expected exit 2 on malformed input, got $rc" >&2
+    exit 1
+  fi
+  echo "smoke: ok"
+  exit 0
+fi
 
 if [ "${1:-}" = "--fast" ]; then
   export CSS_BENCH_FAST=1

@@ -84,22 +84,35 @@ let sdc =
   let doc = "Apply an SDC-lite constraint file (see Css_netlist.Sdc)." in
   Arg.(value & opt (some file) None & info [ "sdc" ] ~docv:"FILE" ~doc)
 
+(* [`Usage] errors (bad invocation) exit 1; [`Input] errors (a design or
+   constraint file that does not parse or validate) exit 2, so scripts
+   can tell "you called me wrong" from "your data is bad". *)
 let load_design benchmark input scale =
   match (benchmark, input) with
-  | Some _, Some _ -> Error (`Msg "pass either --benchmark or --input, not both")
-  | None, None -> Error (`Msg "one of --benchmark or --input is required")
+  | Some _, Some _ -> Error (`Usage "pass either --benchmark or --input, not both")
+  | None, None -> Error (`Usage "one of --benchmark or --input is required")
   | None, Some file ->
     (try Ok (Css_netlist.Io.load ~library:Css_liberty.Library.default file)
-     with Failure m -> Error (`Msg m))
+     with Failure m -> Error (`Input m))
   | Some name, None -> (
     let profile =
       if name = "tiny" then Some Css_benchgen.Profile.tiny else Css_benchgen.Profile.by_name name
     in
     match profile with
-    | None -> Error (`Msg (Printf.sprintf "unknown benchmark %S" name))
+    | None -> Error (`Usage (Printf.sprintf "unknown benchmark %S" name))
     | Some p ->
       let p = if scale = 1.0 then p else Css_benchgen.Profile.scale scale p in
       Ok (Css_benchgen.Generator.generate p))
+
+let input_error diags =
+  (match diags with
+  | [] -> prerr_endline "css_opt: invalid input"
+  | d :: rest ->
+    let more = List.length rest in
+    prerr_endline
+      ("css_opt: " ^ Css_util.Diag.to_string d
+      ^ if more > 0 then Printf.sprintf " (+%d more)" more else ""));
+  2
 
 let setup_logs verbose quiet =
   Logs.set_reporter (Logs.format_reporter ());
@@ -118,10 +131,14 @@ let main benchmark input algo rounds scale save_out trace_flag stats_json quiet 
     Printf.ksprintf (fun s -> if not quiet then print_string s) fmt
   in
   match load_design benchmark input scale with
-  | Error (`Msg m) ->
+  | Error (`Usage m) ->
     prerr_endline ("css_opt: " ^ m);
     1
-  | Ok design ->
+  | Error (`Input m) ->
+    prerr_endline ("css_opt: " ^ m);
+    2
+  | Ok design -> (
+    try
     let obs =
       if trace_flag then Obs.create_trace stderr
       else if stats_json <> None then Obs.create ()
@@ -171,10 +188,15 @@ let main benchmark input algo rounds scale save_out trace_flag stats_json quiet 
       }
     in
     let res = Flow.run ~config ~algo design in
+    List.iter
+      (fun d ->
+        if not quiet then prerr_endline ("css_opt: " ^ Css_util.Diag.to_string d))
+      res.Flow.validation;
     say "after:  %s\n" (Evaluator.summary res.Flow.report);
-    say "%s: CSS %.2fs, OPT %.2fs, total %.2fs, %d edges extracted, HPWL +%.4f%%\n"
+    say "%s: CSS %.2fs, OPT %.2fs, total %.2fs, %d edges extracted, HPWL +%.4f%%, stop %s%s\n"
       res.Flow.algo res.Flow.css_seconds res.Flow.opt_seconds res.Flow.total_seconds
-      res.Flow.extracted_edges res.Flow.hpwl_increase_pct;
+      res.Flow.extracted_edges res.Flow.hpwl_increase_pct res.Flow.stop_reason
+      (if res.Flow.rolled_back then " (rolled back)" else "");
     let stats_ok =
       match stats_json with
       | None -> true
@@ -201,6 +223,14 @@ let main benchmark input algo rounds scale save_out trace_flag stats_json quiet 
       say "wrote %s\n" path
     | None -> ());
     if stats_ok then 0 else 1
+    with
+    (* malformed or degenerate input: one diagnostic line, never a raw
+       backtrace *)
+    | Failure m ->
+      prerr_endline ("css_opt: " ^ m);
+      2
+    | Css_util.Diag.Failed ds -> input_error ds
+    | Css_netlist.Validate.Invalid ds -> input_error ds)
 
 let cmd =
   let doc = "clock skew scheduling and slack optimization" in

@@ -1,0 +1,196 @@
+module Rng = Css_util.Rng
+
+type fault =
+  | Truncate
+  | Drop_header
+  | Drop_die
+  | Drop_net
+  | Ghost_ref
+  | Unknown_master
+  | Corrupt_number
+  | Nan_position
+  | Inf_latency
+  | Negative_period
+  | Inverted_bounds
+  | Duplicate_cell
+  | Garbage_line
+
+let all =
+  [
+    Truncate;
+    Drop_header;
+    Drop_die;
+    Drop_net;
+    Ghost_ref;
+    Unknown_master;
+    Corrupt_number;
+    Nan_position;
+    Inf_latency;
+    Negative_period;
+    Inverted_bounds;
+    Duplicate_cell;
+    Garbage_line;
+  ]
+
+let name = function
+  | Truncate -> "truncate"
+  | Drop_header -> "drop-header"
+  | Drop_die -> "drop-die"
+  | Drop_net -> "drop-net"
+  | Ghost_ref -> "ghost-ref"
+  | Unknown_master -> "unknown-master"
+  | Corrupt_number -> "corrupt-number"
+  | Nan_position -> "nan-position"
+  | Inf_latency -> "inf-latency"
+  | Negative_period -> "negative-period"
+  | Inverted_bounds -> "inverted-bounds"
+  | Duplicate_cell -> "duplicate-cell"
+  | Garbage_line -> "garbage-line"
+
+let lines_of s = String.split_on_char '\n' s
+let unlines = String.concat "\n"
+let has_prefix p l = String.length l >= String.length p && String.sub l 0 (String.length p) = p
+
+(* indices of lines starting with [p] *)
+let matching p lines =
+  let acc = ref [] in
+  List.iteri (fun i l -> if has_prefix p l then acc := i :: !acc) lines;
+  Array.of_list (List.rev !acc)
+
+let pick_matching rng p lines =
+  let idx = matching p lines in
+  if Array.length idx = 0 then None else Some (Rng.choose rng idx)
+
+let map_line i f lines = List.mapi (fun j l -> if j = i then f l else l) lines
+
+let drop_line i lines =
+  List.filteri (fun j _ -> j <> i) lines
+
+let words l = String.split_on_char ' ' l |> List.filter (fun w -> w <> "")
+
+(* replace the [k]-th word (0-based) of line [l] *)
+let set_word k v l =
+  words l |> List.mapi (fun i w -> if i = k then v else w) |> String.concat " "
+
+(* the name on a random [cell] line, preferring flip-flops (DFF masters) *)
+let some_cell_name rng ?(prefer = "") lines =
+  let cells =
+    List.filter_map
+      (fun l ->
+        if has_prefix "cell " l then
+          match words l with
+          | _ :: nm :: master :: _ when prefer = "" || has_prefix prefer master -> Some nm
+          | _ -> None
+        else None)
+      lines
+  in
+  match cells with [] -> None | cs -> Some (Rng.choose rng (Array.of_list cs))
+
+let corrupt fault rng s =
+  let lines = lines_of s in
+  match fault with
+  | Truncate ->
+    let n = String.length s in
+    if n < 4 then s else String.sub s 0 ((n / 2) + Rng.int rng (n / 2))
+  | Drop_header -> (
+    match pick_matching rng "design " lines with
+    | Some i -> unlines (drop_line i lines)
+    | None -> s)
+  | Drop_die -> (
+    match pick_matching rng "die " lines with
+    | Some i -> unlines (drop_line i lines)
+    | None -> s)
+  | Drop_net -> (
+    match pick_matching rng "net " lines with
+    | Some i -> unlines (drop_line i lines)
+    | None -> s)
+  | Ghost_ref -> (
+    match pick_matching rng "net " lines with
+    | Some i -> unlines (map_line i (fun l -> l ^ " __ghost__:A") lines)
+    | None -> s)
+  | Unknown_master -> (
+    match pick_matching rng "cell " lines with
+    | Some i -> unlines (map_line i (set_word 2 "PHANTOM_X9") lines)
+    | None -> s)
+  | Corrupt_number -> (
+    match pick_matching rng "cell " lines with
+    | Some i -> unlines (map_line i (set_word 4 "twelve") lines)
+    | None -> s)
+  | Nan_position -> (
+    match pick_matching rng "cell " lines with
+    | Some i -> unlines (map_line i (set_word 3 "nan") lines)
+    | None -> s)
+  | Inf_latency -> (
+    match some_cell_name rng ~prefer:"DFF" lines with
+    | Some ff -> s ^ Printf.sprintf "\nlatency %s inf" ff
+    | None -> s)
+  | Negative_period -> (
+    match pick_matching rng "design " lines with
+    | Some i -> unlines (map_line i (set_word 3 "-250.0") lines)
+    | None -> s)
+  | Inverted_bounds -> (
+    match some_cell_name rng ~prefer:"DFF" lines with
+    | Some ff -> s ^ Printf.sprintf "\nbounds %s 50.0 10.0" ff
+    | None -> s)
+  | Duplicate_cell -> (
+    match pick_matching rng "cell " lines with
+    | Some i ->
+      let dup = List.nth lines i in
+      unlines (map_line i (fun l -> l ^ "\n" ^ dup) lines)
+    | None -> s)
+  | Garbage_line ->
+    let n = List.length lines in
+    let at = if n = 0 then 0 else Rng.int rng n in
+    let acc = ref [] in
+    List.iteri
+      (fun i l ->
+        if i = at then acc := "!!corrupted@@ 0xDEAD" :: !acc;
+        acc := l :: !acc)
+      lines;
+    unlines (List.rev !acc)
+
+type sdc_fault =
+  | Sdc_unknown_command
+  | Sdc_bad_number
+  | Sdc_nonfinite_number
+  | Sdc_unknown_ff
+  | Sdc_period_mismatch
+  | Sdc_inverted_bounds
+
+let all_sdc =
+  [
+    Sdc_unknown_command;
+    Sdc_bad_number;
+    Sdc_nonfinite_number;
+    Sdc_unknown_ff;
+    Sdc_period_mismatch;
+    Sdc_inverted_bounds;
+  ]
+
+let sdc_name = function
+  | Sdc_unknown_command -> "sdc-unknown-command"
+  | Sdc_bad_number -> "sdc-bad-number"
+  | Sdc_nonfinite_number -> "sdc-nonfinite-number"
+  | Sdc_unknown_ff -> "sdc-unknown-ff"
+  | Sdc_period_mismatch -> "sdc-period-mismatch"
+  | Sdc_inverted_bounds -> "sdc-inverted-bounds"
+
+let corrupt_sdc fault rng s =
+  match fault with
+  | Sdc_unknown_command -> s ^ "\nset_cock_uncertainty -setup 10.0"
+  | Sdc_bad_number -> s ^ "\nset_clock_uncertainty -setup banana"
+  | Sdc_nonfinite_number -> s ^ "\ncreate_clock -period inf"
+  | Sdc_unknown_ff -> s ^ "\nset_latency_bounds __no_such_ff__ 0.0 100.0"
+  | Sdc_period_mismatch -> s ^ "\ncreate_clock -period 123456.75"
+  | Sdc_inverted_bounds -> (
+    let lines = lines_of s in
+    match pick_matching rng "set_latency_bounds " lines with
+    | Some i ->
+      unlines
+        (map_line i
+           (fun l ->
+             match words l with
+             | [ cmd; cell; lo; hi ] -> String.concat " " [ cmd; cell; hi; lo ]
+             | _ -> l)
+           lines)
+    | None -> s ^ "\nset_latency_bounds ff0 100.0 1.0")

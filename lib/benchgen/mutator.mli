@@ -1,0 +1,53 @@
+(** Fault injection for the robustness test harness.
+
+    Each {!fault} is a deterministic textual corruption of a serialized
+    design ({!Css_netlist.Io} format); each {!sdc_fault} corrupts SDC
+    constraint text. The harness ([test/test_faults.ml]) feeds the
+    corrupted text back through the result-based parsers and the flow and
+    asserts graceful degradation: a typed diagnostic or a repaired run,
+    never an unhandled exception.
+
+    Corruptions draw positions from the given {!Css_util.Rng.t}, so a
+    seed pins the exact mutation. Text the corruption does not target
+    (e.g. [Drop_net] on a design with no nets) is returned unchanged. *)
+
+(** One corruption kind for serialized designs. *)
+type fault =
+  | Truncate  (** cut the text mid-line *)
+  | Drop_header  (** remove the [design ... period ...] line *)
+  | Drop_die  (** remove the [die ...] line *)
+  | Drop_net  (** remove one random [net] line (dangling pins) *)
+  | Ghost_ref  (** add a sink referencing a nonexistent cell *)
+  | Unknown_master  (** re-bind one cell to a master the library lacks *)
+  | Corrupt_number  (** replace one coordinate with a non-number *)
+  | Nan_position  (** replace one coordinate with [nan] *)
+  | Inf_latency  (** give one flip-flop an infinite scheduled latency *)
+  | Negative_period  (** make the clock period negative *)
+  | Inverted_bounds  (** add a latency window with [lo > hi] *)
+  | Duplicate_cell  (** repeat one [cell] line verbatim *)
+  | Garbage_line  (** insert an unrecognizable line *)
+
+(** Every fault, for exhaustive sweeps. *)
+val all : fault list
+
+(** Stable display name, e.g. ["drop-net"]. *)
+val name : fault -> string
+
+(** [corrupt fault rng text] is [text] with the corruption applied. *)
+val corrupt : fault -> Css_util.Rng.t -> string -> string
+
+(** One corruption kind for SDC text. *)
+type sdc_fault =
+  | Sdc_unknown_command  (** a near-miss command name (typo) *)
+  | Sdc_bad_number  (** a non-numeric argument *)
+  | Sdc_nonfinite_number  (** an infinite argument *)
+  | Sdc_unknown_ff  (** bounds for a flip-flop that does not exist *)
+  | Sdc_period_mismatch  (** a [create_clock] period unlike any design's *)
+  | Sdc_inverted_bounds  (** swap an existing window's lo/hi *)
+
+val all_sdc : sdc_fault list
+val sdc_name : sdc_fault -> string
+
+(** [corrupt_sdc fault rng text] is [text] with the corruption applied
+    (appended or edited in place). *)
+val corrupt_sdc : sdc_fault -> Css_util.Rng.t -> string -> string

@@ -14,6 +14,7 @@ type config = {
   verify_weights : bool;
   stall_iterations : int;
   nonneg_rule : bool;
+  deadline_seconds : float option;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     verify_weights = false;
     stall_iterations = 6;
     nonneg_rule = true;
+    deadline_seconds = None;
   }
 
 type extraction = {
@@ -42,10 +44,23 @@ type iteration = {
   max_increment : float;
 }
 
+type stop_reason =
+  | Converged
+  | Max_iterations
+  | Stalled
+  | Deadline
+
+let stop_reason_name = function
+  | Converged -> "converged"
+  | Max_iterations -> "max-iterations"
+  | Stalled -> "stalled"
+  | Deadline -> "deadline"
+
 type result = {
   target_latency : float array;
   iterations : int;
   cycles_handled : int;
+  stop_reason : stop_reason;
   trace : iteration list;
 }
 
@@ -98,7 +113,17 @@ let run ?(config = default_config) ?(obs = Obs.null) timer ext =
           ("max_increment", Obs.Json.Float max_increment);
         ]
   in
+  let o_nonfinite = Obs.counter obs "sched.nonfinite_increments" in
   let apply increments =
+    (* Numeric guard: a NaN/inf increment would be written straight into a
+       scheduled latency and poison every subsequent propagation. Drop it
+       (counted) rather than apply it. *)
+    for v = 0 to n - 1 do
+      if not (Float.is_finite increments.(v)) then begin
+        increments.(v) <- 0.0;
+        Obs.incr o_nonfinite
+      end
+    done;
     let changed = ref [] in
     for v = 0 to n - 1 do
       if increments.(v) > 0.0 then
@@ -139,8 +164,18 @@ let run ?(config = default_config) ?(obs = Obs.null) timer ext =
       !stall < config.stall_iterations
     end
   in
+  let t0 = Css_util.Wall_clock.now () in
+  let past_deadline () =
+    match config.deadline_seconds with
+    | None -> false
+    | Some d -> Css_util.Wall_clock.now () -. t0 > d
+  in
   let rec iterate k =
-    if k > config.max_iterations then config.max_iterations
+    if k > config.max_iterations then (config.max_iterations, Max_iterations)
+    else if past_deadline () then begin
+      Log.warn (fun m -> m "iter %d: wall-clock deadline exceeded, stopping" k);
+      (k - 1, Deadline)
+    end
     else begin
       let added = ext.extract () in
       if config.verify_weights then
@@ -182,7 +217,7 @@ let run ?(config = default_config) ?(obs = Obs.null) timer ext =
           record ~index:k ~handled_cycle:false ~max_increment;
           (* a rate-limited extractor may still be mid-discovery: zero
              increments only terminate once extraction is quiescent too *)
-          if added > 0 then iterate (k + 1) else k
+          if added > 0 then iterate (k + 1) else (k, Converged)
         end
         else begin
           (* IC-CSS+ pays for constraint-edge extraction when the Eq. (11)
@@ -204,14 +239,15 @@ let run ?(config = default_config) ?(obs = Obs.null) timer ext =
                 (match corner with Timer.Late -> "late" | Timer.Early -> "early")
                 (Timer.tns timer corner));
           record ~index:k ~handled_cycle:false ~max_increment;
-          if progressed () then iterate (k + 1) else k
+          if progressed () then iterate (k + 1) else (k, Stalled)
         end
     end
   in
-  let iterations = iterate 1 in
+  let iterations, stop_reason = iterate 1 in
   {
     target_latency = l_star;
     iterations;
     cycles_handled = !cycles;
+    stop_reason;
     trace = List.rev !trace;
   }

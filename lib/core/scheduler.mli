@@ -32,6 +32,9 @@ type config = {
       (** enforce the Section III-C2 admission rule [w < w^out] during
           arborescence construction; disabling it is the DESIGN.md A4
           ablation *)
+  deadline_seconds : float option;
+      (** wall-clock watchdog: checked at the top of every iteration; the
+          run stops with {!Deadline} once exceeded (default [None]) *)
 }
 
 val default_config : config
@@ -59,11 +62,24 @@ type iteration = {
   max_increment : float;
 }
 
+(** Why the repeat loop ended. *)
+type stop_reason =
+  | Converged  (** no increment above [eps] and extraction quiescent *)
+  | Max_iterations  (** the [max_iterations] safety cap fired *)
+  | Stalled  (** [stall_iterations] iterations without TNS progress *)
+  | Deadline  (** the [deadline_seconds] wall-clock watchdog fired *)
+
+(** [stop_reason_name r] is the stable string form used in logs and the
+    [BENCH_css.json] artifact: ["converged"], ["max-iterations"],
+    ["stalled"] or ["deadline"]. *)
+val stop_reason_name : stop_reason -> string
+
 type result = {
   target_latency : float array;
       (** per-vertex accumulated [l*] relative to the run's start *)
   iterations : int;
   cycles_handled : int;
+  stop_reason : stop_reason;
   trace : iteration list;  (** chronological, one record per iteration *)
 }
 

@@ -41,7 +41,15 @@ let topo_order ~n edges =
   (order, out)
 
 let compute ~n ~edges ~arb ~fixed ~margin ~hard_cap =
-  let edges = List.filter (fun (e : Seq_graph.edge) -> e.src <> e.dst) edges in
+  (* Numeric guard: an edge whose weight went NaN (stale recomputation
+     over a corrupted delay) would poison every max/min it meets, and a
+     NaN assignment silently becomes a bogus latency raise. Non-finite
+     edges are dropped here; final assignments are clamped below. *)
+  let edges =
+    List.filter
+      (fun (e : Seq_graph.edge) -> e.src <> e.dst && not (Float.is_nan e.weight))
+      edges
+  in
   let order, out = topo_order ~n edges in
   let l_max = Array.make n 0.0 in
   let w_avg = Array.make n neg_infinity in
@@ -61,7 +69,8 @@ let compute ~n ~edges ~arb ~fixed ~margin ~hard_cap =
           let lmax_succ = if fixed e.dst then 0.0 else l_max.(e.dst) in
           consider e.weight lmax_succ)
         out.(u);
-      (* the virtual endpoint: the timer's same-corner outgoing margin *)
+      (* the virtual endpoint: the timer's same-corner outgoing margin
+         (a NaN margin fails the [<] test and is ignored) *)
       let m = margin u in
       if m < infinity then consider m 0.0;
       let raw =
@@ -73,7 +82,7 @@ let compute ~n ~edges ~arb ~fixed ~margin ~hard_cap =
         else (b *. w_avg.(u)) -. a
       in
       let capped = Float.min raw (hard_cap u) in
-      l_max.(u) <- Float.max 0.0 capped
+      l_max.(u) <- (if Float.is_nan capped then 0.0 else Float.max 0.0 capped)
     end
   done;
   (* Pass 2: topological; Eq. (14) along arborescence parent edges. *)
@@ -84,7 +93,7 @@ let compute ~n ~edges ~arb ~fixed ~margin ~hard_cap =
         let p = Arborescence.parent arb v in
         let w = Arborescence.parent_weight arb v in
         let assigned = Float.min l_max.(v) (l.(p) -. w) in
-        l.(v) <- Float.max 0.0 assigned
+        l.(v) <- (if Float.is_finite assigned then Float.max 0.0 assigned else 0.0)
       end)
     order;
   { l; l_max; w_avg }

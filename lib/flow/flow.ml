@@ -1,5 +1,6 @@
 module Timer = Css_sta.Timer
 module Design = Css_netlist.Design
+module Validate = Css_netlist.Validate
 module Vertex = Css_seqgraph.Vertex
 module Scheduler = Css_core.Scheduler
 module Engine = Css_core.Engine
@@ -9,6 +10,7 @@ module Reconnect = Css_opt.Reconnect
 module Cell_move = Css_opt.Cell_move
 module Evaluator = Css_eval.Evaluator
 module Wall_clock = Css_util.Wall_clock
+module Diag = Css_util.Diag
 module Obs = Css_util.Obs
 
 let log_src = Logs.Src.create "css.flow" ~doc:"end-to-end slack optimization flow"
@@ -48,6 +50,9 @@ type result = {
   cone_nodes : int;
   css_iterations : int;
   hpwl_increase_pct : float;
+  stop_reason : string;
+  rolled_back : bool;
+  validation : Diag.t list;
   trace : trace_point list;
 }
 
@@ -59,6 +64,13 @@ type config = {
   cell_move : Cell_move.config;
   use_resize : bool;
   use_cts : bool;
+  validate : bool;
+  repair : bool;
+  rollback : bool;
+  deadline_seconds : float option;
+  phase_deadline_seconds : float option;
+  stall_phases : int;
+  on_phase_end : (round:int -> phase:string -> Design.t -> unit) option;
   obs : Obs.t;
 }
 
@@ -71,11 +83,33 @@ let default_config =
     cell_move = Cell_move.default_config;
     use_resize = false;
     use_cts = false;
+    validate = true;
+    repair = true;
+    rollback = true;
+    deadline_seconds = None;
+    phase_deadline_seconds = None;
+    stall_phases = 4;
+    on_phase_end = None;
     obs = Obs.null;
   }
 
 let clone design =
   Css_netlist.Io.of_string ~library:(Design.library design) (Css_netlist.Io.to_string design)
+
+(* A restorable snapshot of everything the OPT passes mutate, scored by
+   the independent evaluator (which sees the physically realized state —
+   realization zeroes the scheduled latencies it hosts). *)
+type checkpoint = {
+  label : string;
+  ck_ffs : Design.cell_id array;
+  ck_latencies : float array;  (* scheduled, per entry of [ck_ffs] *)
+  ck_lcb_of : Design.cell_id array;  (* -1 when unresolved *)
+  ck_positions : Css_geometry.Point.t array;  (* per cell id *)
+  ck_masters : string array;  (* per cell id *)
+  ck_report : Evaluator.report;
+  ck_score : float;  (* min of both corners' WNS *)
+  ck_tns : float;  (* tie-break: sum of both corners' TNS *)
+}
 
 (* Mutable bookkeeping threaded through one flow run. The extraction
    engines persist across rounds — the partial sequential graph keeps
@@ -95,9 +129,14 @@ type run_state = {
   engines : engines;
   css_clock : Wall_clock.t;
   opt_clock : Wall_clock.t;
+  t0 : float;
   mutable edges : int;
   mutable cones : int;
   mutable iterations : int;
+  mutable best : checkpoint option;
+  mutable stall_best : float;  (* best live-timer worst slack seen *)
+  mutable stall_count : int;  (* phases since it improved *)
+  mutable stop : string option;  (* watchdog verdict, once set *)
   mutable trace_rev : trace_point list;
 }
 
@@ -187,10 +226,108 @@ let iccss_engine st corner =
     set e;
     e
 
+(* {2 Watchdogs} *)
+
+let elapsed st = Wall_clock.now () -. st.t0
+
+let past_deadline st =
+  match st.cfg.deadline_seconds with None -> false | Some d -> elapsed st > d
+
+(* The scheduler's own deadline is the tightest of: its configured one,
+   the per-phase budget, and whatever remains of the flow budget — so a
+   phase in flight also honors the flow-level watchdog. *)
+let scheduler_config st =
+  let remaining =
+    match st.cfg.deadline_seconds with
+    | None -> None
+    | Some d -> Some (Float.max 0.0 (d -. elapsed st))
+  in
+  let phase_budget =
+    match st.cfg.scheduler.Scheduler.deadline_seconds with
+    | Some _ as d -> d
+    | None -> st.cfg.phase_deadline_seconds
+  in
+  let eff =
+    match (phase_budget, remaining) with
+    | None, r -> r
+    | (Some _ as d), None -> d
+    | Some a, Some b -> Some (Float.min a b)
+  in
+  { st.cfg.scheduler with Scheduler.deadline_seconds = eff }
+
+(* {2 Checkpoint / rollback} *)
+
+let evaluate_now st =
+  Evaluator.evaluate
+    ~config:{ Evaluator.default_config with Evaluator.timer = st.cfg.timer }
+    (Timer.design st.timer)
+
+let take_checkpoint st ~label =
+  let design = Timer.design st.timer in
+  let report = evaluate_now st in
+  let ffs = Design.ffs design in
+  {
+    label;
+    ck_ffs = ffs;
+    ck_latencies = Array.map (fun ff -> Design.scheduled_latency design ff) ffs;
+    ck_lcb_of =
+      Array.map (fun ff -> try Design.lcb_of_ff design ff with Not_found -> -1) ffs;
+    ck_positions = Array.init (Design.num_cells design) (Design.cell_pos design);
+    ck_masters =
+      Array.init (Design.num_cells design) (fun c ->
+          (Design.cell_master design c).Css_liberty.Cell.name);
+    ck_report = report;
+    ck_score = Float.min report.Evaluator.wns_early report.Evaluator.wns_late;
+    ck_tns = report.Evaluator.tns_early +. report.Evaluator.tns_late;
+  }
+
+let better ~score ~tns (cp : checkpoint) =
+  score > cp.ck_score +. 1e-9
+  || (score >= cp.ck_score -. 1e-9 && tns > cp.ck_tns +. 1e-9)
+
+(* Full incremental resync after arbitrary design mutation (restore or
+   the [on_phase_end] hook): every wire delay and every clock latency is
+   re-derived, so the live timer agrees with the design again. *)
+let resync st =
+  let design = Timer.design st.timer in
+  let cells = ref [] in
+  Design.iter_cells design (fun c -> cells := c :: !cells);
+  Timer.update_moved_cells st.timer !cells;
+  Timer.update_latencies st.timer (Array.to_list (Design.ffs design))
+
+let restore st (cp : checkpoint) =
+  let design = Timer.design st.timer in
+  Array.iteri
+    (fun c master ->
+      if (Design.cell_master design c).Css_liberty.Cell.name <> master then
+        Timer.resize_cell st.timer c master)
+    cp.ck_masters;
+  Array.iteri (fun c pos -> Design.move_cell design c pos) cp.ck_positions;
+  Array.iteri
+    (fun i ff ->
+      let lcb = cp.ck_lcb_of.(i) in
+      (if lcb >= 0 then
+         let cur = try Some (Design.lcb_of_ff design ff) with Not_found -> None in
+         if cur <> Some lcb then Design.reconnect_ff_to_lcb design ~ff ~lcb);
+      Design.set_scheduled_latency design ff cp.ck_latencies.(i))
+    cp.ck_ffs;
+  resync st
+
+let consider_checkpoint st ~label =
+  let cp = take_checkpoint st ~label in
+  (match st.best with
+  | Some best when not (better ~score:cp.ck_score ~tns:cp.ck_tns best) -> ()
+  | _ ->
+    st.best <- Some cp;
+    Obs.incr (Obs.counter st.cfg.obs "flow.checkpoints");
+    Log.debug (fun m -> m "checkpoint %s: score %.2f" label cp.ck_score));
+  cp
+
 (* One CSS phase with the given engine, followed by physical realization
    and hold repair. *)
 let css_opt_phase st ~round ~corner ~engine =
   let phase = match corner with Timer.Early -> "early" | Timer.Late -> "late" in
+  let sched_config = scheduler_config st in
   Wall_clock.start st.css_clock;
   let targets =
     Obs.span st.cfg.obs (phase ^ "-css") @@ fun () ->
@@ -205,7 +342,7 @@ let css_opt_phase st ~round ~corner ~engine =
           on_cap_hit = (fun _ -> ());
         }
       in
-      let res = Scheduler.run ~config:st.cfg.scheduler ~obs:st.cfg.obs st.timer extraction in
+      let res = Scheduler.run ~config:sched_config ~obs:st.cfg.obs st.timer extraction in
       st.iterations <- st.iterations + res.Scheduler.iterations;
       record_scheduler_trace st ~round ~phase:(phase ^ "-css") res;
       targets_of st.verts res.Scheduler.target_latency
@@ -223,7 +360,7 @@ let css_opt_phase st ~round ~corner ~engine =
               | None -> ());
         }
       in
-      let res = Scheduler.run ~config:st.cfg.scheduler ~obs:st.cfg.obs st.timer extraction in
+      let res = Scheduler.run ~config:sched_config ~obs:st.cfg.obs st.timer extraction in
       st.iterations <- st.iterations + res.Scheduler.iterations;
       record_scheduler_trace st ~round ~phase:(phase ^ "-css") res;
       targets_of st.verts res.Scheduler.target_latency
@@ -267,12 +404,48 @@ let css_opt_phase st ~round ~corner ~engine =
       m "round %d %s done: early %.1f/%.1f late %.1f/%.1f" round phase
         (Timer.wns st.timer Timer.Early) (Timer.tns st.timer Timer.Early)
         (Timer.wns st.timer Timer.Late) (Timer.tns st.timer Timer.Late));
-  snapshot st ~round ~phase:(phase ^ "-opt") ~iter:0
+  snapshot st ~round ~phase:(phase ^ "-opt") ~iter:0;
+  (* fault-injection hook, then resync so the timer sees its mutations *)
+  (match st.cfg.on_phase_end with
+  | Some hook ->
+    hook ~round ~phase (Timer.design st.timer);
+    resync st
+  | None -> ());
+  if st.cfg.rollback then
+    ignore (consider_checkpoint st ~label:(Printf.sprintf "round-%d-%s" round phase));
+  (* stall watchdog on the live timer's worst slack (cheap; the
+     evaluator-scored checkpoint above is the rollback authority) *)
+  let worst = Float.min (Timer.wns st.timer Timer.Early) (Timer.wns st.timer Timer.Late) in
+  if worst > st.stall_best +. 1e-9 then begin
+    st.stall_best <- worst;
+    st.stall_count <- 0
+  end
+  else begin
+    st.stall_count <- st.stall_count + 1;
+    if st.stall_count >= st.cfg.stall_phases && st.stop = None then begin
+      Log.warn (fun m ->
+          m "round %d %s: %d phases without worst-slack progress, stopping" round phase
+            st.stall_count);
+      st.stop <- Some "stalled"
+    end
+  end;
+  if past_deadline st && st.stop = None then begin
+    Log.warn (fun m -> m "round %d %s: flow deadline exceeded, stopping" round phase);
+    st.stop <- Some "deadline"
+  end
 
 let clean st =
   Timer.wns st.timer Timer.Early >= 0.0 && Timer.wns st.timer Timer.Late >= 0.0
 
 let run ?(config = default_config) ~algo design =
+  let validation =
+    if config.validate then begin
+      let outcome = Validate.run ~obs:config.obs ~repair:config.repair design in
+      if outcome.Validate.fatal then raise (Validate.Invalid outcome.Validate.diags);
+      outcome.Validate.diags
+    end
+    else []
+  in
   let hpwl_before = Design.total_hpwl design in
   let total_t0 = Wall_clock.now () in
   let timer = Timer.build ~config:config.timer ~obs:config.obs design in
@@ -284,13 +457,21 @@ let run ?(config = default_config) ~algo design =
       engines = { ours_early = None; ours_late = None; iccss_early = None; iccss_late = None };
       css_clock = Wall_clock.create ();
       opt_clock = Wall_clock.create ();
+      t0 = total_t0;
       edges = 0;
       cones = 0;
       iterations = 0;
+      best = None;
+      stall_best = neg_infinity;
+      stall_count = 0;
+      stop = None;
       trace_rev = [];
     }
   in
   snapshot st ~round:0 ~phase:"start" ~iter:0;
+  (* the input itself is the first checkpoint: a hardened run can never
+     end worse than what it was given *)
+  if config.rollback then ignore (consider_checkpoint st ~label:"start");
   let engine, corners =
     match algo with
     | Ours -> (`Ours, [ Timer.Early; Timer.Late ])
@@ -299,19 +480,26 @@ let run ?(config = default_config) ~algo design =
     | Fpm -> (`Fpm, [ Timer.Early ])
   in
   let rec rounds r =
-    if r <= config.rounds && not (clean st) then begin
-      List.iter (fun corner -> css_opt_phase st ~round:r ~corner ~engine) corners;
+    if st.stop = None && r <= config.rounds && not (clean st) then begin
+      List.iter
+        (fun corner -> if st.stop = None then css_opt_phase st ~round:r ~corner ~engine)
+        corners;
       rounds (r + 1)
     end
   in
   rounds 1;
   (* hold touch-up: the interleaving ends on a late phase, whose
      realization can leave small fresh hold violations; close them with
-     one final early pass (the sign-off ECO order) *)
+     one final early pass (the sign-off ECO order) — skipped when the
+     deadline already fired *)
   if
     (match algo with Ours | Iccss_plus -> true | Ours_early | Fpm -> false)
     && Timer.wns st.timer Timer.Early < 0.0
+    && st.stop <> Some "deadline"
   then css_opt_phase st ~round:(config.rounds + 1) ~corner:Timer.Early ~engine;
+  let stop_reason =
+    match st.stop with Some s -> s | None -> if clean st then "clean" else "max-rounds"
+  in
   (* engine statistics accumulate over the whole run; fold them in once *)
   let add_essential = function
     | Some e ->
@@ -331,12 +519,30 @@ let run ?(config = default_config) ~algo design =
   add_essential st.engines.ours_late;
   add_iccss st.engines.iccss_early;
   add_iccss st.engines.iccss_late;
-  let total_seconds = Wall_clock.now () -. total_t0 in
-  let report =
-    Evaluator.evaluate
-      ~config:{ Evaluator.default_config with Evaluator.timer = config.timer }
-      design
+  let final_report = evaluate_now st in
+  let report, rolled_back =
+    if not config.rollback then (final_report, false)
+    else
+      let score = Float.min final_report.Evaluator.wns_early final_report.Evaluator.wns_late in
+      let tns = final_report.Evaluator.tns_early +. final_report.Evaluator.tns_late in
+      match st.best with
+      | Some cp when not (better ~score ~tns cp) && cp.ck_score > score +. 1e-9 ->
+        Log.warn (fun m ->
+            m "final state (score %.2f) worse than checkpoint %s (score %.2f): rolling back"
+              score cp.label cp.ck_score);
+        restore st cp;
+        Obs.incr (Obs.counter config.obs "flow.rollbacks");
+        if Obs.enabled config.obs then
+          Obs.snapshot config.obs ~label:"flow.rollback"
+            [
+              ("checkpoint", Obs.Json.String cp.label);
+              ("checkpoint_score", Obs.Json.Float cp.ck_score);
+              ("final_score", Obs.Json.Float score);
+            ];
+        (cp.ck_report, true)
+      | _ -> (final_report, false)
   in
+  let total_seconds = Wall_clock.now () -. total_t0 in
   {
     algo = algo_name algo;
     benchmark = Design.name design;
@@ -349,5 +555,8 @@ let run ?(config = default_config) ~algo design =
     css_iterations = st.iterations;
     hpwl_increase_pct =
       Css_geometry.Hpwl.increase_pct ~before:hpwl_before ~after:report.Evaluator.hpwl;
+    stop_reason;
+    rolled_back;
+    validation;
     trace = List.rev st.trace_rev;
   }

@@ -8,7 +8,26 @@
 
     Metrics follow Table I's columns: final early/late WNS/TNS as scored
     by the independent evaluator, CSS and OPT wall-clock seconds, the
-    number of extracted sequential edges, and the HPWL increase. *)
+    number of extracted sequential edges, and the HPWL increase.
+
+    {2 Hardening}
+
+    The flow is guarded end to end (see [docs/ROBUSTNESS.md]):
+
+    - {b ingress validation}: {!Css_netlist.Validate.run} checks and (by
+      default) repairs the design before any timing is built; a fatally
+      degenerate design raises {!Css_netlist.Validate.Invalid} instead
+      of corrupting a run;
+    - {b watchdogs}: a flow-level wall-clock deadline, a per-phase
+      deadline forwarded to the scheduler, and a cross-phase stall
+      detector ([stall_phases] consecutive phases without worst-slack
+      improvement);
+    - {b checkpoint / rollback}: after validation and after every phase
+      the evaluator scores the physically realized state and the
+      best-scoring checkpoint (latencies, positions, masters, FF-LCB
+      binding) is kept; if the run ends worse than its best checkpoint,
+      the design is restored and the result reports [rolled_back =
+      true]. A run can therefore never end worse than its input. *)
 
 type algo =
   | Ours  (** iterative essential extraction, both corners *)
@@ -40,6 +59,16 @@ type result = {
   cone_nodes : int;
   css_iterations : int;
   hpwl_increase_pct : float;  (** vs. the design at flow start *)
+  stop_reason : string;
+      (** why the round loop ended: ["clean"] (no violations left),
+          ["max-rounds"], ["stalled"] or ["deadline"] *)
+  rolled_back : bool;
+      (** the final state scored worse than an earlier checkpoint and the
+          design was restored to that checkpoint; [report] is the
+          checkpoint's evaluation *)
+  validation : Css_util.Diag.t list;
+      (** everything ingress validation found (repaired or warned);
+          empty when [validate = false] or the design was pristine *)
   trace : trace_point list;  (** chronological *)
 }
 
@@ -57,19 +86,47 @@ type config = {
           {!Css_opt.Cts_guide} before falling back to reconnection
           (the paper's "guide clock tree synthesis" extension;
           default false) *)
+  validate : bool;
+      (** run {!Css_netlist.Validate.run} at flow entry (default true);
+          raises {!Css_netlist.Validate.Invalid} on fatal degeneracy *)
+  repair : bool;
+      (** let ingress validation repair what it safely can
+          (default true); with [false] repairable findings are fatal *)
+  rollback : bool;
+      (** checkpoint after every phase and restore the best-scoring
+          state if the run ends worse (default true) *)
+  deadline_seconds : float option;
+      (** flow-level wall-clock budget; checked between phases and
+          forwarded (as the remaining budget) to the scheduler so a
+          phase in flight also stops (default [None]) *)
+  phase_deadline_seconds : float option;
+      (** per-phase budget forwarded to
+          {!Css_core.Scheduler.config.deadline_seconds} when the
+          scheduler config leaves it [None] (default [None]) *)
+  stall_phases : int;
+      (** stop after this many consecutive phases without worst-slack
+          improvement at either corner (default 4) *)
+  on_phase_end : (round:int -> phase:string -> Css_netlist.Design.t -> unit) option;
+      (** test/fault-injection hook called after each phase completes,
+          before the phase is scored for checkpointing; the flow resyncs
+          the timer afterwards, so the hook may mutate placement and
+          latencies freely (default [None]) *)
   obs : Css_util.Obs.t;
       (** observability sink threaded through the timer, the extraction
           engines, the scheduler and the OPT passes. The flow itself
           contributes ["<phase>-css"] / ["<phase>-opt"] spans, one
-          ["flow.point"] snapshot per trajectory sample, and the
-          [opt.reconnect.*] / [opt.cell_move.*] counters.
+          ["flow.point"] snapshot per trajectory sample, the
+          [opt.reconnect.*] / [opt.cell_move.*] counters, and the
+          [flow.checkpoints] / [flow.rollbacks] counters.
           Default {!Css_util.Obs.null} (zero overhead). *)
 }
 
 val default_config : config
 
 (** [run ?config ~algo design] executes the flow, mutating [design], and
-    scores the final state with the evaluator. *)
+    scores the final state with the evaluator.
+    @raise Css_netlist.Validate.Invalid if [config.validate] and the
+    design is fatally degenerate (after repair, when enabled). *)
 val run : ?config:config -> algo:algo -> Css_netlist.Design.t -> result
 
 (** [clone design] deep-copies a design through its textual form. The

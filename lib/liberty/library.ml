@@ -36,6 +36,46 @@ let flip_flop t = List.find Cell.is_sequential t.ordered
 
 let clock_buffer t = List.find Cell.is_clock_buffer t.ordered
 
+let validate t =
+  let module Diag = Css_util.Diag in
+  let col = Diag.collector () in
+  let err ~code fmt = Printf.ksprintf (fun m -> Diag.emit col (Diag.error ~code m)) fmt in
+  if not (List.exists Cell.is_sequential t.ordered) then
+    err ~code:"LIB-001" "library has no sequential cell";
+  if not (List.exists Cell.is_clock_buffer t.ordered) then
+    err ~code:"LIB-002" "library has no clock buffer";
+  let finite = Float.is_finite in
+  List.iter
+    (fun (c : Cell.t) ->
+      if not (finite c.input_cap && c.input_cap >= 0.0) then
+        err ~code:"LIB-003" "cell %s: input capacitance %g is not finite non-negative" c.name
+          c.input_cap;
+      if not (finite c.drive_res && c.drive_res >= 0.0) then
+        err ~code:"LIB-003" "cell %s: drive resistance %g is not finite non-negative" c.name
+          c.drive_res;
+      (match c.role with
+      | Cell.Flip_flop p ->
+        if not (finite p.setup && finite p.hold && finite p.clk_to_q) then
+          err ~code:"LIB-004" "cell %s: non-finite setup/hold/clk-to-q parameters" c.name
+      | Cell.Clock_buffer { insertion } ->
+        if not (finite insertion) then
+          err ~code:"LIB-004" "cell %s: non-finite insertion delay" c.name
+      | Cell.Combinational -> ());
+      List.iter
+        (fun (a : Cell.arc) ->
+          if not (List.mem a.from_pin c.inputs) then
+            err ~code:"LIB-005" "cell %s: arc from unknown pin %s" c.name a.from_pin;
+          if not (List.mem a.to_pin c.outputs) then
+            err ~code:"LIB-005" "cell %s: arc to unknown pin %s" c.name a.to_pin;
+          (* probe the model at a representative operating point *)
+          let d = Delay_model.delay a.model ~slew:10.0 ~load:8.0 in
+          if not (finite d) then
+            err ~code:"LIB-006" "cell %s: arc %s->%s evaluates to a non-finite delay" c.name
+              a.from_pin a.to_pin)
+        c.arcs)
+    t.ordered;
+  Diag.diags col
+
 (* The default technology. Delays in ps, caps in fF; a mix of linear and
    LUT models so both evaluation paths are exercised by every design. *)
 let default =

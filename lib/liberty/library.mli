@@ -34,5 +34,12 @@ val clock_buffer : t -> Cell.t
     itself, sorted weakest drive first (descending drive resistance). *)
 val variants : t -> Cell.t -> Cell.t list
 
+(** [validate t] sweeps the library for degeneracies that would corrupt
+    timing analysis downstream (codes [LIB-001..LIB-006]): missing
+    flip-flop or clock buffer, non-finite electrical parameters, arcs
+    referencing unknown pins, and delay models that evaluate to NaN or
+    infinity at a representative operating point. Empty means usable. *)
+val validate : t -> Css_util.Diag.t list
+
 (** [default] is the built-in technology library. *)
 val default : t

@@ -8,6 +8,13 @@
 
 let eps = 1e-9
 
+(* Comparison tolerance scaled to the operands: with weights in the
+   thousands of picoseconds an absolute 1e-9 sits below one ulp, and a
+   policy switch justified by pure rounding noise can cycle forever
+   (improvement flips an edge, value determination flips it back). All
+   gain/bias tie tests therefore use a relative epsilon. *)
+let tol a b = eps *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
 let min_mean_cycle_scc sub =
   let n = Digraph.num_vertices sub in
   (* out-edge arrays *)
@@ -82,10 +89,11 @@ let min_mean_cycle_scc sub =
     for u = 0 to n - 1 do
       List.iter
         (fun (v, w) ->
+          let cand_bias = w -. gain.(u) +. bias.(v) in
           if
-            gain.(v) < gain.(u) -. eps
-            || (Float.abs (gain.(v) -. gain.(u)) <= eps
-               && w -. gain.(u) +. bias.(v) < bias.(u) -. eps)
+            gain.(v) < gain.(u) -. tol gain.(v) gain.(u)
+            || (Float.abs (gain.(v) -. gain.(u)) <= tol gain.(v) gain.(u)
+               && cand_bias < bias.(u) -. tol cand_bias bias.(u))
           then begin
             policy.(u) <- (v, w);
             changed := true
@@ -124,6 +132,14 @@ let min_mean_cycle_scc sub =
   Some (gain.(!best_v), List.rev !cycle)
 
 let min_mean_cycle g =
+  (* A single NaN or infinite weight silently corrupts every mean and
+     bias it touches; reject the graph loudly instead. *)
+  List.iter
+    (fun (u, v, w) ->
+      if not (Float.is_finite w) then
+        invalid_arg
+          (Printf.sprintf "Howard.min_mean_cycle: non-finite weight %g on edge %d->%d" w u v))
+    (Digraph.edges g);
   let sccs = Scc.nontrivial g in
   List.fold_left
     (fun acc members ->

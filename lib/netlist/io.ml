@@ -1,5 +1,6 @@
 module Point = Css_geometry.Point
 module Rect = Css_geometry.Rect
+module Diag = Css_util.Diag
 
 let pin_ref t p =
   match Design.pin_owner t p with
@@ -46,20 +47,38 @@ let save t path =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_string t))
 
-let fail_line lineno fmt =
-  Printf.ksprintf (fun s -> failwith (Printf.sprintf "Io.load: line %d: %s" lineno s)) fmt
+type policy =
+  | Abort
+  | Recover
 
-let of_string ~library s =
+(* Raised while processing one line; caught by the line loop which either
+   records-and-skips (Recover) or stops the parse (Abort). *)
+exception Line_error of Diag.t
+
+let of_string_result ?source ?(policy = Abort) ~library s =
+  let col = Diag.collector () in
+  let fail ?hint ~code lineno fmt =
+    Printf.ksprintf
+      (fun m -> raise (Line_error (Diag.error ?file:source ~line:lineno ?hint ~code m)))
+      fmt
+  in
+  let number lineno what v =
+    match float_of_string_opt v with
+    | Some x -> x
+    | None -> fail ~code:"IO-007" lineno "expected a number for %s, got %S" what v
+  in
   let lines = String.split_on_char '\n' s in
   let design = ref None in
   let cells = Hashtbl.create 64 in
   let ports = Hashtbl.create 16 in
   let pending_die = ref None in
   let header = ref None in
+  let known tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in
   let get_design lineno =
     match !design with
     | Some d -> d
-    | None -> fail_line lineno "design header incomplete (need both 'design' and 'die' lines)"
+    | None ->
+      fail ~code:"IO-002" lineno "design header incomplete (need both 'design' and 'die' lines)"
   in
   let maybe_create () =
     match (!header, !pending_die) with
@@ -73,86 +92,143 @@ let of_string ~library s =
       let pname = String.sub r (i + 1) (String.length r - i - 1) in
       (match Hashtbl.find_opt ports pname with
       | Some p -> Design.port_pin d p
-      | None -> fail_line lineno "unknown port %s" pname)
+      | None ->
+        fail ~code:"IO-003" ?hint:(Diag.did_you_mean pname (known ports)) lineno
+          "unknown port %s" pname)
     | Some i ->
       let cname = String.sub r 0 i in
       let pin = String.sub r (i + 1) (String.length r - i - 1) in
       (match Hashtbl.find_opt cells cname with
       | Some c -> (
-        try Design.cell_pin d c pin with Not_found -> fail_line lineno "unknown pin %s" r)
-      | None -> fail_line lineno "unknown cell %s" cname)
-    | None -> fail_line lineno "malformed pin reference %s" r
+        try Design.cell_pin d c pin
+        with Not_found -> fail ~code:"IO-005" lineno "unknown pin %s" r)
+      | None ->
+        fail ~code:"IO-004" ?hint:(Diag.did_you_mean cname (known cells)) lineno
+          "unknown cell %s" cname)
+    | None -> fail ~code:"IO-009" lineno "malformed pin reference %s" r
   in
-  List.iteri
-    (fun i raw ->
-      let lineno = i + 1 in
-      let line = String.trim raw in
-      if line <> "" && line.[0] <> '#' then begin
-        let words = String.split_on_char ' ' line |> List.filter (fun w -> w <> "") in
-        match words with
-        | [ "design"; name; "period"; t ] ->
-          header := Some (name, float_of_string t);
-          maybe_create ()
-        | [ "die"; lx; ly; hx; hy ] ->
-          pending_die :=
-            Some
-              (Rect.make ~lx:(float_of_string lx) ~ly:(float_of_string ly)
-                 ~hx:(float_of_string hx) ~hy:(float_of_string hy));
-          maybe_create ()
-        | [ "port"; name; dir; x; y ] ->
-          let d = get_design lineno in
-          let dir =
-            match dir with
-            | "in" -> Design.In
-            | "out" -> Design.Out
-            | _ -> fail_line lineno "bad port direction %s" dir
+  let parse_line lineno line =
+    let words = String.split_on_char ' ' line |> List.filter (fun w -> w <> "") in
+    match words with
+    | [ "design"; name; "period"; t ] ->
+      header := Some (name, number lineno "the clock period" t);
+      maybe_create ()
+    | [ "die"; lx; ly; hx; hy ] ->
+      let f what v = number lineno what v in
+      pending_die :=
+        Some
+          (Rect.make ~lx:(f "die lx" lx) ~ly:(f "die ly" ly) ~hx:(f "die hx" hx)
+             ~hy:(f "die hy" hy));
+      maybe_create ()
+    | [ "port"; name; dir; x; y ] ->
+      let d = get_design lineno in
+      let dir =
+        match dir with
+        | "in" -> Design.In
+        | "out" -> Design.Out
+        | _ -> fail ~code:"IO-008" ~hint:"use 'in' or 'out'" lineno "bad port direction %s" dir
+      in
+      if Hashtbl.mem ports name then fail ~code:"IO-011" lineno "duplicate port %s" name;
+      let p =
+        Design.add_port d ~name ~dir
+          ~pos:(Point.make (number lineno "port x" x) (number lineno "port y" y))
+      in
+      Hashtbl.replace ports name p
+    | [ "cell"; name; master; x; y ] ->
+      let d = get_design lineno in
+      if Hashtbl.mem cells name then fail ~code:"IO-011" lineno "duplicate cell %s" name;
+      let c =
+        try
+          Design.add_cell d ~name ~master
+            ~pos:(Point.make (number lineno "cell x" x) (number lineno "cell y" y))
+        with Not_found ->
+          let names =
+            List.map
+              (fun (c : Css_liberty.Cell.t) -> c.Css_liberty.Cell.name)
+              (Css_liberty.Library.cells library)
           in
-          let p =
-            Design.add_port d ~name ~dir ~pos:(Point.make (float_of_string x) (float_of_string y))
-          in
-          Hashtbl.replace ports name p
-        | [ "cell"; name; master; x; y ] ->
-          let d = get_design lineno in
-          let c =
-            try
-              Design.add_cell d ~name ~master
-                ~pos:(Point.make (float_of_string x) (float_of_string y))
-            with Not_found -> fail_line lineno "unknown master %s" master
-          in
-          Hashtbl.replace cells name c
-        | "net" :: name :: driver :: sinks ->
-          let d = get_design lineno in
-          ignore
-            (Design.add_net d ~name ~driver:(resolve lineno d driver)
-               ~sinks:(List.map (resolve lineno d) sinks))
-        | [ "clockroot"; name ] ->
-          let d = get_design lineno in
-          (match Hashtbl.find_opt ports name with
-          | Some p -> Design.set_clock_root d p
-          | None -> fail_line lineno "unknown clock root port %s" name)
-        | [ "latency"; name; v ] ->
-          let d = get_design lineno in
-          (match Hashtbl.find_opt cells name with
-          | Some c -> Design.set_scheduled_latency d c (float_of_string v)
-          | None -> fail_line lineno "unknown cell %s" name)
-        | [ "bounds"; name; lo; hi ] ->
-          let d = get_design lineno in
-          (match Hashtbl.find_opt cells name with
-          | Some c ->
-            Design.set_latency_bounds d c ~lo:(float_of_string lo) ~hi:(float_of_string hi)
-          | None -> fail_line lineno "unknown cell %s" name)
-        | _ -> fail_line lineno "unrecognized line: %s" line
-      end)
-    lines;
+          fail ~code:"IO-006" ?hint:(Diag.did_you_mean master names) lineno
+            "unknown master %s" master
+      in
+      Hashtbl.replace cells name c
+    | "net" :: name :: driver :: sinks ->
+      let d = get_design lineno in
+      (try
+         ignore
+           (Design.add_net d ~name ~driver:(resolve lineno d driver)
+              ~sinks:(List.map (resolve lineno d) sinks))
+       with Invalid_argument m -> fail ~code:"IO-012" lineno "cannot build net %s: %s" name m)
+    | [ "clockroot"; name ] ->
+      let d = get_design lineno in
+      (match Hashtbl.find_opt ports name with
+      | Some p -> Design.set_clock_root d p
+      | None ->
+        fail ~code:"IO-003" ?hint:(Diag.did_you_mean name (known ports)) lineno
+          "unknown clock root port %s" name)
+    | [ "latency"; name; v ] ->
+      let d = get_design lineno in
+      (match Hashtbl.find_opt cells name with
+      | Some c -> Design.set_scheduled_latency d c (number lineno "the latency" v)
+      | None ->
+        fail ~code:"IO-004" ?hint:(Diag.did_you_mean name (known cells)) lineno
+          "unknown cell %s" name)
+    | [ "bounds"; name; lo; hi ] ->
+      let d = get_design lineno in
+      (match Hashtbl.find_opt cells name with
+      | Some c -> (
+        try
+          Design.set_latency_bounds d c ~lo:(number lineno "the lower bound" lo)
+            ~hi:(number lineno "the upper bound" hi)
+        with Invalid_argument m -> fail ~code:"IO-010" lineno "bad latency bounds: %s" m)
+      | None ->
+        fail ~code:"IO-004" ?hint:(Diag.did_you_mean name (known cells)) lineno
+          "unknown cell %s" name)
+    | _ -> fail ~code:"IO-001" lineno "unrecognized line: %s" line
+  in
+  let aborted = ref false in
+  (try
+     List.iteri
+       (fun i raw ->
+         let lineno = i + 1 in
+         let line = String.trim raw in
+         if line <> "" && line.[0] <> '#' then
+           try parse_line lineno line
+           with Line_error d ->
+             Diag.emit col d;
+             if policy = Abort then raise Exit)
+       lines
+   with Exit -> aborted := true);
   match !design with
-  | Some d -> d
-  | None -> failwith "Io.of_string: missing design header"
+  | Some d when not !aborted -> Ok (d, Diag.diags col)
+  | Some _ -> Error (Diag.diags col)
+  | None ->
+    if Diag.error_count col = 0 then
+      Diag.emit col
+        (Diag.error ?file:source ~code:"IO-002"
+           "missing design header (need 'design <name> period <T>' and 'die <lx> <ly> <hx> <hy>')");
+    Error (Diag.diags col)
 
-let load ~library path =
+let first_error ds =
+  match List.find_opt Diag.is_error ds with Some d -> d | None -> List.hd ds
+
+let of_string ~library s =
+  match of_string_result ~library s with
+  | Ok (d, _) -> d
+  | Error ds -> failwith (Diag.to_string (first_error ds))
+
+let read_file path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let n = in_channel_length ic in
-      let s = really_input_string ic n in
-      of_string ~library s)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_result ?policy ~library path =
+  match read_file path with
+  | exception Sys_error m ->
+    Error [ Diag.error ~file:path ~code:"IO-000" (Printf.sprintf "cannot read: %s" m) ]
+  | s -> of_string_result ~source:path ?policy ~library s
+
+let load ~library path =
+  match load_result ~library path with
+  | Ok (d, _) -> d
+  | Error ds -> failwith (Diag.to_string (first_error ds))

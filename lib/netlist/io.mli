@@ -10,11 +10,18 @@
     net <name> <ref> <ref> ...          # first ref is the driver
     clockroot <portname>
     latency <cellname> <ps>             # scheduled (virtual) latency
+    bounds <cellname> <lo> <hi>         # clock latency window
     v}
 
     where [<ref>] is [cell:pin] for instance pins and [port:<name>] for
     primary ports. Loading requires the same cell library the design was
-    built against (masters are referenced by name). *)
+    built against (masters are referenced by name).
+
+    Malformed input never escapes as a raw exception: the [result]-based
+    entry points collect severity-tagged {!Css_util.Diag.t} diagnostics
+    (codes [IO-000..IO-012], catalogued in [docs/ROBUSTNESS.md]), and the
+    legacy entry points re-raise the first error as [Failure] with the
+    diagnostic's one-line rendering. *)
 
 (** [save t path] writes the design. *)
 val save : Design.t -> string -> unit
@@ -22,9 +29,39 @@ val save : Design.t -> string -> unit
 (** [to_string t] is the serialized form. *)
 val to_string : Design.t -> string
 
+(** Recover-or-abort policy for malformed lines:
+    - [Abort] (default): stop at the first error and return [Error].
+    - [Recover]: skip the offending line, collect its diagnostic, and
+      keep parsing; the parse succeeds if a design could be built at
+      all, with the collected diagnostics attached. A missing design
+      header is never recoverable. *)
+type policy =
+  | Abort
+  | Recover
+
+(** [of_string_result ?source ?policy ~library s] parses the serialized
+    form. [source] names the input in diagnostics (e.g. the file path).
+    On [Ok (design, diags)], [diags] are the collected warnings — and,
+    under {!Recover}, the errors that were skipped over. *)
+val of_string_result :
+  ?source:string ->
+  ?policy:policy ->
+  library:Css_liberty.Library.t ->
+  string ->
+  (Design.t * Css_util.Diag.t list, Css_util.Diag.t list) result
+
+(** [load_result ?policy ~library path] reads a design back; unreadable
+    files become an [IO-000] diagnostic rather than [Sys_error]. *)
+val load_result :
+  ?policy:policy ->
+  library:Css_liberty.Library.t ->
+  string ->
+  (Design.t * Css_util.Diag.t list, Css_util.Diag.t list) result
+
 (** [load ~library path] reads a design back.
-    @raise Failure with a line-numbered message on malformed input. *)
+    @raise Failure with a rendered diagnostic on malformed input. *)
 val load : library:Css_liberty.Library.t -> string -> Design.t
 
-(** [of_string ~library s] parses the serialized form. *)
+(** [of_string ~library s] parses the serialized form.
+    @raise Failure with a rendered diagnostic on malformed input. *)
 val of_string : library:Css_liberty.Library.t -> string -> Design.t

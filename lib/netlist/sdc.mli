@@ -34,16 +34,47 @@ type t = {
 (** [empty] constrains nothing. *)
 val empty : t
 
+(** Recover-or-abort policy, as in {!Io.policy}: [Abort] returns
+    [Error] on the first bad line / unknown flip-flop, [Recover] skips
+    it, collects the diagnostic and keeps going. *)
+type policy =
+  | Abort
+  | Recover
+
+(** [parse_result ?source ?policy s] reads the constraint text,
+    collecting {!Css_util.Diag.t} diagnostics (codes [SDC-000..SDC-005])
+    instead of raising. Unknown commands carry a nearest-command hint. *)
+val parse_result :
+  ?source:string ->
+  ?policy:policy ->
+  string ->
+  (t * Css_util.Diag.t list, Css_util.Diag.t list) result
+
+(** [load_result ?policy path] reads and parses a file; unreadable files
+    become an [SDC-000] diagnostic. *)
+val load_result :
+  ?policy:policy -> string -> (t * Css_util.Diag.t list, Css_util.Diag.t list) result
+
 (** [parse s] reads the constraint text.
-    @raise Failure with a line-numbered message on unknown or malformed
+    @raise Failure with a rendered diagnostic on unknown or malformed
     commands. *)
 val parse : string -> t
 
-(** [load path] reads and parses a file. *)
+(** [load path] reads and parses a file. @raise Failure as {!parse}. *)
 val load : string -> t
 
-(** [apply t design] installs the per-flip-flop latency windows on the
-    design and validates the clock period.
-    @raise Failure if the period disagrees with the design's or a named
-    cell does not exist or is not a flip-flop. *)
+(** [apply_result ?policy t design] installs the per-flip-flop latency
+    windows on the design and validates the clock period. An unknown
+    flip-flop name produces an [SDC-003] diagnostic with a nearest-name
+    (edit-distance) suggestion as its hint. Valid windows are installed
+    even when others fail; under [Recover] the failures are returned as
+    [Ok] diagnostics. *)
+val apply_result :
+  ?policy:policy ->
+  t ->
+  Design.t ->
+  (Css_util.Diag.t list, Css_util.Diag.t list) result
+
+(** [apply t design] is {!apply_result} re-raising the first error as
+    [Failure] (message includes the suggestion hint, when any). *)
 val apply : t -> Design.t -> unit

@@ -1,0 +1,219 @@
+module Diag = Css_util.Diag
+module Obs = Css_util.Obs
+module Point = Css_geometry.Point
+module Rect = Css_geometry.Rect
+
+type outcome = {
+  diags : Diag.t list;
+  repairs : int;
+  fatal : bool;
+}
+
+exception Invalid of Diag.t list
+
+let () =
+  Printexc.register_printer (function
+    | Invalid ds ->
+      Some
+        (Printf.sprintf "Validate.Invalid:\n%s"
+           (String.concat "\n" (List.map Diag.to_string ds)))
+    | _ -> None)
+
+let finite x = Float.is_finite x
+
+(* Cycle detection over the cell-to-cell combinational graph: an edge
+   u -> v for every net driven by non-FF cell [u] with a sink pin on
+   non-FF cell [v]. Flip-flops break timing paths (D does not reach Q
+   combinationally), so they can belong to no combinational cycle. *)
+let find_comb_cycle design =
+  let n = Design.num_cells design in
+  let out = Array.make n [] in
+  Design.iter_nets design (fun net ->
+      match Design.net_driver design net with
+      | None -> ()
+      | Some d -> (
+        match Design.pin_owner design d with
+        | Design.Port_pin _ -> ()
+        | Design.Cell_pin (u, _) ->
+          if not (Design.is_ff design u) then
+            List.iter
+              (fun s ->
+                match Design.pin_owner design s with
+                | Design.Port_pin _ -> ()
+                | Design.Cell_pin (v, _) ->
+                  if not (Design.is_ff design v) then out.(u) <- v :: out.(u))
+              (Design.net_sinks design net)));
+  (* iterative DFS, colors: 0 white, 1 on stack, 2 done *)
+  let color = Array.make n 0 in
+  let parent = Array.make n (-1) in
+  let cycle = ref None in
+  let stack = Stack.create () in
+  Design.iter_cells design (fun s ->
+      if color.(s) = 0 && !cycle = None then begin
+        color.(s) <- 1;
+        Stack.push (s, ref out.(s)) stack;
+        while (not (Stack.is_empty stack)) && !cycle = None do
+          let v, succs = Stack.top stack in
+          match !succs with
+          | [] ->
+            color.(v) <- 2;
+            ignore (Stack.pop stack)
+          | w :: tl ->
+            succs := tl;
+            if color.(w) = 1 then begin
+              (* back edge v -> w: reconstruct w -> ... -> v via parents *)
+              let rec collect u acc =
+                if u = w then u :: acc else collect parent.(u) (u :: acc)
+              in
+              cycle := Some (collect v [])
+            end
+            else if color.(w) = 0 then begin
+              color.(w) <- 1;
+              parent.(w) <- v;
+              Stack.push (w, ref out.(w)) stack
+            end
+        done;
+        Stack.clear stack
+      end);
+  !cycle
+
+let run ?(obs = Obs.null) ?(repair = true) design =
+  let col = Diag.collector () in
+  let repairs = ref 0 in
+  let repaired ~code fmt =
+    Printf.ksprintf
+      (fun m ->
+        incr repairs;
+        Diag.emit col (Diag.warning ~code ~hint:"repaired in place" m))
+      fmt
+  in
+  let err ?hint ~code fmt =
+    Printf.ksprintf (fun m -> Diag.emit col (Diag.error ?hint ~code m)) fmt
+  in
+  let warn ~code fmt = Printf.ksprintf (fun m -> Diag.emit col (Diag.warning ~code m)) fmt in
+  (* clock period *)
+  let period = Design.clock_period design in
+  if (not (finite period)) || period <= 0.0 then
+    err ~code:"VAL-001" "clock period %g is not a positive finite number" period;
+  (* die *)
+  let die = Design.die design in
+  if
+    (not (finite die.Rect.lx && finite die.Rect.ly && finite die.Rect.hx && finite die.Rect.hy))
+    || die.Rect.hx <= die.Rect.lx
+    || die.Rect.hy <= die.Rect.ly
+  then err ~code:"VAL-002" "degenerate die area (%g %g %g %g)" die.Rect.lx die.Rect.ly
+      die.Rect.hx die.Rect.hy;
+  let die_center =
+    Point.make ((die.Rect.lx +. die.Rect.hx) /. 2.0) ((die.Rect.ly +. die.Rect.hy) /. 2.0)
+  in
+  (* per-cell numerics *)
+  Design.iter_cells design (fun c ->
+      let pos = Design.cell_pos design c in
+      if not (finite pos.Point.x && finite pos.Point.y) then
+        if repair then begin
+          Design.move_cell design c die_center;
+          repaired ~code:"VAL-004" "cell %s had a non-finite position; moved to die center"
+            (Design.cell_name design c)
+        end
+        else err ~code:"VAL-004" "cell %s has a non-finite position" (Design.cell_name design c));
+  Array.iter
+    (fun ff ->
+      let l = Design.scheduled_latency design ff in
+      if not (finite l) then
+        if repair then begin
+          Design.set_scheduled_latency design ff 0.0;
+          repaired ~code:"VAL-003" "flip-flop %s had a non-finite scheduled latency; reset to 0"
+            (Design.cell_name design ff)
+        end
+        else
+          err ~code:"VAL-003" "flip-flop %s has a non-finite scheduled latency"
+            (Design.cell_name design ff);
+      let lo, hi = Design.latency_bounds design ff in
+      if Float.is_nan lo || Float.is_nan hi then
+        if repair then begin
+          Design.clear_latency_bounds design ff;
+          repaired ~code:"VAL-008" "flip-flop %s had a NaN latency window; cleared"
+            (Design.cell_name design ff)
+        end
+        else
+          err ~code:"VAL-008" "flip-flop %s has a NaN latency window" (Design.cell_name design ff))
+    (Design.ffs design);
+  (* clock tree: every FF needs an LCB source *)
+  let hosting_lcbs =
+    Array.to_list (Design.lcbs design)
+    |> List.filter (fun lcb ->
+           Design.pin_net design (Design.cell_pin design lcb "CKO") <> None)
+  in
+  Array.iter
+    (fun ff ->
+      match Design.lcb_of_ff design ff with
+      | _ -> ()
+      | exception Not_found -> (
+        let ck = Design.cell_pin design ff "CK" in
+        match Design.pin_net design ck with
+        | Some _ ->
+          (* driven, but not by an LCB: rewiring a signal net is not a
+             safe local repair *)
+          err ~code:"VAL-005" "flip-flop %s is clocked by a non-LCB source"
+            (Design.cell_name design ff)
+        | None -> (
+          let pos = Design.cell_pos design ff in
+          let nearest =
+            List.fold_left
+              (fun acc lcb ->
+                let d = Point.manhattan pos (Design.cell_pos design lcb) in
+                match acc with
+                | Some (_, bd) when bd <= d -> acc
+                | _ -> Some (lcb, d))
+              None hosting_lcbs
+          in
+          match nearest with
+          | Some (lcb, _) when repair ->
+            let net = Option.get (Design.pin_net design (Design.cell_pin design lcb "CKO")) in
+            Design.net_add_sink design net ck;
+            repaired ~code:"VAL-005" "flip-flop %s had no clock; attached to LCB %s"
+              (Design.cell_name design ff) (Design.cell_name design lcb)
+          | Some _ | None ->
+            err ~code:"VAL-005"
+              ?hint:(if hosting_lcbs = [] then Some "the design has no usable LCB" else None)
+              "flip-flop %s has no LCB clock source" (Design.cell_name design ff))))
+    (Design.ffs design);
+  (* combinational cycles *)
+  (match find_comb_cycle design with
+  | None -> ()
+  | Some members ->
+    let names = List.map (Design.cell_name design) members in
+    let shown = if List.length names > 6 then List.filteri (fun i _ -> i < 6) names else names in
+    err ~code:"VAL-007" "combinational cycle through %d cells: %s%s" (List.length names)
+      (String.concat " -> " shown)
+      (if List.length names > List.length shown then " -> ..." else ""));
+  (* residual structural inconsistencies *)
+  List.iter
+    (fun m ->
+      (* FF clock sourcing was already covered (and possibly repaired) above *)
+      let covered =
+        let has sub =
+          let ls = String.length sub and lm = String.length m in
+          let rec loop i = i + ls <= lm && (String.sub m i ls = sub || loop (i + 1)) in
+          loop 0
+        in
+        has "has no LCB clock source"
+      in
+      if not covered then warn ~code:"VAL-000" "%s" m)
+    (Design.check design);
+  let diags = Diag.diags col in
+  let fatal = Diag.has_errors diags in
+  if Obs.enabled obs then begin
+    let count p = List.length (List.filter p diags) in
+    Obs.add (Obs.counter obs "validate.errors") (count Diag.is_error);
+    Obs.add
+      (Obs.counter obs "validate.warnings")
+      (count (fun d -> d.Diag.severity = Diag.Warning));
+    Obs.add (Obs.counter obs "validate.repairs") !repairs
+  end;
+  { diags; repairs = !repairs; fatal }
+
+let run_exn ?obs ?repair design =
+  let o = run ?obs ?repair design in
+  if o.fatal then raise (Invalid o.diags);
+  o

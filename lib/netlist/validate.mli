@@ -1,0 +1,43 @@
+(** Design validation and repair — the flow's ingress gate.
+
+    [run] sweeps a design for degeneracies that would otherwise poison a
+    whole optimization run and either repairs them in place (where a
+    safe local fix exists) or reports them as fatal:
+
+    - {b combinational cycles} ([VAL-007], fatal): a loop of
+      combinational cells breaks the timer's levelized propagation;
+    - {b flip-flops with no LCB clock source} ([VAL-005]): an FF whose
+      CK pin is unconnected is re-attached to the nearest LCB with an
+      output net (repair); an FF clocked by a non-clock-buffer source is
+      fatal;
+    - {b non-finite numerics}: NaN/infinite scheduled latencies are
+      reset to 0 ([VAL-003]), NaN/infinite cell positions are moved to
+      the die center ([VAL-004]), NaN latency-bound windows are cleared
+      ([VAL-008]) — all repairs;
+    - {b zero, negative or non-finite clock period} ([VAL-001], fatal);
+    - {b degenerate die area} ([VAL-002], fatal);
+    - residual {!Design.check} inconsistencies (dangling pins, driverless
+      nets) are collected as [VAL-000] warnings.
+
+    Counts are reported through the [validate.errors] /
+    [validate.warnings] / [validate.repairs] counters of the given
+    {!Css_util.Obs.t} sink. The repair policy is catalogued in
+    [docs/ROBUSTNESS.md]. *)
+
+type outcome = {
+  diags : Css_util.Diag.t list;  (** everything found, repaired or not *)
+  repairs : int;  (** number of repairs applied (0 when [repair:false]) *)
+  fatal : bool;  (** an {e unrepaired} error remains: do not optimize *)
+}
+
+(** [Invalid diags] is raised by {!run_exn} (and by flow entry) when the
+    design is fatally degenerate. *)
+exception Invalid of Css_util.Diag.t list
+
+(** [run ?obs ?repair design] validates and (by default) repairs
+    [design] in place. [repair:false] only reports. *)
+val run : ?obs:Css_util.Obs.t -> ?repair:bool -> Design.t -> outcome
+
+(** [run_exn ?obs ?repair design] is {!run}, raising {!Invalid} with the
+    collected diagnostics when the outcome is fatal. *)
+val run_exn : ?obs:Css_util.Obs.t -> ?repair:bool -> Design.t -> outcome

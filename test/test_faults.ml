@@ -1,0 +1,291 @@
+(* Fault-injection harness: corrupted designs and constraint files must
+   degrade gracefully — a typed diagnostic or a repaired run, never an
+   unhandled exception, and never a schedule worse than the input. *)
+
+module Design = Css_netlist.Design
+module Io = Css_netlist.Io
+module Sdc = Css_netlist.Sdc
+module Validate = Css_netlist.Validate
+module Diag = Css_util.Diag
+module Rng = Css_util.Rng
+module Point = Css_geometry.Point
+module Rect = Css_geometry.Rect
+module Mutator = Css_benchgen.Mutator
+module Generator = Css_benchgen.Generator
+module Timer = Css_sta.Timer
+module Scheduler = Css_core.Scheduler
+module Engine = Css_core.Engine
+module Evaluator = Css_eval.Evaluator
+module Flow = Css_flow.Flow
+
+let library = Css_liberty.Library.default
+let checkb = Alcotest.check Alcotest.bool
+let score (rep : Evaluator.report) = Float.min rep.Evaluator.wns_early rep.Evaluator.wns_late
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* {2 The netlist fault sweep} *)
+
+(* After a successful (possibly recovered) parse, the rest of the
+   hardened pipeline must also hold: validation repairs or rejects, and
+   an accepted flow run never ends worse than its (repaired) input. *)
+let downstream_graceful ctx design =
+  match Validate.run design with
+  | outcome when outcome.Validate.fatal -> ()
+  | _ -> (
+    let before = Evaluator.evaluate (Flow.clone design) in
+    match Flow.run ~config:{ Flow.default_config with Flow.rounds = 1 } ~algo:Flow.Ours design with
+    | r ->
+      if score r.Flow.report < score before -. 1e-6 then
+        Alcotest.failf "%s: accepted a schedule worse than the input (%.2f < %.2f)" ctx
+          (score r.Flow.report) (score before)
+    | exception Validate.Invalid _ -> ())
+  | exception e -> Alcotest.failf "%s: validation raised %s" ctx (Printexc.to_string e)
+
+let test_netlist_fault fault () =
+  let base = Io.to_string (Generator.micro ()) in
+  List.iter
+    (fun seed ->
+      let rng = Rng.create ((1000 * seed) + 7) in
+      let corrupted = Mutator.corrupt fault rng base in
+      List.iter
+        (fun (policy, pname) ->
+          let ctx = Printf.sprintf "%s/%s/seed%d" (Mutator.name fault) pname seed in
+          match Io.of_string_result ~policy ~library corrupted with
+          | Ok (design, _) -> downstream_graceful ctx design
+          | Error ds ->
+            if ds = [] then Alcotest.failf "%s: Error carries no diagnostics" ctx;
+            if not (Diag.has_errors ds) then
+              Alcotest.failf "%s: Error without an error-severity diagnostic" ctx;
+            List.iter
+              (fun (d : Diag.t) ->
+                if d.Diag.code = "" then Alcotest.failf "%s: diagnostic without a code" ctx)
+              ds
+          | exception e -> Alcotest.failf "%s: unhandled %s" ctx (Printexc.to_string e))
+        [ (Io.Abort, "abort"); (Io.Recover, "recover") ])
+    [ 0; 1; 2 ]
+
+(* {2 The SDC fault sweep} *)
+
+let base_sdc =
+  "create_clock -period 400\nset_clock_uncertainty -setup 5\nset_latency_bounds ffa 0 150\n"
+
+let test_sdc_fault fault () =
+  let rng = Rng.create 42 in
+  let corrupted = Mutator.corrupt_sdc fault rng base_sdc in
+  List.iter
+    (fun (policy, pname) ->
+      let ctx = Printf.sprintf "%s/%s" (Mutator.sdc_name fault) pname in
+      match Sdc.parse_result ~policy corrupted with
+      | Ok (t, _) -> (
+        let design = Generator.micro () in
+        match Sdc.apply_result ~policy t design with
+        | Ok _ -> ()
+        | Error ds ->
+          if not (Diag.has_errors ds) then Alcotest.failf "%s: apply Error without error" ctx
+        | exception e -> Alcotest.failf "%s: apply raised %s" ctx (Printexc.to_string e))
+      | Error ds ->
+        if not (Diag.has_errors ds) then Alcotest.failf "%s: parse Error without error" ctx
+      | exception e -> Alcotest.failf "%s: unhandled %s" ctx (Printexc.to_string e))
+    [ (Sdc.Abort, "abort"); (Sdc.Recover, "recover") ]
+
+let test_sdc_nearest_name_hint () =
+  let design = Generator.micro () in
+  (* "ffz" is one edit from the real "ffa"/"ffb"/"ffc"; the earliest
+     candidate wins the tie *)
+  let t = { Sdc.empty with Sdc.latency_bounds = [ ("ffz", 0.0, 100.0) ] } in
+  (match Sdc.apply_result t design with
+  | Error [ d ] ->
+    Alcotest.(check string) "code" "SDC-003" d.Diag.code;
+    (match d.Diag.hint with
+    | Some h -> checkb "hint suggests ffa" true (h = {|did you mean "ffa"?|})
+    | None -> Alcotest.fail "expected a nearest-name hint")
+  | _ -> Alcotest.fail "expected exactly one SDC-003 error");
+  match Sdc.apply t design with
+  | () -> Alcotest.fail "expected Failure"
+  | exception Failure m ->
+    checkb "legacy message carries the hint" true
+      (String.length m > 0
+      && contains ~sub:"did you mean" m)
+
+let test_sdc_unknown_command_hint () =
+  match Sdc.parse_result "set_cock_uncertainty -setup 10" with
+  | Error [ d ] ->
+    Alcotest.(check string) "code" "SDC-001" d.Diag.code;
+    checkb "hint present" true (d.Diag.hint = Some {|did you mean "set_clock_uncertainty"?|})
+  | _ -> Alcotest.fail "expected exactly one SDC-001 error"
+
+(* {2 Validation and repair} *)
+
+let test_validate_repairs () =
+  let design = Generator.micro () in
+  let ff = (Design.ffs design).(0) in
+  let gate =
+    (* some non-FF cell *)
+    let found = ref (-1) in
+    Design.iter_cells design (fun c ->
+        if !found < 0 && (not (Design.is_ff design c)) && not (Design.is_lcb design c) then
+          found := c);
+    !found
+  in
+  Design.set_scheduled_latency design ff infinity;
+  Design.move_cell design gate (Point.make Float.nan 5.0);
+  let o = Validate.run design in
+  checkb "not fatal" false o.Validate.fatal;
+  checkb "repairs counted" true (o.Validate.repairs >= 2);
+  checkb "latency repaired" true (Float.is_finite (Design.scheduled_latency design ff));
+  checkb "position repaired" true (Float.is_finite (Design.cell_pos design gate).Point.x);
+  (* repair:false reports the same findings but touches nothing *)
+  let design2 = Generator.micro () in
+  Design.set_scheduled_latency design2 (Design.ffs design2).(0) infinity;
+  let o2 = Validate.run ~repair:false design2 in
+  checkb "no-repair mode is fatal" true o2.Validate.fatal;
+  checkb "no-repair mode repairs nothing" true (o2.Validate.repairs = 0)
+
+let test_validate_zero_period () =
+  let die = Rect.make ~lx:0.0 ~ly:0.0 ~hx:100.0 ~hy:100.0 in
+  let design = Design.create ~name:"bad" ~library ~die ~clock_period:0.0 () in
+  let o = Validate.run design in
+  checkb "fatal" true o.Validate.fatal;
+  checkb "VAL-001 reported" true
+    (List.exists (fun (d : Diag.t) -> d.Diag.code = "VAL-001") o.Validate.diags);
+  match Validate.run_exn design with
+  | _ -> Alcotest.fail "run_exn should raise"
+  | exception Validate.Invalid ds -> checkb "diags carried" true (ds <> [])
+
+let test_validate_comb_cycle () =
+  let die = Rect.make ~lx:0.0 ~ly:0.0 ~hx:1000.0 ~hy:1000.0 in
+  let design = Design.create ~name:"loop" ~library ~die ~clock_period:400.0 () in
+  let i1 = Design.add_cell design ~name:"i1" ~master:"INV_X1" ~pos:(Point.make 10.0 10.0) in
+  let i2 = Design.add_cell design ~name:"i2" ~master:"INV_X1" ~pos:(Point.make 20.0 20.0) in
+  ignore
+    (Design.add_net design ~name:"a" ~driver:(Design.cell_pin design i1 "Z")
+       ~sinks:[ Design.cell_pin design i2 "A" ]);
+  ignore
+    (Design.add_net design ~name:"b" ~driver:(Design.cell_pin design i2 "Z")
+       ~sinks:[ Design.cell_pin design i1 "A" ]);
+  let o = Validate.run design in
+  checkb "fatal" true o.Validate.fatal;
+  match List.find_opt (fun (d : Diag.t) -> d.Diag.code = "VAL-007") o.Validate.diags with
+  | Some d ->
+    checkb "cycle members named" true (contains ~sub:"i1" d.Diag.message)
+  | None -> Alcotest.fail "expected a VAL-007 combinational-cycle diagnostic"
+
+(* {2 Watchdogs} *)
+
+let test_scheduler_deadline () =
+  let design = Generator.micro () in
+  let timer = Timer.build design in
+  let config = { Scheduler.default_config with Scheduler.deadline_seconds = Some (-1.0) } in
+  let res, _ = Engine.run_ours ~config timer ~corner:Timer.Late in
+  checkb "stopped by deadline" true (res.Scheduler.stop_reason = Scheduler.Deadline);
+  checkb "no iterations ran" true (res.Scheduler.iterations = 0);
+  Alcotest.(check string) "stable name" "deadline"
+    (Scheduler.stop_reason_name res.Scheduler.stop_reason)
+
+let test_scheduler_converges_normally () =
+  let design = Generator.micro () in
+  let timer = Timer.build design in
+  let res, _ = Engine.run_ours timer ~corner:Timer.Late in
+  checkb "converged" true (res.Scheduler.stop_reason = Scheduler.Converged)
+
+let test_flow_deadline () =
+  let design = Generator.micro () in
+  let config = { Flow.default_config with Flow.deadline_seconds = Some 0.0 } in
+  let r = Flow.run ~config ~algo:Flow.Ours design in
+  Alcotest.(check string) "stop reason" "deadline" r.Flow.stop_reason
+
+let test_howard_rejects_nonfinite () =
+  let g = Css_mmwc.Digraph.make ~n:2 [ (0, 1, 5.0); (1, 0, Float.nan) ] in
+  match Css_mmwc.Howard.min_mean_cycle g with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument m ->
+    checkb "names the edge" true (contains ~sub:"non-finite" m)
+
+(* {2 Checkpoint / rollback} *)
+
+let test_flow_rollback () =
+  let design = Generator.micro () in
+  let before = Evaluator.evaluate (Generator.micro ()) in
+  (* sabotage the late phase: shove every flip-flop off the die so wire
+     delays explode — a deliberately regressing OPT outcome *)
+  let sabotage ~round:_ ~phase d =
+    if phase = "late" then
+      Array.iter
+        (fun ff ->
+          let p = Design.cell_pos d ff in
+          Design.move_cell d ff (Point.make (p.Point.x +. 5.0e6) p.Point.y))
+        (Design.ffs d)
+  in
+  let config =
+    { Flow.default_config with Flow.rounds = 1; Flow.on_phase_end = Some sabotage }
+  in
+  let r = Flow.run ~config ~algo:Flow.Ours design in
+  checkb "rolled back" true r.Flow.rolled_back;
+  (* the reported state is the checkpoint's, and the design on disk
+     agrees with it: re-evaluating reproduces the reported WNS exactly *)
+  let re = Evaluator.evaluate design in
+  Alcotest.(check (float 1e-6)) "early WNS restored" r.Flow.report.Evaluator.wns_early
+    re.Evaluator.wns_early;
+  Alcotest.(check (float 1e-6)) "late WNS restored" r.Flow.report.Evaluator.wns_late
+    re.Evaluator.wns_late;
+  checkb "never worse than the input" true (score r.Flow.report >= score before -. 1e-6)
+
+let test_flow_no_rollback_when_clean () =
+  let design = Generator.micro () in
+  let r = Flow.run ~algo:Flow.Ours design in
+  checkb "no rollback on a normal run" false r.Flow.rolled_back;
+  checkb "stop reason sane" true
+    (List.mem r.Flow.stop_reason [ "clean"; "max-rounds"; "stalled" ])
+
+let test_flow_validation_diags_surface () =
+  let design = Generator.micro () in
+  Design.set_scheduled_latency design (Design.ffs design).(0) Float.nan;
+  let r = Flow.run ~algo:Flow.Ours design in
+  checkb "validation diagnostics surfaced" true
+    (List.exists (fun (d : Diag.t) -> d.Diag.code = "VAL-003") r.Flow.validation)
+
+let () =
+  let netlist_cases =
+    List.map
+      (fun f -> Alcotest.test_case (Mutator.name f) `Quick (test_netlist_fault f))
+      Mutator.all
+  in
+  let sdc_cases =
+    List.map
+      (fun f -> Alcotest.test_case (Mutator.sdc_name f) `Quick (test_sdc_fault f))
+      Mutator.all_sdc
+  in
+  Alcotest.run "faults"
+    [
+      ("netlist-faults", netlist_cases);
+      ("sdc-faults", sdc_cases);
+      ( "diagnostics",
+        [
+          Alcotest.test_case "sdc nearest-name hint" `Quick test_sdc_nearest_name_hint;
+          Alcotest.test_case "sdc command hint" `Quick test_sdc_unknown_command_hint;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "repairs numerics" `Quick test_validate_repairs;
+          Alcotest.test_case "zero period fatal" `Quick test_validate_zero_period;
+          Alcotest.test_case "combinational cycle fatal" `Quick test_validate_comb_cycle;
+        ] );
+      ( "watchdogs",
+        [
+          Alcotest.test_case "scheduler deadline" `Quick test_scheduler_deadline;
+          Alcotest.test_case "scheduler converges" `Quick test_scheduler_converges_normally;
+          Alcotest.test_case "flow deadline" `Quick test_flow_deadline;
+          Alcotest.test_case "howard rejects non-finite" `Quick test_howard_rejects_nonfinite;
+        ] );
+      ( "rollback",
+        [
+          Alcotest.test_case "regressing phase rolls back" `Quick test_flow_rollback;
+          Alcotest.test_case "clean run keeps result" `Quick test_flow_no_rollback_when_clean;
+          Alcotest.test_case "validation surfaces in result" `Quick
+            test_flow_validation_diags_surface;
+        ] );
+    ]

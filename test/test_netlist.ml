@@ -309,6 +309,41 @@ let test_sdc_apply () =
   let ghost = Sdc.parse "set_latency_bounds casper 0 9\n" in
   checkb "ghost flop rejected" true (try Sdc.apply ghost d; false with Failure _ -> true)
 
+(* Golden diagnostic renderings: the exact one-line messages the CLI
+   prints. Pinned so error UX changes are deliberate, not accidental. *)
+
+let expect_failure golden f =
+  match f () with
+  | _ -> Alcotest.failf "expected Failure %S" golden
+  | exception Failure m -> Alcotest.(check string) "message" golden m
+
+let test_golden_missing_header () =
+  expect_failure
+    "error[IO-002] missing design header (need 'design <name> period <T>' and 'die <lx> <ly> \
+     <hx> <hy>')" (fun () -> Io.of_string ~library:Library.default "# just a comment\n")
+
+let test_golden_truncated_netlist () =
+  (* the tail of a cell line cut off mid-token *)
+  expect_failure "error[IO-001] line 3: unrecognized line: cell ff1 DF" (fun () ->
+      Io.of_string ~library:Library.default
+        "design t period 400\ndie 0 0 100 100\ncell ff1 DF")
+
+let test_golden_unknown_master_hint () =
+  expect_failure {|error[IO-006] line 3: unknown master DFG (hint: did you mean "DFF"?)|}
+    (fun () ->
+      Io.of_string ~library:Library.default
+        "design t period 400\ndie 0 0 100 100\ncell ff1 DFG 5 5")
+
+let test_golden_bad_sdc_number () =
+  expect_failure {|error[SDC-004] line 1: expected a number, got "abc"|} (fun () ->
+      Sdc.parse "create_clock -period abc")
+
+let test_golden_bad_sdc_command () =
+  expect_failure
+    ("error[SDC-001] line 2: unknown or malformed command \"set_cock_uncertainty\" "
+    ^ {|(hint: did you mean "set_clock_uncertainty"?)|})
+    (fun () -> Sdc.parse "create_clock -period 400\nset_cock_uncertainty -setup 10")
+
 let () =
   Alcotest.run "netlist"
     [
@@ -346,5 +381,13 @@ let () =
           Alcotest.test_case "errors" `Quick test_io_errors;
           Alcotest.test_case "comments and blanks" `Quick test_io_comments_and_blanks;
           Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;
+        ] );
+      ( "golden-messages",
+        [
+          Alcotest.test_case "missing header" `Quick test_golden_missing_header;
+          Alcotest.test_case "truncated netlist" `Quick test_golden_truncated_netlist;
+          Alcotest.test_case "unknown master hint" `Quick test_golden_unknown_master_hint;
+          Alcotest.test_case "bad sdc number" `Quick test_golden_bad_sdc_number;
+          Alcotest.test_case "bad sdc command" `Quick test_golden_bad_sdc_command;
         ] );
     ]
