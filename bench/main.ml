@@ -26,6 +26,9 @@
      CSS_BENCH_JSON    path of the JSON artifact (default BENCH_css.json)
      CSS_BENCH_DESIGNS comma-separated design list for the JSON section
                        (default sb1,sb7,sb16,sb18)
+     CSS_BENCH_JOBS    worker domains for the parallel-extraction
+                       speedup measurement in the JSON section (default:
+                       the runtime's recommended domain count)
      CSS_BENCH_JSON_ONLY   if set, run only the JSON section
      CSS_BENCH_SKIP_BECHAMEL   if set, skip the micro-benchmarks *)
 
@@ -307,25 +310,25 @@ let fig2 () =
   let design = Generator.generate p in
   let timer = Timer.build design in
   let verts = Vertex.of_design design in
-  let essential = Extract.Essential.create timer verts ~corner:Timer.Late in
-  ignore (Extract.Essential.round essential);
-  let es = Extract.Essential.stats essential in
+  let essential = Extract.run ~engine:Extract.Essential timer verts ~corner:Timer.Late in
+  ignore (Extract.round essential);
+  let es = Extract.stats essential in
   Table.add_row t
     [ "iterative essential (ours)"; string_of_int es.Extract.edges_extracted;
       string_of_int es.Extract.cone_nodes; "only negative edges" ];
   let design2 = Generator.generate p in
   let timer2 = Timer.build design2 in
   let verts2 = Vertex.of_design design2 in
-  let iccss = Extract.Iccss.create timer2 verts2 ~corner:Timer.Late in
-  ignore (Extract.Iccss.extract_critical iccss);
-  let is = Extract.Iccss.stats iccss in
+  let iccss = Extract.run ~engine:Extract.Iccss timer2 verts2 ~corner:Timer.Late in
+  ignore (Extract.round iccss);
+  let is = Extract.stats iccss in
   Table.add_row t
     [ "IC-CSS callback [Albrecht]"; string_of_int is.Extract.edges_extracted;
       string_of_int is.Extract.cone_nodes; "all edges of critical vertices" ];
   let design3 = Generator.generate p in
   let timer3 = Timer.build design3 in
   let verts3 = Vertex.of_design design3 in
-  let _, fs = Extract.Full.extract timer3 verts3 ~corner:Timer.Late in
+  let fs = Extract.stats (Extract.run ~engine:Extract.Full timer3 verts3 ~corner:Timer.Late) in
   Table.add_row t
     [ "full extraction"; string_of_int fs.Extract.edges_extracted;
       string_of_int fs.Extract.cone_nodes; "everything" ];
@@ -338,6 +341,32 @@ module Obs = Css_util.Obs
 
 let json_path =
   match Sys.getenv_opt "CSS_BENCH_JSON" with Some p -> p | None -> "BENCH_css.json"
+
+let bench_jobs =
+  match Sys.getenv_opt "CSS_BENCH_JOBS" with
+  | Some s -> max 1 (int_of_string s)
+  | None -> Css_util.Pool.default_jobs ()
+
+(* Wall-clock of one extraction phase run until a round stops growing
+   the graph. ([Extract.round] can keep reporting work on an endpoint
+   whose worst slack no sequential in-edge explains — e.g. a primary
+   input launch — so "returns 0" is not a termination test without the
+   scheduler moving latencies in between.) Results are bit-identical
+   with or without the pool; only the clock differs. *)
+let time_extraction ?pool p engine =
+  let design = Generator.generate p in
+  let timer = Timer.build design in
+  let verts = Vertex.of_design design in
+  let t0 = Css_util.Wall_clock.now () in
+  let eng = Extract.run ?pool ~engine timer verts ~corner:Timer.Late in
+  let continue_ = ref true in
+  while !continue_ do
+    let before = Css_seqgraph.Seq_graph.num_edges (Extract.graph eng) in
+    let n = Extract.round eng in
+    if n = 0 || Css_seqgraph.Seq_graph.num_edges (Extract.graph eng) = before then
+      continue_ := false
+  done;
+  (Css_util.Wall_clock.now () -. t0) *. 1000.0
 
 (* One CSS-only run (late corner) of one extraction engine on a fresh
    copy of [p], instrumented with an Obs context. Returns the scheduler
@@ -352,29 +381,30 @@ let json_engine_run p engine_name =
   let extraction, stats_of =
     match engine_name with
     | "iterative-essential" ->
-      let eng = Extract.Essential.create ~obs timer verts ~corner:Timer.Late in
+      let eng = Extract.run ~engine:Extract.Essential ~obs timer verts ~corner:Timer.Late in
       ( {
-          Scheduler.extract = (fun () -> Extract.Essential.round eng);
-          graph = Extract.Essential.graph eng;
+          Scheduler.extract = (fun () -> Extract.round eng);
+          graph = Extract.graph eng;
           on_cap_hit = (fun _ -> ());
         },
-        fun () -> Extract.Essential.stats eng )
+        fun () -> Extract.stats eng )
     | "iccss-callback" ->
-      let eng = Extract.Iccss.create ~obs timer verts ~corner:Timer.Late in
+      let eng = Extract.run ~engine:Extract.Iccss ~obs timer verts ~corner:Timer.Late in
       ( {
-          Scheduler.extract = (fun () -> Extract.Iccss.extract_critical eng);
-          graph = Extract.Iccss.graph eng;
+          Scheduler.extract = (fun () -> Extract.round eng);
+          graph = Extract.graph eng;
           on_cap_hit =
             (fun v ->
               match Vertex.ff_of verts v with
-              | Some ff -> ignore (Extract.Iccss.extract_constraint_edges eng ff)
+              | Some ff -> ignore (Extract.constraint_edges eng ff)
               | None -> ());
         },
-        fun () -> Extract.Iccss.stats eng )
+        fun () -> Extract.stats eng )
     | _ ->
       (* full extraction up front; the scheduler sees it as one huge
          first round *)
-      let graph, fstats = Extract.Full.extract ~obs timer verts ~corner:Timer.Late in
+      let feng = Extract.run ~obs ~engine:Extract.Full timer verts ~corner:Timer.Late in
+      let graph = Extract.graph feng and fstats = Extract.stats feng in
       let first = ref true in
       ( {
           Scheduler.extract =
@@ -401,6 +431,10 @@ let json_designs =
 let bench_json () =
   section "BENCH_css.json — machine-readable per-iteration engine comparison";
   let module J = Obs.Json in
+  let pool =
+    if bench_jobs > 1 then Some (Css_util.Pool.create ~jobs:bench_jobs ()) else None
+  in
+  Fun.protect ~finally:(fun () -> Option.iter Css_util.Pool.shutdown pool) @@ fun () ->
   let bench_profiles =
     List.map
       (fun name ->
@@ -408,8 +442,11 @@ let bench_json () =
         if scale = 1.0 then p else Profile.scale scale p)
       json_designs
   in
-  let t = Table.create [ "design"; "engine"; "iters"; "#edges"; "#full"; "ratio"; "wall ms" ] in
-  Table.set_aligns t Table.[ Left; Left; Right; Right; Right; Right; Right ];
+  let t =
+    Table.create
+      [ "design"; "engine"; "iters"; "#edges"; "#full"; "ratio"; "wall ms"; "ext speedup" ]
+  in
+  Table.set_aligns t Table.[ Left; Left; Right; Right; Right; Right; Right; Right ];
   let entries =
     List.concat_map
       (fun (p : Profile.t) ->
@@ -423,6 +460,19 @@ let bench_json () =
         List.map
           (fun (engine_name, (result, stats, wall_ms, obs, timer)) ->
             let edges = stats.Extract.edges_extracted in
+            let variant =
+              match engine_name with
+              | "iterative-essential" -> Extract.Essential
+              | "iccss-callback" -> Extract.Iccss
+              | _ -> Extract.Full
+            in
+            let extract_seq_ms = time_extraction p variant in
+            let extract_par_ms =
+              match pool with
+              | Some _ -> time_extraction ?pool p variant
+              | None -> extract_seq_ms
+            in
+            let extract_speedup = extract_seq_ms /. Float.max extract_par_ms 1e-9 in
             Table.add_row t
               [
                 p.Profile.name;
@@ -432,6 +482,7 @@ let bench_json () =
                 string_of_int edges_full;
                 Printf.sprintf "%.1f%%" (100.0 *. float_of_int edges /. float_of_int (max 1 edges_full));
                 Printf.sprintf "%.1f" wall_ms;
+                Printf.sprintf "%.2fx @%d" extract_speedup bench_jobs;
               ];
             let per_iter =
               J.List
@@ -462,6 +513,10 @@ let bench_json () =
                 ("wns_early", J.Float (Timer.wns timer Timer.Early));
                 ("tns", J.Float (Timer.tns timer Timer.Late));
                 ("wall_ms", J.Float wall_ms);
+                ("jobs", J.Int bench_jobs);
+                ("extract_seq_ms", J.Float extract_seq_ms);
+                ("extract_par_ms", J.Float extract_par_ms);
+                ("extract_speedup", J.Float extract_speedup);
                 ("per_iter", per_iter);
                 ("counters", J.Obj (List.map (fun (n, v) -> (n, J.Int v)) (Obs.counters obs)));
               ])
@@ -490,18 +545,18 @@ let run_ablation ~name ~config ~limit p =
   let design = Generator.generate p in
   let timer = Timer.build design in
   let verts = Vertex.of_design design in
-  let engine = Extract.Essential.create timer verts ~corner:Timer.Late in
+  let engine = Extract.run ~engine:Extract.Essential timer verts ~corner:Timer.Late in
   let extraction =
     {
-      Scheduler.extract = (fun () -> Extract.Essential.round ?limit engine);
-      graph = Extract.Essential.graph engine;
+      Scheduler.extract = (fun () -> Extract.round ?limit engine);
+      graph = Extract.graph engine;
       on_cap_hit = (fun _ -> ());
     }
   in
   let t0 = Css_util.Wall_clock.now () in
   let result = Scheduler.run ~config timer extraction in
   let dt = Css_util.Wall_clock.now () -. t0 in
-  let stats = Extract.Essential.stats engine in
+  let stats = Extract.stats engine in
   ( name,
     dt,
     result.Scheduler.iterations,
@@ -627,8 +682,8 @@ let bechamel_kernels () =
   let test_essential_round =
     Test.make ~name:"essential extraction round"
       (Staged.stage (fun () ->
-           let engine = Extract.Essential.create timer verts ~corner:Timer.Late in
-           ignore (Extract.Essential.round engine)))
+           let engine = Extract.run ~engine:Extract.Essential timer verts ~corner:Timer.Late in
+           ignore (Extract.round engine)))
   in
   let mmwc_graph =
     Css_mmwc.Digraph.make ~n:50

@@ -13,17 +13,28 @@
 #                         success (no artifact, seconds not minutes)
 #
 # All CSS_BENCH_* environment knobs documented in bench/main.ml pass
-# through; CSS_BENCH_JSON overrides the artifact path.
+# through; CSS_BENCH_JSON overrides the artifact path and CSS_BENCH_JOBS
+# sets the worker-domain count for the parallel-extraction speedup
+# measurement (default: the runtime's recommended domain count).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if [ "${1:-}" = "--smoke" ]; then
   dune build
   dune exec bin/css_opt_cli.exe -- --benchmark tiny --rounds 1 --quiet
+  # parallel extraction must be bit-identical to sequential: same design,
+  # --jobs 1 vs --jobs 2, byte-compare the saved optimized netlists
+  out1="$(mktemp)" out2="$(mktemp)" tmp=""
+  trap 'rm -f "$tmp" "$out1" "$out2"' EXIT
+  dune exec bin/css_opt_cli.exe -- --benchmark tiny --rounds 1 --quiet --jobs 1 -o "$out1"
+  dune exec bin/css_opt_cli.exe -- --benchmark tiny --rounds 1 --quiet --jobs 2 -o "$out2"
+  if ! cmp -s "$out1" "$out2"; then
+    echo "smoke: --jobs 2 result differs from --jobs 1 (parallel extraction is not deterministic)" >&2
+    exit 1
+  fi
   # a malformed design must fail with the input-error exit code (2) and
   # a one-line diagnostic, never a backtrace
   tmp="$(mktemp)"
-  trap 'rm -f "$tmp"' EXIT
   printf 'design broken period abc\n' > "$tmp"
   set +e
   dune exec bin/css_opt_cli.exe -- --input "$tmp" 2> /dev/null

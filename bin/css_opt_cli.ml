@@ -84,6 +84,13 @@ let sdc =
   let doc = "Apply an SDC-lite constraint file (see Css_netlist.Sdc)." in
   Arg.(value & opt (some file) None & info [ "sdc" ] ~docv:"FILE" ~doc)
 
+let jobs =
+  let doc =
+    "Worker domains for parallel sequential-graph extraction (default: the runtime's \
+     recommended domain count). Results are bit-identical at any value; 1 disables the pool."
+  in
+  Arg.(value & opt int (Css_util.Pool.default_jobs ()) & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 (* [`Usage] errors (bad invocation) exit 1; [`Input] errors (a design or
    constraint file that does not parse or validate) exit 2, so scripts
    can tell "you called me wrong" from "your data is bad". *)
@@ -91,9 +98,10 @@ let load_design benchmark input scale =
   match (benchmark, input) with
   | Some _, Some _ -> Error (`Usage "pass either --benchmark or --input, not both")
   | None, None -> Error (`Usage "one of --benchmark or --input is required")
-  | None, Some file ->
-    (try Ok (Css_netlist.Io.load ~library:Css_liberty.Library.default file)
-     with Failure m -> Error (`Input m))
+  | None, Some file -> (
+    match Css_netlist.Io.load ~library:Css_liberty.Library.default file with
+    | Ok (design, _) -> Ok design
+    | Error ds -> Error (`Diags ds))
   | Some name, None -> (
     let profile =
       if name = "tiny" then Some Css_benchgen.Profile.tiny else Css_benchgen.Profile.by_name name
@@ -125,7 +133,7 @@ let setup_logs verbose quiet =
        | _ -> Some Logs.Debug)
 
 let main benchmark input algo rounds scale save_out trace_flag stats_json quiet resize cts
-    verbose su hu sdc =
+    verbose su hu sdc jobs =
   setup_logs verbose quiet;
   let say fmt =
     Printf.ksprintf (fun s -> if not quiet then print_string s) fmt
@@ -134,9 +142,7 @@ let main benchmark input algo rounds scale save_out trace_flag stats_json quiet 
   | Error (`Usage m) ->
     prerr_endline ("css_opt: " ^ m);
     1
-  | Error (`Input m) ->
-    prerr_endline ("css_opt: " ^ m);
-    2
+  | Error (`Diags ds) -> input_error ds
   | Ok design -> (
     try
     let obs =
@@ -147,8 +153,18 @@ let main benchmark input algo rounds scale save_out trace_flag stats_json quiet 
     let constraints =
       match sdc with
       | Some path ->
-        let c = Css_netlist.Sdc.load path in
-        Css_netlist.Sdc.apply c design;
+        let c, warns =
+          match Css_netlist.Sdc.load path with
+          | Ok ok -> ok
+          | Error ds -> raise (Css_util.Diag.Failed ds)
+        in
+        List.iter
+          (fun d ->
+            if not quiet then prerr_endline ("css_opt: " ^ Css_util.Diag.to_string d))
+          warns;
+        (match Css_netlist.Sdc.apply c design with
+        | Ok _ -> ()
+        | Error ds -> raise (Css_util.Diag.Failed ds));
         say "applied %s (%d latency windows)\n%!" path
           (List.length c.Css_netlist.Sdc.latency_bounds);
         c
@@ -185,8 +201,10 @@ let main benchmark input algo rounds scale save_out trace_flag stats_json quiet 
         Flow.use_cts = cts;
         Flow.timer = timer_cfg_pre;
         Flow.obs = obs;
+        Flow.jobs = max 1 jobs;
       }
     in
+    say "extraction jobs: %d\n%!" (max 1 jobs);
     let res = Flow.run ~config ~algo design in
     List.iter
       (fun d ->
@@ -239,6 +257,6 @@ let cmd =
     Term.(
       const main $ benchmark $ input $ algo $ rounds $ scale $ save_out $ trace_flag
       $ stats_json $ quiet_flag $ resize_flag $ cts_flag $ verbose $ setup_uncertainty
-      $ hold_uncertainty $ sdc)
+      $ hold_uncertainty $ sdc $ jobs)
 
 let () = exit (Cmd.eval' cmd)

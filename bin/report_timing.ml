@@ -22,7 +22,7 @@ let npaths =
 let main input benchmark npaths =
   let design =
     match (input, benchmark) with
-    | Some file, None -> Some (Css_netlist.Io.load ~library:Css_liberty.Library.default file)
+    | Some file, None -> Some (Css_netlist.Io.load_exn ~library:Css_liberty.Library.default file)
     | None, Some name ->
       let p =
         if name = "tiny" then Some Css_benchgen.Profile.tiny else Css_benchgen.Profile.by_name name

@@ -55,17 +55,17 @@ let () =
   (* Update-Extract by hand: round 1 walks all violated endpoints; a
      second round with no timing change walks nothing. *)
   let verts = Vertex.of_design design in
-  let engine = Extract.Essential.create timer verts ~corner:Timer.Late in
-  let added1 = Extract.Essential.round engine in
-  let e_stats = Extract.Essential.stats engine in
+  let engine = Extract.run ~engine:Extract.Essential timer verts ~corner:Timer.Late in
+  let added1 = Extract.round engine in
+  let e_stats = Extract.stats engine in
   Printf.printf "\nessential extraction round 1: %d edges, %d gate-level nodes walked\n" added1
     e_stats.Extract.cone_nodes;
-  let added2 = Extract.Essential.round engine in
+  let added2 = Extract.round engine in
   Printf.printf "round 2 (nothing changed):    %d edges, %d nodes walked (cumulative)\n" added2
     e_stats.Extract.cone_nodes;
 
   (* raise one launcher: only the endpoints it newly violates get walked *)
-  let graph = Extract.Essential.graph engine in
+  let graph = Extract.graph engine in
   let some_edge = List.hd (Seq_graph.edges graph) in
   (match Vertex.ff_of verts some_edge.Seq_graph.src with
   | Some ff ->
@@ -73,7 +73,7 @@ let () =
     Timer.update_latencies timer [ ff ];
     Printf.printf "\nraised launcher %s by 60 ps;\n" (Design.cell_name design ff)
   | None -> ());
-  let added3 = Extract.Essential.round engine in
+  let added3 = Extract.round engine in
   Printf.printf "round 3 extracts only the newly violated endpoints: %d new edges, %d nodes\n"
     added3 e_stats.Extract.cone_nodes;
   show "after the perturbation" timer

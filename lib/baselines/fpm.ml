@@ -19,11 +19,12 @@ type config = {
 
 let default_config = { max_sweeps = 50; eps = 1e-6 }
 
-let run ?(config = default_config) ?(obs = Obs.null) timer =
+let run ?(config = default_config) ?(obs = Obs.null) ?pool timer =
   let design = Timer.design timer in
   let verts = Vertex.of_design design in
   let o_sweeps = Obs.counter obs "fpm.sweeps" in
-  let graph, stats = Extract.Full.extract ~obs timer verts ~corner:Timer.Early in
+  let eng = Extract.run ~obs ?pool ~engine:Extract.Full timer verts ~corner:Timer.Early in
+  let graph = Extract.graph eng and stats = Extract.stats eng in
   let n = Vertex.num verts in
   (* Static caps, read once at extraction time — FPM does not refresh
      them, unlike the iterative algorithm. *)

@@ -33,5 +33,6 @@ val default_config : config
 val run :
   ?config:config ->
   ?obs:Css_util.Obs.t ->
+  ?pool:Css_util.Pool.t ->
   Css_sta.Timer.t ->
   result * Css_seqgraph.Extract.stats

@@ -2,19 +2,19 @@ module Extract = Css_seqgraph.Extract
 module Vertex = Css_seqgraph.Vertex
 module Obs = Css_util.Obs
 
-let ours ?(obs = Obs.null) timer ~corner =
+let ours ?(obs = Obs.null) ?pool timer ~corner =
   let verts = Vertex.of_design (Css_sta.Timer.design timer) in
-  let engine = Extract.Essential.create ~obs timer verts ~corner in
+  let engine = Extract.run ~obs ?pool ~engine:Extract.Essential timer verts ~corner in
   let extraction =
     {
-      Scheduler.extract = (fun () -> Extract.Essential.round engine);
-      graph = Extract.Essential.graph engine;
+      Scheduler.extract = (fun () -> Extract.round engine);
+      graph = Extract.graph engine;
       on_cap_hit = (fun _ -> ());
     }
   in
-  (extraction, Extract.Essential.stats engine)
+  (extraction, Extract.stats engine)
 
-let run_ours ?config ?(obs = Obs.null) timer ~corner =
-  let extraction, stats = ours ~obs timer ~corner in
+let run_ours ?config ?(obs = Obs.null) ?pool timer ~corner =
+  let extraction, stats = ours ~obs ?pool timer ~corner in
   let result = Scheduler.run ?config ~obs timer extraction in
   (result, stats)

@@ -5,20 +5,24 @@
     one Update-Extract round, and the Eq. (11) caps come from the timer
     for free, so [on_cap_hit] does nothing. *)
 
-(** [ours ?obs timer ~corner] is the extraction plus its statistics
-    record. [obs] feeds the [extract.essential.*] counters. *)
+(** [ours ?obs ?pool timer ~corner] is the extraction plus its
+    statistics record. [obs] feeds the [extract.essential.*] counters;
+    [pool] parallelizes the per-round cone walks (bit-identical
+    results, see {!Css_seqgraph.Extract.run}). *)
 val ours :
   ?obs:Css_util.Obs.t ->
+  ?pool:Css_util.Pool.t ->
   Css_sta.Timer.t ->
   corner:Css_sta.Timer.corner ->
   Scheduler.extraction * Css_seqgraph.Extract.stats
 
-(** [run_ours ?config ?obs timer ~corner] builds the engine and runs
-    Algorithm 1; [obs] additionally receives the scheduler's [sched.*]
-    counters and per-iteration snapshots. *)
+(** [run_ours ?config ?obs ?pool timer ~corner] builds the engine and
+    runs Algorithm 1; [obs] additionally receives the scheduler's
+    [sched.*] counters and per-iteration snapshots. *)
 val run_ours :
   ?config:Scheduler.config ->
   ?obs:Css_util.Obs.t ->
+  ?pool:Css_util.Pool.t ->
   Css_sta.Timer.t ->
   corner:Css_sta.Timer.corner ->
   Scheduler.result * Css_seqgraph.Extract.stats

@@ -27,7 +27,7 @@ let achievable_wns graph ~fixed =
 let gap timer ~corner =
   let design = Timer.design timer in
   let verts = Vertex.of_design design in
-  let graph, _ = Extract.Full.extract timer verts ~corner in
+  let graph = Extract.graph (Extract.run ~engine:Extract.Full timer verts ~corner) in
   let is_super v = Vertex.is_super verts v in
   let bound =
     match achievable_wns graph ~fixed:is_super with

@@ -12,6 +12,7 @@ module Evaluator = Css_eval.Evaluator
 module Wall_clock = Css_util.Wall_clock
 module Diag = Css_util.Diag
 module Obs = Css_util.Obs
+module Pool = Css_util.Pool
 
 let log_src = Logs.Src.create "css.flow" ~doc:"end-to-end slack optimization flow"
 
@@ -72,6 +73,7 @@ type config = {
   stall_phases : int;
   on_phase_end : (round:int -> phase:string -> Design.t -> unit) option;
   obs : Obs.t;
+  jobs : int;
 }
 
 let default_config =
@@ -91,10 +93,11 @@ let default_config =
     stall_phases = 4;
     on_phase_end = None;
     obs = Obs.null;
+    jobs = 1;
   }
 
 let clone design =
-  Css_netlist.Io.of_string ~library:(Design.library design) (Css_netlist.Io.to_string design)
+  Css_netlist.Io.of_string_exn ~library:(Design.library design) (Css_netlist.Io.to_string design)
 
 (* A restorable snapshot of everything the OPT passes mutate, scored by
    the independent evaluator (which sees the physically realized state —
@@ -116,10 +119,10 @@ type checkpoint = {
    growing incrementally over the whole flow, as in the paper, instead of
    being rebuilt per phase. *)
 type engines = {
-  mutable ours_early : Extract.Essential.t option;
-  mutable ours_late : Extract.Essential.t option;
-  mutable iccss_early : Extract.Iccss.t option;
-  mutable iccss_late : Extract.Iccss.t option;
+  mutable ours_early : Extract.t option;
+  mutable ours_late : Extract.t option;
+  mutable iccss_early : Extract.t option;
+  mutable iccss_late : Extract.t option;
 }
 
 type run_state = {
@@ -127,6 +130,7 @@ type run_state = {
   timer : Timer.t;
   verts : Vertex.t;
   engines : engines;
+  pool : Pool.t option;  (* shared by all engines; shut down at flow exit *)
   css_clock : Wall_clock.t;
   opt_clock : Wall_clock.t;
   t0 : float;
@@ -208,7 +212,10 @@ let ours_engine st corner =
   match get () with
   | Some e -> e
   | None ->
-    let e = Extract.Essential.create ~obs:st.cfg.obs st.timer st.verts ~corner in
+    let e =
+      Extract.run ~obs:st.cfg.obs ?pool:st.pool ~engine:Extract.Essential st.timer st.verts
+        ~corner
+    in
     set e;
     e
 
@@ -222,7 +229,9 @@ let iccss_engine st corner =
   match get () with
   | Some e -> e
   | None ->
-    let e = Extract.Iccss.create ~obs:st.cfg.obs st.timer st.verts ~corner in
+    let e =
+      Extract.run ~obs:st.cfg.obs ?pool:st.pool ~engine:Extract.Iccss st.timer st.verts ~corner
+    in
     set e;
     e
 
@@ -334,11 +343,11 @@ let css_opt_phase st ~round ~corner ~engine =
     match engine with
     | `Ours ->
       let eng = ours_engine st corner in
-      refresh_weights st (Extract.Essential.graph eng);
+      refresh_weights st (Extract.graph eng);
       let extraction =
         {
-          Scheduler.extract = (fun () -> Extract.Essential.round eng);
-          graph = Extract.Essential.graph eng;
+          Scheduler.extract = (fun () -> Extract.round eng);
+          graph = Extract.graph eng;
           on_cap_hit = (fun _ -> ());
         }
       in
@@ -348,15 +357,15 @@ let css_opt_phase st ~round ~corner ~engine =
       targets_of st.verts res.Scheduler.target_latency
     | `Iccss ->
       let eng = iccss_engine st corner in
-      refresh_weights st (Extract.Iccss.graph eng);
+      refresh_weights st (Extract.graph eng);
       let extraction =
         {
-          Scheduler.extract = (fun () -> Extract.Iccss.extract_critical eng);
-          graph = Extract.Iccss.graph eng;
+          Scheduler.extract = (fun () -> Extract.round eng);
+          graph = Extract.graph eng;
           on_cap_hit =
             (fun v ->
               match Vertex.ff_of st.verts v with
-              | Some ff -> ignore (Extract.Iccss.extract_constraint_edges eng ff)
+              | Some ff -> ignore (Extract.constraint_edges eng ff)
               | None -> ());
         }
       in
@@ -365,7 +374,7 @@ let css_opt_phase st ~round ~corner ~engine =
       record_scheduler_trace st ~round ~phase:(phase ^ "-css") res;
       targets_of st.verts res.Scheduler.target_latency
     | `Fpm ->
-      let res, stats = Css_baselines.Fpm.run ~obs:st.cfg.obs st.timer in
+      let res, stats = Css_baselines.Fpm.run ~obs:st.cfg.obs ?pool:st.pool st.timer in
       st.edges <- st.edges + stats.Extract.edges_extracted;
       st.cones <- st.cones + stats.Extract.cone_nodes;
       snapshot st ~round ~phase:(phase ^ "-css") ~iter:1;
@@ -449,12 +458,17 @@ let run ?(config = default_config) ~algo design =
   let hpwl_before = Design.total_hpwl design in
   let total_t0 = Wall_clock.now () in
   let timer = Timer.build ~config:config.timer ~obs:config.obs design in
+  let pool =
+    if config.jobs > 1 then Some (Pool.create ~obs:config.obs ~jobs:config.jobs ()) else None
+  in
+  Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown pool) @@ fun () ->
   let st =
     {
       cfg = config;
       timer;
       verts = Vertex.of_design design;
       engines = { ours_early = None; ours_late = None; iccss_early = None; iccss_late = None };
+      pool;
       css_clock = Wall_clock.create ();
       opt_clock = Wall_clock.create ();
       t0 = total_t0;
@@ -501,24 +515,17 @@ let run ?(config = default_config) ~algo design =
     match st.stop with Some s -> s | None -> if clean st then "clean" else "max-rounds"
   in
   (* engine statistics accumulate over the whole run; fold them in once *)
-  let add_essential = function
+  let add_stats = function
     | Some e ->
-      let s = Extract.Essential.stats e in
+      let s = Extract.stats e in
       st.edges <- st.edges + s.Extract.edges_extracted;
       st.cones <- st.cones + s.Extract.cone_nodes
     | None -> ()
   in
-  let add_iccss = function
-    | Some e ->
-      let s = Extract.Iccss.stats e in
-      st.edges <- st.edges + s.Extract.edges_extracted;
-      st.cones <- st.cones + s.Extract.cone_nodes
-    | None -> ()
-  in
-  add_essential st.engines.ours_early;
-  add_essential st.engines.ours_late;
-  add_iccss st.engines.iccss_early;
-  add_iccss st.engines.iccss_late;
+  add_stats st.engines.ours_early;
+  add_stats st.engines.ours_late;
+  add_stats st.engines.iccss_early;
+  add_stats st.engines.iccss_late;
   let final_report = evaluate_now st in
   let report, rolled_back =
     if not config.rollback then (final_report, false)

@@ -119,6 +119,12 @@ type config = {
           [opt.reconnect.*] / [opt.cell_move.*] counters, and the
           [flow.checkpoints] / [flow.rollbacks] counters.
           Default {!Css_util.Obs.null} (zero overhead). *)
+  jobs : int;
+      (** worker domains for parallel extraction (default 1 =
+          sequential). With [jobs > 1] the flow owns a
+          {!Css_util.Pool.t} shared by all extraction engines and shuts
+          it down at exit; results are bit-identical at any value (see
+          {!Css_seqgraph.Extract.run}). *)
 }
 
 val default_config : config

@@ -55,7 +55,7 @@ type policy =
    records-and-skips (Recover) or stops the parse (Abort). *)
 exception Line_error of Diag.t
 
-let of_string_result ?source ?(policy = Abort) ~library s =
+let of_string ?source ?(policy = Abort) ~library s =
   let col = Diag.collector () in
   let fail ?hint ~code lineno fmt =
     Printf.ksprintf
@@ -211,8 +211,8 @@ let of_string_result ?source ?(policy = Abort) ~library s =
 let first_error ds =
   match List.find_opt Diag.is_error ds with Some d -> d | None -> List.hd ds
 
-let of_string ~library s =
-  match of_string_result ~library s with
+let of_string_exn ~library s =
+  match of_string ~library s with
   | Ok (d, _) -> d
   | Error ds -> failwith (Diag.to_string (first_error ds))
 
@@ -222,13 +222,17 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let load_result ?policy ~library path =
+let load ?policy ~library path =
   match read_file path with
   | exception Sys_error m ->
     Error [ Diag.error ~file:path ~code:"IO-000" (Printf.sprintf "cannot read: %s" m) ]
-  | s -> of_string_result ~source:path ?policy ~library s
+  | s -> of_string ~source:path ?policy ~library s
 
-let load ~library path =
-  match load_result ~library path with
+let load_exn ~library path =
+  match load ~library path with
   | Ok (d, _) -> d
   | Error ds -> failwith (Diag.to_string (first_error ds))
+
+(* pre-rename spellings, kept as aliases for external users *)
+let of_string_result = of_string
+let load_result = load

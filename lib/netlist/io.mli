@@ -17,10 +17,11 @@
     primary ports. Loading requires the same cell library the design was
     built against (masters are referenced by name).
 
-    Malformed input never escapes as a raw exception: the [result]-based
-    entry points collect severity-tagged {!Css_util.Diag.t} diagnostics
-    (codes [IO-000..IO-012], catalogued in [docs/ROBUSTNESS.md]), and the
-    legacy entry points re-raise the first error as [Failure] with the
+    Malformed input never escapes as a raw exception: the primary entry
+    points ({!of_string}, {!load}) return [result]s carrying
+    severity-tagged {!Css_util.Diag.t} diagnostics (codes
+    [IO-000..IO-012], catalogued in [docs/ROBUSTNESS.md]); the [*_exn]
+    convenience wrappers re-raise the first error as [Failure] with the
     diagnostic's one-line rendering. *)
 
 (** [save t path] writes the design. *)
@@ -39,29 +40,46 @@ type policy =
   | Abort
   | Recover
 
-(** [of_string_result ?source ?policy ~library s] parses the serialized
-    form. [source] names the input in diagnostics (e.g. the file path).
-    On [Ok (design, diags)], [diags] are the collected warnings — and,
+(** [of_string ?source ?policy ~library s] parses the serialized form.
+    [source] names the input in diagnostics (e.g. the file path). On
+    [Ok (design, diags)], [diags] are the collected warnings — and,
     under {!Recover}, the errors that were skipped over. *)
-val of_string_result :
+val of_string :
   ?source:string ->
   ?policy:policy ->
   library:Css_liberty.Library.t ->
   string ->
   (Design.t * Css_util.Diag.t list, Css_util.Diag.t list) result
 
-(** [load_result ?policy ~library path] reads a design back; unreadable
-    files become an [IO-000] diagnostic rather than [Sys_error]. *)
-val load_result :
+(** [load ?policy ~library path] reads a design back; unreadable files
+    become an [IO-000] diagnostic rather than [Sys_error]. *)
+val load :
   ?policy:policy ->
   library:Css_liberty.Library.t ->
   string ->
   (Design.t * Css_util.Diag.t list, Css_util.Diag.t list) result
 
-(** [load ~library path] reads a design back.
+(** [load_exn ~library path] reads a design back.
     @raise Failure with a rendered diagnostic on malformed input. *)
-val load : library:Css_liberty.Library.t -> string -> Design.t
+val load_exn : library:Css_liberty.Library.t -> string -> Design.t
 
-(** [of_string ~library s] parses the serialized form.
+(** [of_string_exn ~library s] parses the serialized form.
     @raise Failure with a rendered diagnostic on malformed input. *)
-val of_string : library:Css_liberty.Library.t -> string -> Design.t
+val of_string_exn : library:Css_liberty.Library.t -> string -> Design.t
+
+(** {2 Deprecated pre-rename spellings} *)
+
+val of_string_result :
+  ?source:string ->
+  ?policy:policy ->
+  library:Css_liberty.Library.t ->
+  string ->
+  (Design.t * Css_util.Diag.t list, Css_util.Diag.t list) result
+[@@deprecated "use Io.of_string (results-first since the API redesign)"]
+
+val load_result :
+  ?policy:policy ->
+  library:Css_liberty.Library.t ->
+  string ->
+  (Design.t * Css_util.Diag.t list, Css_util.Diag.t list) result
+[@@deprecated "use Io.load (results-first since the API redesign)"]

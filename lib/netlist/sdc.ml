@@ -37,7 +37,7 @@ let known_commands =
     "set_lcb_fanout_limit";
   ]
 
-let parse_result ?source ?(policy = Abort) s =
+let parse ?source ?(policy = Abort) s =
   let col = Diag.collector () in
   let acc = ref empty in
   let fail ?hint ~code lineno fmt =
@@ -101,12 +101,12 @@ let parse_result ?source ?(policy = Abort) s =
 let first_error ds =
   match List.find_opt Diag.is_error ds with Some d -> d | None -> List.hd ds
 
-let parse s =
-  match parse_result s with
+let parse_exn s =
+  match parse s with
   | Ok (t, _) -> t
   | Error ds -> failwith (Diag.to_string (first_error ds))
 
-let load_result ?policy path =
+let load ?policy path =
   let read () =
     let ic = open_in path in
     Fun.protect
@@ -116,14 +116,14 @@ let load_result ?policy path =
   match read () with
   | exception Sys_error m ->
     Error [ Diag.error ~file:path ~code:"SDC-000" (Printf.sprintf "cannot read: %s" m) ]
-  | s -> parse_result ~source:path ?policy s
+  | s -> parse ~source:path ?policy s
 
-let load path =
-  match load_result path with
+let load_exn path =
+  match load path with
   | Ok (t, _) -> t
   | Error ds -> failwith (Diag.to_string (first_error ds))
 
-let apply_result ?(policy = Abort) t design =
+let apply ?(policy = Abort) t design =
   let col = Diag.collector () in
   let ff_names =
     Array.to_list (Array.map (fun ff -> Design.cell_name design ff) (Design.ffs design))
@@ -157,7 +157,12 @@ let apply_result ?(policy = Abort) t design =
   let ds = Diag.diags col in
   if Diag.error_count col > 0 && policy = Abort then Error ds else Ok ds
 
-let apply t design =
-  match apply_result t design with
+let apply_exn t design =
+  match apply t design with
   | Ok _ -> ()
   | Error ds -> failwith (Diag.to_string (first_error ds))
+
+(* pre-rename spellings, kept as aliases for external users *)
+let parse_result = parse
+let load_result = load
+let apply_result = apply

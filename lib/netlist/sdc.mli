@@ -41,40 +41,61 @@ type policy =
   | Abort
   | Recover
 
-(** [parse_result ?source ?policy s] reads the constraint text,
-    collecting {!Css_util.Diag.t} diagnostics (codes [SDC-000..SDC-005])
-    instead of raising. Unknown commands carry a nearest-command hint. *)
-val parse_result :
+(** [parse ?source ?policy s] reads the constraint text, collecting
+    {!Css_util.Diag.t} diagnostics (codes [SDC-000..SDC-005]) instead of
+    raising. Unknown commands carry a nearest-command hint. *)
+val parse :
   ?source:string ->
   ?policy:policy ->
   string ->
   (t * Css_util.Diag.t list, Css_util.Diag.t list) result
 
-(** [load_result ?policy path] reads and parses a file; unreadable files
-    become an [SDC-000] diagnostic. *)
-val load_result :
+(** [load ?policy path] reads and parses a file; unreadable files become
+    an [SDC-000] diagnostic. *)
+val load :
   ?policy:policy -> string -> (t * Css_util.Diag.t list, Css_util.Diag.t list) result
 
-(** [parse s] reads the constraint text.
+(** [parse_exn s] reads the constraint text.
     @raise Failure with a rendered diagnostic on unknown or malformed
     commands. *)
-val parse : string -> t
+val parse_exn : string -> t
 
-(** [load path] reads and parses a file. @raise Failure as {!parse}. *)
-val load : string -> t
+(** [load_exn path] reads and parses a file.
+    @raise Failure as {!parse_exn}. *)
+val load_exn : string -> t
 
-(** [apply_result ?policy t design] installs the per-flip-flop latency
-    windows on the design and validates the clock period. An unknown
-    flip-flop name produces an [SDC-003] diagnostic with a nearest-name
+(** [apply ?policy t design] installs the per-flip-flop latency windows
+    on the design and validates the clock period. An unknown flip-flop
+    name produces an [SDC-003] diagnostic with a nearest-name
     (edit-distance) suggestion as its hint. Valid windows are installed
     even when others fail; under [Recover] the failures are returned as
     [Ok] diagnostics. *)
-val apply_result :
+val apply :
   ?policy:policy ->
   t ->
   Design.t ->
   (Css_util.Diag.t list, Css_util.Diag.t list) result
 
-(** [apply t design] is {!apply_result} re-raising the first error as
+(** [apply_exn t design] is {!apply} re-raising the first error as
     [Failure] (message includes the suggestion hint, when any). *)
-val apply : t -> Design.t -> unit
+val apply_exn : t -> Design.t -> unit
+
+(** {2 Deprecated pre-rename spellings} *)
+
+val parse_result :
+  ?source:string ->
+  ?policy:policy ->
+  string ->
+  (t * Css_util.Diag.t list, Css_util.Diag.t list) result
+[@@deprecated "use Sdc.parse (results-first since the API redesign)"]
+
+val load_result :
+  ?policy:policy -> string -> (t * Css_util.Diag.t list, Css_util.Diag.t list) result
+[@@deprecated "use Sdc.load (results-first since the API redesign)"]
+
+val apply_result :
+  ?policy:policy ->
+  t ->
+  Design.t ->
+  (Css_util.Diag.t list, Css_util.Diag.t list) result
+[@@deprecated "use Sdc.apply (results-first since the API redesign)"]

@@ -3,6 +3,7 @@ module Graph = Css_sta.Graph
 module Design = Css_netlist.Design
 module Cell = Css_liberty.Cell
 module Obs = Css_util.Obs
+module Pool = Css_util.Pool
 
 type stats = {
   mutable edges_extracted : int;
@@ -11,6 +12,10 @@ type stats = {
 }
 
 let fresh_stats () = { edges_extracted = 0; cone_nodes = 0; rounds = 0 }
+
+type engine = Full | Essential | Iccss
+
+let engine_name = function Full -> "full" | Essential -> "essential" | Iccss -> "iccss"
 
 (* Per-engine observability handles, resolved once per engine instance so
    the extraction loops bump counters without name lookups. *)
@@ -35,209 +40,251 @@ let launchers_of_design timer =
   let g = Timer.graph timer in
   Array.to_list (Array.map (Graph.launcher_of_node g) (Graph.sources g))
 
-module Full = struct
-  let extract ?(obs = Obs.null) timer verts ~corner =
-    let oc = resolve_obs obs "full" in
-    let stats = fresh_stats () in
-    let graph = Seq_graph.create verts ~corner in
-    List.iter
-      (fun launcher ->
-        let found, visited = Timer.cone_from_launcher timer corner launcher in
-        stats.cone_nodes <- stats.cone_nodes + visited;
-        Obs.add oc.o_cone visited;
-        Obs.incr oc.o_endpoints;
-        List.iter
-          (fun (endpoint, delay) ->
-            let weight = Timer.edge_slack timer corner ~launcher ~endpoint ~delay in
-            ignore (Seq_graph.add_edge graph ~launcher ~endpoint ~delay ~weight);
-            stats.edges_extracted <- stats.edges_extracted + 1;
-            Obs.incr oc.o_candidates;
-            Obs.incr oc.o_edges)
-          found)
-      (launchers_of_design timer);
-    stats.rounds <- 1;
-    Obs.incr oc.o_rounds;
-    (graph, stats)
-end
+(* One candidate sequential edge produced by a worker's cone walk. *)
+type cand = {
+  c_launcher : Graph.launcher;
+  c_endpoint : Graph.endpoint;
+  c_delay : float;
+  c_weight : float;
+}
 
-module Essential = struct
-  type t = {
-    timer : Timer.t;
-    graph : Seq_graph.t;
-    stats : stats;
-    oc : obs_counters;
-  }
+(* The result of cone-walking one work item: its candidates in exactly
+   the order the sequential loop would enumerate them, plus the visited
+   node count for deferred stats accounting. Workers only build shards;
+   all graph/stats/Obs mutation happens in the submitter's merge. *)
+type shard = { sh_cands : cand list; sh_visited : int }
 
-  let create ?(obs = Obs.null) timer verts ~corner =
-    {
-      timer;
-      graph = Seq_graph.create verts ~corner;
-      stats = fresh_stats ();
-      oc = resolve_obs obs "essential";
-    }
+type t = {
+  kind : engine;
+  timer : Timer.t;
+  verts : Vertex.t;
+  graph : Seq_graph.t;
+  (* Single-writer: mutated only by the thread driving [round] (the
+     deterministic merge); never from pool workers. *)
+  stats : stats;
+  oc : obs_counters;
+  pool : Pool.t option;
+  ctxs : Timer.cone_ctx array;  (* one private walk scratch per worker *)
+  mutable pending_first : int;  (* Full: work count reported by the first round *)
+  (* IC-CSS state *)
+  bound : float array;  (* one-time extreme outgoing/incoming path delay *)
+  expanded : bool array;
+  o_constraint : Obs.counter;  (* Section III-E(ii) constraint edges *)
+}
 
-  let graph t = t.graph
-  let stats t = t.stats
+let graph t = t.graph
+let stats t = t.stats
+let engine t = t.kind
 
-  (* A violated endpoint needs (re-)extraction when its worst slack is not
-     already explained by a stored edge: either it was never walked, or a
-     previously positive (unextracted) path has turned negative. *)
-  let round ?(limit = max_int) t =
-    t.stats.rounds <- t.stats.rounds + 1;
-    Obs.incr t.oc.o_rounds;
-    let corner = Seq_graph.corner t.graph in
-    let added = ref 0 in
-    let walked = ref 0 in
-    List.iter
-      (fun (endpoint, slack) ->
-        let known = Seq_graph.min_weight_from_endpoint t.graph endpoint in
-        if !walked < limit && slack < known -. 1e-6 then begin
-          incr walked;
-          Obs.incr t.oc.o_endpoints;
-          let found, visited = Timer.cone_to_endpoint t.timer corner endpoint in
-          t.stats.cone_nodes <- t.stats.cone_nodes + visited;
-          Obs.add t.oc.o_cone visited;
-          List.iter
-            (fun (launcher, delay) ->
-              Obs.incr t.oc.o_candidates;
+(* Run [f ctx i] for i in [0, n), each item writing only its own result
+   slot and its worker's private scratch. Slot order — not completion
+   order — defines the merge order, so the output is identical at any
+   worker count, pool or no pool. *)
+let walk t ~n (f : Timer.cone_ctx -> int -> shard) : shard array =
+  match t.pool with
+  | Some pool -> Pool.map pool ~n (fun ~worker i -> f t.ctxs.(worker) i)
+  | None -> Array.init n (fun i -> f t.ctxs.(0) i)
+
+(* Deterministic merge: fold shards in item order, inserting kept
+   candidates in their sequential enumeration order, then flush the
+   accumulated stats and counters once (per-worker-flush rule: workers
+   never touch [stats], the timer or the [Obs] context). *)
+let merge ?(keep = fun _ -> true) t shards =
+  let added = ref 0 and visited = ref 0 and cands = ref 0 in
+  Array.iter
+    (fun sh ->
+      visited := !visited + sh.sh_visited;
+      List.iter
+        (fun c ->
+          incr cands;
+          if keep c then begin
+            ignore
+              (Seq_graph.add_edge t.graph ~launcher:c.c_launcher ~endpoint:c.c_endpoint
+                 ~delay:c.c_delay ~weight:c.c_weight);
+            incr added
+          end)
+        sh.sh_cands)
+    shards;
+  t.stats.edges_extracted <- t.stats.edges_extracted + !added;
+  t.stats.cone_nodes <- t.stats.cone_nodes + !visited;
+  Obs.add t.oc.o_edges !added;
+  Obs.add t.oc.o_candidates !cands;
+  Obs.add t.oc.o_cone !visited;
+  Timer.note_cone_visits t.timer !visited;
+  !added
+
+(* ------------------------------------------------------------------ *)
+(* Full extraction                                                     *)
+
+let full_extract t =
+  let corner = Seq_graph.corner t.graph in
+  let launchers = Array.of_list (launchers_of_design t.timer) in
+  let n = Array.length launchers in
+  Obs.add t.oc.o_endpoints n;
+  let shards =
+    walk t ~n (fun ctx i ->
+        let launcher = launchers.(i) in
+        let found, visited = Timer.cone_from_launcher_in ctx t.timer corner launcher in
+        let cands =
+          List.map
+            (fun (endpoint, delay) ->
               let weight = Timer.edge_slack t.timer corner ~launcher ~endpoint ~delay in
-              if weight < 0.0 then begin
-                ignore (Seq_graph.add_edge t.graph ~launcher ~endpoint ~delay ~weight);
-                t.stats.edges_extracted <- t.stats.edges_extracted + 1;
-                Obs.incr t.oc.o_edges;
-                incr added
-              end)
+              { c_launcher = launcher; c_endpoint = endpoint; c_delay = delay; c_weight = weight })
             found
-        end)
-      (Timer.violated_endpoints t.timer corner);
-    !added
-end
+        in
+        { sh_cands = cands; sh_visited = visited })
+  in
+  let added = merge t shards in
+  t.stats.rounds <- t.stats.rounds + 1;
+  Obs.incr t.oc.o_rounds;
+  added
 
-module Iccss = struct
-  type t = {
-    timer : Timer.t;
-    verts : Vertex.t;
-    graph : Seq_graph.t;
-    stats : stats;
-    oc : obs_counters;
-    o_constraint : Obs.counter;  (* Section III-E(ii) constraint edges *)
-    bound : float array;  (* one-time extreme outgoing/incoming path delay *)
-    expanded : bool array;
-  }
+(* ------------------------------------------------------------------ *)
+(* The paper's essential (Update-Extract) engine                       *)
 
-  (* One global DP giving, per vertex, the quantity Eq. (8) tests against:
-     late -> the max path delay from the vertex's launch pin to any
-     endpoint; early -> the min path delay from any launch pin to the
-     vertex's capture pin. Computed once, exactly as IC-CSS prescribes. *)
-  let compute_bound timer verts corner =
-    let g = Timer.graph timer in
-    let n = Graph.num_nodes g in
-    let topo = Graph.topo_order g in
-    let dist = Array.make n (match corner with Timer.Late -> neg_infinity | Timer.Early -> infinity) in
-    (match corner with
-    | Timer.Late ->
-      Array.iter (fun e -> dist.(e) <- 0.0) (Graph.endpoints g);
-      for i = Array.length topo - 1 downto 0 do
-        let u = topo.(i) in
-        if not (Graph.is_endpoint g u) then
-          Graph.iter_out g u (fun a v ->
-              if dist.(v) > neg_infinity then begin
-                let cand = Timer.arc_delay timer Timer.Late a +. dist.(v) in
-                if cand > dist.(u) then dist.(u) <- cand
-              end)
-      done
-    | Timer.Early ->
-      Array.iter (fun s -> dist.(s) <- 0.0) (Graph.sources g);
-      Array.iter
-        (fun v ->
-          if not (Graph.is_source g v) then
-            Graph.iter_in g v (fun a u ->
-                if dist.(u) < infinity then begin
-                  let cand = dist.(u) +. Timer.arc_delay timer Timer.Early a in
-                  if cand < dist.(v) then dist.(v) <- cand
-                end))
-        topo);
-    let bound =
-      Array.make (Vertex.num verts)
-        (match corner with Timer.Late -> neg_infinity | Timer.Early -> infinity)
-    in
-    let fold v cand =
-      match corner with
-      | Timer.Late -> if cand > bound.(v) then bound.(v) <- cand
-      | Timer.Early -> if cand < bound.(v) then bound.(v) <- cand
-    in
-    (match corner with
-    | Timer.Late ->
-      Array.iter
-        (fun s -> fold (Vertex.of_launcher verts (Graph.launcher_of_node g s)) dist.(s))
-        (Graph.sources g)
-    | Timer.Early ->
-      Array.iter
-        (fun e -> fold (Vertex.of_endpoint verts (Graph.endpoint_of_node g e)) dist.(e))
-        (Graph.endpoints g));
-    bound
+(* A violated endpoint needs (re-)extraction when its worst slack is not
+   already explained by a stored edge: either it was never walked, or a
+   previously positive (unextracted) path has turned negative. The
+   selection runs sequentially against the pre-round graph — each
+   endpoint appears at most once in [violated_endpoints], so this
+   round's insertions can never change another endpoint's test and the
+   cut is the same one the fully sequential loop makes. *)
+let essential_round ?(limit = max_int) t =
+  t.stats.rounds <- t.stats.rounds + 1;
+  Obs.incr t.oc.o_rounds;
+  let corner = Seq_graph.corner t.graph in
+  let selected = ref [] in
+  let walked = ref 0 in
+  List.iter
+    (fun (endpoint, slack) ->
+      let known = Seq_graph.min_weight_from_endpoint t.graph endpoint in
+      if !walked < limit && slack < known -. 1e-6 then begin
+        incr walked;
+        selected := endpoint :: !selected
+      end)
+    (Timer.violated_endpoints t.timer corner);
+  let selected = Array.of_list (List.rev !selected) in
+  let n = Array.length selected in
+  Obs.add t.oc.o_endpoints n;
+  let shards =
+    walk t ~n (fun ctx i ->
+        let endpoint = selected.(i) in
+        let found, visited = Timer.cone_to_endpoint_in ctx t.timer corner endpoint in
+        let cands =
+          List.map
+            (fun (launcher, delay) ->
+              let weight = Timer.edge_slack t.timer corner ~launcher ~endpoint ~delay in
+              { c_launcher = launcher; c_endpoint = endpoint; c_delay = delay; c_weight = weight })
+            found
+        in
+        { sh_cands = cands; sh_visited = visited })
+  in
+  merge ~keep:(fun c -> c.c_weight < 0.0) t shards
 
-  let create ?(obs = Obs.null) timer verts ~corner =
-    {
-      timer;
-      verts;
-      graph = Seq_graph.create verts ~corner;
-      stats = fresh_stats ();
-      oc = resolve_obs obs "iccss";
-      o_constraint = Obs.counter obs "extract.iccss.constraint_edges";
-      bound = compute_bound timer verts corner;
-      expanded = Array.make (Vertex.num verts) false;
-    }
+(* ------------------------------------------------------------------ *)
+(* IC-CSS callback extraction (Albrecht, adapted)                      *)
 
-  let graph t = t.graph
-  let stats t = t.stats
-
-  let design t = Timer.design t.timer
-
-  let ref_ff_params t = Cell.ff_params (Css_liberty.Library.flip_flop (Design.library (design t)))
-
-  (* Eq. (8) adapted to the NSO problem. Albrecht's parametric search
-     drives the period variable down towards the maximum mean cycle, so a
-     vertex fires the callback as soon as it could become critical at any
-     period the search visits; with the period fixed, the equivalent test
-     gives every vertex a cushion equal to the current worst negative
-     slack — the depth to which the search would descend. *)
-  let critical t v =
-    let corner = Seq_graph.corner t.graph in
-    let d = design t in
-    let period = Design.clock_period d in
-    let p = ref_ff_params t in
-    let cushion = Float.max 0.0 (-.Timer.wns t.timer corner) in
+(* One global DP giving, per vertex, the quantity Eq. (8) tests against:
+   late -> the max path delay from the vertex's launch pin to any
+   endpoint; early -> the min path delay from any launch pin to the
+   vertex's capture pin. Computed once, exactly as IC-CSS prescribes. *)
+let compute_bound timer verts corner =
+  let g = Timer.graph timer in
+  let n = Graph.num_nodes g in
+  let topo = Graph.topo_order g in
+  let dist =
+    Array.make n (match corner with Timer.Late -> neg_infinity | Timer.Early -> infinity)
+  in
+  (match corner with
+  | Timer.Late ->
+    Array.iter (fun e -> dist.(e) <- 0.0) (Graph.endpoints g);
+    for i = Array.length topo - 1 downto 0 do
+      let u = topo.(i) in
+      if not (Graph.is_endpoint g u) then
+        Graph.iter_out g u (fun a v ->
+            if dist.(v) > neg_infinity then begin
+              let cand = Timer.arc_delay timer Timer.Late a +. dist.(v) in
+              if cand > dist.(u) then dist.(u) <- cand
+            end)
+    done
+  | Timer.Early ->
+    Array.iter (fun s -> dist.(s) <- 0.0) (Graph.sources g);
+    Array.iter
+      (fun v ->
+        if not (Graph.is_source g v) then
+          Graph.iter_in g v (fun a u ->
+              if dist.(u) < infinity then begin
+                let cand = dist.(u) +. Timer.arc_delay timer Timer.Early a in
+                if cand < dist.(v) then dist.(v) <- cand
+              end))
+      topo);
+  let bound =
+    Array.make (Vertex.num verts)
+      (match corner with Timer.Late -> neg_infinity | Timer.Early -> infinity)
+  in
+  let fold v cand =
     match corner with
-    | Timer.Late ->
-      t.bound.(v) > neg_infinity
-      &&
-      let l_u, c2q =
-        match Vertex.ff_of t.verts v with
-        | Some ff ->
-          (Design.clock_latency d ff, (Cell.ff_params (Design.cell_master d ff)).Cell.clk_to_q)
-        | None -> (0.0, 0.0)
-      in
-      period -. p.Cell.setup -. (l_u +. c2q +. t.bound.(v)) < cushion
-    | Timer.Early ->
-      t.bound.(v) < infinity
-      &&
-      let l_v, hold =
-        match Vertex.ff_of t.verts v with
-        | Some ff ->
-          (Design.clock_latency d ff, (Cell.ff_params (Design.cell_master d ff)).Cell.hold)
-        | None -> (0.0, 0.0)
-      in
-      let derate = (Timer.config t.timer).Timer.early_derate in
-      (derate *. p.Cell.clk_to_q) +. t.bound.(v) -. (l_v +. hold) < cushion
+    | Timer.Late -> if cand > bound.(v) then bound.(v) <- cand
+    | Timer.Early -> if cand < bound.(v) then bound.(v) <- cand
+  in
+  (match corner with
+  | Timer.Late ->
+    Array.iter
+      (fun s -> fold (Vertex.of_launcher verts (Graph.launcher_of_node g s)) dist.(s))
+      (Graph.sources g)
+  | Timer.Early ->
+    Array.iter
+      (fun e -> fold (Vertex.of_endpoint verts (Graph.endpoint_of_node g e)) dist.(e))
+      (Graph.endpoints g));
+  bound
 
-  (* The callback of IC-CSS: materialize *all* outgoing sequential edges
-     of the vertex — essential or not — which is exactly the over-
-     extraction the paper removes. *)
-  let expand t v =
-    let corner = Seq_graph.corner t.graph in
-    let d = design t in
-    let g = Timer.graph t.timer in
+let design t = Timer.design t.timer
+let ref_ff_params t = Cell.ff_params (Css_liberty.Library.flip_flop (Design.library (design t)))
+
+(* Eq. (8) adapted to the NSO problem. Albrecht's parametric search
+   drives the period variable down towards the maximum mean cycle, so a
+   vertex fires the callback as soon as it could become critical at any
+   period the search visits; with the period fixed, the equivalent test
+   gives every vertex a cushion equal to the current worst negative
+   slack — the depth to which the search would descend. *)
+let iccss_critical t v =
+  let corner = Seq_graph.corner t.graph in
+  let d = design t in
+  let period = Design.clock_period d in
+  let p = ref_ff_params t in
+  let cushion = Float.max 0.0 (-.Timer.wns t.timer corner) in
+  match corner with
+  | Timer.Late ->
+    t.bound.(v) > neg_infinity
+    &&
+    let l_u, c2q =
+      match Vertex.ff_of t.verts v with
+      | Some ff ->
+        (Design.clock_latency d ff, (Cell.ff_params (Design.cell_master d ff)).Cell.clk_to_q)
+      | None -> (0.0, 0.0)
+    in
+    period -. p.Cell.setup -. (l_u +. c2q +. t.bound.(v)) < cushion
+  | Timer.Early ->
+    t.bound.(v) < infinity
+    &&
+    let l_v, hold =
+      match Vertex.ff_of t.verts v with
+      | Some ff ->
+        (Design.clock_latency d ff, (Cell.ff_params (Design.cell_master d ff)).Cell.hold)
+      | None -> (0.0, 0.0)
+    in
+    let derate = (Timer.config t.timer).Timer.early_derate in
+    (derate *. p.Cell.clk_to_q) +. t.bound.(v) -. (l_v +. hold) < cushion
+
+(* The callback of IC-CSS: enumerate *all* outgoing sequential edges of
+   the vertex — essential or not — which is exactly the over-extraction
+   the paper removes. Pure collection: the worker walks through its own
+   ctx and returns candidates; insertion happens in the merge. *)
+let iccss_collect t ctx v =
+  let corner = Seq_graph.corner t.graph in
+  let g = Timer.graph t.timer in
+  let visited = ref 0 in
+  let cands =
     match corner with
     | Timer.Late ->
       let launchers =
@@ -252,18 +299,14 @@ module Iccss = struct
               | Graph.Launch_ff _ -> None)
             (Array.to_list (Graph.sources g))
       in
-      List.iter
+      List.concat_map
         (fun launcher ->
-          let found, visited = Timer.cone_from_launcher t.timer corner launcher in
-          t.stats.cone_nodes <- t.stats.cone_nodes + visited;
-          Obs.add t.oc.o_cone visited;
-          List.iter
+          let found, vis = Timer.cone_from_launcher_in ctx t.timer corner launcher in
+          visited := !visited + vis;
+          List.map
             (fun (endpoint, delay) ->
               let weight = Timer.edge_slack t.timer corner ~launcher ~endpoint ~delay in
-              ignore (Seq_graph.add_edge t.graph ~launcher ~endpoint ~delay ~weight);
-              t.stats.edges_extracted <- t.stats.edges_extracted + 1;
-              Obs.incr t.oc.o_candidates;
-              Obs.incr t.oc.o_edges)
+              { c_launcher = launcher; c_endpoint = endpoint; c_delay = delay; c_weight = weight })
             found)
         launchers
     | Timer.Early ->
@@ -278,55 +321,126 @@ module Iccss = struct
               | Graph.End_ff _ -> None)
             (Array.to_list (Graph.endpoints g))
       in
-      ignore d;
-      List.iter
+      List.concat_map
         (fun endpoint ->
-          let found, visited = Timer.cone_to_endpoint t.timer corner endpoint in
-          t.stats.cone_nodes <- t.stats.cone_nodes + visited;
-          Obs.add t.oc.o_cone visited;
-          List.iter
+          let found, vis = Timer.cone_to_endpoint_in ctx t.timer corner endpoint in
+          visited := !visited + vis;
+          List.map
             (fun (launcher, delay) ->
               let weight = Timer.edge_slack t.timer corner ~launcher ~endpoint ~delay in
-              ignore (Seq_graph.add_edge t.graph ~launcher ~endpoint ~delay ~weight);
-              t.stats.edges_extracted <- t.stats.edges_extracted + 1;
-              Obs.incr t.oc.o_candidates;
-              Obs.incr t.oc.o_edges)
+              { c_launcher = launcher; c_endpoint = endpoint; c_delay = delay; c_weight = weight })
             found)
         endpoints
+  in
+  { sh_cands = cands; sh_visited = !visited }
 
-  let extract_critical t =
-    t.stats.rounds <- t.stats.rounds + 1;
-    Obs.incr t.oc.o_rounds;
-    let fired = ref 0 in
-    (* In the late problem out-edges belong to the launch side of the
-       scheduling graph, i.e. vertex ids in the orientation's src role;
-       criticality is a per-vertex test either way. *)
-    for v = 0 to Vertex.num t.verts - 1 do
-      if (not t.expanded.(v)) && critical t v then begin
-        t.expanded.(v) <- true;
-        Obs.incr t.oc.o_endpoints;
-        expand t v;
-        incr fired
-      end
-    done;
-    !fired
+(* Fire the callback for every not-yet-expanded critical vertex. The
+   criticality test reads only timer state and the one-time bound —
+   never the growing graph — so selecting every vertex up front and
+   cone-walking them in parallel fires exactly the sequential set. *)
+let iccss_round t =
+  t.stats.rounds <- t.stats.rounds + 1;
+  Obs.incr t.oc.o_rounds;
+  let selected = ref [] in
+  for v = 0 to Vertex.num t.verts - 1 do
+    if (not t.expanded.(v)) && iccss_critical t v then begin
+      t.expanded.(v) <- true;
+      selected := v :: !selected
+    end
+  done;
+  let selected = Array.of_list (List.rev !selected) in
+  let fired = Array.length selected in
+  Obs.add t.oc.o_endpoints fired;
+  let shards = walk t ~n:fired (fun ctx i -> iccss_collect t ctx selected.(i)) in
+  ignore (merge t shards);
+  fired
 
-  let extract_constraint_edges t ff =
-    let corner = Seq_graph.corner t.graph in
-    let other = match corner with Timer.Late -> Timer.Early | Timer.Early -> Timer.Late in
-    let count, visited =
-      match other with
-      | Timer.Early ->
-        let found, visited = Timer.cone_to_endpoint t.timer Timer.Early (Graph.End_ff ff) in
-        (List.length found, visited)
-      | Timer.Late ->
-        let found, visited = Timer.cone_from_launcher t.timer Timer.Late (Graph.Launch_ff ff) in
-        (List.length found, visited)
-    in
-    t.stats.cone_nodes <- t.stats.cone_nodes + visited;
-    Obs.add t.oc.o_cone visited;
-    let n = count in
-    t.stats.edges_extracted <- t.stats.edges_extracted + n;
-    Obs.add t.o_constraint n;
+let constraint_edges t ff =
+  let corner = Seq_graph.corner t.graph in
+  let other = match corner with Timer.Late -> Timer.Early | Timer.Early -> Timer.Late in
+  let count, visited =
+    match other with
+    | Timer.Early ->
+      let found, visited = Timer.cone_to_endpoint t.timer Timer.Early (Graph.End_ff ff) in
+      (List.length found, visited)
+    | Timer.Late ->
+      let found, visited = Timer.cone_from_launcher t.timer Timer.Late (Graph.Launch_ff ff) in
+      (List.length found, visited)
+  in
+  t.stats.cone_nodes <- t.stats.cone_nodes + visited;
+  Obs.add t.oc.o_cone visited;
+  t.stats.edges_extracted <- t.stats.edges_extracted + count;
+  Obs.add t.o_constraint count;
+  count
+
+(* ------------------------------------------------------------------ *)
+(* Unified entry point                                                 *)
+
+let run ?(obs = Obs.null) ?pool ~engine:kind timer verts ~corner =
+  let t =
+    {
+      kind;
+      timer;
+      verts;
+      graph = Seq_graph.create verts ~corner;
+      stats = fresh_stats ();
+      oc = resolve_obs obs (engine_name kind);
+      pool;
+      ctxs =
+        Array.init
+          (match pool with Some p -> Pool.jobs p | None -> 1)
+          (fun _ -> Timer.cone_ctx timer);
+      pending_first = 0;
+      bound = (match kind with Iccss -> compute_bound timer verts corner | Full | Essential -> [||]);
+      expanded =
+        (match kind with
+        | Iccss -> Array.make (Vertex.num verts) false
+        | Full | Essential -> [||]);
+      o_constraint =
+        (match kind with
+        | Iccss -> Obs.counter obs "extract.iccss.constraint_edges"
+        | Full | Essential -> Obs.counter Obs.null "extract.unused");
+    }
+  in
+  (match kind with Full -> t.pending_first <- full_extract t | Essential | Iccss -> ());
+  t
+
+let round ?limit t =
+  match t.kind with
+  | Full ->
+    ignore limit;
+    let n = t.pending_first in
+    t.pending_first <- 0;
     n
+  | Essential -> essential_round ?limit t
+  | Iccss ->
+    ignore limit;
+    iccss_round t
+
+(* ------------------------------------------------------------------ *)
+(* Deprecated per-engine modules (thin aliases over the unified API)   *)
+
+module Full = struct
+  let extract ?obs timer verts ~corner =
+    let t = run ?obs ~engine:Full timer verts ~corner in
+    (t.graph, t.stats)
+end
+
+module Essential = struct
+  type nonrec t = t
+
+  let create ?obs timer verts ~corner = run ?obs ~engine:Essential timer verts ~corner
+  let graph = graph
+  let stats = stats
+  let round = round
+end
+
+module Iccss = struct
+  type nonrec t = t
+
+  let create ?obs timer verts ~corner = run ?obs ~engine:Iccss timer verts ~corner
+  let graph = graph
+  let stats = stats
+  let extract_critical t = round t
+  let extract_constraint_edges = constraint_edges
 end

@@ -1,10 +1,11 @@
-(** Sequential-graph extraction engines.
+(** Sequential-graph extraction engines behind one entry point.
 
-    Three engines populate a {!Seq_graph.t} from the gate-level timing
-    graph, reproducing the paper's comparison:
+    {!run} populates a {!Seq_graph.t} from the gate-level timing graph
+    with one of three engines, reproducing the paper's comparison:
 
     - {!Full}: exhaustive extraction — every launcher's fan-out cone.
-      The reference engine; [O(n*m')].
+      The reference engine; [O(n*m')]. Extraction happens inside {!run};
+      the first {!round} reports the edge count, later rounds return 0.
     - {!Iccss}: Albrecht's callback extraction — a one-time global
       outgoing-delay bound per vertex, and on criticality (Eq. 8) *all*
       outgoing edges of the vertex are materialized, essential or not.
@@ -13,11 +14,28 @@
       explained by already-extracted edges are walked, and only
       negative-slack edges are materialized. [O(k*m')].
 
-    All engines share a {!stats} record; [edges_extracted] is the number
-    the paper's Table I reports as "#Extract Edge".
+    {2 Parallel extraction}
 
-    Every engine also accepts an [?obs] context (default
-    {!Css_util.Obs.null}) and reports into the [extract.<engine>.*]
+    Pass [?pool] and every round's cone walks are sharded across the
+    pool's worker domains. Each worker walks through a private
+    {!Css_sta.Timer.cone_ctx} and returns per-item candidate buffers;
+    the submitting thread then merges them into the graph {e in item
+    order}, so the resulting graph — edge ids, insertion order, weights
+    — and all stats and counters are bit-identical to the sequential
+    path at any worker count. The selection phases (Essential's
+    violated-endpoint cut, IC-CSS's criticality test) stay sequential;
+    they read only pre-round state, so the parallel round selects
+    exactly the sequential set.
+
+    {2 Stats and observability}
+
+    All engines share a {!stats} record; [edges_extracted] is the number
+    the paper's Table I reports as "#Extract Edge". The record is
+    {b single-writer}: only the thread driving {!round} mutates it (in
+    the deterministic merge) — pool workers accumulate privately and
+    never touch it, nor the [?obs] context (counters are flushed once
+    per round by the submitter, so {!Css_util.Obs.null} stays
+    allocation-free). Engines report into the [extract.<engine>.*]
     counter namespace: [edges] (materialized), [candidate_edges] (cone
     results examined, kept or not — for {!Essential} the gap between the
     two is the over-extraction avoided), [endpoints_walked],
@@ -31,66 +49,99 @@ type stats = {
 
 val fresh_stats : unit -> stats
 
-(** {1 Full extraction} *)
+(** {1 The unified engine API} *)
+
+(** Which extraction strategy {!run} instantiates. *)
+type engine = Full | Essential | Iccss
+
+(** [engine_name e] is ["full"], ["essential"] or ["iccss"] — the
+    [extract.<engine>.*] counter namespace component. *)
+val engine_name : engine -> string
+
+(** A live extraction engine: a growing sequential graph plus the
+    engine-specific incremental state ({!Essential}'s known-weight
+    tests, {!Iccss}'s bound and expansion flags). *)
+type t
+
+(** [run ?obs ?pool ~engine timer verts ~corner] instantiates [engine]
+    over [timer]'s design at [corner], starting from an empty graph
+    (for [Full], the one-time exhaustive extraction happens here).
+    [?pool] parallelizes the cone walks as described above; the timer
+    must not be mutated while a round is in flight. *)
+val run :
+  ?obs:Css_util.Obs.t ->
+  ?pool:Css_util.Pool.t ->
+  engine:engine ->
+  Css_sta.Timer.t ->
+  Vertex.t ->
+  corner:Css_sta.Timer.corner ->
+  t
+
+(** [round ?limit t] performs one extraction round against the timer's
+    current state and returns the work done:
+
+    - [Essential]: every violated endpoint whose worst slack is not
+      explained by an already-extracted edge is cone-walked (at most
+      [limit] of them — the DESIGN.md A1 ablation; default unlimited),
+      and the negative-slack edges found are added. Returns edges added.
+      Call after each timing propagation.
+    - [Iccss]: fires the callback for every vertex that is critical
+      under current latencies and not yet expanded — *all* of its
+      outgoing sequential edges are materialized. Returns the number of
+      vertices newly expanded ([limit] is ignored).
+    - [Full]: the graph was built by {!run}; the first call returns the
+      edge count, subsequent calls return 0 ([limit] is ignored). *)
+val round : ?limit:int -> t -> int
+
+(** [constraint_edges t ff] fires IC-CSS's Section III-E(ii) callback:
+    all cross-corner constraint edges of [ff] (its incoming early paths
+    when optimizing late, and vice versa) are enumerated and charged to
+    the extraction cost. Returns the number of edges seen. Only
+    meaningful for the [Iccss] engine. *)
+val constraint_edges : t -> Css_netlist.Design.cell_id -> int
+
+val graph : t -> Seq_graph.t
+val stats : t -> stats
+val engine : t -> engine
+
+(** {1 Deprecated per-engine modules}
+
+    The pre-unification call surface, kept as thin aliases for external
+    users. New code should call {!run} / {!round} directly. *)
 
 module Full : sig
-  (** [extract ?obs timer verts ~corner] builds the complete sequential
-      graph for one corner — every launcher's fan-out cone, the [O(n*m')]
-      reference the paper's Section II measures both baselines against. *)
   val extract :
     ?obs:Css_util.Obs.t ->
     Css_sta.Timer.t ->
     Vertex.t ->
     corner:Css_sta.Timer.corner ->
     Seq_graph.t * stats
+  [@@deprecated "use Extract.run ~engine:Extract.Full (the graph/stats accessors)"]
 end
-
-(** {1 The paper's iterative essential extraction (Section III-B)} *)
 
 module Essential : sig
-  type t
+  type nonrec t = t
 
-  (** [create ?obs timer verts ~corner] starts with an empty graph; the
-      partial graph then only ever grows across {!round} calls — the
-      "dynamic sequential graph" of the paper's title. *)
   val create :
     ?obs:Css_util.Obs.t -> Css_sta.Timer.t -> Vertex.t -> corner:Css_sta.Timer.corner -> t
+  [@@deprecated "use Extract.run ~engine:Extract.Essential"]
 
-  val graph : t -> Seq_graph.t
-  val stats : t -> stats
-
-  (** [round ?limit t] runs one Update-Extract round against the timer's
-      current state: every violated endpoint whose worst slack is not
-      explained by an already-extracted edge is cone-walked (at most
-      [limit] of them — the DESIGN.md A1 ablation; default unlimited),
-      and the negative-slack edges found are added. Returns the number of
-      edges added. Call after each timing propagation. *)
-  val round : ?limit:int -> t -> int
+  val graph : t -> Seq_graph.t [@@deprecated "use Extract.graph"]
+  val stats : t -> stats [@@deprecated "use Extract.stats"]
+  val round : ?limit:int -> t -> int [@@deprecated "use Extract.round"]
 end
 
-(** {1 IC-CSS callback extraction (Albrecht, adapted)} *)
-
 module Iccss : sig
-  type t
+  type nonrec t = t
 
-  (** [create ?obs timer verts ~corner] computes the one-time global
-      outgoing-delay (late) / incoming-delay (early) bound used by the
-      criticality test of Eq. (8). *)
   val create :
     ?obs:Css_util.Obs.t -> Css_sta.Timer.t -> Vertex.t -> corner:Css_sta.Timer.corner -> t
+  [@@deprecated "use Extract.run ~engine:Extract.Iccss"]
 
-  val graph : t -> Seq_graph.t
-  val stats : t -> stats
+  val graph : t -> Seq_graph.t [@@deprecated "use Extract.graph"]
+  val stats : t -> stats [@@deprecated "use Extract.stats"]
+  val extract_critical : t -> int [@@deprecated "use Extract.round"]
 
-  (** [extract_critical t] fires the callback for every vertex that is
-      critical under current latencies and not yet expanded: *all* of its
-      outgoing sequential edges are materialized. Returns the number of
-      vertices newly expanded. *)
-  val extract_critical : t -> int
-
-  (** [extract_constraint_edges t ff] fires the Section III-E(ii)
-      callback: all cross-corner constraint edges of [ff] (its incoming
-      early paths when optimizing late, and vice versa) are enumerated and
-      charged to the extraction cost. Returns the number of edges seen. *)
   val extract_constraint_edges : t -> Css_netlist.Design.cell_id -> int
+  [@@deprecated "use Extract.constraint_edges"]
 end

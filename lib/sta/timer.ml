@@ -440,16 +440,34 @@ let violated_endpoints t corner =
 (* ------------------------------------------------------------------ *)
 (* Cone enumeration                                                    *)
 
+(* Per-walk scratch: an epoch mark plus a DP value per node. The timer
+   owns one (t.visit / t.scratch) for its own sequential walks; parallel
+   extraction hands each worker domain a private [cone_ctx] so walks
+   share nothing but the read-only graph and delay arrays. *)
+type cone_ctx = { cw_visit : Mark.t; cw_scratch : float array }
+
+let cone_ctx t =
+  let n = max (Graph.num_nodes t.graph) 1 in
+  { cw_visit = Mark.create n; cw_scratch = Array.make n 0.0 }
+
+let note_cone_visits t n =
+  t.stats.cone_visits <- t.stats.cone_visits + n;
+  Obs.add t.oc.o_cone n
+
 (* Collect the cone of [root] (backward when [forward = false]) as node
-   ids, then run a longest/shortest-path DP restricted to the cone. *)
-let cone t corner ~root ~forward =
+   ids, then run a longest/shortest-path DP restricted to the cone.
+   Touches only [ctx] and read-only timer state — no stats, no Obs —
+   so it is safe to run from worker domains; callers account visits
+   via [note_cone_visits] afterwards (single-writer). *)
+let cone_in ctx t corner ~root ~forward =
   let g = t.graph in
-  Mark.reset t.visit;
+  let visit = ctx.cw_visit and scratch = ctx.cw_scratch in
+  Mark.reset visit;
   let members = ref [] in
   let count = ref 0 in
   let rec collect n =
-    if not (Mark.is_marked t.visit n) then begin
-      Mark.mark t.visit n;
+    if not (Mark.is_marked visit n) then begin
+      Mark.mark visit n;
       incr count;
       members := n :: !members;
       if forward then begin
@@ -459,8 +477,6 @@ let cone t corner ~root ~forward =
     end
   in
   collect root;
-  t.stats.cone_visits <- t.stats.cone_visits + !count;
-  Obs.add t.oc.o_cone !count;
   let members = Array.of_list !members in
   (* DP in level order: ascending when walking backward from the root so
      that successors-in-cone are final (we relax over out-arcs), and
@@ -472,8 +488,8 @@ let cone t corner ~root ~forward =
     members;
   let better a b = match corner with Late -> a > b | Early -> a < b in
   let worst = match corner with Late -> neg_infinity | Early -> infinity in
-  Array.iter (fun n -> t.scratch.(n) <- worst) members;
-  t.scratch.(root) <- 0.0;
+  Array.iter (fun n -> scratch.(n) <- worst) members;
+  scratch.(root) <- 0.0;
   let results = ref [] in
   Array.iter
     (fun n ->
@@ -481,26 +497,42 @@ let cone t corner ~root ~forward =
         let best = ref worst in
         if forward then
           Graph.iter_in g n (fun a u ->
-              if Mark.is_marked t.visit u && t.scratch.(u) <> worst then begin
-                let cand = t.scratch.(u) +. arc_delay t corner a in
+              if Mark.is_marked visit u && scratch.(u) <> worst then begin
+                let cand = scratch.(u) +. arc_delay t corner a in
                 if better cand !best then best := cand
               end)
         else
           Graph.iter_out g n (fun a v ->
-              if Mark.is_marked t.visit v && t.scratch.(v) <> worst then begin
-                let cand = arc_delay t corner a +. t.scratch.(v) in
+              if Mark.is_marked visit v && scratch.(v) <> worst then begin
+                let cand = arc_delay t corner a +. scratch.(v) in
                 if better cand !best then best := cand
               end);
-        t.scratch.(n) <- !best
+        scratch.(n) <- !best
       end;
-      if t.scratch.(n) <> worst then
+      if scratch.(n) <> worst then
         if forward then begin
           if Graph.is_endpoint g n && n <> root then
-            results := (n, t.scratch.(n)) :: !results
+            results := (n, scratch.(n)) :: !results
         end
-        else if Graph.is_source g n && n <> root then results := (n, t.scratch.(n)) :: !results)
+        else if Graph.is_source g n && n <> root then results := (n, scratch.(n)) :: !results)
     members;
   (!results, !count)
+
+let cone t corner ~root ~forward =
+  let ctx = { cw_visit = t.visit; cw_scratch = t.scratch } in
+  let results, count = cone_in ctx t corner ~root ~forward in
+  note_cone_visits t count;
+  (results, count)
+
+let cone_to_endpoint_in ctx t corner e =
+  let root = Graph.node_of_endpoint t.graph e in
+  let raw, visited = cone_in ctx t corner ~root ~forward:false in
+  (List.map (fun (n, d) -> (Graph.launcher_of_node t.graph n, d)) raw, visited)
+
+let cone_from_launcher_in ctx t corner l =
+  let root = Graph.source_of_launcher t.graph l in
+  let raw, visited = cone_in ctx t corner ~root ~forward:true in
+  (List.map (fun (n, d) -> (Graph.endpoint_of_node t.graph n, d)) raw, visited)
 
 let cone_to_endpoint t corner e =
   let root = Graph.node_of_endpoint t.graph e in

@@ -148,6 +148,42 @@ val cone_to_endpoint : t -> corner -> Graph.endpoint -> (Graph.launcher * float)
     path delay, plus nodes visited. *)
 val cone_from_launcher : t -> corner -> Graph.launcher -> (Graph.endpoint * float) list * int
 
+(** {2 Re-entrant walks (parallel extraction)}
+
+    {!cone_to_endpoint} and {!cone_from_launcher} use the timer's own
+    scratch arrays and bump its stats inline, so only one may run at a
+    time. The [_in] variants walk through a caller-supplied {!cone_ctx}
+    and touch {e no} mutable timer state at all: give each worker domain
+    its own context and the walks may run concurrently against the same
+    timer, provided nothing mutates the timer (no [propagate], latency
+    or placement edits) while they are in flight. Visited-node counts
+    are returned, not accounted; the coordinating thread flushes them
+    once per round with {!note_cone_visits} (the stats record and [Obs]
+    context stay single-writer). *)
+
+(** Private scratch (visit marks + DP values) for one concurrent cone
+    walker. *)
+type cone_ctx
+
+(** [cone_ctx t] allocates a fresh walker context sized for [t]'s graph.
+    Do not share one context between concurrent walkers. *)
+val cone_ctx : t -> cone_ctx
+
+(** [cone_to_endpoint_in ctx t corner e] is {!cone_to_endpoint} through
+    [ctx], without stats or counter side effects. *)
+val cone_to_endpoint_in :
+  cone_ctx -> t -> corner -> Graph.endpoint -> (Graph.launcher * float) list * int
+
+(** [cone_from_launcher_in ctx t corner l] is {!cone_from_launcher}
+    through [ctx], without stats or counter side effects. *)
+val cone_from_launcher_in :
+  cone_ctx -> t -> corner -> Graph.launcher -> (Graph.endpoint * float) list * int
+
+(** [note_cone_visits t n] credits [n] cone-visited nodes to
+    [t.stats.cone_visits] and the [timer.cone_nodes] counter — the
+    deferred accounting for [_in] walks. Call from one thread only. *)
+val note_cone_visits : t -> int -> unit
+
 (** {1 Path tracing} *)
 
 (** [worst_path t corner e] is the critical path into [e] as a pin list,

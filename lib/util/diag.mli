@@ -42,8 +42,9 @@ val has_errors : t list -> bool
     Location components are omitted when absent. *)
 val to_string : t -> string
 
-(** [Failed ds] is the typed failure carried by the exception-style
-    compatibility wrappers ([Io.of_string], [Sdc.apply], ...). [ds] is
+(** [Failed ds] is the typed failure raised by callers (e.g. the CLI)
+    that turn a result-based [Error ds] ([Io.of_string], [Sdc.apply],
+    ...) into an exception without flattening it to a string. [ds] is
     non-empty and contains at least one {!Error}. *)
 exception Failed of t list
 

@@ -86,7 +86,10 @@ let test_contains_sequential_cycle () =
   let d = Generator.generate Profile.tiny in
   let t = Timer.build d in
   let verts = Css_seqgraph.Vertex.of_design d in
-  let full, _ = Css_seqgraph.Extract.Full.extract t verts ~corner:Timer.Late in
+  let full =
+    Css_seqgraph.Extract.graph
+      (Css_seqgraph.Extract.run ~engine:Css_seqgraph.Extract.Full t verts ~corner:Timer.Late)
+  in
   let module Sg = Css_seqgraph.Seq_graph in
   let found = ref false in
   Sg.iter_edges full (fun e ->

@@ -44,7 +44,7 @@ let test_bounds_io_roundtrip () =
   let d = Generator.micro () in
   let ff = (Design.ffs d).(1) in
   Design.set_latency_bounds d ff ~lo:0.0 ~hi:77.5;
-  let d2 = Io.of_string ~library:(Design.library d) (Io.to_string d) in
+  let d2 = Io.of_string_exn ~library:(Design.library d) (Io.to_string d) in
   let name = Design.cell_name d ff in
   let ff2 =
     Array.to_list (Design.ffs d2) |> List.find (fun c -> Design.cell_name d2 c = name)

@@ -54,7 +54,7 @@ let test_netlist_fault fault () =
       List.iter
         (fun (policy, pname) ->
           let ctx = Printf.sprintf "%s/%s/seed%d" (Mutator.name fault) pname seed in
-          match Io.of_string_result ~policy ~library corrupted with
+          match Io.of_string ~policy ~library corrupted with
           | Ok (design, _) -> downstream_graceful ctx design
           | Error ds ->
             if ds = [] then Alcotest.failf "%s: Error carries no diagnostics" ctx;
@@ -79,10 +79,10 @@ let test_sdc_fault fault () =
   List.iter
     (fun (policy, pname) ->
       let ctx = Printf.sprintf "%s/%s" (Mutator.sdc_name fault) pname in
-      match Sdc.parse_result ~policy corrupted with
+      match Sdc.parse ~policy corrupted with
       | Ok (t, _) -> (
         let design = Generator.micro () in
-        match Sdc.apply_result ~policy t design with
+        match Sdc.apply ~policy t design with
         | Ok _ -> ()
         | Error ds ->
           if not (Diag.has_errors ds) then Alcotest.failf "%s: apply Error without error" ctx
@@ -97,14 +97,14 @@ let test_sdc_nearest_name_hint () =
   (* "ffz" is one edit from the real "ffa"/"ffb"/"ffc"; the earliest
      candidate wins the tie *)
   let t = { Sdc.empty with Sdc.latency_bounds = [ ("ffz", 0.0, 100.0) ] } in
-  (match Sdc.apply_result t design with
+  (match Sdc.apply t design with
   | Error [ d ] ->
     Alcotest.(check string) "code" "SDC-003" d.Diag.code;
     (match d.Diag.hint with
     | Some h -> checkb "hint suggests ffa" true (h = {|did you mean "ffa"?|})
     | None -> Alcotest.fail "expected a nearest-name hint")
   | _ -> Alcotest.fail "expected exactly one SDC-003 error");
-  match Sdc.apply t design with
+  match Sdc.apply_exn t design with
   | () -> Alcotest.fail "expected Failure"
   | exception Failure m ->
     checkb "legacy message carries the hint" true
@@ -112,7 +112,7 @@ let test_sdc_nearest_name_hint () =
       && contains ~sub:"did you mean" m)
 
 let test_sdc_unknown_command_hint () =
-  match Sdc.parse_result "set_cock_uncertainty -setup 10" with
+  match Sdc.parse "set_cock_uncertainty -setup 10" with
   | Error [ d ] ->
     Alcotest.(check string) "code" "SDC-001" d.Diag.code;
     checkb "hint present" true (d.Diag.hint = Some {|did you mean "set_clock_uncertainty"?|})

@@ -77,8 +77,10 @@ let test_extracted_below_full_graph () =
   let design_full = Flow.clone (Lazy.force base_design) in
   let timer_full = Css_sta.Timer.build design_full in
   let verts = Css_seqgraph.Vertex.of_design design_full in
-  let _, sf =
-    Css_seqgraph.Extract.Full.extract timer_full verts ~corner:Css_sta.Timer.Late
+  let sf =
+    Css_seqgraph.Extract.stats
+      (Css_seqgraph.Extract.run ~engine:Css_seqgraph.Extract.Full timer_full verts
+         ~corner:Css_sta.Timer.Late)
   in
   let extracted = s.Css_seqgraph.Extract.edges_extracted in
   let full = sf.Css_seqgraph.Extract.edges_extracted in

@@ -156,7 +156,7 @@ let test_io_roundtrip () =
   let d, ff1, _, _, _ = build_small () in
   Design.set_scheduled_latency d ff1 7.25;
   let s = Io.to_string d in
-  let d2 = Io.of_string ~library:Library.default s in
+  let d2 = Io.of_string_exn ~library:Library.default s in
   checki "cells" (Design.num_cells d) (Design.num_cells d2);
   checki "nets" (Design.num_nets d) (Design.num_nets d2);
   checki "ports" (Design.num_ports d) (Design.num_ports d2);
@@ -174,11 +174,11 @@ let test_io_roundtrip () =
 let test_io_double_roundtrip_stable () =
   let d, _, _, _, _ = build_small () in
   let s1 = Io.to_string d in
-  let s2 = Io.to_string (Io.of_string ~library:Library.default s1) in
+  let s2 = Io.to_string (Io.of_string_exn ~library:Library.default s1) in
   Alcotest.check Alcotest.string "fixpoint" s1 s2
 
 let test_io_errors () =
-  let try_load s = ignore (Io.of_string ~library:Library.default s) in
+  let try_load s = ignore (Io.of_string_exn ~library:Library.default s) in
   checkb "unknown master" true
     (try
        try_load "design x period 10\ndie 0 0 1 1\ncell a NOPE 0 0\n";
@@ -197,7 +197,7 @@ let test_io_errors () =
 
 let test_io_comments_and_blanks () =
   let s = "# a comment\n\ndesign x period 10\ndie 0 0 100 100\n  \nport p in 0 0\n" in
-  let d = Io.of_string ~library:Library.default s in
+  let d = Io.of_string_exn ~library:Library.default s in
   checki "one port" 1 (Design.num_ports d)
 
 let test_io_file_roundtrip () =
@@ -207,7 +207,7 @@ let test_io_file_roundtrip () =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       Io.save d path;
-      let d2 = Io.load ~library:Library.default path in
+      let d2 = Io.load_exn ~library:Library.default path in
       checki "cells" (Design.num_cells d) (Design.num_cells d2))
 
 (* ------------------------------------------------------------------ *)
@@ -271,7 +271,7 @@ module Sdc = Css_netlist.Sdc
 
 let test_sdc_parse () =
   let c =
-    Sdc.parse
+    Sdc.parse_exn
       "# header comment\n\
        create_clock -period 500\n\
        set_clock_uncertainty -setup 25   # inline comment\n\
@@ -291,23 +291,23 @@ let test_sdc_parse () =
   checkb "fanout" true (c.Sdc.lcb_fanout_limit = Some 50)
 
 let test_sdc_errors () =
-  let fails s = try ignore (Sdc.parse s); false with Failure _ -> true in
+  let fails s = try ignore (Sdc.parse_exn s); false with Failure _ -> true in
   checkb "unknown command" true (fails "set_wishful_thinking 1\n");
   checkb "malformed number" true (fails "create_clock -period banana\n");
   checkb "arity" true (fails "set_latency_bounds ff1 0\n")
 
 let test_sdc_apply () =
   let d, ff1, _, _, _ = build_small () in
-  let c = Sdc.parse "create_clock -period 500\nset_latency_bounds ff1 0 77\n" in
-  Sdc.apply c d;
+  let c = Sdc.parse_exn "create_clock -period 500\nset_latency_bounds ff1 0 77\n" in
+  Sdc.apply_exn c d;
   checkf 1e-9 "window applied" 77.0 (snd (Design.latency_bounds d ff1));
   (* wrong period is rejected *)
-  let bad = Sdc.parse "create_clock -period 123\n" in
+  let bad = Sdc.parse_exn "create_clock -period 123\n" in
   checkb "period mismatch rejected" true
-    (try Sdc.apply bad d; false with Failure _ -> true);
+    (try Sdc.apply_exn bad d; false with Failure _ -> true);
   (* unknown flop is rejected *)
-  let ghost = Sdc.parse "set_latency_bounds casper 0 9\n" in
-  checkb "ghost flop rejected" true (try Sdc.apply ghost d; false with Failure _ -> true)
+  let ghost = Sdc.parse_exn "set_latency_bounds casper 0 9\n" in
+  checkb "ghost flop rejected" true (try Sdc.apply_exn ghost d; false with Failure _ -> true)
 
 (* Golden diagnostic renderings: the exact one-line messages the CLI
    prints. Pinned so error UX changes are deliberate, not accidental. *)
@@ -320,29 +320,29 @@ let expect_failure golden f =
 let test_golden_missing_header () =
   expect_failure
     "error[IO-002] missing design header (need 'design <name> period <T>' and 'die <lx> <ly> \
-     <hx> <hy>')" (fun () -> Io.of_string ~library:Library.default "# just a comment\n")
+     <hx> <hy>')" (fun () -> Io.of_string_exn ~library:Library.default "# just a comment\n")
 
 let test_golden_truncated_netlist () =
   (* the tail of a cell line cut off mid-token *)
   expect_failure "error[IO-001] line 3: unrecognized line: cell ff1 DF" (fun () ->
-      Io.of_string ~library:Library.default
+      Io.of_string_exn ~library:Library.default
         "design t period 400\ndie 0 0 100 100\ncell ff1 DF")
 
 let test_golden_unknown_master_hint () =
   expect_failure {|error[IO-006] line 3: unknown master DFG (hint: did you mean "DFF"?)|}
     (fun () ->
-      Io.of_string ~library:Library.default
+      Io.of_string_exn ~library:Library.default
         "design t period 400\ndie 0 0 100 100\ncell ff1 DFG 5 5")
 
 let test_golden_bad_sdc_number () =
   expect_failure {|error[SDC-004] line 1: expected a number, got "abc"|} (fun () ->
-      Sdc.parse "create_clock -period abc")
+      Sdc.parse_exn "create_clock -period abc")
 
 let test_golden_bad_sdc_command () =
   expect_failure
     ("error[SDC-001] line 2: unknown or malformed command \"set_cock_uncertainty\" "
     ^ {|(hint: did you mean "set_clock_uncertainty"?)|})
-    (fun () -> Sdc.parse "create_clock -period 400\nset_cock_uncertainty -setup 10")
+    (fun () -> Sdc.parse_exn "create_clock -period 400\nset_cock_uncertainty -setup 10")
 
 let () =
   Alcotest.run "netlist"

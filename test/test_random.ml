@@ -73,10 +73,10 @@ let test_essential_equals_negative_full () =
       List.iter
         (fun corner ->
           let verts = Vertex.of_design design in
-          let full, _ = Extract.Full.extract timer verts ~corner in
-          let essential = Extract.Essential.create timer verts ~corner in
-          ignore (Extract.Essential.round essential);
-          let eg = Extract.Essential.graph essential in
+          let full = Extract.graph (Extract.run ~engine:Extract.Full timer verts ~corner) in
+          let essential = Extract.run ~engine:Extract.Essential timer verts ~corner in
+          ignore (Extract.round essential);
+          let eg = Extract.graph essential in
           Seq_graph.iter_edges full (fun e ->
               if e.Seq_graph.weight < -1e-9 then
                 match Seq_graph.find eg ~src:e.Seq_graph.src ~dst:e.Seq_graph.dst with
@@ -147,7 +147,7 @@ let test_flow_constraints_each_seed () =
 let test_io_roundtrip_each_seed () =
   for_each_seed (fun seed (design, _) ->
       let s1 = Css_netlist.Io.to_string design in
-      let d2 = Css_netlist.Io.of_string ~library:(Design.library design) s1 in
+      let d2 = Css_netlist.Io.of_string_exn ~library:(Design.library design) s1 in
       Alcotest.check Alcotest.string
         (Printf.sprintf "seed %d: serialization fixpoint" seed)
         s1
@@ -157,7 +157,7 @@ let test_io_roundtrip_each_seed () =
 let test_eq10_consistency_each_seed () =
   for_each_seed (fun seed (design, timer) ->
       let verts = Vertex.of_design design in
-      let graph, _ = Extract.Full.extract timer verts ~corner:Timer.Late in
+      let graph = Extract.graph (Extract.run ~engine:Extract.Full timer verts ~corner:Timer.Late) in
       let rng = Rng.create (seed * 13) in
       let deltas = Array.make (Vertex.num verts) 0.0 in
       Array.iter

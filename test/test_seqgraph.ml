@@ -145,7 +145,7 @@ let test_eq10_update () =
 let test_eq10_matches_timer () =
   let design, timer = tiny_timer () in
   let verts = Vertex.of_design design in
-  let graph, _ = Extract.Full.extract timer verts ~corner:Timer.Late in
+  let graph = Extract.graph (Extract.run ~engine:Extract.Full timer verts ~corner:Timer.Late) in
   let rng = Rng.create 31 in
   let ffs = Design.ffs design in
   let deltas = Array.make (Vertex.num verts) 0.0 in
@@ -169,7 +169,8 @@ let test_eq10_matches_timer () =
 let test_full_extraction_covers_design () =
   let design, timer = tiny_timer () in
   let verts = Vertex.of_design design in
-  let graph, stats = Extract.Full.extract timer verts ~corner:Timer.Late in
+  let feng = Extract.run ~engine:Extract.Full timer verts ~corner:Timer.Late in
+  let graph = Extract.graph feng and stats = Extract.stats feng in
   checkb "many edges" true (Seq_graph.num_edges graph > Array.length (Design.ffs design) / 2);
   checkb "visited nodes" true (stats.Extract.cone_nodes > 0);
   checkb "edge count >= stored (parallel merged)" true
@@ -180,10 +181,10 @@ let test_essential_finds_all_negative_edges () =
      subset of full, with equal weights *)
   let design, timer = tiny_timer () in
   let verts = Vertex.of_design design in
-  let full, _ = Extract.Full.extract timer verts ~corner:Timer.Late in
-  let essential = Extract.Essential.create timer verts ~corner:Timer.Late in
-  ignore (Extract.Essential.round essential);
-  let eg = Extract.Essential.graph essential in
+  let full = Extract.graph (Extract.run ~engine:Extract.Full timer verts ~corner:Timer.Late) in
+  let essential = Extract.run ~engine:Extract.Essential timer verts ~corner:Timer.Late in
+  ignore (Extract.round essential);
+  let eg = Extract.graph essential in
   (* Every negative full-graph edge whose endpoint is violated appears:
      a violated endpoint's cone contains all its negative in-edges. *)
   Seq_graph.iter_edges full (fun e ->
@@ -201,10 +202,10 @@ let test_essential_finds_all_negative_edges () =
 let test_essential_early_corner () =
   let design, timer = tiny_timer () in
   let verts = Vertex.of_design design in
-  let full, _ = Extract.Full.extract timer verts ~corner:Timer.Early in
-  let essential = Extract.Essential.create timer verts ~corner:Timer.Early in
-  ignore (Extract.Essential.round essential);
-  let eg = Extract.Essential.graph essential in
+  let full = Extract.graph (Extract.run ~engine:Extract.Full timer verts ~corner:Timer.Early) in
+  let essential = Extract.run ~engine:Extract.Essential timer verts ~corner:Timer.Early in
+  ignore (Extract.round essential);
+  let eg = Extract.graph essential in
   Seq_graph.iter_edges full (fun e ->
       if e.Seq_graph.weight < -1e-9 then
         checkb "early essential found" true
@@ -213,12 +214,12 @@ let test_essential_early_corner () =
 let test_essential_skips_explained_endpoints () =
   let design, timer = tiny_timer () in
   let verts = Vertex.of_design design in
-  let essential = Extract.Essential.create timer verts ~corner:Timer.Late in
-  let added1 = Extract.Essential.round essential in
-  let cones1 = (Extract.Essential.stats essential).Extract.cone_nodes in
+  let essential = Extract.run ~engine:Extract.Essential timer verts ~corner:Timer.Late in
+  let added1 = Extract.round essential in
+  let cones1 = (Extract.stats essential).Extract.cone_nodes in
   (* a second round with unchanged timing walks nothing new *)
-  let added2 = Extract.Essential.round essential in
-  let cones2 = (Extract.Essential.stats essential).Extract.cone_nodes in
+  let added2 = Extract.round essential in
+  let cones2 = (Extract.stats essential).Extract.cone_nodes in
   checkb "first round found edges" true (added1 > 0);
   checki "second round adds nothing" 0 added2;
   checki "second round walks nothing" cones1 cones2;
@@ -227,42 +228,42 @@ let test_essential_skips_explained_endpoints () =
 let test_essential_extracts_fewer_than_iccss () =
   let design, timer = tiny_timer () in
   let verts = Vertex.of_design design in
-  let essential = Extract.Essential.create timer verts ~corner:Timer.Late in
-  ignore (Extract.Essential.round essential);
+  let essential = Extract.run ~engine:Extract.Essential timer verts ~corner:Timer.Late in
+  ignore (Extract.round essential);
   let design2 = Generator.generate Profile.tiny in
   let timer2 = Timer.build design2 in
   let verts2 = Vertex.of_design design2 in
-  let iccss = Extract.Iccss.create timer2 verts2 ~corner:Timer.Late in
-  ignore (Extract.Iccss.extract_critical iccss);
-  let e1 = (Extract.Essential.stats essential).Extract.edges_extracted in
-  let e2 = (Extract.Iccss.stats iccss).Extract.edges_extracted in
+  let iccss = Extract.run ~engine:Extract.Iccss timer2 verts2 ~corner:Timer.Late in
+  ignore (Extract.round iccss);
+  let e1 = (Extract.stats essential).Extract.edges_extracted in
+  let e2 = (Extract.stats iccss).Extract.edges_extracted in
   checkb "essential extracts fewer edges than IC-CSS callback" true (e1 < e2);
   ignore design
 
 let test_iccss_extracts_critical_outgoing () =
   let design, timer = tiny_timer () in
   let verts = Vertex.of_design design in
-  let iccss = Extract.Iccss.create timer verts ~corner:Timer.Late in
-  let fired = Extract.Iccss.extract_critical iccss in
+  let iccss = Extract.run ~engine:Extract.Iccss timer verts ~corner:Timer.Late in
+  let fired = Extract.round iccss in
   checkb "some vertices critical" true (fired > 0);
-  let g = Extract.Iccss.graph iccss in
+  let g = Extract.graph iccss in
   (* IC-CSS materializes non-essential edges too *)
   let has_positive = ref false in
   Seq_graph.iter_edges g (fun e -> if e.Seq_graph.weight >= 0.0 then has_positive := true);
   checkb "positives included (over-extraction)" true !has_positive;
   (* second call does not re-expand *)
-  let fired2 = Extract.Iccss.extract_critical iccss in
+  let fired2 = Extract.round iccss in
   checki "no re-expansion without latency change" 0 fired2;
   ignore design
 
 let test_iccss_constraint_edges_charge_cost () =
   let design, timer = tiny_timer () in
   let verts = Vertex.of_design design in
-  let iccss = Extract.Iccss.create timer verts ~corner:Timer.Late in
-  let before = (Extract.Iccss.stats iccss).Extract.edges_extracted in
+  let iccss = Extract.run ~engine:Extract.Iccss timer verts ~corner:Timer.Late in
+  let before = (Extract.stats iccss).Extract.edges_extracted in
   let ff = (Design.ffs design).(0) in
-  let n = Extract.Iccss.extract_constraint_edges iccss ff in
-  let after = (Extract.Iccss.stats iccss).Extract.edges_extracted in
+  let n = Extract.constraint_edges iccss ff in
+  let after = (Extract.stats iccss).Extract.edges_extracted in
   checki "cost charged" (before + n) after
 
 let test_iccss_criticality_grows_with_latency () =
@@ -270,12 +271,12 @@ let test_iccss_criticality_grows_with_latency () =
      the one-time bound), firing new expansions *)
   let design, timer = tiny_timer () in
   let verts = Vertex.of_design design in
-  let iccss = Extract.Iccss.create timer verts ~corner:Timer.Late in
-  ignore (Extract.Iccss.extract_critical iccss);
+  let iccss = Extract.run ~engine:Extract.Iccss timer verts ~corner:Timer.Late in
+  ignore (Extract.round iccss);
   let ffs = Design.ffs design in
   Array.iter (fun ff -> Design.set_scheduled_latency design ff 300.0) ffs;
   Timer.update_latencies timer (Array.to_list ffs);
-  let fired = Extract.Iccss.extract_critical iccss in
+  let fired = Extract.round iccss in
   checkb "large latencies trigger more expansion" true (fired > 0)
 
 let () =
