@@ -1,0 +1,77 @@
+(** Randomized fault {e sequences} with shrinking.
+
+    A fault sequence is a replayable program of corruptions — design
+    text faults (including structural grafts), SDC faults, Liberty
+    corruption and byte-level fuzzing — applied in order to a {!corpus}.
+    Sequences are the unit the property-based harness generates,
+    replays and {e minimizes}: when a sweep finds a crash or an oracle
+    violation, {!minimize} (or a qcheck shrinker built on {!shrink})
+    reduces the sequence to a locally minimal reproducer, and
+    {!to_string} prints it as a one-line seed + fault list that
+    {!of_string} (and the [css_fuzz --replay] CLI) replays exactly.
+
+    Replay determinism does not depend on position: every step carries
+    its own [salt], fixed at generation time, and draws its randomness
+    from [Rng.create (seed lxor mix salt)] alone. Removing a step during
+    shrinking therefore does not perturb the corruptions the surviving
+    steps perform — the invariant that makes shrinking sound. *)
+
+(** One corruption. *)
+type op =
+  | Netlist of Mutator.fault  (** corrupt the serialized design *)
+  | Sdc of Mutator.sdc_fault  (** corrupt the constraint text *)
+  | Lib of Mutator.lib_fault  (** corrupt the cell library *)
+  | Fuzz_netlist of int  (** [n] byte-level ops on the design text *)
+  | Fuzz_sdc of int  (** [n] byte-level ops on the SDC text *)
+
+type step = {
+  salt : int;  (** per-step RNG salt, fixed at generation time *)
+  op : op;
+}
+
+type t = {
+  seed : int;  (** base seed; combined with each step's salt *)
+  steps : step list;
+}
+
+val length : t -> int
+
+(** What a sequence corrupts: the three ingest artifacts. *)
+type corpus = {
+  design_text : string;
+  sdc_text : string;
+  library : Css_liberty.Library.t;
+}
+
+(** [gen ?max_len rng] draws a sequence of 1..[max_len] (default 6)
+    steps, each with a fresh salt. *)
+val gen : ?max_len:int -> Css_util.Rng.t -> t
+
+(** [apply t corpus] runs every step in order and returns the corrupted
+    corpus plus the number of steps whose corruption reported
+    [`Applied]. *)
+val apply : t -> corpus -> corpus * int
+
+(** {1 Shrinking} *)
+
+(** [shrink t] enumerates strictly smaller candidates, largest
+    reductions first: chunk removals (halves, quarters, ... single
+    steps), then byte-op count halvings. Suitable directly as a qcheck
+    shrinker ([QCheck.Iter] adapts a [Seq.t]). *)
+val shrink : t -> t Seq.t
+
+(** [minimize ?max_rounds fails t] greedily walks {!shrink} while
+    [fails] keeps returning [true] (i.e. the candidate still exhibits
+    the failure) and returns a locally minimal failing sequence.
+    [fails t] itself must hold. [max_rounds] (default 400) bounds the
+    number of accepted shrink steps. *)
+val minimize : ?max_rounds:int -> (t -> bool) -> t -> t
+
+(** {1 Replayable rendering} *)
+
+(** [to_string t] is the one-line reproducer, e.g.
+    ["seed=42 steps=netlist:drop-net@117,fuzz-sdc:8@3,lib:lib-no-ff@9"]. *)
+val to_string : t -> string
+
+(** [of_string s] parses {!to_string}'s rendering back. *)
+val of_string : string -> (t, string) result

@@ -1,4 +1,12 @@
 module Rng = Css_util.Rng
+module Cell = Css_liberty.Cell
+module Library = Css_liberty.Library
+module Delay_model = Css_liberty.Delay_model
+
+type outcome =
+  [ `Applied
+  | `Noop
+  ]
 
 type fault =
   | Truncate
@@ -14,6 +22,12 @@ type fault =
   | Inverted_bounds
   | Duplicate_cell
   | Garbage_line
+  | Split_clock_domain
+  | Disconnect_subgraph
+  | Comb_loop
+  | Fanout_explosion
+
+let structural = [ Split_clock_domain; Disconnect_subgraph; Comb_loop; Fanout_explosion ]
 
 let all =
   [
@@ -31,6 +45,7 @@ let all =
     Duplicate_cell;
     Garbage_line;
   ]
+  @ structural
 
 let name = function
   | Truncate -> "truncate"
@@ -46,6 +61,12 @@ let name = function
   | Inverted_bounds -> "inverted-bounds"
   | Duplicate_cell -> "duplicate-cell"
   | Garbage_line -> "garbage-line"
+  | Split_clock_domain -> "split-clock-domain"
+  | Disconnect_subgraph -> "disconnect-subgraph"
+  | Comb_loop -> "comb-loop"
+  | Fanout_explosion -> "fanout-explosion"
+
+let of_name s = List.find_opt (fun f -> name f = s) all
 
 let lines_of s = String.split_on_char '\n' s
 let unlines = String.concat "\n"
@@ -91,53 +112,53 @@ let corrupt fault rng s =
   match fault with
   | Truncate ->
     let n = String.length s in
-    if n < 4 then s else String.sub s 0 ((n / 2) + Rng.int rng (n / 2))
+    if n < 4 then (s, `Noop) else (String.sub s 0 ((n / 2) + Rng.int rng (n / 2)), `Applied)
   | Drop_header -> (
     match pick_matching rng "design " lines with
-    | Some i -> unlines (drop_line i lines)
-    | None -> s)
+    | Some i -> (unlines (drop_line i lines), `Applied)
+    | None -> (s, `Noop))
   | Drop_die -> (
     match pick_matching rng "die " lines with
-    | Some i -> unlines (drop_line i lines)
-    | None -> s)
+    | Some i -> (unlines (drop_line i lines), `Applied)
+    | None -> (s, `Noop))
   | Drop_net -> (
     match pick_matching rng "net " lines with
-    | Some i -> unlines (drop_line i lines)
-    | None -> s)
+    | Some i -> (unlines (drop_line i lines), `Applied)
+    | None -> (s, `Noop))
   | Ghost_ref -> (
     match pick_matching rng "net " lines with
-    | Some i -> unlines (map_line i (fun l -> l ^ " __ghost__:A") lines)
-    | None -> s)
+    | Some i -> (unlines (map_line i (fun l -> l ^ " __ghost__:A") lines), `Applied)
+    | None -> (s, `Noop))
   | Unknown_master -> (
     match pick_matching rng "cell " lines with
-    | Some i -> unlines (map_line i (set_word 2 "PHANTOM_X9") lines)
-    | None -> s)
+    | Some i -> (unlines (map_line i (set_word 2 "PHANTOM_X9") lines), `Applied)
+    | None -> (s, `Noop))
   | Corrupt_number -> (
     match pick_matching rng "cell " lines with
-    | Some i -> unlines (map_line i (set_word 4 "twelve") lines)
-    | None -> s)
+    | Some i -> (unlines (map_line i (set_word 4 "twelve") lines), `Applied)
+    | None -> (s, `Noop))
   | Nan_position -> (
     match pick_matching rng "cell " lines with
-    | Some i -> unlines (map_line i (set_word 3 "nan") lines)
-    | None -> s)
+    | Some i -> (unlines (map_line i (set_word 3 "nan") lines), `Applied)
+    | None -> (s, `Noop))
   | Inf_latency -> (
     match some_cell_name rng ~prefer:"DFF" lines with
-    | Some ff -> s ^ Printf.sprintf "\nlatency %s inf" ff
-    | None -> s)
+    | Some ff -> (s ^ Printf.sprintf "\nlatency %s inf" ff, `Applied)
+    | None -> (s, `Noop))
   | Negative_period -> (
     match pick_matching rng "design " lines with
-    | Some i -> unlines (map_line i (set_word 3 "-250.0") lines)
-    | None -> s)
+    | Some i -> (unlines (map_line i (set_word 3 "-250.0") lines), `Applied)
+    | None -> (s, `Noop))
   | Inverted_bounds -> (
     match some_cell_name rng ~prefer:"DFF" lines with
-    | Some ff -> s ^ Printf.sprintf "\nbounds %s 50.0 10.0" ff
-    | None -> s)
+    | Some ff -> (s ^ Printf.sprintf "\nbounds %s 50.0 10.0" ff, `Applied)
+    | None -> (s, `Noop))
   | Duplicate_cell -> (
     match pick_matching rng "cell " lines with
     | Some i ->
       let dup = List.nth lines i in
-      unlines (map_line i (fun l -> l ^ "\n" ^ dup) lines)
-    | None -> s)
+      (unlines (map_line i (fun l -> l ^ "\n" ^ dup) lines), `Applied)
+    | None -> (s, `Noop))
   | Garbage_line ->
     let n = List.length lines in
     let at = if n = 0 then 0 else Rng.int rng n in
@@ -147,7 +168,62 @@ let corrupt fault rng s =
         if i = at then acc := "!!corrupted@@ 0xDEAD" :: !acc;
         acc := l :: !acc)
       lines;
-    unlines (List.rev !acc)
+    (unlines (List.rev !acc), `Applied)
+  | Split_clock_domain -> (
+    (* detach one flip-flop's CK pin from its clock net and re-clock it
+       onto a grafted LCB whose own clock input is left unconnected *)
+    match some_cell_name rng ~prefer:"DFF" lines with
+    | None -> (s, `Noop)
+    | Some ff ->
+      let ckref = ff ^ ":CK" in
+      let removed = ref false in
+      let lines' =
+        List.map
+          (fun l ->
+            if (not !removed) && has_prefix "net " l && List.mem ckref (words l) then begin
+              removed := true;
+              String.concat " " (List.filter (fun w -> w <> ckref) (words l))
+            end
+            else l)
+          lines
+      in
+      if not !removed then (s, `Noop)
+      else
+        ( unlines lines'
+          ^ Printf.sprintf "\ncell __split_lcb LCB 1.0 1.0\nnet __split_ck __split_lcb:CKO %s"
+              ckref,
+          `Applied ))
+  | Disconnect_subgraph ->
+    (* a sequential island: two unclocked flip-flops around a gate,
+       reachable from no port and no clock *)
+    ( s
+      ^ "\ncell __island_ff1 DFF 12.0 12.0\ncell __island_ff2 DFF 48.0 12.0\n\
+         cell __island_inv INV_X1 30.0 12.0\nnet __island_d1 __island_ff1:Q __island_inv:A\n\
+         net __island_d2 __island_inv:Z __island_ff2:D",
+      `Applied )
+  | Comb_loop ->
+    ( s
+      ^ "\ncell __loop_a INV_X1 5.0 5.0\ncell __loop_b INV_X1 9.0 5.0\n\
+         net __loop_n1 __loop_a:Z __loop_b:A\nnet __loop_n2 __loop_b:Z __loop_a:A",
+      `Applied )
+  | Fanout_explosion -> (
+    match pick_matching rng "net " lines with
+    | None -> (s, `Noop)
+    | Some i ->
+      let k = 32 + Rng.int rng 33 in
+      let cells =
+        List.init k (fun j ->
+            Printf.sprintf "cell __fan%d INV_X1 %d.0 %d.0" j (j mod 17) (j / 17))
+      in
+      let refs = List.init k (fun j -> Printf.sprintf "__fan%d:A" j) in
+      let lines' =
+        List.concat
+          (List.mapi
+             (fun j l ->
+               if j = i then cells @ [ l ^ " " ^ String.concat " " refs ] else [ l ])
+             lines)
+      in
+      (unlines lines', `Applied))
 
 type sdc_fault =
   | Sdc_unknown_command
@@ -175,22 +251,168 @@ let sdc_name = function
   | Sdc_period_mismatch -> "sdc-period-mismatch"
   | Sdc_inverted_bounds -> "sdc-inverted-bounds"
 
+let sdc_of_name s = List.find_opt (fun f -> sdc_name f = s) all_sdc
+
 let corrupt_sdc fault rng s =
   match fault with
-  | Sdc_unknown_command -> s ^ "\nset_cock_uncertainty -setup 10.0"
-  | Sdc_bad_number -> s ^ "\nset_clock_uncertainty -setup banana"
-  | Sdc_nonfinite_number -> s ^ "\ncreate_clock -period inf"
-  | Sdc_unknown_ff -> s ^ "\nset_latency_bounds __no_such_ff__ 0.0 100.0"
-  | Sdc_period_mismatch -> s ^ "\ncreate_clock -period 123456.75"
+  | Sdc_unknown_command -> (s ^ "\nset_cock_uncertainty -setup 10.0", `Applied)
+  | Sdc_bad_number -> (s ^ "\nset_clock_uncertainty -setup banana", `Applied)
+  | Sdc_nonfinite_number -> (s ^ "\ncreate_clock -period inf", `Applied)
+  | Sdc_unknown_ff -> (s ^ "\nset_latency_bounds __no_such_ff__ 0.0 100.0", `Applied)
+  | Sdc_period_mismatch -> (s ^ "\ncreate_clock -period 123456.75", `Applied)
   | Sdc_inverted_bounds -> (
     let lines = lines_of s in
     match pick_matching rng "set_latency_bounds " lines with
     | Some i ->
-      unlines
-        (map_line i
-           (fun l ->
-             match words l with
-             | [ cmd; cell; lo; hi ] -> String.concat " " [ cmd; cell; hi; lo ]
-             | _ -> l)
-           lines)
-    | None -> s ^ "\nset_latency_bounds ff0 100.0 1.0")
+      ( unlines
+          (map_line i
+             (fun l ->
+               match words l with
+               | [ cmd; cell; lo; hi ] -> String.concat " " [ cmd; cell; hi; lo ]
+               | _ -> l)
+             lines),
+        `Applied )
+    | None -> (s ^ "\nset_latency_bounds ff0 100.0 1.0", `Applied))
+
+(* ------------------------------------------------------------------ *)
+(* Byte-level fuzzing *)
+
+let fuzz_bytes ?(ops = 8) rng s =
+  if String.length s = 0 then (s, `Noop)
+  else begin
+    let b = ref (Bytes.of_string s) in
+    for _ = 1 to ops do
+      let b0 = !b in
+      let n = Bytes.length b0 in
+      if n > 0 then
+        match Rng.int rng 6 with
+        | 0 -> Bytes.set b0 (Rng.int rng n) (Char.chr (Rng.int rng 256))
+        | 1 ->
+          (* delete a span *)
+          let i = Rng.int rng n in
+          let len = 1 + Rng.int rng (min 16 (n - i)) in
+          b := Bytes.cat (Bytes.sub b0 0 i) (Bytes.sub b0 (i + len) (n - i - len))
+        | 2 ->
+          (* insert random bytes *)
+          let i = Rng.int rng (n + 1) in
+          let len = 1 + Rng.int rng 8 in
+          let ins = Bytes.init len (fun _ -> Char.chr (Rng.int rng 256)) in
+          b := Bytes.cat (Bytes.sub b0 0 i) (Bytes.cat ins (Bytes.sub b0 i (n - i)))
+        | 3 ->
+          (* duplicate a span in place *)
+          let i = Rng.int rng n in
+          let len = 1 + Rng.int rng (min 24 (n - i)) in
+          let span = Bytes.sub b0 i len in
+          b := Bytes.cat (Bytes.sub b0 0 (i + len)) (Bytes.cat span (Bytes.sub b0 (i + len) (n - i - len)))
+        | 4 -> b := Bytes.sub b0 0 (Rng.int rng n)
+        | _ ->
+          (* overwrite a span with one repeated byte *)
+          let i = Rng.int rng n in
+          let len = 1 + Rng.int rng (min 12 (n - i)) in
+          let c = Char.chr (Rng.int rng 256) in
+          Bytes.fill b0 i len c
+    done;
+    (Bytes.to_string !b, `Applied)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Liberty-model corruption *)
+
+type lib_fault =
+  | Lib_no_ff
+  | Lib_no_lcb
+  | Lib_nan_cap
+  | Lib_negative_drive
+  | Lib_nan_ff_params
+  | Lib_nan_insertion
+  | Lib_orphan_arc
+  | Lib_poison_model
+  | Lib_no_ckq_arc
+  | Lib_negative_area
+
+let all_lib =
+  [
+    Lib_no_ff;
+    Lib_no_lcb;
+    Lib_nan_cap;
+    Lib_negative_drive;
+    Lib_nan_ff_params;
+    Lib_nan_insertion;
+    Lib_orphan_arc;
+    Lib_poison_model;
+    Lib_no_ckq_arc;
+    Lib_negative_area;
+  ]
+
+let lib_name = function
+  | Lib_no_ff -> "lib-no-ff"
+  | Lib_no_lcb -> "lib-no-lcb"
+  | Lib_nan_cap -> "lib-nan-cap"
+  | Lib_negative_drive -> "lib-negative-drive"
+  | Lib_nan_ff_params -> "lib-nan-ff-params"
+  | Lib_nan_insertion -> "lib-nan-insertion"
+  | Lib_orphan_arc -> "lib-orphan-arc"
+  | Lib_poison_model -> "lib-poison-model"
+  | Lib_no_ckq_arc -> "lib-no-ckq-arc"
+  | Lib_negative_area -> "lib-negative-area"
+
+let lib_of_name s = List.find_opt (fun f -> lib_name f = s) all_lib
+
+let corrupt_library fault rng lib =
+  let cells = Library.cells lib in
+  let rebuild cells' = Library.make ~wire:(Library.wire lib) cells' in
+  (* rewrite one random cell satisfying [pred] *)
+  let change pred f =
+    match List.filter pred cells with
+    | [] -> (lib, `Noop)
+    | candidates ->
+      let victim = Rng.choose rng (Array.of_list candidates) in
+      ( rebuild
+          (List.map
+             (fun (c : Cell.t) -> if c.Cell.name = victim.Cell.name then f c else c)
+             cells),
+        `Applied )
+  in
+  let drop pred =
+    let rest = List.filter (fun c -> not (pred c)) cells in
+    if List.length rest = List.length cells then (lib, `Noop) else (rebuild rest, `Applied)
+  in
+  match fault with
+  | Lib_no_ff -> drop Cell.is_sequential
+  | Lib_no_lcb -> drop Cell.is_clock_buffer
+  | Lib_nan_cap -> change (fun _ -> true) (fun c -> { c with Cell.input_cap = Float.nan })
+  | Lib_negative_drive -> change (fun _ -> true) (fun c -> { c with Cell.drive_res = -1.0 })
+  | Lib_nan_ff_params ->
+    change Cell.is_sequential (fun c ->
+        let p = Cell.ff_params c in
+        { c with Cell.role = Cell.Flip_flop { p with Cell.setup = Float.nan } })
+  | Lib_nan_insertion ->
+    change Cell.is_clock_buffer (fun c ->
+        { c with Cell.role = Cell.Clock_buffer { insertion = Float.infinity } })
+  | Lib_orphan_arc ->
+    change
+      (fun (c : Cell.t) -> c.Cell.outputs <> [])
+      (fun c ->
+        let ghost =
+          {
+            Cell.from_pin = "__ghost";
+            to_pin = List.hd c.Cell.outputs;
+            model = Delay_model.linear ~intrinsic:1.0 ~resistance:0.1 ();
+          }
+        in
+        { c with Cell.arcs = ghost :: c.Cell.arcs })
+  | Lib_poison_model ->
+    change
+      (fun (c : Cell.t) -> c.Cell.arcs <> [])
+      (fun c ->
+        let arcs =
+          List.mapi
+            (fun i (a : Cell.arc) ->
+              if i = 0 then
+                { a with Cell.model = Delay_model.linear ~intrinsic:Float.nan ~resistance:1.0 () }
+              else a)
+            c.Cell.arcs
+        in
+        { c with Cell.arcs })
+  | Lib_no_ckq_arc -> change Cell.is_sequential (fun c -> { c with Cell.arcs = [] })
+  | Lib_negative_area -> change (fun _ -> true) (fun c -> { c with Cell.area = -4.0 })

@@ -1,17 +1,32 @@
 (** Fault injection for the robustness test harness.
 
-    Each {!fault} is a deterministic textual corruption of a serialized
-    design ({!Css_netlist.Io} format); each {!sdc_fault} corrupts SDC
-    constraint text. The harness ([test/test_faults.ml]) feeds the
-    corrupted text back through the result-based parsers and the flow and
-    asserts graceful degradation: a typed diagnostic or a repaired run,
-    never an unhandled exception.
+    Each {!fault} is a deterministic corruption of a serialized design
+    ({!Css_netlist.Io} format); each {!sdc_fault} corrupts SDC constraint
+    text; each {!lib_fault} corrupts a cell library in memory. The
+    harness ([test/test_faults.ml], [test/test_differential.ml], the
+    [css_fuzz] binary) feeds the corrupted artifacts back through the
+    result-based parsers, {!Css_liberty.Library.validate},
+    {!Css_netlist.Validate} and the flow and asserts graceful
+    degradation: a typed diagnostic or a repaired run, never an unhandled
+    exception.
 
     Corruptions draw positions from the given {!Css_util.Rng.t}, so a
-    seed pins the exact mutation. Text the corruption does not target
-    (e.g. [Drop_net] on a design with no nets) is returned unchanged. *)
+    seed pins the exact mutation. Every corruption reports an {!outcome}:
+    [`Noop] means the fault found no target (e.g. [Drop_net] on a design
+    with no nets) and the text is returned unchanged — exhaustive sweeps
+    check the outcome so a fault that tested nothing fails loudly instead
+    of silently passing. *)
 
-(** One corruption kind for serialized designs. *)
+(** Did the corruption actually edit its input? *)
+type outcome =
+  [ `Applied  (** the fault found a target and changed the artifact *)
+  | `Noop  (** no target; the artifact is returned unchanged *)
+  ]
+
+(** One corruption kind for serialized designs. The first thirteen are
+    line-level text faults; the last four are {e structural} faults that
+    graft degenerate subcircuits onto the netlist (exercising
+    {!Css_netlist.Validate}'s repair machinery rather than the parser). *)
 type fault =
   | Truncate  (** cut the text mid-line *)
   | Drop_header  (** remove the [design ... period ...] line *)
@@ -26,15 +41,31 @@ type fault =
   | Inverted_bounds  (** add a latency window with [lo > hi] *)
   | Duplicate_cell  (** repeat one [cell] line verbatim *)
   | Garbage_line  (** insert an unrecognizable line *)
+  | Split_clock_domain
+      (** re-clock one flip-flop onto a freshly grafted LCB whose own
+          clock input is unconnected — a second, orphaned clock domain *)
+  | Disconnect_subgraph
+      (** graft a sequential island (two unclocked flip-flops around a
+          gate) reachable from no port and no clock *)
+  | Comb_loop  (** graft a two-inverter combinational cycle *)
+  | Fanout_explosion
+      (** attach tens of freshly grafted gate inputs to one net *)
 
-(** Every fault, for exhaustive sweeps. *)
+(** Every design fault, for exhaustive sweeps. *)
 val all : fault list
+
+(** The structural subset of {!all}. *)
+val structural : fault list
 
 (** Stable display name, e.g. ["drop-net"]. *)
 val name : fault -> string
 
-(** [corrupt fault rng text] is [text] with the corruption applied. *)
-val corrupt : fault -> Css_util.Rng.t -> string -> string
+(** [of_name s] inverts {!name} — used to replay printed reproducers. *)
+val of_name : string -> fault option
+
+(** [corrupt fault rng text] is the corrupted text and whether the fault
+    found a target. *)
+val corrupt : fault -> Css_util.Rng.t -> string -> string * outcome
 
 (** One corruption kind for SDC text. *)
 type sdc_fault =
@@ -47,7 +78,47 @@ type sdc_fault =
 
 val all_sdc : sdc_fault list
 val sdc_name : sdc_fault -> string
+val sdc_of_name : string -> sdc_fault option
 
-(** [corrupt_sdc fault rng text] is [text] with the corruption applied
-    (appended or edited in place). *)
-val corrupt_sdc : sdc_fault -> Css_util.Rng.t -> string -> string
+(** [corrupt_sdc fault rng text] is the corrupted text (appended or
+    edited in place) and the outcome. *)
+val corrupt_sdc : sdc_fault -> Css_util.Rng.t -> string -> string * outcome
+
+(** {1 Byte-level fuzzing}
+
+    Grammar-blind corruption of the parser front-ends: random byte
+    flips, span deletions/duplications/insertions and truncations. The
+    parsers ({!Css_netlist.Io.of_string}, {!Css_netlist.Sdc.parse}) must
+    return a typed [result] on {e any} byte string — this is the fuzzer
+    that checks it. *)
+
+(** [fuzz_bytes ?ops rng text] applies [ops] (default 8) random byte
+    operations. [`Noop] only when [text] is empty. *)
+val fuzz_bytes : ?ops:int -> Css_util.Rng.t -> string -> string * outcome
+
+(** {1 Liberty-model corruption}
+
+    In-memory corruption of a {!Css_liberty.Library.t} — the stand-in
+    for ingesting a damaged [.lib] file. Every fault below is detected
+    by {!Css_liberty.Library.validate} with a stable [LIB-*] code. *)
+
+type lib_fault =
+  | Lib_no_ff  (** drop every sequential cell ([LIB-001]) *)
+  | Lib_no_lcb  (** drop every clock buffer ([LIB-002]) *)
+  | Lib_nan_cap  (** NaN input capacitance ([LIB-003]) *)
+  | Lib_negative_drive  (** negative drive resistance ([LIB-003]) *)
+  | Lib_nan_ff_params  (** NaN setup/hold/clk-to-q ([LIB-004]) *)
+  | Lib_nan_insertion  (** non-finite LCB insertion delay ([LIB-004]) *)
+  | Lib_orphan_arc  (** timing arc from a pin the cell lacks ([LIB-005]) *)
+  | Lib_poison_model  (** delay model evaluating to NaN ([LIB-006]) *)
+  | Lib_no_ckq_arc  (** flip-flop stripped of its arcs ([LIB-007]) *)
+  | Lib_negative_area  (** non-positive cell area ([LIB-008]) *)
+
+val all_lib : lib_fault list
+val lib_name : lib_fault -> string
+val lib_of_name : string -> lib_fault option
+
+(** [corrupt_library fault rng lib] is a corrupted copy of [lib] (the
+    input library is never mutated) and the outcome. *)
+val corrupt_library :
+  lib_fault -> Css_util.Rng.t -> Css_liberty.Library.t -> Css_liberty.Library.t * outcome

@@ -18,3 +18,20 @@ let run_ours ?config ?(obs = Obs.null) ?pool timer ~corner =
   let extraction, stats = ours ~obs ?pool timer ~corner in
   let result = Scheduler.run ?config ~obs timer extraction in
   (result, stats)
+
+let full ?(obs = Obs.null) ?pool timer ~corner =
+  let verts = Vertex.of_design (Css_sta.Timer.design timer) in
+  let engine = Extract.run ~obs ?pool ~engine:Extract.Full timer verts ~corner in
+  let extraction =
+    {
+      Scheduler.extract = (fun () -> Extract.round engine);
+      graph = Extract.graph engine;
+      on_cap_hit = (fun _ -> ());
+    }
+  in
+  (extraction, Extract.stats engine)
+
+let run_full ?config ?(obs = Obs.null) ?pool timer ~corner =
+  let extraction, stats = full ~obs ?pool timer ~corner in
+  let result = Scheduler.run ?config ~obs timer extraction in
+  (result, stats)

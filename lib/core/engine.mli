@@ -26,3 +26,26 @@ val run_ours :
   Css_sta.Timer.t ->
   corner:Css_sta.Timer.corner ->
   Scheduler.result * Css_seqgraph.Extract.stats
+
+(** [full ?obs ?pool timer ~corner] pairs the scheduler with the
+    exhaustive {!Css_seqgraph.Extract.Full} engine: the whole sequential
+    graph is materialized up front and every iteration schedules over
+    it. This is the differential-testing reference — the paper's claim
+    is that {!ours} reaches the same slack with a fraction of the
+    extraction work, and the oracle suite asserts exactly that. *)
+val full :
+  ?obs:Css_util.Obs.t ->
+  ?pool:Css_util.Pool.t ->
+  Css_sta.Timer.t ->
+  corner:Css_sta.Timer.corner ->
+  Scheduler.extraction * Css_seqgraph.Extract.stats
+
+(** [run_full ?config ?obs ?pool timer ~corner] builds the full-graph
+    engine and runs Algorithm 1 over it. *)
+val run_full :
+  ?config:Scheduler.config ->
+  ?obs:Css_util.Obs.t ->
+  ?pool:Css_util.Pool.t ->
+  Css_sta.Timer.t ->
+  corner:Css_sta.Timer.corner ->
+  Scheduler.result * Css_seqgraph.Extract.stats

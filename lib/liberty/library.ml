@@ -53,13 +53,19 @@ let validate t =
       if not (finite c.drive_res && c.drive_res >= 0.0) then
         err ~code:"LIB-003" "cell %s: drive resistance %g is not finite non-negative" c.name
           c.drive_res;
+      if not (finite c.area && c.area > 0.0) then
+        err ~code:"LIB-008" "cell %s: area %g is not finite positive" c.name c.area;
       (match c.role with
       | Cell.Flip_flop p ->
         if not (finite p.setup && finite p.hold && finite p.clk_to_q) then
-          err ~code:"LIB-004" "cell %s: non-finite setup/hold/clk-to-q parameters" c.name
+          err ~code:"LIB-004" "cell %s: non-finite setup/hold/clk-to-q parameters" c.name;
+        if c.arcs = [] then
+          err ~code:"LIB-007" "cell %s: flip-flop has no clock-to-output timing arc" c.name
       | Cell.Clock_buffer { insertion } ->
         if not (finite insertion) then
-          err ~code:"LIB-004" "cell %s: non-finite insertion delay" c.name
+          err ~code:"LIB-004" "cell %s: non-finite insertion delay" c.name;
+        if c.arcs = [] then
+          err ~code:"LIB-007" "cell %s: clock buffer has no timing arc" c.name
       | Cell.Combinational -> ());
       List.iter
         (fun (a : Cell.arc) ->

@@ -35,10 +35,14 @@ val clock_buffer : t -> Cell.t
 val variants : t -> Cell.t -> Cell.t list
 
 (** [validate t] sweeps the library for degeneracies that would corrupt
-    timing analysis downstream (codes [LIB-001..LIB-006]): missing
-    flip-flop or clock buffer, non-finite electrical parameters, arcs
-    referencing unknown pins, and delay models that evaluate to NaN or
-    infinity at a representative operating point. Empty means usable. *)
+    timing analysis downstream (codes [LIB-001..LIB-008], catalogued in
+    [docs/ROBUSTNESS.md]): missing flip-flop or clock buffer, non-finite
+    electrical parameters, arcs referencing unknown pins, delay models
+    that evaluate to NaN or infinity at a representative operating
+    point, sequential cells without timing arcs, and non-positive cell
+    areas. Empty means usable. The fault harness
+    ({!Css_benchgen.Mutator.corrupt_library}) plants exactly these
+    defects and asserts each is caught. *)
 val validate : t -> Css_util.Diag.t list
 
 (** [default] is the built-in technology library. *)

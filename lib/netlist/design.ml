@@ -253,7 +253,12 @@ let ffs_of_lcb t lcb =
       | Cell_pin _ | Port_pin _ -> None)
     (net_sinks t net)
 
-let lcb_fanout t lcb = net_fanout t (lcb_out_net t lcb)
+let lcb_fanout t lcb =
+  (* an LCB driving no net (possible after lenient-recovery parsing)
+     clocks nothing: fanout 0, not an error *)
+  match pin_net t (cell_pin t lcb lcb_out_pin_name) with
+  | None -> 0
+  | Some net -> net_fanout t net
 
 let reconnect_ff_to_lcb t ~ff ~lcb =
   if not (is_lcb t lcb) then invalid_arg "Design.reconnect_ff_to_lcb: target is not an LCB";

@@ -146,7 +146,9 @@ val lcb_of_ff : t -> cell_id -> cell_id
 (** [ffs_of_lcb t lcb] are the FFs on the LCB's output net. *)
 val ffs_of_lcb : t -> cell_id -> cell_id list
 
-(** [lcb_fanout t lcb] is the number of sinks on the LCB output net. *)
+(** [lcb_fanout t lcb] is the number of sinks on the LCB output net;
+    0 when the LCB drives no net at all (a degenerate but survivable
+    state lenient-recovery parsing can produce). *)
 val lcb_fanout : t -> cell_id -> int
 
 (** [reconnect_ff_to_lcb t ~ff ~lcb] moves the FF's CK pin from its current

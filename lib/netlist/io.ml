@@ -7,21 +7,30 @@ let pin_ref t p =
   | Design.Cell_pin (c, pin_name) -> Printf.sprintf "%s:%s" (Design.cell_name t c) pin_name
   | Design.Port_pin port -> Printf.sprintf "port:%s" (Design.port_name t port)
 
+(* shortest decimal form that parses back to the exact same float: the
+   text format doubles as Flow.clone's deep-copy channel and as the
+   checkpoint baseline of the differential oracles, so serialization
+   must not perturb a single bit *)
+let fstr x =
+  let s = Printf.sprintf "%.15g" x in
+  if float_of_string s = x then s else Printf.sprintf "%.17g" x
+
 let to_string t =
   let buf = Buffer.create 4096 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
-  line "design %s period %.6g" (Design.name t) (Design.clock_period t);
+  line "design %s period %s" (Design.name t) (fstr (Design.clock_period t));
   let die = Design.die t in
-  line "die %.6g %.6g %.6g %.6g" die.Rect.lx die.Rect.ly die.Rect.hx die.Rect.hy;
+  line "die %s %s %s %s" (fstr die.Rect.lx) (fstr die.Rect.ly) (fstr die.Rect.hx)
+    (fstr die.Rect.hy);
   Design.iter_ports t (fun p ->
       let pos = Design.port_pos t p in
-      line "port %s %s %.6g %.6g" (Design.port_name t p)
+      line "port %s %s %s %s" (Design.port_name t p)
         (match Design.port_dir t p with Design.In -> "in" | Design.Out -> "out")
-        pos.Point.x pos.Point.y);
+        (fstr pos.Point.x) (fstr pos.Point.y));
   Design.iter_cells t (fun c ->
       let pos = Design.cell_pos t c in
-      line "cell %s %s %.6g %.6g" (Design.cell_name t c)
-        (Design.cell_master t c).Css_liberty.Cell.name pos.Point.x pos.Point.y);
+      line "cell %s %s %s %s" (Design.cell_name t c)
+        (Design.cell_master t c).Css_liberty.Cell.name (fstr pos.Point.x) (fstr pos.Point.y));
   Design.iter_nets t (fun n ->
       match Design.net_driver t n with
       | None -> ()
@@ -33,11 +42,12 @@ let to_string t =
   | Some p -> line "clockroot %s" (Design.port_name t p));
   Design.iter_cells t (fun c ->
       let l = Design.scheduled_latency t c in
-      if l <> 0.0 then line "latency %s %.6g" (Design.cell_name t c) l);
+      if l <> 0.0 then line "latency %s %s" (Design.cell_name t c) (fstr l));
   Array.iter
     (fun ff ->
       let lo, hi = Design.latency_bounds t ff in
-      if lo > 0.0 || hi < infinity then line "bounds %s %.6g %.6g" (Design.cell_name t ff) lo hi)
+      if lo > 0.0 || hi < infinity then
+        line "bounds %s %s %s" (Design.cell_name t ff) (fstr lo) (fstr hi))
     (Design.ffs t);
   Buffer.contents buf
 

@@ -178,6 +178,29 @@ let run ?(obs = Obs.null) ?(repair = true) design =
               ?hint:(if hosting_lcbs = [] then Some "the design has no usable LCB" else None)
               "flip-flop %s has no LCB clock source" (Design.cell_name design ff))))
     (Design.ffs design);
+  (* clock tree: every LCB needs a clock source on its input (a grafted
+     or split-off clock domain shows up as an LCB with a dangling CKI) *)
+  let root_net =
+    match Design.clock_root design with
+    | None -> None
+    | Some p -> Design.pin_net design (Design.port_pin design p)
+  in
+  Array.iter
+    (fun lcb ->
+      let cki = Design.cell_pin design lcb "CKI" in
+      match Design.pin_net design cki with
+      | Some _ -> ()
+      | None -> (
+        match root_net with
+        | Some net when repair ->
+          Design.net_add_sink design net cki;
+          repaired ~code:"VAL-009" "LCB %s had an unconnected clock input; attached to the clock root"
+            (Design.cell_name design lcb)
+        | Some _ | None ->
+          err ~code:"VAL-009"
+            ?hint:(if root_net = None then Some "the design has no clock root net" else None)
+            "LCB %s has an unconnected clock input" (Design.cell_name design lcb)))
+    (Design.lcbs design);
   (* combinational cycles *)
   (match find_comb_cycle design with
   | None -> ()
@@ -197,7 +220,7 @@ let run ?(obs = Obs.null) ?(repair = true) design =
           let rec loop i = i + ls <= lm && (String.sub m i ls = sub || loop (i + 1)) in
           loop 0
         in
-        has "has no LCB clock source"
+        has "has no LCB clock source" || has "has an unconnected clock input"
       in
       if not covered then warn ~code:"VAL-000" "%s" m)
     (Design.check design);

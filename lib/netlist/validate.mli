@@ -10,6 +10,10 @@
       CK pin is unconnected is re-attached to the nearest LCB with an
       output net (repair); an FF clocked by a non-clock-buffer source is
       fatal;
+    - {b LCBs with no clock source} ([VAL-009]): an LCB whose CKI pin is
+      unconnected (a grafted or split-off clock domain) is attached to
+      the clock root net (repair); fatal when the design has no clock
+      root net to attach to;
     - {b non-finite numerics}: NaN/infinite scheduled latencies are
       reset to 0 ([VAL-003]), NaN/infinite cell positions are moved to
       the die center ([VAL-004]), NaN latency-bound windows are cleared

@@ -93,8 +93,10 @@ let realize ?(config = default_config) timer ~targets =
           Float.abs (Point.manhattan (Design.cell_pos design lcb) ff_pos -. dist_target)
         in
         let eligible lcb =
-          (* never move a flop somewhere its Eq. (5) window forbids *)
-          achieved_latency design wire lcb ff_pos <= hi +. 1e-6
+          (* an LCB with no output net cannot adopt anyone, and never
+             move a flop somewhere its Eq. (5) window forbids *)
+          Design.pin_net design (Design.cell_pin design lcb "CKO") <> None
+          && achieved_latency design wire lcb ff_pos <= hi +. 1e-6
           && (Some lcb = current_lcb
              || (Design.lcb_fanout design lcb < config.fanout_limit
                 && adoptions lcb < config.max_adoptions))

@@ -1,0 +1,246 @@
+module Design = Css_netlist.Design
+module Io = Css_netlist.Io
+module Sdc = Css_netlist.Sdc
+module Validate = Css_netlist.Validate
+module Library = Css_liberty.Library
+module Diag = Css_util.Diag
+module Pool = Css_util.Pool
+module Timer = Css_sta.Timer
+module Scheduler = Css_core.Scheduler
+module Engine = Css_core.Engine
+module Optimum = Css_core.Optimum
+module Iccss_plus = Css_baselines.Iccss_plus
+module Evaluator = Css_eval.Evaluator
+module Flow = Css_flow.Flow
+module Fault_seq = Css_benchgen.Fault_seq
+
+type engine =
+  | Ours
+  | Full_graph
+  | Iccss
+
+let all_engines = [ Ours; Full_graph; Iccss ]
+
+let engine_name = function
+  | Ours -> "ours"
+  | Full_graph -> "full"
+  | Iccss -> "iccss"
+
+type run = {
+  engine : engine;
+  corner : Timer.corner;
+  wns_early : float;
+  tns_early : float;
+  wns_late : float;
+  tns_late : float;
+  iterations : int;
+  stop_reason : string;
+  edges_extracted : int;
+  latencies : (string * float) list;
+  scheduled : Design.t;
+}
+
+let latencies_of design =
+  Design.ffs design
+  |> Array.to_list
+  |> List.map (fun ff -> (Design.cell_name design ff, Design.scheduled_latency design ff))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let with_optional_pool jobs f =
+  match jobs with
+  | Some j when j > 1 -> Pool.with_pool ~jobs:j (fun pool -> f (Some pool))
+  | _ -> f None
+
+let schedule ?config ?jobs engine design ~corner =
+  let design = Flow.clone design in
+  let timer = Timer.build design in
+  let result, stats =
+    with_optional_pool jobs (fun pool ->
+        match engine with
+        | Ours -> Engine.run_ours ?config ?pool timer ~corner
+        | Full_graph -> Engine.run_full ?config ?pool timer ~corner
+        | Iccss -> Iccss_plus.run ?config ?pool timer ~corner)
+  in
+  {
+    engine;
+    corner;
+    wns_early = Timer.wns timer Timer.Early;
+    tns_early = Timer.tns timer Timer.Early;
+    wns_late = Timer.wns timer Timer.Late;
+    tns_late = Timer.tns timer Timer.Late;
+    iterations = result.Scheduler.iterations;
+    stop_reason = Scheduler.stop_reason_name result.Scheduler.stop_reason;
+    edges_extracted = stats.Css_seqgraph.Extract.edges_extracted;
+    latencies = latencies_of design;
+    scheduled = design;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Differential parity *)
+
+(* Only the scheduled corner's WNS is theoretically pinned (the
+   minimum-cycle-mean optimum every engine converges to); TNS is a
+   property of the particular WNS-optimal schedule reached, and
+   off-corner metrics are unconstrained — different optimal schedules
+   legitimately trade them differently. So: tight WNS parity, a loose
+   TNS regression tripwire, nothing off-corner. *)
+let check_parity ?(wns_tol = 0.5) ?(tns_rel_tol = 0.5) ?(tns_abs_tol = 10.0) ~reference
+    candidate =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let rname = engine_name reference.engine and cname = engine_name candidate.engine in
+  if reference.corner <> candidate.corner then
+    fail "%s vs %s: runs scheduled different corners" rname cname
+  else begin
+    let r_wns, c_wns, r_tns, c_tns =
+      match reference.corner with
+      | Timer.Early ->
+        (reference.wns_early, candidate.wns_early, reference.tns_early, candidate.tns_early)
+      | Timer.Late ->
+        (reference.wns_late, candidate.wns_late, reference.tns_late, candidate.tns_late)
+    in
+    if Float.is_nan r_wns || Float.is_nan c_wns then
+      fail "%s vs %s: NaN WNS (%g vs %g)" rname cname r_wns c_wns
+    else if Float.abs (r_wns -. c_wns) > wns_tol then
+      fail "%s vs %s: WNS differs by %.3f ps (%.3f vs %.3f, tol %.3f)" rname cname
+        (Float.abs (r_wns -. c_wns))
+        r_wns c_wns wns_tol;
+    if Float.is_nan r_tns || Float.is_nan c_tns then
+      fail "%s vs %s: NaN TNS (%g vs %g)" rname cname r_tns c_tns
+    else
+      let tol = Float.max tns_abs_tol (tns_rel_tol *. Float.abs r_tns) in
+      if Float.abs (r_tns -. c_tns) > tol then
+        fail "%s vs %s: TNS differs by %.3f ps (%.3f vs %.3f, tol %.3f)" rname cname
+          (Float.abs (r_tns -. c_tns))
+          r_tns c_tns tol
+  end;
+  List.rev !failures
+
+(* ------------------------------------------------------------------ *)
+(* Schedule feasibility *)
+
+let check_feasible ?(slack_tol = 0.5) design ~corner =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  Array.iter
+    (fun ff ->
+      let name = Design.cell_name design ff in
+      let l = Design.scheduled_latency design ff in
+      if not (Float.is_finite l) then fail "flip-flop %s: non-finite scheduled latency %g" name l
+      else begin
+        let lo, hi = Design.latency_bounds design ff in
+        if Float.is_finite lo && l < lo -. 1e-6 then
+          fail "flip-flop %s: latency %.6f below its window floor %.6f" name l lo;
+        if Float.is_finite hi && l > hi +. 1e-6 then
+          fail "flip-flop %s: latency %.6f above its window ceiling %.6f" name l hi
+      end)
+    (Design.ffs design);
+  (match Design.check design with
+  | [] -> ()
+  | msgs -> fail "structural integrity lost after scheduling: %s" (List.hd msgs));
+  (if !failures = [] then
+     (* only when numerically sane: the cycle-mean bound is the best any
+        schedule can achieve, so beating it convicts the timer *)
+     let timer = Timer.build design in
+     let bound, wns = Optimum.gap timer ~corner in
+     if Float.is_nan bound || Float.is_nan wns then
+       fail "optimum bound or WNS is NaN (bound %g, wns %g)" bound wns
+     else if wns > bound +. slack_tol then
+       fail "achieved WNS %.3f beats the minimum-cycle-mean bound %.3f by more than %.3f ps" wns
+         bound slack_tol);
+  List.rev !failures
+
+(* ------------------------------------------------------------------ *)
+(* Parallel determinism *)
+
+let check_jobs_identity ?(jobs = [ 2; 8 ]) design ~corner =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let reference = schedule ~jobs:1 Ours design ~corner in
+  List.iter
+    (fun j ->
+      let candidate = schedule ~jobs:j Ours design ~corner in
+      if candidate.edges_extracted <> reference.edges_extracted then
+        fail "jobs=%d extracted %d edges, jobs=1 extracted %d" j candidate.edges_extracted
+          reference.edges_extracted;
+      if candidate.iterations <> reference.iterations then
+        fail "jobs=%d ran %d iterations, jobs=1 ran %d" j candidate.iterations
+          reference.iterations;
+      List.iter2
+        (fun (name, l1) (name', lj) ->
+          if name <> name' then fail "jobs=%d: flip-flop set diverged (%s vs %s)" j name name'
+          else if Int64.bits_of_float l1 <> Int64.bits_of_float lj then
+            fail "jobs=%d: flip-flop %s latency not bit-identical (%.17g vs %.17g)" j name l1 lj)
+        reference.latencies candidate.latencies)
+    jobs;
+  List.rev !failures
+
+(* ------------------------------------------------------------------ *)
+(* Graceful-degradation pipeline *)
+
+type verdict =
+  | Rejected of string
+  | Survived of Evaluator.report
+
+let well_formed_rejection ~stage ds =
+  if ds = [] then Error (stage ^ ": rejected with no diagnostics")
+  else if not (Diag.has_errors ds) then
+    Error (stage ^ ": rejected without an error-severity diagnostic")
+  else if List.exists (fun (d : Diag.t) -> d.Diag.code = "") ds then
+    Error (stage ^ ": rejection diagnostic without a code")
+  else Ok (Rejected stage)
+
+let score (rep : Evaluator.report) = Float.min rep.Evaluator.wns_early rep.Evaluator.wns_late
+
+let pipeline ?(rounds = 1) ?deadline (corpus : Fault_seq.corpus) =
+  let library = corpus.Fault_seq.library in
+  match
+    (* 1. the library gate: corrupted models must be caught here *)
+    let lib_diags = Library.validate library in
+    if Diag.has_errors lib_diags then well_formed_rejection ~stage:"library" lib_diags
+    else
+      (* 2. netlist ingest under the lenient policy *)
+      match Io.of_string ~policy:Io.Recover ~library corpus.Fault_seq.design_text with
+      | Error ds -> well_formed_rejection ~stage:"netlist-parse" ds
+      | Ok (design, _) -> (
+        (* 3. constraints: parse errors reject, apply errors reject *)
+        match Sdc.parse ~policy:Sdc.Recover corpus.Fault_seq.sdc_text with
+        | Error ds -> well_formed_rejection ~stage:"sdc-parse" ds
+        | Ok (sdc, _) -> (
+          match Sdc.apply ~policy:Sdc.Recover sdc design with
+          | Error ds -> well_formed_rejection ~stage:"sdc-apply" ds
+          | Ok _ -> (
+          (* 4. validate-and-repair before scoring the input: a fatally
+             degenerate design (e.g. a combinational loop) must be
+             rejected here, not fed to the evaluator's fresh timer *)
+          match Validate.run design with
+          | outcome when outcome.Validate.fatal ->
+            well_formed_rejection ~stage:"validate" outcome.Validate.diags
+          | _ -> (
+            let before = Evaluator.evaluate (Flow.clone design) in
+            let config =
+              {
+                Flow.default_config with
+                Flow.rounds;
+                Flow.deadline_seconds = deadline;
+              }
+            in
+            (* the guarded flow re-validates the (already repaired)
+               design; an accepted run must end no worse than its input *)
+            match Flow.run ~config ~algo:Flow.Ours design with
+            | exception Validate.Invalid ds -> well_formed_rejection ~stage:"validate" ds
+            | result ->
+              let after = result.Flow.report in
+              if Float.is_nan (score before) || Float.is_nan (score after) then
+                Error
+                  (Printf.sprintf "evaluator produced NaN (before %g, after %g)" (score before)
+                     (score after))
+              else if score after < score before -. 1e-6 then
+                Error
+                  (Printf.sprintf "flow accepted a schedule worse than its input (%.3f < %.3f)"
+                     (score after) (score before))
+              else Ok (Survived after)))))
+  with
+  | verdict -> verdict
+  | exception e ->
+    Error (Printf.sprintf "unhandled exception escaped the pipeline: %s" (Printexc.to_string e))

@@ -1,0 +1,125 @@
+(** Differential and invariant oracles over the scheduling engines.
+
+    Every check in this module is shared between the test suite
+    ([test/test_differential.ml], [test/test_faults.ml]) and the fuzzing
+    CLI ([bin/fuzz.ml]), so a property disproved by either is stated in
+    exactly one place. Checks return a list of human-readable failure
+    messages — empty means the property held — rather than raising, so
+    callers can aggregate across a sweep and the fuzzer can attach the
+    messages to a shrunk reproducer.
+
+    Three oracle families:
+
+    - {b differential}: the paper's iterative engine ({!Ours}), the
+      exhaustive reference ({!Full_graph}) and the IC-CSS+ baseline
+      ({!Iccss}) must agree on the achieved WNS/TNS within tolerance
+      ({!check_parity}), and the parallel extraction path must be
+      bit-identical to the sequential one ({!check_jobs_identity});
+    - {b feasibility}: a produced schedule must respect the latency
+      windows, be numerically sane, and never beat the theoretical
+      minimum-cycle-mean bound ({!check_feasible});
+    - {b graceful degradation}: a corrupted input pushed through the
+      whole pipeline (library validation, parsing, SDC, flow) must end
+      in a typed rejection or a never-worse-than-input result
+      ({!pipeline}). *)
+
+(** The engines under differential test. *)
+type engine =
+  | Ours  (** iterative essential extraction (the paper's Algorithm 1) *)
+  | Full_graph  (** exhaustive extraction — the reference semantics *)
+  | Iccss  (** the IC-CSS+ baseline (Section III-E) *)
+
+val all_engines : engine list
+
+(** [engine_name e] is ["ours"], ["full"] or ["iccss"]. *)
+val engine_name : engine -> string
+
+(** One engine run's observable outcome: post-schedule timing at both
+    corners, the scheduler's trajectory summary, and the per-flip-flop
+    scheduled latencies (name-sorted) for bitwise comparison. *)
+type run = {
+  engine : engine;
+  corner : Css_sta.Timer.corner;  (** the corner the scheduler optimized *)
+  wns_early : float;
+  tns_early : float;
+  wns_late : float;
+  tns_late : float;
+  iterations : int;
+  stop_reason : string;
+  edges_extracted : int;
+  latencies : (string * float) list;  (** per-FF scheduled latency, sorted by name *)
+  scheduled : Css_netlist.Design.t;
+      (** the scheduled clone the run mutated — feed to {!check_feasible} *)
+}
+
+(** [schedule ?config ?jobs engine design ~corner] clones [design], runs
+    [engine]'s scheduler at [corner] on the clone and reports the
+    outcome; the caller's design is never mutated. [jobs > 1] routes the
+    extraction through a worker pool (shut down before returning). *)
+val schedule :
+  ?config:Css_core.Scheduler.config ->
+  ?jobs:int ->
+  engine ->
+  Css_netlist.Design.t ->
+  corner:Css_sta.Timer.corner ->
+  run
+
+(** [check_parity ?wns_tol ?tns_rel_tol ?tns_abs_tol ~reference
+    candidate] compares two runs at their {e scheduled} corner. Only
+    that corner's WNS is theoretically pinned — every engine must reach
+    the minimum-cycle-mean optimum — so WNS parity is tight ([wns_tol]
+    ps, default 0.5). TNS is a property of {e which} WNS-optimal
+    schedule was reached, so it gets only a loose regression tripwire:
+    within [tns_rel_tol] of the reference magnitude (default 0.5) or
+    [tns_abs_tol] ps (default 10), whichever is looser. Off-corner
+    metrics are unconstrained and not compared. *)
+val check_parity :
+  ?wns_tol:float ->
+  ?tns_rel_tol:float ->
+  ?tns_abs_tol:float ->
+  reference:run ->
+  run ->
+  string list
+
+(** [check_feasible ?slack_tol design ~corner] audits a design {e after}
+    scheduling: every flip-flop's scheduled latency is finite and inside
+    its [Design.latency_bounds] window (within 1e-6), the structural
+    invariants of [Design.check] still hold, and the achieved WNS at
+    [corner] does not {e beat} the minimum-cycle-mean upper bound of
+    {!Css_core.Optimum.gap} by more than [slack_tol] ps (default 0.5) —
+    a schedule better than the theoretical optimum means the timer or
+    the bound is lying. *)
+val check_feasible :
+  ?slack_tol:float -> Css_netlist.Design.t -> corner:Css_sta.Timer.corner -> string list
+
+(** [check_jobs_identity ?jobs design ~corner] runs {!Ours} sequentially
+    and once per entry of [jobs] (default [[2; 8]]) and requires {e
+    bit-identical} per-flip-flop latencies (compared via
+    [Int64.bits_of_float]), identical extraction counts and identical
+    iteration counts — the {!Css_util.Pool} determinism contract. *)
+val check_jobs_identity :
+  ?jobs:int list -> Css_netlist.Design.t -> corner:Css_sta.Timer.corner -> string list
+
+(** How a corrupted input was absorbed by the pipeline. *)
+type verdict =
+  | Rejected of string
+      (** a stage refused the input with well-formed, coded diagnostics;
+          the string names the stage *)
+  | Survived of Css_eval.Evaluator.report
+      (** the full flow ran and ended no worse than its (repaired)
+          input; the report is the final evaluation *)
+
+(** [pipeline ?rounds ?deadline corpus] pushes a (possibly corrupted)
+    {!Css_benchgen.Fault_seq.corpus} through the production pipeline:
+    library validation, netlist parse ([Recover] policy), SDC parse +
+    apply, then a rollback-guarded flow run, scoring the result against
+    the input. [Ok verdict] means every stage behaved gracefully;
+    [Error msg] is an oracle violation — an unhandled exception, a
+    rejection without error-severity coded diagnostics, a NaN score, or
+    a flow result worse than its input. [rounds] (default 1) and
+    [deadline] (default none) bound the flow. *)
+val pipeline :
+  ?rounds:int ->
+  ?deadline:float ->
+  Css_benchgen.Fault_seq.corpus ->
+  (verdict, string) result

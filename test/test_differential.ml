@@ -1,0 +1,209 @@
+(* Differential oracles across the scheduling engines, plus the
+   property-based fault corpus with shrinking.
+
+   The engine sweep runs 3 profiles x 5 seeds x all 3 engines and holds
+   the paper's central equivalence claim: iterative essential extraction
+   reaches the timing of exhaustive extraction (and IC-CSS+ parity keeps
+   the baseline honest). The qcheck properties cover parallel-extraction
+   bit-identity and pipeline graceful degradation under random fault
+   sequences; a failing sequence is shrunk by Fault_seq and printed as a
+   replayable seed + fault list. *)
+
+module Design = Css_netlist.Design
+module Io = Css_netlist.Io
+module Rng = Css_util.Rng
+module Generator = Css_benchgen.Generator
+module Profile = Css_benchgen.Profile
+module Mutator = Css_benchgen.Mutator
+module Fault_seq = Css_benchgen.Fault_seq
+module Timer = Css_sta.Timer
+module Oracles = Css_oracle.Oracles
+
+let library = Css_liberty.Library.default
+let checkb = Alcotest.check Alcotest.bool
+let seeds = [ 1001; 2002; 3003; 4004; 5005 ]
+
+let profiles seed =
+  [
+    { Profile.tiny with Profile.seed };
+    { (Profile.scale 0.12 (Option.get (Profile.by_name "sb18"))) with Profile.seed = seed + 7 };
+    { (Profile.scale 0.1 (Option.get (Profile.by_name "sb5"))) with Profile.seed = seed + 13 };
+  ]
+
+let fail_all ctx = function
+  | [] -> ()
+  | failures -> Alcotest.failf "%s:\n  %s" ctx (String.concat "\n  " failures)
+
+(* {2 The engine sweep: ours == full == iccss, and every schedule is
+   feasible} *)
+
+let test_engine_parity corner cname () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun profile ->
+          let design = Generator.generate profile in
+          let ctx engine =
+            Printf.sprintf "%s/seed%d/%s/%s" profile.Profile.name seed cname engine
+          in
+          let reference = Oracles.schedule Oracles.Full_graph design ~corner in
+          let ours = Oracles.schedule Oracles.Ours design ~corner in
+          let iccss = Oracles.schedule Oracles.Iccss design ~corner in
+          fail_all (ctx "ours-vs-full") (Oracles.check_parity ~reference ours);
+          fail_all (ctx "iccss-vs-full") (Oracles.check_parity ~reference iccss);
+          (* every engine extracts *something* on these violating designs;
+             cumulative counts are not comparable across engines (Essential
+             legitimately re-extracts as latencies shift round to round) *)
+          if ours.Oracles.edges_extracted = 0 && reference.Oracles.edges_extracted > 0 then
+            Alcotest.failf "%s: essential extracted nothing where full found %d edges"
+              (ctx "edges") reference.Oracles.edges_extracted;
+          fail_all (ctx "feasible")
+            (Oracles.check_feasible ours.Oracles.scheduled ~corner))
+        (profiles seed))
+    seeds
+
+(* {2 Parallel extraction: bit-identity at any job count} *)
+
+let test_jobs_identity_sweep () =
+  List.iter
+    (fun seed ->
+      let design = Generator.generate { Profile.tiny with Profile.seed } in
+      List.iter
+        (fun corner ->
+          fail_all
+            (Printf.sprintf "jobs/seed%d" seed)
+            (Oracles.check_jobs_identity design ~corner))
+        [ Timer.Early; Timer.Late ])
+    seeds
+
+let jobs_identity_prop =
+  QCheck.Test.make ~name:"jobs {1,2,8} bit-identical" ~count:6
+    (QCheck.make ~print:string_of_int (QCheck.Gen.int_bound 100_000))
+    (fun seed ->
+      let design = Generator.generate { Profile.tiny with Profile.seed } in
+      match Oracles.check_jobs_identity ~jobs:[ 2; 8 ] design ~corner:Timer.Late with
+      | [] -> true
+      | failures -> QCheck.Test.fail_report (String.concat "\n" failures))
+
+(* {2 The fault corpus: random fault sequences, shrunk on failure} *)
+
+let base_corpus () =
+  {
+    Fault_seq.design_text = Io.to_string (Generator.micro ());
+    Fault_seq.sdc_text =
+      "create_clock -period 400\nset_clock_uncertainty -setup 5\nset_latency_bounds ffa 0 150\n";
+    Fault_seq.library;
+  }
+
+let fault_seq_arb =
+  QCheck.make
+    ~print:Fault_seq.to_string
+    ~shrink:(fun t yield -> Seq.iter yield (Fault_seq.shrink t))
+    (QCheck.Gen.map (fun n -> Fault_seq.gen (Rng.create n)) (QCheck.Gen.int_bound 1_000_000))
+
+let pipeline_survives_prop =
+  QCheck.Test.make ~name:"pipeline degrades gracefully under fault sequences" ~count:25
+    fault_seq_arb
+    (fun t ->
+      let corpus, _applied = Fault_seq.apply t (base_corpus ()) in
+      match Oracles.pipeline corpus with
+      | Ok _ -> true
+      | Error msg ->
+        QCheck.Test.fail_report
+          (Printf.sprintf "%s\nreproduce with: %s" msg (Fault_seq.to_string t)))
+
+(* {2 The shrinker itself} *)
+
+let test_roundtrip () =
+  List.iter
+    (fun seed ->
+      let t = Fault_seq.gen (Rng.create seed) in
+      let s = Fault_seq.to_string t in
+      match Fault_seq.of_string s with
+      | Error e -> Alcotest.failf "seed %d: %s does not re-parse: %s" seed s e
+      | Ok t' ->
+        Alcotest.(check string) (Printf.sprintf "seed %d round-trips" seed) s
+          (Fault_seq.to_string t');
+        (* replaying the parsed form corrupts identically *)
+        let c1, n1 = Fault_seq.apply t (base_corpus ()) in
+        let c2, n2 = Fault_seq.apply t' (base_corpus ()) in
+        Alcotest.(check int) "same applied count" n1 n2;
+        Alcotest.(check string) "same design text" c1.Fault_seq.design_text
+          c2.Fault_seq.design_text;
+        Alcotest.(check string) "same sdc text" c1.Fault_seq.sdc_text c2.Fault_seq.sdc_text)
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_shrink_stability () =
+  (* removing steps must not change how the surviving steps corrupt:
+     each step's rng is derived from (seed, salt), not list position *)
+  let t = Fault_seq.gen ~max_len:5 (Rng.create 99) in
+  match t.Fault_seq.steps with
+  | [] | [ _ ] -> Alcotest.fail "generated sequence too short for the stability check"
+  | _ :: rest ->
+    let dropped = { t with Fault_seq.steps = rest } in
+    let full, _ = Fault_seq.apply { t with Fault_seq.steps = rest } (base_corpus ()) in
+    let again, _ = Fault_seq.apply dropped (base_corpus ()) in
+    Alcotest.(check string) "suffix corrupts identically" full.Fault_seq.design_text
+      again.Fault_seq.design_text
+
+let test_minimize_planted_bug () =
+  (* stand-in for a planted engine bug: the "engine" falls over whenever
+     the corpus contains a grafted combinational loop AND a corrupted
+     library. minimize must find a <= 3-step reproducer (here exactly 2:
+     one Comb_loop, one Lib step, since removals are tried to a
+     fixpoint) and print it replayably. *)
+  let fails t =
+    let has p = List.exists (fun (s : Fault_seq.step) -> p s.Fault_seq.op) t.Fault_seq.steps in
+    has (function Fault_seq.Netlist Mutator.Comb_loop -> true | _ -> false)
+    && has (function Fault_seq.Lib _ -> true | _ -> false)
+  in
+  (* grow until a failing sequence appears, as the fuzz CLI would *)
+  let rec first_failing n =
+    if n > 10_000 then Alcotest.fail "no failing sequence in 10000 trials"
+    else
+      let t = Fault_seq.gen ~max_len:8 (Rng.create n) in
+      if fails t then t else first_failing (n + 1)
+  in
+  let t = first_failing 0 in
+  let small = Fault_seq.minimize fails t in
+  checkb "still failing" true (fails small);
+  let len = List.length small.Fault_seq.steps in
+  if len > 3 then
+    Alcotest.failf "minimized to %d steps (> 3): %s" len (Fault_seq.to_string small);
+  (* the reproducer replays *)
+  match Fault_seq.of_string (Fault_seq.to_string small) with
+  | Ok replay -> checkb "replay fails identically" true (fails replay)
+  | Error e -> Alcotest.failf "reproducer does not re-parse: %s" e
+
+let test_minimize_rejects_passing () =
+  let t = Fault_seq.gen (Rng.create 5) in
+  match Fault_seq.minimize (fun _ -> false) t with
+  | _ -> Alcotest.fail "minimize accepted a passing input"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "engines",
+        [
+          Alcotest.test_case "parity + feasibility (late)" `Quick
+            (test_engine_parity Timer.Late "late");
+          Alcotest.test_case "parity + feasibility (early)" `Quick
+            (test_engine_parity Timer.Early "early");
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "jobs sweep" `Quick test_jobs_identity_sweep;
+          QCheck_alcotest.to_alcotest jobs_identity_prop;
+        ] );
+      ( "fault-corpus",
+        [
+          QCheck_alcotest.to_alcotest pipeline_survives_prop;
+          Alcotest.test_case "reproducers round-trip" `Quick test_roundtrip;
+          Alcotest.test_case "shrinking is salt-stable" `Quick test_shrink_stability;
+          Alcotest.test_case "planted bug shrinks to <= 3 steps" `Quick
+            test_minimize_planted_bug;
+          Alcotest.test_case "minimize rejects passing input" `Quick
+            test_minimize_rejects_passing;
+        ] );
+    ]

@@ -50,7 +50,7 @@ let test_netlist_fault fault () =
   List.iter
     (fun seed ->
       let rng = Rng.create ((1000 * seed) + 7) in
-      let corrupted = Mutator.corrupt fault rng base in
+      let corrupted, _ = Mutator.corrupt fault rng base in
       List.iter
         (fun (policy, pname) ->
           let ctx = Printf.sprintf "%s/%s/seed%d" (Mutator.name fault) pname seed in
@@ -75,7 +75,7 @@ let base_sdc =
 
 let test_sdc_fault fault () =
   let rng = Rng.create 42 in
-  let corrupted = Mutator.corrupt_sdc fault rng base_sdc in
+  let corrupted, _ = Mutator.corrupt_sdc fault rng base_sdc in
   List.iter
     (fun (policy, pname) ->
       let ctx = Printf.sprintf "%s/%s" (Mutator.sdc_name fault) pname in
@@ -241,6 +241,207 @@ let test_flow_no_rollback_when_clean () =
   checkb "stop reason sane" true
     (List.mem r.Flow.stop_reason [ "clean"; "max-rounds"; "stalled" ])
 
+(* {2 Fault coverage: every fault must actually fire}
+
+   A fault that reports [`Noop] on every seed of the sweep tested
+   nothing — the sweep would pass vacuously. Satellite requirement:
+   fail loudly instead. *)
+
+let applies_somewhere corrupt target =
+  List.exists (fun seed -> snd (corrupt (Rng.create seed) target) = `Applied)
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+
+let test_netlist_fault_coverage () =
+  let base = Io.to_string (Generator.micro ()) in
+  List.iter
+    (fun f ->
+      checkb (Mutator.name f ^ " applies") true
+        (applies_somewhere (Mutator.corrupt f) base))
+    Mutator.all
+
+let test_sdc_fault_coverage () =
+  List.iter
+    (fun f ->
+      checkb (Mutator.sdc_name f ^ " applies") true
+        (applies_somewhere (Mutator.corrupt_sdc f) base_sdc))
+    Mutator.all_sdc
+
+let test_lib_fault_coverage () =
+  List.iter
+    (fun f ->
+      checkb (Mutator.lib_name f ^ " applies") true
+        (List.exists
+           (fun seed -> snd (Mutator.corrupt_library f (Rng.create seed) library) = `Applied)
+           [ 0; 1; 2; 3; 4; 5; 6; 7 ]))
+    Mutator.all_lib
+
+let test_noop_reported () =
+  (* a fault with no possible target must say so *)
+  let text, outcome = Mutator.corrupt Mutator.Drop_net (Rng.create 1) "design d period 100\n" in
+  checkb "noop flagged" true (outcome = `Noop);
+  Alcotest.(check string) "text untouched" "design d period 100\n" text;
+  let _, fuzz_outcome = Mutator.fuzz_bytes (Rng.create 1) "" in
+  checkb "empty fuzz is a noop" true (fuzz_outcome = `Noop)
+
+(* {2 Liberty-model corruption} *)
+
+let lib_expected_code = function
+  | Mutator.Lib_no_ff -> "LIB-001"
+  | Mutator.Lib_no_lcb -> "LIB-002"
+  | Mutator.Lib_nan_cap | Mutator.Lib_negative_drive -> "LIB-003"
+  | Mutator.Lib_nan_ff_params | Mutator.Lib_nan_insertion -> "LIB-004"
+  | Mutator.Lib_orphan_arc -> "LIB-005"
+  | Mutator.Lib_poison_model -> "LIB-006"
+  | Mutator.Lib_no_ckq_arc -> "LIB-007"
+  | Mutator.Lib_negative_area -> "LIB-008"
+
+let test_lib_fault fault () =
+  let expected = lib_expected_code fault in
+  List.iter
+    (fun seed ->
+      let ctx = Printf.sprintf "%s/seed%d" (Mutator.lib_name fault) seed in
+      let corrupted, outcome = Mutator.corrupt_library fault (Rng.create seed) library in
+      if outcome = `Applied then begin
+        let diags = Css_liberty.Library.validate corrupted in
+        if not (Diag.has_errors diags) then
+          Alcotest.failf "%s: corruption not detected by Library.validate" ctx;
+        if not (List.exists (fun (d : Diag.t) -> d.Diag.code = expected) diags) then
+          Alcotest.failf "%s: expected %s, got [%s]" ctx expected
+            (String.concat "; " (List.map (fun (d : Diag.t) -> d.Diag.code) diags))
+      end)
+    [ 0; 1; 2 ];
+  (* the pristine library stays clean, i.e. detection is not vacuous *)
+  checkb "default library validates" true (Css_liberty.Library.validate library = [])
+
+(* {2 Structural faults reach their validator codes} *)
+
+let parse_corrupted fault seed =
+  let base = Io.to_string (Generator.micro ()) in
+  let corrupted, outcome = Mutator.corrupt fault (Rng.create seed) base in
+  checkb (Mutator.name fault ^ " applied") true (outcome = `Applied);
+  match Io.of_string ~policy:Io.Recover ~library corrupted with
+  | Ok (design, _) -> design
+  | Error ds ->
+    Alcotest.failf "%s: corrupted design did not parse: %s" (Mutator.name fault)
+      (String.concat "; " (List.map Diag.to_string ds))
+
+let test_split_clock_domain () =
+  let design = parse_corrupted Mutator.Split_clock_domain 3 in
+  let o = Validate.run design in
+  checkb "repaired, not fatal" false o.Validate.fatal;
+  checkb "VAL-009 fired" true
+    (List.exists (fun (d : Diag.t) -> d.Diag.code = "VAL-009") o.Validate.diags);
+  downstream_graceful "split-clock-domain" design
+
+let test_disconnect_subgraph () =
+  let design = parse_corrupted Mutator.Disconnect_subgraph 3 in
+  let o = Validate.run design in
+  checkb "VAL-005 fired" true
+    (List.exists (fun (d : Diag.t) -> d.Diag.code = "VAL-005") o.Validate.diags)
+
+let test_comb_loop_fault () =
+  let design = parse_corrupted Mutator.Comb_loop 3 in
+  let o = Validate.run design in
+  checkb "fatal" true o.Validate.fatal;
+  checkb "VAL-007 fired" true
+    (List.exists (fun (d : Diag.t) -> d.Diag.code = "VAL-007") o.Validate.diags)
+
+let test_fanout_explosion () =
+  let design = parse_corrupted Mutator.Fanout_explosion 3 in
+  downstream_graceful "fanout-explosion" design
+
+(* {2 Byte-level parser fuzzing}
+
+   Grammar-blind corruption: the front-ends must return a typed result
+   on any byte string, under both policies. *)
+
+let test_fuzz_io () =
+  let base = Io.to_string (Generator.micro ()) in
+  for seed = 0 to 39 do
+    let fuzzed, _ = Mutator.fuzz_bytes ~ops:(1 + (seed mod 12)) (Rng.create seed) base in
+    List.iter
+      (fun policy ->
+        match Io.of_string ~policy ~library fuzzed with
+        | Ok _ -> ()
+        | Error ds ->
+          if ds = [] then Alcotest.failf "fuzz-io/seed%d: Error carries no diagnostics" seed
+        | exception e ->
+          Alcotest.failf "fuzz-io/seed%d: unhandled %s" seed (Printexc.to_string e))
+      [ Io.Abort; Io.Recover ]
+  done
+
+let test_fuzz_sdc () =
+  for seed = 0 to 39 do
+    let fuzzed, _ = Mutator.fuzz_bytes ~ops:(1 + (seed mod 12)) (Rng.create (seed + 100)) base_sdc in
+    List.iter
+      (fun policy ->
+        match Sdc.parse ~policy fuzzed with
+        | Ok _ -> ()
+        | Error ds ->
+          if ds = [] then Alcotest.failf "fuzz-sdc/seed%d: Error carries no diagnostics" seed
+        | exception e ->
+          Alcotest.failf "fuzz-sdc/seed%d: unhandled %s" seed (Printexc.to_string e))
+      [ Sdc.Abort; Sdc.Recover ]
+  done
+
+(* {2 Timer consistency through corrupt-and-roll-back}
+
+   Checkpoint a design, corrupt its placement and latencies, restore the
+   checkpoint, and require the incrementally maintained timer to agree
+   with a freshly built one on every node's arrival and required time at
+   both corners — groundwork for incremental timer checkpointing. *)
+
+let test_rollback_timer_consistency () =
+  let module Graph = Css_sta.Graph in
+  let design = Generator.micro () in
+  let timer = Timer.build design in
+  let ffs = Array.to_list (Design.ffs design) in
+  let cells = ref [] in
+  Design.iter_cells design (fun c -> cells := c :: !cells);
+  let cells = List.rev !cells in
+  (* checkpoint *)
+  let saved_pos = List.map (fun c -> (c, Design.cell_pos design c)) cells in
+  let saved_lat = List.map (fun ff -> (ff, Design.scheduled_latency design ff)) ffs in
+  (* corrupt: scatter every cell and skew every flip-flop *)
+  List.iteri
+    (fun i c ->
+      let p = Design.cell_pos design c in
+      Design.move_cell design c
+        (Point.make (p.Point.x +. float_of_int ((i * 37) mod 900)) (p.Point.y +. 55.0)))
+    cells;
+  List.iteri (fun i ff -> Design.set_scheduled_latency design ff (float_of_int (i + 1) *. 13.0)) ffs;
+  Timer.update_moved_cells timer cells;
+  Timer.update_latencies timer ffs;
+  (* roll back *)
+  List.iter (fun (c, p) -> Design.move_cell design c p) saved_pos;
+  List.iter (fun (ff, l) -> Design.set_scheduled_latency design ff l) saved_lat;
+  Timer.update_moved_cells timer cells;
+  Timer.update_latencies timer ffs;
+  (* the incremental state must agree with a from-scratch build *)
+  let fresh = Timer.build design in
+  let n = Graph.num_nodes (Timer.graph timer) in
+  Alcotest.(check int) "same graph" n (Graph.num_nodes (Timer.graph fresh));
+  let close ctx a b =
+    let same =
+      (Float.is_finite a && Float.is_finite b && Float.abs (a -. b) <= 1e-6)
+      || Int64.bits_of_float a = Int64.bits_of_float b (* inf/nan compare bitwise *)
+    in
+    if not same then Alcotest.failf "%s: incremental %.9g vs fresh %.9g" ctx a b
+  in
+  for node = 0 to n - 1 do
+    List.iter
+      (fun (corner, cname) ->
+        close
+          (Printf.sprintf "arrival/%s/node%d" cname node)
+          (Timer.arrival timer corner node) (Timer.arrival fresh corner node);
+        close
+          (Printf.sprintf "required/%s/node%d" cname node)
+          (Timer.required timer corner node) (Timer.required fresh corner node))
+      [ (Timer.Early, "early"); (Timer.Late, "late") ]
+  done;
+  close "wns early" (Timer.wns timer Timer.Early) (Timer.wns fresh Timer.Early);
+  close "wns late" (Timer.wns timer Timer.Late) (Timer.wns fresh Timer.Late)
+
 let test_flow_validation_diags_surface () =
   let design = Generator.micro () in
   Design.set_scheduled_latency design (Design.ffs design).(0) Float.nan;
@@ -259,10 +460,35 @@ let () =
       (fun f -> Alcotest.test_case (Mutator.sdc_name f) `Quick (test_sdc_fault f))
       Mutator.all_sdc
   in
+  let lib_cases =
+    List.map
+      (fun f -> Alcotest.test_case (Mutator.lib_name f) `Quick (test_lib_fault f))
+      Mutator.all_lib
+  in
   Alcotest.run "faults"
     [
       ("netlist-faults", netlist_cases);
       ("sdc-faults", sdc_cases);
+      ("lib-faults", lib_cases);
+      ( "coverage",
+        [
+          Alcotest.test_case "every netlist fault fires" `Quick test_netlist_fault_coverage;
+          Alcotest.test_case "every sdc fault fires" `Quick test_sdc_fault_coverage;
+          Alcotest.test_case "every lib fault fires" `Quick test_lib_fault_coverage;
+          Alcotest.test_case "noop is reported" `Quick test_noop_reported;
+        ] );
+      ( "structural",
+        [
+          Alcotest.test_case "split clock domain -> VAL-009" `Quick test_split_clock_domain;
+          Alcotest.test_case "disconnected subgraph -> VAL-005" `Quick test_disconnect_subgraph;
+          Alcotest.test_case "combinational loop -> VAL-007" `Quick test_comb_loop_fault;
+          Alcotest.test_case "fanout explosion degrades gracefully" `Quick test_fanout_explosion;
+        ] );
+      ( "byte-fuzz",
+        [
+          Alcotest.test_case "io front-end" `Quick test_fuzz_io;
+          Alcotest.test_case "sdc front-end" `Quick test_fuzz_sdc;
+        ] );
       ( "diagnostics",
         [
           Alcotest.test_case "sdc nearest-name hint" `Quick test_sdc_nearest_name_hint;
@@ -287,5 +513,7 @@ let () =
           Alcotest.test_case "clean run keeps result" `Quick test_flow_no_rollback_when_clean;
           Alcotest.test_case "validation surfaces in result" `Quick
             test_flow_validation_diags_surface;
+          Alcotest.test_case "timer consistent after roll back" `Quick
+            test_rollback_timer_consistency;
         ] );
     ]

@@ -161,7 +161,7 @@ let test_determinism_scaled () =
 let test_determinism_corrupted () =
   let mk () =
     let text = Io.to_string (Generator.generate Profile.tiny) in
-    let text = Mutator.corrupt Mutator.Drop_net (Rng.create 77) text in
+    let text, _ = Mutator.corrupt Mutator.Drop_net (Rng.create 77) text in
     match Io.of_string ~policy:Io.Recover ~library:Css_liberty.Library.default text with
     | Ok (d, _) -> d
     | Error _ -> Alcotest.fail "corrupted design did not recover"
