@@ -25,11 +25,19 @@
      CSS_BENCH_CSV     write the Table I rows to this CSV file
      CSS_BENCH_JSON    path of the JSON artifact (default BENCH_css.json)
      CSS_BENCH_DESIGNS comma-separated design list for the JSON section
-                       (default sb1,sb7,sb16,sb18)
+                       (default sb1,sb7,sb16,sb18; "-paper" suffixed
+                       names select the Profile.paper variants)
+     CSS_BENCH_ENGINES comma-separated engine subset for the JSON
+                       section ("full" always runs: it is the edge-ratio
+                       denominator; default all three engines)
      CSS_BENCH_JOBS    worker domains for the parallel-extraction
                        speedup measurement in the JSON section (default:
                        the runtime's recommended domain count)
      CSS_BENCH_JSON_ONLY   if set, run only the JSON section
+     CSS_BENCH_PAPER_ONLY  if set, run only the paper-scale section
+                           (Flow.run on the "-paper" profile variants)
+     CSS_BENCH_PAPER_DESIGNS comma-separated designs for the paper-scale
+                           section (default sb18-paper)
      CSS_BENCH_SKIP_BECHAMEL   if set, skip the micro-benchmarks *)
 
 module Design = Css_netlist.Design
@@ -371,7 +379,8 @@ let time_extraction ?pool p engine =
 (* One CSS-only run (late corner) of one extraction engine on a fresh
    copy of [p], instrumented with an Obs context. Returns the scheduler
    result, the engine's extraction statistics, wall-clock milliseconds,
-   the obs context and the timer (for final WNS/TNS reads). *)
+   the obs context, the timer (for final WNS/TNS reads) and the cell
+   count (the cells/sec numerator). *)
 let json_engine_run p engine_name =
   let design = Generator.generate p in
   let obs = Obs.create () in
@@ -421,12 +430,28 @@ let json_engine_run p engine_name =
   in
   let result = Scheduler.run ~obs timer extraction in
   let wall_ms = (Css_util.Wall_clock.now () -. t0) *. 1000.0 in
-  (result, stats_of (), wall_ms, obs, timer)
+  (result, stats_of (), wall_ms, obs, timer, Design.num_cells design)
 
 let json_designs =
   match Sys.getenv_opt "CSS_BENCH_DESIGNS" with
   | Some s -> String.split_on_char ',' s |> List.filter (fun x -> x <> "")
   | None -> [ "sb1"; "sb7"; "sb16"; "sb18" ]
+
+let write_json entries =
+  let module J = Obs.Json in
+  let oc = open_out json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "[\n";
+      List.iteri
+        (fun i e ->
+          if i > 0 then output_string oc ",\n";
+          output_string oc (J.to_string e))
+        entries;
+      output_string oc "\n]\n");
+  Printf.printf "wrote %s (%d records; schema in docs/OBSERVABILITY.md)\n%!" json_path
+    (List.length entries)
 
 let bench_json () =
   section "BENCH_css.json — machine-readable per-iteration engine comparison";
@@ -452,13 +477,20 @@ let bench_json () =
       (fun (p : Profile.t) ->
         (* the full engine first: its extraction count is the
            denominator [edges_full] for every engine on this design *)
-        let engines = [ "full"; "iterative-essential"; "iccss-callback" ] in
+        let engines =
+          match Sys.getenv_opt "CSS_BENCH_ENGINES" with
+          | None -> [ "full"; "iterative-essential"; "iccss-callback" ]
+          | Some s ->
+            (* [full] always runs — it is the ratio denominator *)
+            let wanted = String.split_on_char ',' s |> List.filter (fun x -> x <> "") in
+            "full" :: List.filter (fun e -> e <> "full") wanted
+        in
         let runs = List.map (fun e -> (e, json_engine_run p e)) engines in
         let edges_full =
-          match List.assoc "full" runs with _, s, _, _, _ -> s.Extract.edges_extracted
+          match List.assoc "full" runs with _, s, _, _, _, _ -> s.Extract.edges_extracted
         in
         List.map
-          (fun (engine_name, (result, stats, wall_ms, obs, timer)) ->
+          (fun (engine_name, (result, stats, wall_ms, obs, timer, cells)) ->
             let edges = stats.Extract.edges_extracted in
             let variant =
               match engine_name with
@@ -513,6 +545,9 @@ let bench_json () =
                 ("wns_early", J.Float (Timer.wns timer Timer.Early));
                 ("tns", J.Float (Timer.tns timer Timer.Late));
                 ("wall_ms", J.Float wall_ms);
+                ("cells", J.Int cells);
+                ("cells_per_sec", J.Float (float_of_int cells /. Float.max (wall_ms /. 1000.0) 1e-9));
+                ("peak_rss_bytes", J.Int (Css_util.Rusage.peak_rss_bytes ()));
                 ("jobs", J.Int bench_jobs);
                 ("extract_seq_ms", J.Float extract_seq_ms);
                 ("extract_par_ms", J.Float extract_par_ms);
@@ -524,19 +559,90 @@ let bench_json () =
       bench_profiles
   in
   Table.print t;
-  let oc = open_out json_path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc "[\n";
-      List.iteri
-        (fun i e ->
-          if i > 0 then output_string oc ",\n";
-          output_string oc (J.to_string e))
-        entries;
-      output_string oc "\n]\n");
-  Printf.printf "wrote %s (%d records; schema in docs/OBSERVABILITY.md)\n%!" json_path
-    (List.length entries)
+  write_json entries
+
+(* ------------------------------------------------------------------ *)
+(* PAPER SCALE — end-to-end Flow.run at superblue cell counts          *)
+
+(* The curves the paper draws (CSS speedup, essential-edge ratio) are
+   measured on 0.77M-1.9M-cell designs; this section reproduces them on
+   the "-paper" profile variants (Profile.paper). One record per design:
+   the full flow wall-clock, the throughput it implies (cells/sec), the
+   process peak RSS, and the extraction-engine edge ratio measured on
+   the initial (pre-schedule) state — the number Fig. 2 is about. *)
+
+let paper_designs =
+  match Sys.getenv_opt "CSS_BENCH_PAPER_DESIGNS" with
+  | Some s -> String.split_on_char ',' s |> List.filter (fun x -> x <> "")
+  | None -> [ "sb18-paper" ]
+
+let paper_scale () =
+  section "PAPER SCALE — Flow.run end-to-end at superblue cell counts";
+  let module J = Obs.Json in
+  let t =
+    Table.create
+      [ "design"; "cells"; "FFs"; "flow s"; "cells/s"; "RSS MB"; "lTNS before"; "lTNS after";
+        "ess/full edges" ]
+  in
+  Table.set_aligns t Table.[ Left; Right; Right; Right; Right; Right; Right; Right; Right ];
+  let entries =
+    List.map
+      (fun name ->
+        let p = Option.get (Profile.by_name name) in
+        (* extraction edge ratio on the initial state, before any
+           latency moves (a fresh design: Flow.run mutates its input) *)
+        let ratio_design = Generator.generate p in
+        let ratio_timer = Timer.build ratio_design in
+        let ratio_verts = Vertex.of_design ratio_design in
+        let ess = Extract.run ~engine:Extract.Essential ratio_timer ratio_verts ~corner:Timer.Late in
+        ignore (Extract.round ess);
+        let edges_essential = (Extract.stats ess).Extract.edges_extracted in
+        let full = Extract.run ~engine:Extract.Full ratio_timer ratio_verts ~corner:Timer.Late in
+        let edges_full = (Extract.stats full).Extract.edges_extracted in
+        let design = Generator.generate p in
+        let cells = Design.num_cells design in
+        let ffs = Array.length (Design.ffs design) in
+        let initial = Evaluator.evaluate design in
+        let t0 = Css_util.Wall_clock.now () in
+        let r = Flow.run ~algo:Flow.Ours design in
+        let wall_s = Css_util.Wall_clock.now () -. t0 in
+        let cells_per_sec = float_of_int cells /. Float.max wall_s 1e-9 in
+        let peak_rss = Css_util.Rusage.peak_rss_bytes () in
+        Table.add_row t
+          [
+            name;
+            string_of_int cells;
+            string_of_int ffs;
+            Printf.sprintf "%.1f" wall_s;
+            Printf.sprintf "%.0f" cells_per_sec;
+            string_of_int (peak_rss / (1024 * 1024));
+            fmt_f initial.Evaluator.tns_late;
+            fmt_f r.Flow.report.Evaluator.tns_late;
+            Printf.sprintf "%d/%d (%.1f%%)" edges_essential edges_full
+              (100.0 *. float_of_int edges_essential /. float_of_int (max 1 edges_full));
+          ];
+        J.Obj
+          [
+            ("design", J.String name);
+            ("engine", J.String "flow-ours");
+            ("cells", J.Int cells);
+            ("ffs", J.Int ffs);
+            ("wall_ms", J.Float (wall_s *. 1000.0));
+            ("cells_per_sec", J.Float cells_per_sec);
+            ("peak_rss_bytes", J.Int peak_rss);
+            ("tns_late_initial", J.Float initial.Evaluator.tns_late);
+            ("tns_late_final", J.Float r.Flow.report.Evaluator.tns_late);
+            ("tns_early_initial", J.Float initial.Evaluator.tns_early);
+            ("tns_early_final", J.Float r.Flow.report.Evaluator.tns_early);
+            ("edges_extracted", J.Int edges_essential);
+            ("edges_full", J.Int edges_full);
+            ( "edge_ratio",
+              J.Float (float_of_int edges_essential /. float_of_int (max 1 edges_full)) );
+          ])
+      paper_designs
+  in
+  Table.print t;
+  entries
 
 (* ------------------------------------------------------------------ *)
 (* ABLATIONS                                                           *)
@@ -719,7 +825,8 @@ let () =
   Printf.printf "Clock skew scheduling benchmark harness\n";
   Printf.printf "(paper: A Fast, Iterative Clock Skew Scheduling Algorithm with Dynamic\n";
   Printf.printf " Sequential Graph Extraction, DAC 2025 — synthetic reproduction)\n";
-  if Sys.getenv_opt "CSS_BENCH_JSON_ONLY" <> None then bench_json ()
+  if Sys.getenv_opt "CSS_BENCH_PAPER_ONLY" <> None then write_json (paper_scale ())
+  else if Sys.getenv_opt "CSS_BENCH_JSON_ONLY" <> None then bench_json ()
   else begin
     let all = table_i () in
     summary all;

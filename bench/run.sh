@@ -9,8 +9,16 @@
 #   bench/run.sh --fast   Table I on sb16/sb18 only, no micro-benchmarks
 #                         (the JSON section always runs its three designs)
 #   bench/run.sh --smoke  CI smoke test: build everything, run the CLI
-#                         end-to-end on the tiny benchmark, exit 0 on
-#                         success (no artifact, seconds not minutes)
+#                         end-to-end on the tiny benchmark, then a
+#                         bounded bench pass (sb18 at 10x, ~58k cells,
+#                         full + iterative-essential engines only) that
+#                         writes BENCH_css.json so CI can upload the
+#                         perf trajectory per PR (tens of seconds)
+#   bench/run.sh --paper  paper-scale section only: Flow.run end-to-end
+#                         on the ~1M-cell "-paper" profile variants,
+#                         recording cells/sec, peak RSS and the
+#                         essential/full edge ratio into BENCH_css.json
+#                         (a few minutes; see docs/PERFORMANCE.md)
 #
 # All CSS_BENCH_* environment knobs documented in bench/main.ml pass
 # through; CSS_BENCH_JSON overrides the artifact path and CSS_BENCH_JOBS
@@ -44,10 +52,21 @@ if [ "${1:-}" = "--smoke" ]; then
     echo "smoke: expected exit 2 on malformed input, got $rc" >&2
     exit 1
   fi
+  # bounded bench pass at the largest profile CI can afford: sb18 at
+  # 10x (~58k cells), skipping the slow IC-CSS over-extraction engine.
+  # Leaves BENCH_css.json (with cells_per_sec / peak_rss_bytes fields)
+  # for CI to upload as the per-PR perf artifact.
+  CSS_BENCH_JSON_ONLY=1 CSS_BENCH_SCALE=10 CSS_BENCH_DESIGNS=sb18 \
+    CSS_BENCH_ENGINES=full,iterative-essential \
+    CSS_BENCH_JSON="${CSS_BENCH_JSON:-$PWD/BENCH_css.json}" \
+    dune exec bench/main.exe
   echo "smoke: ok"
   exit 0
 fi
 
+if [ "${1:-}" = "--paper" ]; then
+  export CSS_BENCH_PAPER_ONLY=1
+fi
 if [ "${1:-}" = "--fast" ]; then
   export CSS_BENCH_FAST=1
   export CSS_BENCH_SKIP_BECHAMEL=1

@@ -66,8 +66,8 @@ let () =
 
   (* raise one launcher: only the endpoints it newly violates get walked *)
   let graph = Extract.graph engine in
-  let some_edge = List.hd (Seq_graph.edges graph) in
-  (match Vertex.ff_of verts some_edge.Seq_graph.src with
+  let some_edge = List.hd (Seq_graph.edge_ids graph) in
+  (match Vertex.ff_of verts (Seq_graph.src graph some_edge) with
   | Some ff ->
     Design.set_scheduled_latency design ff 60.0;
     Timer.update_latencies timer [ ff ];

@@ -40,12 +40,14 @@ let run ?(config = default_config) ?(obs = Obs.null) ?pool timer =
     incr sweeps;
     Obs.incr o_sweeps;
     let delta = Array.make n 0.0 in
-    Seq_graph.iter_edges graph (fun e ->
-        if e.Seq_graph.weight < -.config.eps && not (fixed e.Seq_graph.dst) then begin
-          let need = -.e.Seq_graph.weight in
-          let room = Float.max 0.0 (cap.(e.Seq_graph.dst) -. assigned.(e.Seq_graph.dst)) in
+    Seq_graph.iter_edges graph (fun id ->
+        let w = Seq_graph.weight graph id in
+        let d = Seq_graph.dst graph id in
+        if w < -.config.eps && not (fixed d) then begin
+          let need = -.w in
+          let room = Float.max 0.0 (cap.(d) -. assigned.(d)) in
           let want = Float.min need room in
-          if want > delta.(e.Seq_graph.dst) then delta.(e.Seq_graph.dst) <- want
+          if want > delta.(d) then delta.(d) <- want
         end);
     let moved = Array.exists (fun d -> d > config.eps) delta in
     if moved then begin

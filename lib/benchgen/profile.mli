@@ -35,12 +35,24 @@ type t = {
     sb1, sb3, sb4, sb5, sb7, sb10, sb16, sb18. *)
 val presets : t list
 
-(** [by_name n] finds a preset ("sb1" .. "sb18"). *)
+(** [by_name n] finds a preset ("sb1" .. "sb18") or its paper-size
+    variant ("sb1-paper" .. "sb18-paper", see {!paper}). O(#presets). *)
 val by_name : string -> t option
 
 (** [scale f p] multiplies the entity counts by [f] (at least 1 of each),
     leaving timing knobs untouched. *)
 val scale : float -> t -> t
+
+(** [paper p] is the true paper-size variant of preset [p]: entity counts
+    scaled by {!paper_factor} — restoring the superblue flip-flop counts
+    of Table I, ~0.5-1.5M cells — with the clock period stretched by the
+    same factor so the violating-endpoint fraction stays in the sparse
+    band the presets were calibrated for. Named ["<name>-paper"]. *)
+val paper : t -> t
+
+(** [paper_factor] is the entity-count multiplier of {!paper} (100: the
+    presets sit at ~1/100 of the paper's flip-flop counts). *)
+val paper_factor : float
 
 (** [tiny] is a 24-FF profile for tests and the quickstart example. *)
 val tiny : t

@@ -1,4 +1,3 @@
-module Heap = Css_util.Heap
 module Seq_graph = Css_seqgraph.Seq_graph
 
 type t = {
@@ -10,7 +9,7 @@ type t = {
   skipped_cycles : int;
 }
 
-let build ~n ~fixed ~out_weight edges =
+let build ~n ~fixed ~out_weight (vw : Seq_graph.view) =
   let parent = Array.make n (-1) in
   let parent_w = Array.make n nan in
   let children = Array.make n [] in
@@ -20,19 +19,21 @@ let build ~n ~fixed ~out_weight edges =
     let rec up x = x = anc || (parent.(x) >= 0 && up parent.(x)) in
     up v
   in
-  let heap =
-    Heap.of_list
-      ~cmp:(fun (a : Seq_graph.edge) b -> compare a.Seq_graph.weight b.Seq_graph.weight)
-      edges
-  in
-  while not (Heap.is_empty heap) do
-    let e = Heap.pop heap in
-    let u = e.Seq_graph.src and v = e.Seq_graph.dst and w = e.Seq_graph.weight in
-    if u <> v && (not (fixed v)) && parent.(v) < 0 && w < out_weight v then begin
+  (* ascending weight order; stable sort of an index array keeps ties in
+     insertion order, deterministically *)
+  let m = vw.Seq_graph.v_n in
+  let order = Array.init m Fun.id in
+  let w = vw.Seq_graph.v_w in
+  Array.stable_sort (fun a b -> compare w.(a) w.(b)) order;
+  for i = 0 to m - 1 do
+    let e = order.(i) in
+    let u = vw.Seq_graph.v_src.(e) and v = vw.Seq_graph.v_dst.(e) in
+    let we = w.(e) in
+    if u <> v && (not (fixed v)) && parent.(v) < 0 && we < out_weight v then begin
       if is_ancestor v u then incr skipped
       else begin
         parent.(v) <- u;
-        parent_w.(v) <- w;
+        parent_w.(v) <- we;
         children.(u) <- v :: children.(u)
       end
     end

@@ -13,15 +13,16 @@
 type t
 
 (** [build ~n ~fixed ~out_weight edges] constructs the forest over
-    vertices [0..n-1]. [fixed v] vertices never receive a parent (their
-    latency is pinned); [out_weight v] is Eq. (6)'s vertex weight, as
-    reported by the timer over *all* outgoing paths. Self-loops and edges
-    that would close a cycle are skipped. *)
+    vertices [0..n-1] from a packed edge view. [fixed v] vertices never
+    receive a parent (their latency is pinned); [out_weight v] is
+    Eq. (6)'s vertex weight, as reported by the timer over *all* outgoing
+    paths. Self-loops and edges that would close a cycle are skipped.
+    O(m log m) for the weight sort plus the ancestor checks. *)
 val build :
   n:int ->
   fixed:(int -> bool) ->
   out_weight:(int -> float) ->
-  Css_seqgraph.Seq_graph.edge list ->
+  Css_seqgraph.Seq_graph.view ->
   t
 
 (** [parent t v] is the tree parent ([-1] for roots). *)

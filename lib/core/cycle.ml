@@ -8,9 +8,14 @@ type result = {
   increments : float array;
 }
 
-let find_and_schedule ~n ~edges ~fixed ~hard_cap =
-  let usable = List.filter (fun (e : Seq_graph.edge) -> e.src <> e.dst) edges in
-  let g = Digraph.make ~n (List.map (fun (e : Seq_graph.edge) -> (e.src, e.dst, e.weight)) usable) in
+let find_and_schedule ~n ~edges:(vw : Seq_graph.view) ~fixed ~hard_cap =
+  (* self-loops are single-vertex cycles no skew can change *)
+  let triples = ref [] in
+  for i = vw.Seq_graph.v_n - 1 downto 0 do
+    let s = vw.Seq_graph.v_src.(i) and d = vw.Seq_graph.v_dst.(i) in
+    if s <> d then triples := (s, d, vw.Seq_graph.v_w.(i)) :: !triples
+  done;
+  let g = Digraph.make ~n !triples in
   (* Howard's policy iteration: the fastest of the three solvers, and
      cross-validated against Karp and Lawler in the test suite *)
   match Howard.min_mean_cycle g with
@@ -21,10 +26,15 @@ let find_and_schedule ~n ~edges ~fixed ~hard_cap =
     (* weight of the cycle edge leaving position i *)
     let edge_weight i =
       let u = arr.(i) and v = arr.((i + 1) mod k) in
-      List.fold_left
-        (fun acc (e : Seq_graph.edge) ->
-          if e.src = u && e.dst = v then Float.min acc e.weight else acc)
-        infinity usable
+      let best = ref infinity in
+      for j = 0 to vw.Seq_graph.v_n - 1 do
+        if
+          vw.Seq_graph.v_src.(j) = u
+          && vw.Seq_graph.v_dst.(j) = v
+          && vw.Seq_graph.v_w.(j) < !best
+        then best := vw.Seq_graph.v_w.(j)
+      done;
+      !best
     in
     (* Start the Eq. (9) walk at a fixed member if one exists so its
        increment is 0 before shifting. *)

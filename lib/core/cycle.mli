@@ -17,13 +17,14 @@ type result = {
 }
 
 (** [find_and_schedule ~n ~edges ~fixed ~hard_cap] is [Some r] when the
-    negative-weight essential edges contain a cycle; the returned
-    increments are clamped to [\[0, hard_cap\]] and are 0 outside the
-    cycle and on already-fixed members. Self-loops are ignored (they are
-    single-vertex cycles no skew can change). *)
+    negative-weight essential edges (a packed {!Css_seqgraph.Seq_graph.view})
+    contain a cycle; the returned increments are clamped to
+    [\[0, hard_cap\]] and are 0 outside the cycle and on already-fixed
+    members. Self-loops are ignored (they are single-vertex cycles no
+    skew can change). *)
 val find_and_schedule :
   n:int ->
-  edges:Css_seqgraph.Seq_graph.edge list ->
+  edges:Css_seqgraph.Seq_graph.view ->
   fixed:(int -> bool) ->
   hard_cap:(int -> float) ->
   result option

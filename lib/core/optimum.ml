@@ -11,17 +11,15 @@ let achievable_wns graph ~fixed =
   (* contract all fixed vertices into vertex id [n] *)
   let contracted = n in
   let map v = if fixed v then contracted else v in
-  let edges =
-    List.filter_map
-      (fun (e : Seq_graph.edge) ->
-        let u = map e.src and v = map e.dst in
-        (* an edge entirely between fixed vertices is a self-loop of the
-           contraction: a length-1 "cycle" whose weight is itself the
-           invariant — keep it, Karp's SCC pass sees self-loops *)
-        Some (u, v, e.weight))
-      (Seq_graph.edges graph)
-  in
-  let g = Digraph.make ~n:(n + 1) edges in
+  let edges = ref [] in
+  (* an edge entirely between fixed vertices is a self-loop of the
+     contraction: a length-1 "cycle" whose weight is itself the
+     invariant — keep it, Karp's SCC pass sees self-loops *)
+  Seq_graph.iter_edges graph (fun id ->
+      edges :=
+        (map (Seq_graph.src graph id), map (Seq_graph.dst graph id), Seq_graph.weight graph id)
+        :: !edges);
+  let g = Digraph.make ~n:(n + 1) (List.rev !edges) in
   Option.map fst (Karp.min_mean_cycle g)
 
 let gap timer ~corner =

@@ -178,16 +178,13 @@ let run ?(config = default_config) ?(obs = Obs.null) timer ext =
     end
     else begin
       let added = ext.extract () in
-      if config.verify_weights then
-        Seq_graph.iter_edges graph (fun e ->
-            e.Seq_graph.weight <- Seq_graph.recompute_weight graph timer e);
+      if config.verify_weights then Seq_graph.refresh_weights graph timer;
       (* Edges between two pinned vertices can never change again: keeping
          them would re-detect already-handled cycles forever. *)
       let neg_edges =
-        List.filter
-          (fun (e : Seq_graph.edge) ->
-            e.weight < -.config.eps && not (fixed.(e.src) && fixed.(e.dst)))
-          (Seq_graph.edges graph)
+        Seq_graph.select graph (fun id ->
+            Seq_graph.weight graph id < -.config.eps
+            && not (fixed.(Seq_graph.src graph id) && fixed.(Seq_graph.dst graph id)))
       in
       match Cycle.find_and_schedule ~n ~edges:neg_edges ~fixed:is_fixed ~hard_cap with
       | Some cyc ->
@@ -235,7 +232,7 @@ let run ?(config = default_config) ?(obs = Obs.null) timer ext =
           apply tp.Two_pass.l;
           Log.debug (fun m ->
               m "iter %d: %d essential edges, max increment %.2f, %s TNS %.2f" k
-                (List.length neg_edges) max_increment
+                neg_edges.Seq_graph.v_n max_increment
                 (match corner with Timer.Late -> "late" | Timer.Early -> "early")
                 (Timer.tns timer corner));
           record ~index:k ~handled_cycle:false ~max_increment;

@@ -6,17 +6,16 @@ type result = {
   w_avg : float array;
 }
 
-(* Kahn topological order over the edge list. *)
-let topo_order ~n edges =
+(* Kahn topological order over the selected view indices. *)
+let topo_order ~n (vw : Seq_graph.view) ~keep =
   let indeg = Array.make n 0 in
   let out = Array.make n [] in
-  List.iter
-    (fun (e : Seq_graph.edge) ->
-      if e.src <> e.dst then begin
-        indeg.(e.dst) <- indeg.(e.dst) + 1;
-        out.(e.src) <- e :: out.(e.src)
-      end)
-    edges;
+  for i = vw.Seq_graph.v_n - 1 downto 0 do
+    if keep i then begin
+      indeg.(vw.Seq_graph.v_dst.(i)) <- indeg.(vw.Seq_graph.v_dst.(i)) + 1;
+      out.(vw.Seq_graph.v_src.(i)) <- i :: out.(vw.Seq_graph.v_src.(i))
+    end
+  done;
   let order = Array.make n 0 in
   let head = ref 0 and tail = ref 0 in
   for v = 0 to n - 1 do
@@ -29,10 +28,11 @@ let topo_order ~n edges =
     let u = order.(!head) in
     incr head;
     List.iter
-      (fun (e : Seq_graph.edge) ->
-        indeg.(e.dst) <- indeg.(e.dst) - 1;
-        if indeg.(e.dst) = 0 then begin
-          order.(!tail) <- e.dst;
+      (fun i ->
+        let d = vw.Seq_graph.v_dst.(i) in
+        indeg.(d) <- indeg.(d) - 1;
+        if indeg.(d) = 0 then begin
+          order.(!tail) <- d;
           incr tail
         end)
       out.(u)
@@ -40,17 +40,16 @@ let topo_order ~n edges =
   if !tail <> n then invalid_arg "Two_pass.compute: essential edges contain a cycle";
   (order, out)
 
-let compute ~n ~edges ~arb ~fixed ~margin ~hard_cap =
+let compute ~n ~edges:(vw : Seq_graph.view) ~arb ~fixed ~margin ~hard_cap =
   (* Numeric guard: an edge whose weight went NaN (stale recomputation
      over a corrupted delay) would poison every max/min it meets, and a
      NaN assignment silently becomes a bogus latency raise. Non-finite
      edges are dropped here; final assignments are clamped below. *)
-  let edges =
-    List.filter
-      (fun (e : Seq_graph.edge) -> e.src <> e.dst && not (Float.is_nan e.weight))
-      edges
+  let keep i =
+    vw.Seq_graph.v_src.(i) <> vw.Seq_graph.v_dst.(i)
+    && not (Float.is_nan vw.Seq_graph.v_w.(i))
   in
-  let order, out = topo_order ~n edges in
+  let order, out = topo_order ~n vw ~keep in
   let l_max = Array.make n 0.0 in
   let w_avg = Array.make n neg_infinity in
   (* Pass 1: reverse topological; Eq. (12)(13) plus clamps. *)
@@ -65,9 +64,10 @@ let compute ~n ~edges ~arb ~fixed ~margin ~hard_cap =
       in
       (* extracted successors *)
       List.iter
-        (fun (e : Seq_graph.edge) ->
-          let lmax_succ = if fixed e.dst then 0.0 else l_max.(e.dst) in
-          consider e.weight lmax_succ)
+        (fun e ->
+          let d = vw.Seq_graph.v_dst.(e) in
+          let lmax_succ = if fixed d then 0.0 else l_max.(d) in
+          consider vw.Seq_graph.v_w.(e) lmax_succ)
         out.(u);
       (* the virtual endpoint: the timer's same-corner outgoing margin
          (a NaN margin fails the [<] test and is ignored) *)

@@ -16,12 +16,13 @@ type result = {
   w_avg : float array;  (** Eq. (12) *)
 }
 
-(** [compute ~n ~edges ~arb ~fixed ~margin ~hard_cap] runs both passes.
-    [edges] must form a DAG (the scheduler removes cycles first).
+(** [compute ~n ~edges ~arb ~fixed ~margin ~hard_cap] runs both passes
+    over a packed edge view. [edges] must form a DAG (the scheduler
+    removes cycles first).
     @raise Invalid_argument if a cycle is detected among [edges]. *)
 val compute :
   n:int ->
-  edges:Css_seqgraph.Seq_graph.edge list ->
+  edges:Css_seqgraph.Seq_graph.view ->
   arb:Arborescence.t ->
   fixed:(int -> bool) ->
   margin:(int -> float) ->

@@ -199,9 +199,7 @@ let targets_of verts latencies =
 (* Stored weights go stale whenever the OPT passes change latencies or
    placement outside the scheduler's Eq. (10) bookkeeping; the timer
    re-derives them in one sweep at the start of each CSS phase. *)
-let refresh_weights st graph =
-  Seq_graph.iter_edges graph (fun e ->
-      e.Seq_graph.weight <- Seq_graph.recompute_weight graph st.timer e)
+let refresh_weights st graph = Seq_graph.refresh_weights graph st.timer
 
 let ours_engine st corner =
   let get, set =

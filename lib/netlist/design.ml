@@ -1,4 +1,6 @@
 module Vec = Css_util.Vec
+module Ivec = Css_util.Ivec
+module Fvec = Css_util.Fvec
 module Point = Css_geometry.Point
 module Rect = Css_geometry.Rect
 module Cell = Css_liberty.Cell
@@ -18,6 +20,16 @@ type pin_owner =
   | Cell_pin of cell_id * string
   | Port_pin of port_id
 
+(* Cell role cache, so hot loops classify instances without chasing the
+   master-cell pointer. *)
+let role_comb = 0
+let role_ff = 1
+let role_lcb = 2
+
+(* Struct-of-arrays storage: every entity attribute is its own dense
+   column indexed by the entity id. Int columns use -1 as the "none"
+   sentinel instead of option (no boxing); float columns are monomorphic
+   flat arrays (no boxing on read). See docs/PERFORMANCE.md. *)
 type t = {
   name : string;
   library : Library.t;
@@ -26,26 +38,38 @@ type t = {
   (* cells *)
   cell_master : Cell.t Vec.t;
   cell_name : string Vec.t;
-  cell_pos : Point.t Vec.t;
-  cell_orig_pos : Point.t Vec.t;
-  cell_pins : (string * pin_id) list Vec.t;
-  cell_sched_latency : float Vec.t;
+  cell_x : Fvec.t;
+  cell_y : Fvec.t;
+  cell_orig_x : Fvec.t;
+  cell_orig_y : Fvec.t;
+  cell_first_pin : Ivec.t;  (* pins of a cell are contiguous: [first, first+count) *)
+  cell_pin_count : Ivec.t;
+  cell_role : Ivec.t;
+  cell_sched_latency : Fvec.t;
   (* ports *)
   port_name : string Vec.t;
   port_dir : port_dir Vec.t;
-  port_pos : Point.t Vec.t;
-  port_pin : pin_id Vec.t;
+  port_x : Fvec.t;
+  port_y : Fvec.t;
+  port_pin : Ivec.t;
   (* pins *)
-  pin_owner : pin_owner Vec.t;
-  pin_net : net_id option Vec.t;
+  pin_cell : Ivec.t;  (* owning cell, -1 for port pins *)
+  pin_port : Ivec.t;  (* owning port, -1 for cell pins *)
+  pin_name_tok : Ivec.t;  (* interned master pin name, -1 for port pins *)
+  pin_out : Ivec.t;  (* 1 when the pin is a signal source *)
+  pin_net : Ivec.t;  (* -1 when unconnected *)
+  (* pin-name interning *)
+  pin_name_of_tok : string Vec.t;
+  tok_of_pin_name : (string, int) Hashtbl.t;
   (* nets *)
   net_name : string Vec.t;
-  net_driver : pin_id option Vec.t;
-  net_sinks : pin_id Vec.t Vec.t;
+  net_driver : Ivec.t;  (* -1 when absent *)
+  net_sinks : Ivec.t Vec.t;
   (* clock *)
-  mutable clock_root : port_id option;
+  mutable clock_root : port_id;  (* -1 when undeclared *)
   mutable ff_cache : cell_id array option;
   mutable lcb_cache : cell_id array option;
+  mutable ff_index_cache : int array option;  (* cell -> dense FF ordinal, -1 *)
   latency_bounds : (cell_id, float * float) Hashtbl.t;
 }
 
@@ -57,100 +81,155 @@ let create ~name ~library ~die ~clock_period () =
     clock_period;
     cell_master = Vec.create ();
     cell_name = Vec.create ();
-    cell_pos = Vec.create ();
-    cell_orig_pos = Vec.create ();
-    cell_pins = Vec.create ();
-    cell_sched_latency = Vec.create ();
+    cell_x = Fvec.create ();
+    cell_y = Fvec.create ();
+    cell_orig_x = Fvec.create ();
+    cell_orig_y = Fvec.create ();
+    cell_first_pin = Ivec.create ();
+    cell_pin_count = Ivec.create ();
+    cell_role = Ivec.create ();
+    cell_sched_latency = Fvec.create ();
     port_name = Vec.create ();
     port_dir = Vec.create ();
-    port_pos = Vec.create ();
-    port_pin = Vec.create ();
-    pin_owner = Vec.create ();
-    pin_net = Vec.create ();
+    port_x = Fvec.create ();
+    port_y = Fvec.create ();
+    port_pin = Ivec.create ();
+    pin_cell = Ivec.create ();
+    pin_port = Ivec.create ();
+    pin_name_tok = Ivec.create ();
+    pin_out = Ivec.create ();
+    pin_net = Ivec.create ();
+    pin_name_of_tok = Vec.create ();
+    tok_of_pin_name = Hashtbl.create 16;
     net_name = Vec.create ();
-    net_driver = Vec.create ();
+    net_driver = Ivec.create ();
     net_sinks = Vec.create ();
-    clock_root = None;
+    clock_root = -1;
     ff_cache = None;
     lcb_cache = None;
+    ff_index_cache = None;
     latency_bounds = Hashtbl.create 16;
   }
 
-let new_pin t owner =
-  let id = Vec.push t.pin_owner owner in
-  ignore (Vec.push t.pin_net None);
+let intern_pin_name t name =
+  match Hashtbl.find_opt t.tok_of_pin_name name with
+  | Some tok -> tok
+  | None ->
+    let tok = Vec.push t.pin_name_of_tok name in
+    Hashtbl.replace t.tok_of_pin_name name tok;
+    tok
+
+let pin_name_token t name =
+  match Hashtbl.find_opt t.tok_of_pin_name name with Some tok -> tok | None -> -1
+
+let new_pin t ~cell ~port ~tok ~out =
+  let id = Ivec.push t.pin_cell cell in
+  ignore (Ivec.push t.pin_port port);
+  ignore (Ivec.push t.pin_name_tok tok);
+  ignore (Ivec.push t.pin_out (if out then 1 else 0));
+  ignore (Ivec.push t.pin_net (-1));
   id
 
 let add_port t ~name ~dir ~pos =
   let id = Vec.push t.port_name name in
   ignore (Vec.push t.port_dir dir);
-  ignore (Vec.push t.port_pos pos);
-  let pin = new_pin t (Port_pin id) in
-  ignore (Vec.push t.port_pin pin);
+  ignore (Fvec.push t.port_x pos.Point.x);
+  ignore (Fvec.push t.port_y pos.Point.y);
+  (* an input port is a signal source of its net *)
+  let pin = new_pin t ~cell:(-1) ~port:id ~tok:(-1) ~out:(dir = In) in
+  ignore (Ivec.push t.port_pin pin);
   id
+
+let role_of_cell cell =
+  match cell.Cell.role with
+  | Cell.Combinational -> role_comb
+  | Cell.Flip_flop _ -> role_ff
+  | Cell.Clock_buffer _ -> role_lcb
 
 let add_cell t ~name ~master ~pos =
   let cell = Library.find t.library master in
   let id = Vec.push t.cell_master cell in
   ignore (Vec.push t.cell_name name);
-  ignore (Vec.push t.cell_pos pos);
-  ignore (Vec.push t.cell_orig_pos pos);
-  ignore (Vec.push t.cell_sched_latency 0.0);
-  let pins =
-    List.map (fun pn -> (pn, new_pin t (Cell_pin (id, pn)))) (cell.Cell.inputs @ cell.Cell.outputs)
-  in
-  ignore (Vec.push t.cell_pins pins);
+  ignore (Fvec.push t.cell_x pos.Point.x);
+  ignore (Fvec.push t.cell_y pos.Point.y);
+  ignore (Fvec.push t.cell_orig_x pos.Point.x);
+  ignore (Fvec.push t.cell_orig_y pos.Point.y);
+  ignore (Ivec.push t.cell_role (role_of_cell cell));
+  ignore (Fvec.push t.cell_sched_latency 0.0);
+  ignore (Ivec.push t.cell_first_pin (Ivec.length t.pin_cell));
+  (* pin ids are assigned in inputs-then-outputs order, matching the
+     master's declaration — the order Io serialization relies on *)
+  List.iter
+    (fun pn -> ignore (new_pin t ~cell:id ~port:(-1) ~tok:(intern_pin_name t pn) ~out:false))
+    cell.Cell.inputs;
+  List.iter
+    (fun pn -> ignore (new_pin t ~cell:id ~port:(-1) ~tok:(intern_pin_name t pn) ~out:true))
+    cell.Cell.outputs;
+  ignore (Ivec.push t.cell_pin_count (Ivec.length t.pin_cell - Ivec.get t.cell_first_pin id));
   t.ff_cache <- None;
   t.lcb_cache <- None;
+  t.ff_index_cache <- None;
   id
 
-let pin_owner t p = Vec.get t.pin_owner p
+let[@inline] pin_cell_id t p = Ivec.get t.pin_cell p
+let[@inline] pin_port_id t p = Ivec.get t.pin_port p
+let[@inline] pin_name_id t p = Ivec.get t.pin_name_tok p
 
-let pin_net t p = Vec.get t.pin_net p
+let pin_owner t p =
+  let c = Ivec.get t.pin_cell p in
+  if c >= 0 then Cell_pin (c, Vec.get t.pin_name_of_tok (Ivec.get t.pin_name_tok p))
+  else Port_pin (Ivec.get t.pin_port p)
+
+let[@inline] pin_net_id t p = Ivec.get t.pin_net p
+
+let pin_net t p =
+  let n = Ivec.get t.pin_net p in
+  if n < 0 then None else Some n
 
 let cell_master t c = Vec.get t.cell_master c
 
-let pin_is_output t p =
-  match pin_owner t p with
-  | Port_pin port -> Vec.get t.port_dir port = In
-  | Cell_pin (c, pn) -> List.mem pn (cell_master t c).Cell.outputs
+let[@inline] pin_is_output t p = Ivec.get t.pin_out p = 1
 
 let add_net t ~name ~driver ~sinks =
   if not (pin_is_output t driver) then
     invalid_arg (Printf.sprintf "Design.add_net %s: driver pin is not a signal source" name);
   List.iter
     (fun p ->
-      if pin_net t p <> None then
+      if pin_net_id t p >= 0 then
         invalid_arg (Printf.sprintf "Design.add_net %s: pin already connected" name))
     (driver :: sinks);
   let id = Vec.push t.net_name name in
-  ignore (Vec.push t.net_driver (Some driver));
-  ignore (Vec.push t.net_sinks (Vec.of_list sinks));
-  Vec.set t.pin_net driver (Some id);
-  List.iter (fun p -> Vec.set t.pin_net p (Some id)) sinks;
+  ignore (Ivec.push t.net_driver driver);
+  ignore (Vec.push t.net_sinks (Ivec.of_list sinks));
+  Ivec.set t.pin_net driver id;
+  List.iter (fun p -> Ivec.set t.pin_net p id) sinks;
   id
 
 let net_add_sink t n p =
-  if pin_net t p <> None then invalid_arg "Design.net_add_sink: pin already connected";
+  if pin_net_id t p >= 0 then invalid_arg "Design.net_add_sink: pin already connected";
   if pin_is_output t p then invalid_arg "Design.net_add_sink: pin is a signal source";
-  ignore (Vec.push (Vec.get t.net_sinks n) p);
-  Vec.set t.pin_net p (Some n)
+  ignore (Ivec.push (Vec.get t.net_sinks n) p);
+  Ivec.set t.pin_net p n
 
-let set_clock_root t port = t.clock_root <- Some port
+let set_clock_root t port = t.clock_root <- port
 
 let name t = t.name
 let library t = t.library
 let die t = t.die
 let clock_period t = t.clock_period
 let num_cells t = Vec.length t.cell_master
-let num_pins t = Vec.length t.pin_owner
+let num_pins t = Ivec.length t.pin_cell
 let num_nets t = Vec.length t.net_name
 let num_ports t = Vec.length t.port_name
 let cell_name t c = Vec.get t.cell_name c
-let cell_pos t c = Vec.get t.cell_pos c
-let cell_orig_pos t c = Vec.get t.cell_orig_pos c
+let[@inline] cell_x t c = Fvec.get t.cell_x c
+let[@inline] cell_y t c = Fvec.get t.cell_y c
+let cell_pos t c = Point.make (Fvec.get t.cell_x c) (Fvec.get t.cell_y c)
+let cell_orig_pos t c = Point.make (Fvec.get t.cell_orig_x c) (Fvec.get t.cell_orig_y c)
 
-let move_cell t c pos = Vec.set t.cell_pos c pos
+let move_cell t c (pos : Point.t) =
+  Fvec.set t.cell_x c pos.Point.x;
+  Fvec.set t.cell_y c pos.Point.y
 
 let swap_master t c master =
   let next = Library.find t.library master in
@@ -162,24 +241,47 @@ let swap_master t c master =
   Vec.set t.cell_master c next
 
 let cell_pin t c pin_name =
-  match List.assoc_opt pin_name (Vec.get t.cell_pins c) with
-  | Some p -> p
-  | None -> raise Not_found
+  let tok = pin_name_token t pin_name in
+  if tok < 0 then raise Not_found;
+  let first = Ivec.get t.cell_first_pin c in
+  let count = Ivec.get t.cell_pin_count c in
+  let rec scan i =
+    if i >= first + count then raise Not_found
+    else if Ivec.unsafe_get t.pin_name_tok i = tok then i
+    else scan (i + 1)
+  in
+  scan first
 
 let port_name t p = Vec.get t.port_name p
 let port_dir t p = Vec.get t.port_dir p
-let port_pos t p = Vec.get t.port_pos p
-let port_pin t p = Vec.get t.port_pin p
+let port_pos t p = Point.make (Fvec.get t.port_x p) (Fvec.get t.port_y p)
+let port_pin t p = Ivec.get t.port_pin p
 
-let pin_pos t p =
-  match pin_owner t p with
-  | Cell_pin (c, _) -> cell_pos t c
-  | Port_pin port -> port_pos t port
+let[@inline] pin_x t p =
+  let c = Ivec.get t.pin_cell p in
+  if c >= 0 then Fvec.get t.cell_x c else Fvec.get t.port_x (Ivec.get t.pin_port p)
+
+let[@inline] pin_y t p =
+  let c = Ivec.get t.pin_cell p in
+  if c >= 0 then Fvec.get t.cell_y c else Fvec.get t.port_y (Ivec.get t.pin_port p)
+
+let pin_pos t p = Point.make (pin_x t p) (pin_y t p)
+
+let[@inline] pin_dist t p q =
+  Float.abs (pin_x t p -. pin_x t q) +. Float.abs (pin_y t p -. pin_y t q)
 
 let net_name t n = Vec.get t.net_name n
-let net_driver t n = Vec.get t.net_driver n
-let net_sinks t n = Vec.to_list (Vec.get t.net_sinks n)
-let net_fanout t n = Vec.length (Vec.get t.net_sinks n)
+
+let[@inline] net_driver_id t n = Ivec.get t.net_driver n
+
+let net_driver t n =
+  let d = Ivec.get t.net_driver n in
+  if d < 0 then None else Some d
+
+let net_sinks t n = Ivec.to_list (Vec.get t.net_sinks n)
+let[@inline] net_fanout t n = Ivec.length (Vec.get t.net_sinks n)
+let[@inline] net_sink t n i = Ivec.get (Vec.get t.net_sinks n) i
+let iter_net_sinks t n f = Ivec.iter f (Vec.get t.net_sinks n)
 
 let iter_cells t f =
   for c = 0 to num_cells t - 1 do
@@ -196,14 +298,14 @@ let iter_ports t f =
     f p
   done
 
-let is_ff t c = Cell.is_sequential (cell_master t c)
+let[@inline] is_ff t c = Ivec.get t.cell_role c = role_ff
 
-let is_lcb t c = Cell.is_clock_buffer (cell_master t c)
+let[@inline] is_lcb t c = Ivec.get t.cell_role c = role_lcb
 
 let collect t pred =
-  let acc = Vec.create () in
-  iter_cells t (fun c -> if pred c then ignore (Vec.push acc c));
-  Vec.to_array acc
+  let acc = Ivec.create () in
+  iter_cells t (fun c -> if pred c then ignore (Ivec.push acc c));
+  Ivec.to_array acc
 
 let ffs t =
   match t.ff_cache with
@@ -221,7 +323,21 @@ let lcbs t =
     t.lcb_cache <- Some a;
     a
 
-let clock_root t = t.clock_root
+let ff_index t c =
+  let index =
+    match t.ff_index_cache with
+    | Some a -> a
+    | None ->
+      let a = Array.make (max (num_cells t) 1) (-1) in
+      Array.iteri (fun i ff -> a.(ff) <- i) (ffs t);
+      t.ff_index_cache <- Some a;
+      a
+  in
+  index.(c)
+
+let[@inline] clock_root_id t = t.clock_root
+
+let clock_root t = if t.clock_root < 0 then None else Some t.clock_root
 
 let ck_pin_name = "CK"
 
@@ -229,54 +345,53 @@ let lcb_out_pin_name = "CKO"
 
 let lcb_of_ff t ff =
   let ck = cell_pin t ff ck_pin_name in
-  match pin_net t ck with
-  | None -> raise Not_found
-  | Some net -> (
-    match net_driver t net with
-    | None -> raise Not_found
-    | Some drv -> (
-      match pin_owner t drv with
-      | Cell_pin (c, _) when is_lcb t c -> c
-      | Cell_pin _ | Port_pin _ -> raise Not_found))
+  let net = pin_net_id t ck in
+  if net < 0 then raise Not_found
+  else begin
+    let drv = net_driver_id t net in
+    if drv < 0 then raise Not_found
+    else begin
+      let c = pin_cell_id t drv in
+      if c >= 0 && is_lcb t c then c else raise Not_found
+    end
+  end
 
 let lcb_out_net t lcb =
-  match pin_net t (cell_pin t lcb lcb_out_pin_name) with
-  | Some n -> n
-  | None -> invalid_arg "Design: LCB has no output net"
+  let n = pin_net_id t (cell_pin t lcb lcb_out_pin_name) in
+  if n >= 0 then n else invalid_arg "Design: LCB has no output net"
 
 let ffs_of_lcb t lcb =
   let net = lcb_out_net t lcb in
+  let ck_tok = pin_name_token t ck_pin_name in
   List.filter_map
     (fun p ->
-      match pin_owner t p with
-      | Cell_pin (c, pn) when pn = ck_pin_name && is_ff t c -> Some c
-      | Cell_pin _ | Port_pin _ -> None)
+      let c = pin_cell_id t p in
+      if c >= 0 && is_ff t c && pin_name_id t p = ck_tok then Some c else None)
     (net_sinks t net)
 
 let lcb_fanout t lcb =
   (* an LCB driving no net (possible after lenient-recovery parsing)
      clocks nothing: fanout 0, not an error *)
-  match pin_net t (cell_pin t lcb lcb_out_pin_name) with
-  | None -> 0
-  | Some net -> net_fanout t net
+  let n = pin_net_id t (cell_pin t lcb lcb_out_pin_name) in
+  if n < 0 then 0 else net_fanout t n
 
 let reconnect_ff_to_lcb t ~ff ~lcb =
   if not (is_lcb t lcb) then invalid_arg "Design.reconnect_ff_to_lcb: target is not an LCB";
   let new_net = lcb_out_net t lcb in
   let ck = cell_pin t ff ck_pin_name in
-  (match pin_net t ck with
-  | None -> ()
-  | Some old_net ->
+  let old_net = pin_net_id t ck in
+  if old_net >= 0 then begin
     let sinks = Vec.get t.net_sinks old_net in
-    (match Vec.find_index (fun p -> p = ck) sinks with
-    | None -> ()
-    | Some i ->
+    let i = Ivec.find_index (fun p -> p = ck) sinks in
+    if i >= 0 then begin
       (* order within a net does not matter; swap-remove *)
-      let last = Vec.pop sinks in
-      if i < Vec.length sinks then Vec.set sinks i last);
-    Vec.set t.pin_net ck None);
-  ignore (Vec.push (Vec.get t.net_sinks new_net) ck);
-  Vec.set t.pin_net ck (Some new_net)
+      let last = Ivec.pop sinks in
+      if i < Ivec.length sinks then Ivec.set sinks i last
+    end;
+    Ivec.set t.pin_net ck (-1)
+  end;
+  ignore (Ivec.push (Vec.get t.net_sinks new_net) ck);
+  Ivec.set t.pin_net ck new_net
 
 let physical_clock_latency t ff =
   match lcb_of_ff t ff with
@@ -289,15 +404,16 @@ let physical_clock_latency t ff =
       | Cell.Combinational | Cell.Flip_flop _ -> 0.0
     in
     let wire = Library.wire t.library in
-    let len = Point.manhattan (cell_pos t lcb) (cell_pos t ff) in
+    let len =
+      Float.abs (cell_x t lcb -. cell_x t ff) +. Float.abs (cell_y t lcb -. cell_y t ff)
+    in
     insertion +. Wire.delay wire ~r_drive:master.Cell.drive_res ~len
 
-let scheduled_latency t ff = Vec.get t.cell_sched_latency ff
+let[@inline] scheduled_latency t ff = Fvec.get t.cell_sched_latency ff
 
-let set_scheduled_latency t ff v = Vec.set t.cell_sched_latency ff v
+let set_scheduled_latency t ff v = Fvec.set t.cell_sched_latency ff v
 
-let clear_scheduled_latencies t =
-  iter_cells t (fun c -> Vec.set t.cell_sched_latency c 0.0)
+let clear_scheduled_latencies t = Fvec.fill t.cell_sched_latency 0.0
 
 let clock_latency t ff = physical_clock_latency t ff +. scheduled_latency t ff
 

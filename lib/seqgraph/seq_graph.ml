@@ -1,25 +1,41 @@
-module Vec = Css_util.Vec
+module Ivec = Css_util.Ivec
+module Fvec = Css_util.Fvec
 module Timer = Css_sta.Timer
 module Graph = Css_sta.Graph
 
-type edge = {
-  id : int;
-  src : Vertex.id;
-  dst : Vertex.id;
-  mutable weight : float;
-  mutable delay : float;
-  launcher : Graph.launcher;
-  endpoint : Graph.endpoint;
-}
+type edge_id = int
+
+(* Launchers and endpoints are stored int-encoded per edge, mirroring the
+   timing graph's convention: [2*cell] for an FF, [2*port+1] for a port.
+   The variant views are materialized on demand by [launcher]/[endpoint]. *)
+let enc_launcher = function
+  | Graph.Launch_ff ff -> 2 * ff
+  | Graph.Launch_port p -> (2 * p) + 1
+
+let enc_endpoint = function
+  | Graph.End_ff ff -> 2 * ff
+  | Graph.End_port p -> (2 * p) + 1
+
+let dec_launcher enc =
+  if enc land 1 = 0 then Graph.Launch_ff (enc lsr 1) else Graph.Launch_port (enc lsr 1)
+
+let dec_endpoint enc =
+  if enc land 1 = 0 then Graph.End_ff (enc lsr 1) else Graph.End_port (enc lsr 1)
 
 type t = {
   verts : Vertex.t;
   corner : Timer.corner;
-  edges : edge Vec.t;
-  by_pair : (Vertex.id * Vertex.id, int) Hashtbl.t;
-  out_adj : int list array;
-  in_adj : int list array;
-  by_endpoint : (Graph.endpoint, int list) Hashtbl.t;
+  nverts : int;  (* for the (src, dst) -> key packing *)
+  esrc : Ivec.t;
+  edst : Ivec.t;
+  ew : Fvec.t;
+  edelay : Fvec.t;
+  elaunch : Ivec.t;  (* encoded launcher per edge *)
+  eend : Ivec.t;  (* encoded endpoint per edge *)
+  by_pair : (int, edge_id) Hashtbl.t;  (* src * nverts + dst -> edge *)
+  out_adj : edge_id list array;
+  in_adj : edge_id list array;
+  by_endpoint : (int, edge_id list) Hashtbl.t;  (* encoded endpoint *)
 }
 
 let create verts ~corner =
@@ -27,7 +43,13 @@ let create verts ~corner =
   {
     verts;
     corner;
-    edges = Vec.create ();
+    nverts = n;
+    esrc = Ivec.create ();
+    edst = Ivec.create ();
+    ew = Fvec.create ();
+    edelay = Fvec.create ();
+    elaunch = Ivec.create ();
+    eend = Ivec.create ();
     by_pair = Hashtbl.create 256;
     out_adj = Array.make n [];
     in_adj = Array.make n [];
@@ -36,7 +58,15 @@ let create verts ~corner =
 
 let corner t = t.corner
 let vertices t = t.verts
-let num_edges t = Vec.length t.edges
+let num_edges t = Ivec.length t.esrc
+
+let src t id = Ivec.get t.esrc id
+let dst t id = Ivec.get t.edst id
+let weight t id = Fvec.get t.ew id
+let delay t id = Fvec.get t.edelay id
+let set_weight t id w = Fvec.set t.ew id w
+let launcher t id = dec_launcher (Ivec.get t.elaunch id)
+let endpoint t id = dec_endpoint (Ivec.get t.eend id)
 
 (* Scheduling orientation: late edges run launch->capture, early edges
    capture->launch, so that d(weight)/d(latency(dst)) = +1 either way. *)
@@ -47,52 +77,102 @@ let orient t ~launcher ~endpoint =
 
 let add_edge t ~launcher ~endpoint ~delay ~weight =
   let src, dst = orient t ~launcher ~endpoint in
-  match Hashtbl.find_opt t.by_pair (src, dst) with
+  let key = (src * t.nverts) + dst in
+  let el = enc_launcher launcher and ee = enc_endpoint endpoint in
+  match Hashtbl.find_opt t.by_pair key with
   | Some id ->
-    let e = Vec.get t.edges id in
-    if e.launcher = launcher && e.endpoint = endpoint then begin
+    if Ivec.get t.elaunch id = el && Ivec.get t.eend id = ee then begin
       (* same timing path re-extracted: the new values are the current
          truth (placement or sizing may have changed the path delay) *)
-      e.weight <- weight;
-      e.delay <- delay
+      Fvec.set t.ew id weight;
+      Fvec.set t.edelay id delay
     end
-    else if weight < e.weight then begin
+    else if weight < Fvec.get t.ew id then begin
       (* a different launcher/endpoint pair collapsing onto the same
          supernode vertices: keep the worse path *)
-      e.weight <- weight;
-      e.delay <- delay
+      Fvec.set t.ew id weight;
+      Fvec.set t.edelay id delay
     end;
-    e
+    id
   | None ->
-    let id = Vec.length t.edges in
-    let e = { id; src; dst; weight; delay; launcher; endpoint } in
-    ignore (Vec.push t.edges e);
-    Hashtbl.replace t.by_pair (src, dst) id;
+    let id = Ivec.push t.esrc src in
+    ignore (Ivec.push t.edst dst);
+    ignore (Fvec.push t.ew weight);
+    ignore (Fvec.push t.edelay delay);
+    ignore (Ivec.push t.elaunch el);
+    ignore (Ivec.push t.eend ee);
+    Hashtbl.replace t.by_pair key id;
     t.out_adj.(src) <- id :: t.out_adj.(src);
     t.in_adj.(dst) <- id :: t.in_adj.(dst);
-    let prev = Option.value ~default:[] (Hashtbl.find_opt t.by_endpoint endpoint) in
-    Hashtbl.replace t.by_endpoint endpoint (id :: prev);
-    e
+    let prev = Option.value ~default:[] (Hashtbl.find_opt t.by_endpoint ee) in
+    Hashtbl.replace t.by_endpoint ee (id :: prev);
+    id
 
-let find t ~src ~dst =
-  Option.map (fun id -> Vec.get t.edges id) (Hashtbl.find_opt t.by_pair (src, dst))
+let find t ~src ~dst = Hashtbl.find_opt t.by_pair ((src * t.nverts) + dst)
 
-let iter_edges t f = Vec.iter f t.edges
+let iter_edges t f =
+  for id = 0 to num_edges t - 1 do
+    f id
+  done
 
-let edges t = Vec.to_list t.edges
+let edge_ids t = List.init (num_edges t) Fun.id
 
-let out_edges t v = List.rev_map (Vec.get t.edges) t.out_adj.(v)
+let out_edges t v = List.rev t.out_adj.(v)
 
-let in_edges t v = List.rev_map (Vec.get t.edges) t.in_adj.(v)
+let in_edges t v = List.rev t.in_adj.(v)
 
 let min_weight_from_endpoint t endpoint =
-  match Hashtbl.find_opt t.by_endpoint endpoint with
+  match Hashtbl.find_opt t.by_endpoint (enc_endpoint endpoint) with
   | None -> infinity
-  | Some ids ->
-    List.fold_left (fun acc id -> Float.min acc (Vec.get t.edges id).weight) infinity ids
+  | Some ids -> List.fold_left (fun acc id -> Float.min acc (Fvec.get t.ew id)) infinity ids
 
 let apply_latency_delta t deltas =
-  iter_edges t (fun e -> e.weight <- e.weight +. deltas.(e.dst) -. deltas.(e.src))
+  for id = 0 to num_edges t - 1 do
+    let s = Ivec.unsafe_get t.esrc id and d = Ivec.unsafe_get t.edst id in
+    Fvec.unsafe_set t.ew id
+      (Fvec.unsafe_get t.ew id +. Array.unsafe_get deltas d -. Array.unsafe_get deltas s)
+  done
 
-let recompute_weight t timer e =
-  Timer.edge_slack timer t.corner ~launcher:e.launcher ~endpoint:e.endpoint ~delay:e.delay
+let recompute_weight t timer id =
+  Timer.edge_slack timer t.corner ~launcher:(launcher t id) ~endpoint:(endpoint t id)
+    ~delay:(Fvec.get t.edelay id)
+
+let refresh_weights t timer =
+  for id = 0 to num_edges t - 1 do
+    Fvec.set t.ew id (recompute_weight t timer id)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Packed views for the solvers                                        *)
+
+type view = {
+  v_n : int;
+  v_src : int array;
+  v_dst : int array;
+  v_w : float array;
+}
+
+let select t pred =
+  let src = Ivec.create () and dst = Ivec.create () in
+  let w = Fvec.create () in
+  for id = 0 to num_edges t - 1 do
+    if pred id then begin
+      ignore (Ivec.push src (Ivec.unsafe_get t.esrc id));
+      ignore (Ivec.push dst (Ivec.unsafe_get t.edst id));
+      ignore (Fvec.push w (Fvec.unsafe_get t.ew id))
+    end
+  done;
+  { v_n = Ivec.length src; v_src = Ivec.to_array src; v_dst = Ivec.to_array dst; v_w = Fvec.to_array w }
+
+let view_of_list triples =
+  let n = List.length triples in
+  let src = Array.make (max n 1) 0
+  and dst = Array.make (max n 1) 0
+  and w = Array.make (max n 1) 0.0 in
+  List.iteri
+    (fun i (s, d, wt) ->
+      src.(i) <- s;
+      dst.(i) <- d;
+      w.(i) <- wt)
+    triples;
+  { v_n = n; v_src = src; v_dst = dst; v_w = w }

@@ -9,17 +9,19 @@
 
     At most one edge is kept per (src, dst) pair — the minimum-slack
     timing path between the two sequential elements, which is the only
-    one clock skew scheduling can act on. *)
+    one clock skew scheduling can act on.
 
-type edge = {
-  id : int;
-  src : Vertex.id;
-  dst : Vertex.id;
-  mutable weight : float;  (** current slack of the path under current latencies *)
-  mutable delay : float;  (** pure combinational path delay (launch pin to capture pin) *)
-  launcher : Css_sta.Graph.launcher;
-  endpoint : Css_sta.Graph.endpoint;
-}
+    {b Storage layout.} Edges are dense ints indexing parallel columns
+    (src, dst, weight, delay, encoded launcher/endpoint): the weight
+    columns are flat [float array]s, so the per-iteration Eq. (10)
+    update and the scheduler's negative-edge scan read unboxed floats
+    with no per-edge record chasing. The timing launcher/endpoint of an
+    edge is int-encoded and only materialized as a constructor by
+    {!launcher} / {!endpoint}. See [docs/PERFORMANCE.md]. *)
+
+type edge_id = int
+(** Dense edge index in [0, num_edges), in insertion order. Edge ids are
+    stable: edges are never removed. *)
 
 type t
 
@@ -35,51 +37,106 @@ val corner : t -> Css_sta.Timer.corner
 val vertices : t -> Vertex.t
 
 (** [num_edges t] is the current size of [E'] — for the paper's engine a
-    small fraction of the full sequential graph (Fig. 2). *)
+    small fraction of the full sequential graph (Fig. 2). O(1). *)
 val num_edges : t -> int
+
+(** {1 Edge columns}
+
+    All accessors are O(1); [weight]/[delay] return unboxed floats from
+    flat columns. *)
+
+val src : t -> edge_id -> Vertex.id
+val dst : t -> edge_id -> Vertex.id
+
+val weight : t -> edge_id -> float
+(** Current slack of the path under current latencies. *)
+
+val delay : t -> edge_id -> float
+(** Pure combinational path delay (launch pin to capture pin). *)
+
+val set_weight : t -> edge_id -> float -> unit
+
+(** [launcher t id] / [endpoint t id] decode the edge's timing-graph
+    launcher/endpoint. O(1) but allocates the constructor — hot loops
+    should work on vertex ids instead. *)
+val launcher : t -> edge_id -> Css_sta.Graph.launcher
+
+val endpoint : t -> edge_id -> Css_sta.Graph.endpoint
+
+(** {1 Construction and lookup} *)
 
 (** [add_edge t ~launcher ~endpoint ~delay ~weight] inserts the edge in
     scheduling orientation. A re-extraction of the *same* timing path
     refreshes the stored weight and delay (the new values are the current
     truth); a different path collapsing onto the same vertex pair (port
     paths through a supernode) only replaces a smaller-weight entry.
-    Returns the edge. *)
+    Returns the edge id. Amortized O(1). *)
 val add_edge :
   t ->
   launcher:Css_sta.Graph.launcher ->
   endpoint:Css_sta.Graph.endpoint ->
   delay:float ->
   weight:float ->
-  edge
+  edge_id
 
-(** [find t ~src ~dst] is the stored edge between the pair, if any. *)
-val find : t -> src:Vertex.id -> dst:Vertex.id -> edge option
+(** [find t ~src ~dst] is the stored edge between the pair, if any. O(1);
+    allocates the option. *)
+val find : t -> src:Vertex.id -> dst:Vertex.id -> edge_id option
 
-(** [iter_edges t f] applies [f] to every stored edge (the scheduler's
-    per-iteration walk over [E'], the [m'] in its O(k·m') bound). *)
-val iter_edges : t -> (edge -> unit) -> unit
+(** [iter_edges t f] applies [f] to every edge id in insertion order
+    (the scheduler's per-iteration walk over [E'], the [m'] in its
+    O(k·m') bound). Allocation-free apart from what [f] does. *)
+val iter_edges : t -> (edge_id -> unit) -> unit
 
-(** [edges t] lists the stored edges (unspecified order). *)
-val edges : t -> edge list
+(** [edge_ids t] lists the edge ids in insertion order. O(edges). *)
+val edge_ids : t -> edge_id list
 
 (** [out_edges t v] / [in_edges t v] are [v]'s edges in scheduling
-    orientation — [out_edges] drives the Eq. (6) out-weight check during
-    arborescence construction. *)
-val out_edges : t -> Vertex.id -> edge list
+    orientation, in insertion order — [out_edges] drives the Eq. (6)
+    out-weight check during arborescence construction. O(degree). *)
+val out_edges : t -> Vertex.id -> edge_id list
 
-val in_edges : t -> Vertex.id -> edge list
+val in_edges : t -> Vertex.id -> edge_id list
 
 (** [min_weight_from_endpoint t e] is the smallest current weight among
     stored edges whose timing endpoint is [e] ([infinity] when none) —
-    used to decide whether a violated endpoint needs re-extraction. *)
+    used to decide whether a violated endpoint needs re-extraction.
+    O(edges sharing the endpoint). *)
 val min_weight_from_endpoint : t -> Css_sta.Graph.endpoint -> float
 
 (** [apply_latency_delta t deltas] performs the Eq. (10) update:
     [w += deltas.(dst) - deltas.(src)] on every edge ([deltas] is indexed
-    by vertex id). *)
+    by vertex id). O(edges), allocation-free. *)
 val apply_latency_delta : t -> float array -> unit
 
-(** [recompute_weight t timer e] re-derives [e.weight] from the timer's
-    current latencies via Eq. (1)/(2) — the reference the Eq. (10)
-    shortcut is property-tested against. *)
-val recompute_weight : t -> Css_sta.Timer.t -> edge -> float
+(** [recompute_weight t timer id] re-derives the edge's weight from the
+    timer's current latencies via Eq. (1)/(2) — the reference the
+    Eq. (10) shortcut is property-tested against. Does not store it. *)
+val recompute_weight : t -> Css_sta.Timer.t -> edge_id -> float
+
+(** [refresh_weights t timer] overwrites every edge weight with its
+    {!recompute_weight} value — the scheduler's [verify_weights] mode and
+    the flow's post-rollback resynchronization. O(edges). *)
+val refresh_weights : t -> Css_sta.Timer.t -> unit
+
+(** {1 Packed views}
+
+    The core solvers (cycle detection, arborescence, two-pass
+    assignment) consume an immutable packed copy of an edge subset —
+    three parallel arrays they can index without touching the graph or
+    allocating per edge. *)
+
+type view = {
+  v_n : int;  (** number of selected edges *)
+  v_src : int array;  (** tail vertex per selected edge *)
+  v_dst : int array;  (** head vertex per selected edge *)
+  v_w : float array;  (** weight per selected edge, flat floats *)
+}
+
+(** [select t pred] packs the edges satisfying [pred] (given the edge
+    id), in insertion order. O(edges). *)
+val select : t -> (edge_id -> bool) -> view
+
+(** [view_of_list triples] packs explicit [(src, dst, weight)] triples —
+    solver tests construct inputs without building a graph. *)
+val view_of_list : (Vertex.id * Vertex.id * float) list -> view

@@ -3,17 +3,15 @@ module Design = Css_netlist.Design
 type id = int
 
 type t = {
+  design : Design.t;
   ffs : Design.cell_id array;
-  index_of_ff : (Design.cell_id, id) Hashtbl.t;
   input_super : id;
   output_super : id;
 }
 
 let of_design d =
   let ffs = Design.ffs d in
-  let index_of_ff = Hashtbl.create (Array.length ffs) in
-  Array.iteri (fun i ff -> Hashtbl.replace index_of_ff ff i) ffs;
-  { ffs; index_of_ff; input_super = Array.length ffs; output_super = Array.length ffs + 1 }
+  { design = d; ffs; input_super = Array.length ffs; output_super = Array.length ffs + 1 }
 
 let num t = Array.length t.ffs + 2
 
@@ -23,7 +21,9 @@ let output_super t = t.output_super
 
 let is_super t v = v = t.input_super || v = t.output_super
 
-let of_ff t ff = Hashtbl.find t.index_of_ff ff
+let of_ff t ff =
+  let i = Design.ff_index t.design ff in
+  if i < 0 then raise Not_found else i
 
 let ff_of t v = if is_super t v then None else Some t.ffs.(v)
 

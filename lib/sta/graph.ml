@@ -1,4 +1,5 @@
 module Vec = Css_util.Vec
+module Ivec = Css_util.Ivec
 module Design = Css_netlist.Design
 module Cell = Css_liberty.Cell
 
@@ -16,6 +17,14 @@ type arc_kind =
   | Cell_arc of Css_liberty.Delay_model.t
   | Net_arc
 
+(* Launchers and endpoints are stored int-encoded per node: -1 for a
+   plain node, [2*cell] for an FF, [2*port+1] for a port. The variant
+   views are materialized on demand by [launcher_of_node] /
+   [endpoint_of_node]; the hot predicates [is_source] / [is_endpoint]
+   are single int compares. *)
+let enc_ff c = 2 * c
+let enc_port p = (2 * p) + 1
+
 type t = {
   design : Design.t;
   node_pin : Design.pin_id array;
@@ -32,33 +41,41 @@ type t = {
   topo : int array;
   sources : int array;
   endpoints : int array;
-  node_launcher : launcher option array;
-  node_endpoint : endpoint option array;
+  node_launcher : int array;  (* encoded; -1 = not a source *)
+  node_endpoint : int array;  (* encoded; -1 = not an endpoint *)
 }
 
 let ck_pin = "CK"
 
 (* A pin participates in the data graph unless it belongs to the clock
    network: LCB pins, FF CK pins, and the clock-root port pin. *)
-let is_data_pin d p =
-  match Design.pin_owner d p with
-  | Design.Port_pin port -> Design.clock_root d <> Some port
-  | Design.Cell_pin (c, pin_name) ->
-    (not (Design.is_lcb d c)) && not (Design.is_ff d c && pin_name = ck_pin)
+let is_data_pin_fast d ~ck_tok p =
+  let c = Design.pin_cell_id d p in
+  if c < 0 then Design.clock_root_id d <> Design.pin_port_id d p
+  else
+    (not (Design.is_lcb d c))
+    && not (Design.is_ff d c && Design.pin_name_id d p = ck_tok)
 
 let build design =
   let npins = Design.num_pins design in
+  let ck_tok = Design.pin_name_token design ck_pin in
   let node_of_pin = Array.make npins (-1) in
-  let node_pin_v = Vec.create () in
+  let node_pin_v = Ivec.create ~capacity:npins () in
   for p = 0 to npins - 1 do
-    if is_data_pin design p then node_of_pin.(p) <- Vec.push node_pin_v p
+    if is_data_pin_fast design ~ck_tok p then node_of_pin.(p) <- Ivec.push node_pin_v p
   done;
-  let node_pin = Vec.to_array node_pin_v in
+  let node_pin = Ivec.to_array node_pin_v in
   let n = Array.length node_pin in
-  let arcs = Vec.create () in
+  (* arc accumulation in parallel columns — no per-arc tuples *)
+  let arc_from = Ivec.create () and arc_to = Ivec.create () in
+  let arc_kind_v = Vec.create () in
   let add_arc from_pin to_pin kind =
     let u = node_of_pin.(from_pin) and v = node_of_pin.(to_pin) in
-    if u >= 0 && v >= 0 then ignore (Vec.push arcs (u, v, kind))
+    if u >= 0 && v >= 0 then begin
+      ignore (Ivec.push arc_from u);
+      ignore (Ivec.push arc_to v);
+      ignore (Vec.push arc_kind_v kind)
+    end
   in
   (* cell arcs *)
   Design.iter_cells design (fun c ->
@@ -76,37 +93,32 @@ let build design =
           master.Cell.arcs);
   (* net arcs *)
   Design.iter_nets design (fun net ->
-      match Design.net_driver design net with
-      | None -> ()
-      | Some drv ->
-        if node_of_pin.(drv) >= 0 then
-          List.iter (fun sink -> add_arc drv sink Net_arc) (Design.net_sinks design net));
-  let m = Vec.length arcs in
-  let a_from = Array.make m 0 and a_to = Array.make m 0 and a_kind = Array.make m Net_arc in
-  Vec.iteri
-    (fun i (u, v, k) ->
-      a_from.(i) <- u;
-      a_to.(i) <- v;
-      a_kind.(i) <- k)
-    arcs;
+      let drv = Design.net_driver_id design net in
+      if drv >= 0 && node_of_pin.(drv) >= 0 then
+        Design.iter_net_sinks design net (fun sink -> add_arc drv sink Net_arc));
+  let m = Ivec.length arc_from in
+  let a_from = Ivec.to_array arc_from and a_to = Ivec.to_array arc_to in
+  let a_kind = Array.make m Net_arc in
+  Vec.iteri (fun i k -> a_kind.(i) <- k) arc_kind_v;
   let csr key =
-    let count = Array.make (n + 1) 0 in
-    Array.iter (fun a -> count.(key a + 1) <- count.(key a + 1) + 1) (Array.init m (fun i -> i));
-    for i = 1 to n do
-      count.(i) <- count.(i) + count.(i - 1)
+    let start = Array.make (n + 1) 0 in
+    for a = 0 to m - 1 do
+      start.(key.(a) + 1) <- start.(key.(a) + 1) + 1
     done;
-    let start = Array.copy count in
-    let cursor = Array.copy count in
+    for i = 1 to n do
+      start.(i) <- start.(i) + start.(i - 1)
+    done;
+    let cursor = Array.copy start in
     let ids = Array.make m 0 in
     for a = 0 to m - 1 do
-      let k = key a in
+      let k = key.(a) in
       ids.(cursor.(k)) <- a;
       cursor.(k) <- cursor.(k) + 1
     done;
     (start, ids)
   in
-  let out_start, out_arcs = csr (fun a -> a_from.(a)) in
-  let in_start, in_arcs = csr (fun a -> a_to.(a)) in
+  let out_start, out_arcs = csr a_from in
+  let in_start, in_arcs = csr a_to in
   (* Kahn levelization *)
   let indeg = Array.make n 0 in
   Array.iter (fun v -> indeg.(v) <- indeg.(v) + 1) a_to;
@@ -135,31 +147,36 @@ let build design =
   done;
   if !tail <> n then failwith "Graph.build: combinational cycle detected";
   (* classify sources and endpoints *)
-  let node_launcher = Array.make n None in
-  let node_endpoint = Array.make n None in
-  let sources = Vec.create () and endpoints = Vec.create () in
+  let node_launcher = Array.make (max n 1) (-1) in
+  let node_endpoint = Array.make (max n 1) (-1) in
+  let q_tok = Design.pin_name_token design "Q" in
+  let d_tok = Design.pin_name_token design "D" in
+  let sources = Ivec.create () and endpoints = Ivec.create () in
   Array.iteri
     (fun nd p ->
-      match Design.pin_owner design p with
-      | Design.Port_pin port ->
+      let c = Design.pin_cell_id design p in
+      if c < 0 then begin
+        let port = Design.pin_port_id design p in
         if Design.port_dir design port = Design.In then begin
-          node_launcher.(nd) <- Some (Launch_port port);
-          ignore (Vec.push sources nd)
+          node_launcher.(nd) <- enc_port port;
+          ignore (Ivec.push sources nd)
         end
         else begin
-          node_endpoint.(nd) <- Some (End_port port);
-          ignore (Vec.push endpoints nd)
+          node_endpoint.(nd) <- enc_port port;
+          ignore (Ivec.push endpoints nd)
         end
-      | Design.Cell_pin (c, pin_name) ->
-        if Design.is_ff design c then
-          if pin_name = "Q" then begin
-            node_launcher.(nd) <- Some (Launch_ff c);
-            ignore (Vec.push sources nd)
-          end
-          else if pin_name = "D" then begin
-            node_endpoint.(nd) <- Some (End_ff c);
-            ignore (Vec.push endpoints nd)
-          end)
+      end
+      else if Design.is_ff design c then begin
+        let tok = Design.pin_name_id design p in
+        if tok = q_tok then begin
+          node_launcher.(nd) <- enc_ff c;
+          ignore (Ivec.push sources nd)
+        end
+        else if tok = d_tok then begin
+          node_endpoint.(nd) <- enc_ff c;
+          ignore (Ivec.push endpoints nd)
+        end
+      end)
     node_pin;
   {
     design;
@@ -174,8 +191,8 @@ let build design =
     in_arcs;
     level;
     topo;
-    sources = Vec.to_array sources;
-    endpoints = Vec.to_array endpoints;
+    sources = Ivec.to_array sources;
+    endpoints = Ivec.to_array endpoints;
     node_launcher;
     node_endpoint;
   }
@@ -227,18 +244,23 @@ let arc_to t a = t.a_to.(a)
 let sources t = t.sources
 let endpoints t = t.endpoints
 
+let decode_launcher enc =
+  if enc land 1 = 0 then Launch_ff (enc lsr 1) else Launch_port (enc lsr 1)
+
+let decode_endpoint enc = if enc land 1 = 0 then End_ff (enc lsr 1) else End_port (enc lsr 1)
+
 let launcher_of_node t n =
-  match t.node_launcher.(n) with
-  | Some l -> l
-  | None -> invalid_arg "Graph.launcher_of_node: not a source node"
+  let enc = t.node_launcher.(n) in
+  if enc < 0 then invalid_arg "Graph.launcher_of_node: not a source node"
+  else decode_launcher enc
 
 let endpoint_of_node t n =
-  match t.node_endpoint.(n) with
-  | Some e -> e
-  | None -> invalid_arg "Graph.endpoint_of_node: not an endpoint node"
+  let enc = t.node_endpoint.(n) in
+  if enc < 0 then invalid_arg "Graph.endpoint_of_node: not an endpoint node"
+  else decode_endpoint enc
 
-let is_source t n = t.node_launcher.(n) <> None
-let is_endpoint t n = t.node_endpoint.(n) <> None
+let is_source t n = t.node_launcher.(n) >= 0
+let is_endpoint t n = t.node_endpoint.(n) >= 0
 
 let node_of_pin_exn t p =
   match node_of_pin t p with
@@ -256,3 +278,14 @@ let source_of_launcher t = function
 let node_of_endpoint t = function
   | End_ff ff -> ff_d_node t ff
   | End_port port -> node_of_pin_exn t (Design.port_pin t.design port)
+
+(* Raw column access for the timer's allocation-free sweeps. *)
+let node_pins t = t.node_pin
+let launcher_codes t = t.node_launcher
+let endpoint_codes t = t.node_endpoint
+let csr_out t = (t.out_start, t.out_arcs)
+let csr_in t = (t.in_start, t.in_arcs)
+let arc_tails t = t.a_from
+let arc_heads t = t.a_to
+let arc_kinds t = t.a_kind
+let levels t = t.level

@@ -3,7 +3,6 @@ module Cell = Css_liberty.Cell
 module Library = Css_liberty.Library
 module Wire = Css_liberty.Wire
 module Delay_model = Css_liberty.Delay_model
-module Point = Css_geometry.Point
 module Heap = Css_util.Heap
 module Mark = Css_util.Mark
 module Obs = Css_util.Obs
@@ -57,6 +56,30 @@ let resolve_obs_counters obs =
     o_cone = Obs.counter obs "timer.cone_nodes";
   }
 
+(* All-float scratch record. OCaml lays an all-float record out flat, so
+   writing a field is a plain store: the propagation loops accumulate
+   their running extrema here instead of in [float ref]s, which would
+   allocate one cell per node visit. *)
+type fscratch = {
+  mutable s_best_max : float;
+  mutable s_best_min : float;
+  mutable s_best_slew : float;
+  mutable s_acc : float;
+}
+
+(* Per-walk scratch: an epoch mark, a DP value per node, and a member
+   buffer sized for the whole graph. The timer owns one ([t.own_ctx])
+   for its sequential walks; parallel extraction hands each worker
+   domain a private [cone_ctx] so walks share nothing but the read-only
+   graph and delay arrays. *)
+type cone_ctx = {
+  cw_visit : Mark.t;
+  cw_scratch : float array;
+  cw_members : int array;
+  mutable cw_count : int;
+  mutable cw_acc : float;  (* DP accumulator — must be per-worker, not on [t] *)
+}
+
 type t = {
   graph : Graph.t;
   design : Design.t;
@@ -72,8 +95,25 @@ type t = {
   pred_min : int array;
   rat_late : float array;
   rat_early : float array;
-  visit : Mark.t;  (* scratch for cones and worklists *)
-  scratch : float array;  (* scratch DP values for cones *)
+  visit : Mark.t;  (* scratch for incremental worklists *)
+  own_ctx : cone_ctx;  (* the timer's own sequential cone walker *)
+  (* graph columns cached at build — the propagation loops index these
+     directly instead of going through closures (see Graph raw columns) *)
+  g_node_pin : int array;
+  g_out_start : int array;
+  g_out_arcs : int array;
+  g_in_start : int array;
+  g_in_arcs : int array;
+  g_tails : int array;
+  g_heads : int array;
+  g_kinds : Graph.arc_kind array;  (* aliases the graph's column: stays
+                                      fresh across [refresh_cell_arcs] *)
+  g_levels : int array;
+  g_launch : int array;  (* encoded launchers, -1 = not a source *)
+  g_end : int array;  (* encoded endpoints, -1 = not an endpoint *)
+  wire_r : float;  (* Wire r_unit, inlined Elmore math *)
+  wire_c : float;  (* Wire c_unit *)
+  fscr : fscratch;
 }
 
 let graph t = t.graph
@@ -90,69 +130,76 @@ let set_obs t obs =
 (* Loads                                                               *)
 
 let sink_cap t pin =
-  match Design.pin_owner t.design pin with
-  | Design.Cell_pin (c, _) -> (Design.cell_master t.design c).Cell.input_cap
-  | Design.Port_pin _ -> t.cfg.port_cap
+  let c = Design.pin_cell_id t.design pin in
+  if c >= 0 then (Design.cell_master t.design c).Cell.input_cap else t.cfg.port_cap
 
 let refresh_load_of_driver t node =
   let d = t.design in
-  let pin = Graph.pin_of_node t.graph node in
-  match Design.pin_net d pin with
-  | None -> t.load.(node) <- 0.0
-  | Some net ->
-    let wire = Library.wire (Design.library d) in
-    let dpos = Design.pin_pos d pin in
-    let total =
-      List.fold_left
-        (fun acc sink ->
-          let len = Point.manhattan dpos (Design.pin_pos d sink) in
-          acc +. Wire.cap wire ~len +. sink_cap t sink)
-        0.0 (Design.net_sinks d net)
-    in
-    t.load.(node) <- total
+  let pin = Array.unsafe_get t.g_node_pin node in
+  let net = Design.pin_net_id d pin in
+  if net < 0 then t.load.(node) <- 0.0
+  else begin
+    let px = Design.pin_x d pin and py = Design.pin_y d pin in
+    let fs = t.fscr in
+    fs.s_acc <- 0.0;
+    for i = 0 to Design.net_fanout d net - 1 do
+      let sink = Design.net_sink d net i in
+      let len = Float.abs (px -. Design.pin_x d sink) +. Float.abs (py -. Design.pin_y d sink) in
+      let wcap = if len <= 0.0 then 0.0 else t.wire_c *. len in
+      fs.s_acc <- fs.s_acc +. wcap +. sink_cap t sink
+    done;
+    t.load.(node) <- fs.s_acc
+  end
 
 let refresh_all_loads t =
-  let g = t.graph in
-  for n = 0 to Graph.num_nodes g - 1 do
-    let pin = Graph.pin_of_node g n in
-    if Design.pin_is_output t.design pin then refresh_load_of_driver t n
+  let d = t.design in
+  for n = 0 to Array.length t.g_node_pin - 1 do
+    if Design.pin_is_output d (Array.unsafe_get t.g_node_pin n) then refresh_load_of_driver t n
   done
 
 (* ------------------------------------------------------------------ *)
 (* Arc delays                                                          *)
 
 let driver_res t node =
-  let pin = Graph.pin_of_node t.graph node in
-  match Design.pin_owner t.design pin with
-  | Design.Cell_pin (c, _) -> (Design.cell_master t.design c).Cell.drive_res
-  | Design.Port_pin _ -> t.cfg.port_drive_res
+  let c = Design.pin_cell_id t.design (Array.unsafe_get t.g_node_pin node) in
+  if c >= 0 then (Design.cell_master t.design c).Cell.drive_res else t.cfg.port_drive_res
 
+(* Evaluates one arc's max-corner delay with the Linear cell model and
+   the Elmore wire formula inlined (both produce the same floats as the
+   Delay_model / Wire entry points, which box their results when called
+   across module boundaries). *)
 let arc_delay_max t a =
-  let g = t.graph in
-  match Graph.arc_kind g a with
-  | Graph.Cell_arc model ->
-    let u = Graph.arc_from g a and v = Graph.arc_to g a in
-    Delay_model.delay model ~slew:t.slew.(u) ~load:t.load.(v)
+  match Array.unsafe_get t.g_kinds a with
+  | Graph.Cell_arc model -> (
+    let u = Array.unsafe_get t.g_tails a and v = Array.unsafe_get t.g_heads a in
+    let slew = Array.unsafe_get t.slew u and load = Array.unsafe_get t.load v in
+    match model with
+    | Delay_model.Linear { intrinsic; resistance; slew_impact } ->
+      intrinsic +. (resistance *. load) +. (slew_impact *. slew)
+    | Delay_model.Lut _ -> Delay_model.delay model ~slew ~load)
   | Graph.Net_arc ->
-    let u = Graph.arc_from g a and v = Graph.arc_to g a in
+    let u = Array.unsafe_get t.g_tails a and v = Array.unsafe_get t.g_heads a in
     let d = t.design in
+    let pu = Array.unsafe_get t.g_node_pin u and pv = Array.unsafe_get t.g_node_pin v in
     let len =
-      Point.manhattan
-        (Design.pin_pos d (Graph.pin_of_node g u))
-        (Design.pin_pos d (Graph.pin_of_node g v))
+      Float.abs (Design.pin_x d pu -. Design.pin_x d pv)
+      +. Float.abs (Design.pin_y d pu -. Design.pin_y d pv)
     in
-    let wire = Library.wire (Design.library d) in
-    Wire.delay wire ~r_drive:(driver_res t u) ~len
+    if len <= 0.0 then 0.0
+    else (driver_res t u *. t.wire_c *. len) +. (t.wire_r *. t.wire_c *. len *. len /. 2.0)
 
 let arc_delay t corner a =
   let dmax = arc_delay_max t a in
   match corner with Late -> dmax | Early -> t.cfg.early_derate *. dmax
 
-(* Slew seen at the head of arc [a] when the tail has slew [slew_u]. *)
+(* Slew seen at the head of arc [a] when the tail has slew [slew_u] and
+   the arc's max delay is [delay]. For cell arcs Delay_model.output_slew
+   recomputes exactly the delay the caller just evaluated, so
+   [0.4 *. delay] with the 2.0 floor is the same float without the
+   second model evaluation. *)
 let arc_out_slew t a ~slew_u ~delay =
-  let g = t.graph in
-  match Graph.arc_kind g a with
-  | Graph.Cell_arc model -> Delay_model.output_slew model ~slew:slew_u ~load:t.load.(Graph.arc_to g a)
+  match Array.unsafe_get t.g_kinds a with
+  | Graph.Cell_arc _ -> Float.max 2.0 (0.4 *. delay)
   | Graph.Net_arc -> slew_u +. (0.3 *. delay)
 
 (* ------------------------------------------------------------------ *)
@@ -162,95 +209,135 @@ let ff_params t ff = Cell.ff_params (Design.cell_master t.design ff)
 
 let launch_latency_ff t ff = Design.clock_latency t.design ff
 
-let source_arrivals t node =
-  match Graph.launcher_of_node t.graph node with
-  | Graph.Launch_port _ -> (0.0, 0.0)
-  | Graph.Launch_ff ff ->
+(* Writes (at_max, at_min) of a source node into (s_best_max, s_best_min)
+   of the scratch record — tuple-free for the forward sweep. *)
+let source_arrivals_into t node =
+  let fs = t.fscr in
+  let enc = Array.unsafe_get t.g_launch node in
+  if enc land 1 = 1 then begin
+    (* port *)
+    fs.s_best_max <- 0.0;
+    fs.s_best_min <- 0.0
+  end
+  else begin
+    let ff = enc lsr 1 in
     let l = launch_latency_ff t ff in
     let c2q = (ff_params t ff).Cell.clk_to_q in
-    (l +. c2q, l +. (t.cfg.early_derate *. c2q))
+    fs.s_best_max <- l +. c2q;
+    fs.s_best_min <- l +. (t.cfg.early_derate *. c2q)
+  end
 
-let endpoint_rats t node =
+(* Writes (rat_late, rat_early) of an endpoint into (s_best_min,
+   s_best_max) — the backward sweep minimizes late rats and maximizes
+   early rats, matching the scratch roles there. *)
+let endpoint_rats_into t node =
+  let fs = t.fscr in
   let period = Design.clock_period t.design in
-  match Graph.endpoint_of_node t.graph node with
-  | Graph.End_port _ -> (period -. t.cfg.setup_uncertainty, t.cfg.hold_uncertainty)
-  | Graph.End_ff ff ->
+  let enc = Array.unsafe_get t.g_end node in
+  if enc land 1 = 1 then begin
+    fs.s_best_min <- period -. t.cfg.setup_uncertainty;
+    fs.s_best_max <- t.cfg.hold_uncertainty
+  end
+  else begin
+    let ff = enc lsr 1 in
     let l = Design.clock_latency t.design ff in
     let p = ff_params t ff in
-    ( period +. l -. p.Cell.setup -. t.cfg.setup_uncertainty,
-      l +. p.Cell.hold +. t.cfg.hold_uncertainty )
+    fs.s_best_min <- period +. l -. p.Cell.setup -. t.cfg.setup_uncertainty;
+    fs.s_best_max <- l +. p.Cell.hold +. t.cfg.hold_uncertainty
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Node recomputation                                                  *)
 
-(* Returns true when the forward state of [n] changed. *)
+(* Returns true when the forward state of [n] changed. The relaxation
+   runs over the cached in-CSR with extrema in the flat scratch record:
+   no closures, refs or boxed floats per node. *)
 let recompute_forward t n =
-  let g = t.graph in
-  let old_max = t.at_max.(n) and old_min = t.at_min.(n) and old_slew = t.slew.(n) in
-  if Graph.is_source g n then begin
-    let amax, amin = source_arrivals t n in
-    t.at_max.(n) <- amax;
-    t.at_min.(n) <- amin;
-    t.slew.(n) <- t.cfg.initial_slew;
-    t.pred_max.(n) <- -1;
-    t.pred_min.(n) <- -1
+  let old_max = Array.unsafe_get t.at_max n
+  and old_min = Array.unsafe_get t.at_min n
+  and old_slew = Array.unsafe_get t.slew n in
+  if Array.unsafe_get t.g_launch n >= 0 then begin
+    source_arrivals_into t n;
+    Array.unsafe_set t.at_max n t.fscr.s_best_max;
+    Array.unsafe_set t.at_min n t.fscr.s_best_min;
+    Array.unsafe_set t.slew n t.cfg.initial_slew;
+    Array.unsafe_set t.pred_max n (-1);
+    Array.unsafe_set t.pred_min n (-1)
   end
   else begin
-    let best_max = ref neg_infinity and best_min = ref infinity in
+    let fs = t.fscr in
+    fs.s_best_max <- neg_infinity;
+    fs.s_best_min <- infinity;
+    fs.s_best_slew <- t.cfg.initial_slew;
     let arg_max = ref (-1) and arg_min = ref (-1) in
-    let best_slew = ref t.cfg.initial_slew in
-    Graph.iter_in g n (fun a u ->
-        if t.at_max.(u) > neg_infinity then begin
-          let dmax = arc_delay_max t a in
-          let cand = t.at_max.(u) +. dmax in
-          if cand > !best_max then begin
-            best_max := cand;
-            arg_max := a;
-            best_slew := arc_out_slew t a ~slew_u:t.slew.(u) ~delay:dmax
-          end
-        end;
-        if t.at_min.(u) < infinity then begin
-          let dmin = arc_delay t Early a in
-          let cand = t.at_min.(u) +. dmin in
-          if cand < !best_min then begin
-            best_min := cand;
-            arg_min := a
-          end
-        end);
-    t.at_max.(n) <- !best_max;
-    t.at_min.(n) <- !best_min;
-    t.slew.(n) <- (if !arg_max >= 0 then !best_slew else t.cfg.initial_slew);
-    t.pred_max.(n) <- !arg_max;
-    t.pred_min.(n) <- !arg_min
+    let istart = t.g_in_start and iarcs = t.g_in_arcs and tails = t.g_tails in
+    let at_max = t.at_max and at_min = t.at_min and slews = t.slew in
+    let derate = t.cfg.early_derate in
+    for i = Array.unsafe_get istart n to Array.unsafe_get istart (n + 1) - 1 do
+      let a = Array.unsafe_get iarcs i in
+      let u = Array.unsafe_get tails a in
+      let amu = Array.unsafe_get at_max u in
+      if amu > neg_infinity then begin
+        let dmax = arc_delay_max t a in
+        let cand = amu +. dmax in
+        if cand > fs.s_best_max then begin
+          fs.s_best_max <- cand;
+          arg_max := a;
+          fs.s_best_slew <- arc_out_slew t a ~slew_u:(Array.unsafe_get slews u) ~delay:dmax
+        end
+      end;
+      let anu = Array.unsafe_get at_min u in
+      if anu < infinity then begin
+        let cand = anu +. (derate *. arc_delay_max t a) in
+        if cand < fs.s_best_min then begin
+          fs.s_best_min <- cand;
+          arg_min := a
+        end
+      end
+    done;
+    Array.unsafe_set at_max n fs.s_best_max;
+    Array.unsafe_set at_min n fs.s_best_min;
+    Array.unsafe_set slews n (if !arg_max >= 0 then fs.s_best_slew else t.cfg.initial_slew);
+    Array.unsafe_set t.pred_max n !arg_max;
+    Array.unsafe_set t.pred_min n !arg_min
   end;
   t.stats.forward_visits <- t.stats.forward_visits + 1;
   Obs.incr t.oc.o_fwd;
-  t.at_max.(n) <> old_max || t.at_min.(n) <> old_min || t.slew.(n) <> old_slew
+  Array.unsafe_get t.at_max n <> old_max
+  || Array.unsafe_get t.at_min n <> old_min
+  || Array.unsafe_get t.slew n <> old_slew
 
 (* Returns true when the backward state of [n] changed. *)
 let recompute_backward t n =
-  let g = t.graph in
-  let old_late = t.rat_late.(n) and old_early = t.rat_early.(n) in
-  let best_late = ref infinity and best_early = ref neg_infinity in
-  if Graph.is_endpoint g n then begin
-    let late, early = endpoint_rats t n in
-    best_late := late;
-    best_early := early
+  let old_late = Array.unsafe_get t.rat_late n and old_early = Array.unsafe_get t.rat_early n in
+  let fs = t.fscr in
+  if Array.unsafe_get t.g_end n >= 0 then endpoint_rats_into t n
+  else begin
+    fs.s_best_min <- infinity;
+    fs.s_best_max <- neg_infinity
   end;
-  Graph.iter_out g n (fun a v ->
-      if t.rat_late.(v) < infinity then begin
-        let cand = t.rat_late.(v) -. arc_delay_max t a in
-        if cand < !best_late then best_late := cand
-      end;
-      if t.rat_early.(v) > neg_infinity then begin
-        let cand = t.rat_early.(v) -. arc_delay t Early a in
-        if cand > !best_early then best_early := cand
-      end);
-  t.rat_late.(n) <- !best_late;
-  t.rat_early.(n) <- !best_early;
+  let ostart = t.g_out_start and oarcs = t.g_out_arcs and heads = t.g_heads in
+  let rat_late = t.rat_late and rat_early = t.rat_early in
+  let derate = t.cfg.early_derate in
+  for i = Array.unsafe_get ostart n to Array.unsafe_get ostart (n + 1) - 1 do
+    let a = Array.unsafe_get oarcs i in
+    let v = Array.unsafe_get heads a in
+    let rl = Array.unsafe_get rat_late v in
+    if rl < infinity then begin
+      let cand = rl -. arc_delay_max t a in
+      if cand < fs.s_best_min then fs.s_best_min <- cand
+    end;
+    let re = Array.unsafe_get rat_early v in
+    if re > neg_infinity then begin
+      let cand = re -. (derate *. arc_delay_max t a) in
+      if cand > fs.s_best_max then fs.s_best_max <- cand
+    end
+  done;
+  Array.unsafe_set rat_late n fs.s_best_min;
+  Array.unsafe_set rat_early n fs.s_best_max;
   t.stats.backward_visits <- t.stats.backward_visits + 1;
   Obs.incr t.oc.o_bwd;
-  t.rat_late.(n) <> old_late || t.rat_early.(n) <> old_early
+  Array.unsafe_get rat_late n <> old_late || Array.unsafe_get rat_early n <> old_early
 
 (* ------------------------------------------------------------------ *)
 (* Full propagation                                                    *)
@@ -258,9 +345,11 @@ let recompute_backward t n =
 let propagate t =
   refresh_all_loads t;
   let topo = Graph.topo_order t.graph in
-  Array.iter (fun n -> ignore (recompute_forward t n)) topo;
+  for i = 0 to Array.length topo - 1 do
+    ignore (recompute_forward t (Array.unsafe_get topo i))
+  done;
   for i = Array.length topo - 1 downto 0 do
-    ignore (recompute_backward t topo.(i))
+    ignore (recompute_backward t (Array.unsafe_get topo i))
   done;
   t.stats.full_propagations <- t.stats.full_propagations + 1;
   Obs.incr t.oc.o_full_props
@@ -315,9 +404,8 @@ let update_moved_cells t cells =
     match Graph.node_of_pin g pin with Some n -> lst := n :: !lst | None -> ()
   in
   let touch_net net =
-    match Design.net_driver d net with
-    | None -> ()
-    | Some drv -> (
+    let drv = Design.net_driver_id d net in
+    if drv >= 0 then
       match Graph.node_of_pin g drv with
       | None -> () (* clock net *)
       | Some drv_node ->
@@ -325,17 +413,14 @@ let update_moved_cells t cells =
         add_node fwd drv;
         add_node bwd drv;
         (* the driving cell's input pins see a new cell-arc delay *)
-        (match Design.pin_owner d drv with
-        | Design.Cell_pin (c, _) ->
+        let c = Design.pin_cell_id d drv in
+        if c >= 0 then
           List.iter
             (fun pn -> add_node bwd (Design.cell_pin d c pn))
-            (Design.cell_master d c).Cell.inputs
-        | Design.Port_pin _ -> ());
-        List.iter
-          (fun sink ->
+            (Design.cell_master d c).Cell.inputs;
+        Design.iter_net_sinks d net (fun sink ->
             add_node fwd sink;
             add_node bwd sink)
-          (Design.net_sinks d net))
   in
   let nets = Hashtbl.create 16 in
   let moved_ffs = ref [] in
@@ -345,9 +430,8 @@ let update_moved_cells t cells =
       let master = Design.cell_master d c in
       List.iter
         (fun pn ->
-          match Design.pin_net d (Design.cell_pin d c pn) with
-          | Some net -> Hashtbl.replace nets net ()
-          | None -> ())
+          let net = Design.pin_net_id d (Design.cell_pin d c pn) in
+          if net >= 0 then Hashtbl.replace nets net ())
         (master.Cell.inputs @ master.Cell.outputs))
     cells;
   Hashtbl.iter (fun net () -> touch_net net) nets;
@@ -421,106 +505,183 @@ let edge_slack t corner ~launcher ~endpoint ~delay =
     in
     l_u +. (t.cfg.early_derate *. c2q) +. delay -. (l_v +. hold +. t.cfg.hold_uncertainty)
 
-let fold_endpoints t corner f acc =
-  Array.fold_left
-    (fun acc n ->
-      let s = slack t corner n in
-      f acc (Graph.endpoint_of_node t.graph n) s)
-    acc (Graph.endpoints t.graph)
-
+(* wns / tns scan the endpoint array without classifying nodes into
+   launcher/endpoint constructors — they run once per scheduler
+   iteration over every endpoint. *)
 let wns t corner =
-  fold_endpoints t corner (fun acc _ s -> if s < acc then s else acc) 0.0
+  let eps = Graph.endpoints t.graph in
+  let fs = t.fscr in
+  fs.s_acc <- 0.0;
+  for i = 0 to Array.length eps - 1 do
+    let s = slack t corner (Array.unsafe_get eps i) in
+    if s < fs.s_acc then fs.s_acc <- s
+  done;
+  fs.s_acc
 
-let tns t corner = fold_endpoints t corner (fun acc _ s -> if s < 0.0 then acc +. s else acc) 0.0
+let tns t corner =
+  let eps = Graph.endpoints t.graph in
+  let fs = t.fscr in
+  fs.s_acc <- 0.0;
+  for i = 0 to Array.length eps - 1 do
+    let s = slack t corner (Array.unsafe_get eps i) in
+    if s < 0.0 then fs.s_acc <- fs.s_acc +. s
+  done;
+  fs.s_acc
 
 let violated_endpoints t corner =
-  let vs = fold_endpoints t corner (fun acc e s -> if s < 0.0 then (e, s) :: acc else acc) [] in
+  let vs =
+    Array.fold_left
+      (fun acc n ->
+        let s = slack t corner n in
+        if s < 0.0 then (Graph.endpoint_of_node t.graph n, s) :: acc else acc)
+      [] (Graph.endpoints t.graph)
+  in
   List.sort (fun (_, a) (_, b) -> compare a b) vs
 
 (* ------------------------------------------------------------------ *)
 (* Cone enumeration                                                    *)
 
-(* Per-walk scratch: an epoch mark plus a DP value per node. The timer
-   owns one (t.visit / t.scratch) for its own sequential walks; parallel
-   extraction hands each worker domain a private [cone_ctx] so walks
-   share nothing but the read-only graph and delay arrays. *)
-type cone_ctx = { cw_visit : Mark.t; cw_scratch : float array }
-
 let cone_ctx t =
   let n = max (Graph.num_nodes t.graph) 1 in
-  { cw_visit = Mark.create n; cw_scratch = Array.make n 0.0 }
+  {
+    cw_visit = Mark.create n;
+    cw_scratch = Array.make n 0.0;
+    cw_members = Array.make n 0;
+    cw_count = 0;
+    cw_acc = 0.0;
+  }
 
 let note_cone_visits t n =
   t.stats.cone_visits <- t.stats.cone_visits + n;
   Obs.add t.oc.o_cone n
 
-(* Collect the cone of [root] (backward when [forward = false]) as node
-   ids, then run a longest/shortest-path DP restricted to the cone.
-   Touches only [ctx] and read-only timer state — no stats, no Obs —
-   so it is safe to run from worker domains; callers account visits
-   via [note_cone_visits] afterwards (single-writer). *)
+(* In-place heapsort of [members.(0 .. count-1)] by ascending level —
+   the member buffer is reused across walks, so no per-cone array is
+   allocated and freed. *)
+let sort_members_by_level level members count =
+  let key i = Array.unsafe_get level (Array.unsafe_get members i) in
+  let swap i j =
+    let x = Array.unsafe_get members i in
+    Array.unsafe_set members i (Array.unsafe_get members j);
+    Array.unsafe_set members j x
+  in
+  let rec sift i len =
+    let l = (2 * i) + 1 in
+    if l < len then begin
+      let c = if l + 1 < len && key (l + 1) > key l then l + 1 else l in
+      if key c > key i then begin
+        swap c i;
+        sift c len
+      end
+    end
+  in
+  for i = (count / 2) - 1 downto 0 do
+    sift i count
+  done;
+  for len = count - 1 downto 1 do
+    swap 0 len;
+    sift 0 len
+  done
+
+(* Collect the cone of [root] (backward when [forward = false]) into the
+   context's member buffer, then run a longest/shortest-path DP
+   restricted to the cone in level order. Touches only [ctx] and
+   read-only timer state — no stats, no Obs — so it is safe to run from
+   worker domains; callers account visits via [note_cone_visits]
+   afterwards (single-writer). The DP relaxation is an inline CSR loop:
+   the only allocations are the result list cells. *)
 let cone_in ctx t corner ~root ~forward =
   let g = t.graph in
-  let visit = ctx.cw_visit and scratch = ctx.cw_scratch in
+  let visit = ctx.cw_visit and scratch = ctx.cw_scratch and members = ctx.cw_members in
+  let ostart = t.g_out_start
+  and oarcs = t.g_out_arcs
+  and istart = t.g_in_start
+  and iarcs = t.g_in_arcs
+  and tails = t.g_tails
+  and heads = t.g_heads in
   Mark.reset visit;
-  let members = ref [] in
-  let count = ref 0 in
+  ctx.cw_count <- 0;
   let rec collect n =
     if not (Mark.is_marked visit n) then begin
       Mark.mark visit n;
-      incr count;
-      members := n :: !members;
+      let k = ctx.cw_count in
+      Array.unsafe_set members k n;
+      ctx.cw_count <- k + 1;
       if forward then begin
-        if not (Graph.is_endpoint g n) then Graph.iter_out g n (fun _ v -> collect v)
+        if not (Graph.is_endpoint g n) then
+          for i = Array.unsafe_get ostart n to Array.unsafe_get ostart (n + 1) - 1 do
+            collect (Array.unsafe_get heads (Array.unsafe_get oarcs i))
+          done
       end
-      else if not (Graph.is_source g n) then Graph.iter_in g n (fun _ u -> collect u)
+      else if not (Graph.is_source g n) then
+        for i = Array.unsafe_get istart n to Array.unsafe_get istart (n + 1) - 1 do
+          collect (Array.unsafe_get tails (Array.unsafe_get iarcs i))
+        done
     end
   in
   collect root;
-  let members = Array.of_list !members in
-  (* DP in level order: ascending when walking backward from the root so
-     that successors-in-cone are final (we relax over out-arcs), and
-     descending for the forward cone (we relax over in-arcs). *)
-  Array.sort
-    (fun a b ->
-      if forward then compare (Graph.level g a) (Graph.level g b)
-      else compare (Graph.level g b) (Graph.level g a))
-    members;
-  let better a b = match corner with Late -> a > b | Early -> a < b in
+  let count = ctx.cw_count in
+  sort_members_by_level t.g_levels members count;
+  (* Level strictly increases along arcs, so ascending level is a valid
+     relaxation order for the forward cone (over in-arcs) and descending
+     for the backward cone (over out-arcs). [sgn] folds the max/min
+     corner choice into one compare: multiplying by -1.0 is exact. *)
   let worst = match corner with Late -> neg_infinity | Early -> infinity in
-  Array.iter (fun n -> scratch.(n) <- worst) members;
+  let sgn = match corner with Late -> 1.0 | Early -> -1.0 in
+  let derate = match corner with Late -> 1.0 | Early -> t.cfg.early_derate in
+  for i = 0 to count - 1 do
+    Array.unsafe_set scratch (Array.unsafe_get members i) worst
+  done;
   scratch.(root) <- 0.0;
   let results = ref [] in
-  Array.iter
-    (fun n ->
-      if n <> root then begin
-        let best = ref worst in
-        if forward then
-          Graph.iter_in g n (fun a u ->
-              if Mark.is_marked visit u && scratch.(u) <> worst then begin
-                let cand = scratch.(u) +. arc_delay t corner a in
-                if better cand !best then best := cand
-              end)
-        else
-          Graph.iter_out g n (fun a v ->
-              if Mark.is_marked visit v && scratch.(v) <> worst then begin
-                let cand = arc_delay t corner a +. scratch.(v) in
-                if better cand !best then best := cand
-              end);
-        scratch.(n) <- !best
-      end;
-      if scratch.(n) <> worst then
-        if forward then begin
-          if Graph.is_endpoint g n && n <> root then
-            results := (n, scratch.(n)) :: !results
-        end
-        else if Graph.is_source g n && n <> root then results := (n, scratch.(n)) :: !results)
-    members;
-  (!results, !count)
+  let process n =
+    if n <> root then begin
+      ctx.cw_acc <- worst;
+      if forward then
+        for i = Array.unsafe_get istart n to Array.unsafe_get istart (n + 1) - 1 do
+          let a = Array.unsafe_get iarcs i in
+          let u = Array.unsafe_get tails a in
+          if Mark.is_marked visit u then begin
+            let su = Array.unsafe_get scratch u in
+            if su <> worst then begin
+              let cand = su +. (derate *. arc_delay_max t a) in
+              if sgn *. cand > sgn *. ctx.cw_acc then ctx.cw_acc <- cand
+            end
+          end
+        done
+      else
+        for i = Array.unsafe_get ostart n to Array.unsafe_get ostart (n + 1) - 1 do
+          let a = Array.unsafe_get oarcs i in
+          let v = Array.unsafe_get heads a in
+          if Mark.is_marked visit v then begin
+            let sv = Array.unsafe_get scratch v in
+            if sv <> worst then begin
+              let cand = (derate *. arc_delay_max t a) +. sv in
+              if sgn *. cand > sgn *. ctx.cw_acc then ctx.cw_acc <- cand
+            end
+          end
+        done;
+      Array.unsafe_set scratch n ctx.cw_acc
+    end;
+    let sn = Array.unsafe_get scratch n in
+    if sn <> worst then
+      if forward then begin
+        if Graph.is_endpoint g n && n <> root then results := (n, sn) :: !results
+      end
+      else if Graph.is_source g n && n <> root then results := (n, sn) :: !results
+  in
+  if forward then
+    for i = 0 to count - 1 do
+      process (Array.unsafe_get members i)
+    done
+  else
+    for i = count - 1 downto 0 do
+      process (Array.unsafe_get members i)
+    done;
+  (!results, count)
 
 let cone t corner ~root ~forward =
-  let ctx = { cw_visit = t.visit; cw_scratch = t.scratch } in
-  let results, count = cone_in ctx t corner ~root ~forward in
+  let results, count = cone_in t.own_ctx t corner ~root ~forward in
   note_cone_visits t count;
   (results, count)
 
@@ -613,6 +774,10 @@ let k_worst_paths t corner e ~k =
 let build ?(config = default_config) ?(obs = Obs.null) design =
   let graph = Graph.build design in
   let n = Graph.num_nodes graph in
+  let sz = max n 1 in
+  let out_start, out_arcs = Graph.csr_out graph in
+  let in_start, in_arcs = Graph.csr_in graph in
+  let wire = Library.wire (Design.library design) in
   let t =
     {
       graph;
@@ -622,16 +787,37 @@ let build ?(config = default_config) ?(obs = Obs.null) design =
         { full_propagations = 0; forward_visits = 0; backward_visits = 0; cone_visits = 0 };
       obs;
       oc = resolve_obs_counters obs;
-      load = Array.make (max n 1) 0.0;
-      at_max = Array.make (max n 1) neg_infinity;
-      at_min = Array.make (max n 1) infinity;
-      slew = Array.make (max n 1) config.initial_slew;
-      pred_max = Array.make (max n 1) (-1);
-      pred_min = Array.make (max n 1) (-1);
-      rat_late = Array.make (max n 1) infinity;
-      rat_early = Array.make (max n 1) neg_infinity;
-      visit = Mark.create (max n 1);
-      scratch = Array.make (max n 1) 0.0;
+      load = Array.make sz 0.0;
+      at_max = Array.make sz neg_infinity;
+      at_min = Array.make sz infinity;
+      slew = Array.make sz config.initial_slew;
+      pred_max = Array.make sz (-1);
+      pred_min = Array.make sz (-1);
+      rat_late = Array.make sz infinity;
+      rat_early = Array.make sz neg_infinity;
+      visit = Mark.create sz;
+      own_ctx =
+        {
+          cw_visit = Mark.create sz;
+          cw_scratch = Array.make sz 0.0;
+          cw_members = Array.make sz 0;
+          cw_count = 0;
+          cw_acc = 0.0;
+        };
+      g_node_pin = Graph.node_pins graph;
+      g_out_start = out_start;
+      g_out_arcs = out_arcs;
+      g_in_start = in_start;
+      g_in_arcs = in_arcs;
+      g_tails = Graph.arc_tails graph;
+      g_heads = Graph.arc_heads graph;
+      g_kinds = Graph.arc_kinds graph;
+      g_levels = Graph.levels graph;
+      g_launch = Graph.launcher_codes graph;
+      g_end = Graph.endpoint_codes graph;
+      wire_r = wire.Wire.r_unit;
+      wire_c = wire.Wire.c_unit;
+      fscr = { s_best_max = 0.0; s_best_min = 0.0; s_best_slew = 0.0; s_acc = 0.0 };
     }
   in
   propagate t;

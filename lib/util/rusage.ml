@@ -1,0 +1,33 @@
+(* Peak resident-set size, read from the kernel's per-process
+   accounting. Linux exposes the high-water mark as the "VmHWM" line of
+   /proc/self/status (in kB); on systems without procfs the reader
+   degrades to 0 rather than failing, so bench artifacts stay writable
+   everywhere and a zero field means "not measured" by convention. *)
+
+let parse_kb line =
+  (* "VmHWM:     12345 kB" -> 12345 *)
+  let n = String.length line in
+  let rec skip i = if i < n && not ('0' <= line.[i] && line.[i] <= '9') then skip (i + 1) else i in
+  let start = skip 0 in
+  let rec take i acc =
+    if i < n && '0' <= line.[i] && line.[i] <= '9' then
+      take (i + 1) ((acc * 10) + (Char.code line.[i] - Char.code '0'))
+    else acc
+  in
+  if start >= n then 0 else take start 0
+
+let peak_rss_bytes () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec scan () =
+          match input_line ic with
+          | line ->
+            if String.length line >= 6 && String.sub line 0 6 = "VmHWM:" then parse_kb line * 1024
+            else scan ()
+          | exception End_of_file -> 0
+        in
+        scan ())

@@ -1,0 +1,11 @@
+(** Process resource usage, for bench artifacts.
+
+    The reader is best-effort: on Linux it parses [/proc/self/status];
+    elsewhere it returns 0, which downstream consumers treat as "not
+    measured". *)
+
+(** [peak_rss_bytes ()] is the process's peak resident-set size
+    (high-water mark) in bytes, or 0 when the platform does not expose
+    it. O(lines of /proc/self/status) per call; intended for once-per-run
+    sampling, not inner loops. *)
+val peak_rss_bytes : unit -> int

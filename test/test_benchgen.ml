@@ -27,6 +27,17 @@ let test_scale () =
   let tiny_scale = Profile.scale 0.0001 p in
   checkb "counts never drop to zero" true (tiny_scale.Profile.num_lcbs >= 1)
 
+let test_paper_variants () =
+  let p = Option.get (Profile.by_name "sb18") in
+  let pp = Option.get (Profile.by_name "sb18-paper") in
+  checkb "named <preset>-paper" true (pp.Profile.name = "sb18-paper");
+  checki "x100 FF count" (100 * p.Profile.num_ffs) pp.Profile.num_ffs;
+  checkb "period stretched by sqrt(factor)" true
+    (Float.abs (pp.Profile.clock_period -. (p.Profile.clock_period *. 10.0)) < 1e-9);
+  checkb "same as Profile.paper" true (Profile.paper p = pp);
+  checkb "unknown base rejected" true (Profile.by_name "sb99-paper" = None);
+  checkb "bare suffix rejected" true (Profile.by_name "-paper" = None)
+
 let test_deterministic () =
   let d1 = Generator.generate Profile.tiny in
   let d2 = Generator.generate Profile.tiny in
@@ -93,9 +104,9 @@ let test_contains_sequential_cycle () =
   let module Sg = Css_seqgraph.Seq_graph in
   let found = ref false in
   Sg.iter_edges full (fun e ->
-      if e.Sg.weight < 0.0 then
-        match Sg.find full ~src:e.Sg.dst ~dst:e.Sg.src with
-        | Some back when back.Sg.weight < 0.0 -> found := true
+      if Sg.weight full e < 0.0 then
+        match Sg.find full ~src:(Sg.dst full e) ~dst:(Sg.src full e) with
+        | Some back when Sg.weight full back < 0.0 -> found := true
         | Some _ | None -> ());
   checkb "reciprocal negative pair exists" true !found
 
@@ -153,6 +164,7 @@ let () =
         [
           Alcotest.test_case "presets" `Quick test_presets_named;
           Alcotest.test_case "scale" `Quick test_scale;
+          Alcotest.test_case "paper variants" `Quick test_paper_variants;
           Alcotest.test_case "sb7 conflicts" `Quick test_conflict_pairs_present_in_sb7_profile;
         ] );
       ( "generator",

@@ -21,22 +21,10 @@ let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
 let checkf eps = Alcotest.check (Alcotest.float eps)
 
-(* Build synthetic sequential edges without a design: only src/dst/weight
-   matter for the construction and traversal algorithms. The launcher and
-   endpoint fields are never consulted by them, so a placeholder works. *)
-let synth_edges specs =
-  List.mapi
-    (fun id (src, dst, weight) ->
-      {
-        Seq_graph.id;
-        src;
-        dst;
-        weight;
-        delay = 0.0;
-        launcher = Graph.Launch_port 0;
-        endpoint = Graph.End_port 0;
-      })
-    specs
+(* Build a synthetic packed edge view without a design: only
+   src/dst/weight matter for the construction and traversal
+   algorithms. *)
+let synth_edges specs = Seq_graph.view_of_list specs
 
 (* ------------------------------------------------------------------ *)
 (* Arborescence *)
@@ -230,22 +218,10 @@ let pure_fixpoint ~n ~specs ~margin ~cap ~iters =
     incr count;
     let edge_list = ref [] in
     Array.iteri
-      (fun i w ->
-        if w < -1e-9 then
-          edge_list :=
-            {
-              Seq_graph.id = i;
-              src = srcs.(i);
-              dst = dsts.(i);
-              weight = w;
-              delay = 0.0;
-              launcher = Graph.Launch_port 0;
-              endpoint = Graph.End_port 0;
-            }
-            :: !edge_list)
+      (fun i w -> if w < -1e-9 then edge_list := (srcs.(i), dsts.(i), w) :: !edge_list)
       weights;
-    let neg = !edge_list in
-    if neg = [] then continue_ := false
+    let neg = Seq_graph.view_of_list (List.rev !edge_list) in
+    if neg.Seq_graph.v_n = 0 then continue_ := false
     else begin
       let m v = current_margin.(v) in
       let arb = Arborescence.build ~n ~fixed:no_fixed ~out_weight:m neg in

@@ -117,9 +117,9 @@ let run_engine ~jobs engine design =
       if n = 0 || Seq_graph.num_edges (Extract.graph eng) = before then continue_ := false
     done;
     let edges = ref [] in
-    Seq_graph.iter_edges (Extract.graph eng) (fun e ->
-        edges :=
-          (e.Seq_graph.src, e.Seq_graph.dst, e.Seq_graph.delay, e.Seq_graph.weight) :: !edges);
+    let g = Extract.graph eng in
+    Seq_graph.iter_edges g (fun e ->
+        edges := (Seq_graph.src g e, Seq_graph.dst g e, Seq_graph.delay g e, Seq_graph.weight g e) :: !edges);
     {
       sn_edges = List.rev !edges;
       sn_stats = Extract.stats eng;

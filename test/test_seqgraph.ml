@@ -63,12 +63,12 @@ let test_orientation () =
   let launcher = Graph.Launch_ff ffs.(0) and endpoint = Graph.End_ff ffs.(1) in
   let late = Seq_graph.create verts ~corner:Timer.Late in
   let e = Seq_graph.add_edge late ~launcher ~endpoint ~delay:10.0 ~weight:(-5.0) in
-  checki "late: src = launcher" (Vertex.of_ff verts ffs.(0)) e.Seq_graph.src;
-  checki "late: dst = endpoint" (Vertex.of_ff verts ffs.(1)) e.Seq_graph.dst;
+  checki "late: src = launcher" (Vertex.of_ff verts ffs.(0)) (Seq_graph.src late e);
+  checki "late: dst = endpoint" (Vertex.of_ff verts ffs.(1)) (Seq_graph.dst late e);
   let early = Seq_graph.create verts ~corner:Timer.Early in
   let e2 = Seq_graph.add_edge early ~launcher ~endpoint ~delay:10.0 ~weight:(-5.0) in
-  checki "early: src = endpoint" (Vertex.of_ff verts ffs.(1)) e2.Seq_graph.src;
-  checki "early: dst = launcher" (Vertex.of_ff verts ffs.(0)) e2.Seq_graph.dst
+  checki "early: src = endpoint" (Vertex.of_ff verts ffs.(1)) (Seq_graph.src early e2);
+  checki "early: dst = launcher" (Vertex.of_ff verts ffs.(0)) (Seq_graph.dst early e2)
 
 let test_parallel_edge_semantics () =
   let design, _ = tiny_timer () in
@@ -85,8 +85,8 @@ let test_parallel_edge_semantics () =
   let e =
     Option.get (Seq_graph.find g ~src:(Vertex.of_ff verts ffs.(0)) ~dst:(Vertex.of_ff verts ffs.(1)))
   in
-  checkf 1e-9 "latest weight wins" (-1.0) e.Seq_graph.weight;
-  checkf 1e-9 "latest delay wins" 5.0 e.Seq_graph.delay;
+  checkf 1e-9 "latest weight wins" (-1.0) (Seq_graph.weight g e);
+  checkf 1e-9 "latest delay wins" 5.0 (Seq_graph.delay g e);
   (* different port paths collapsing onto the supernode pair: the worst
      of the two is kept *)
   ignore
@@ -102,7 +102,7 @@ let test_parallel_edge_semantics () =
     Option.get
       (Seq_graph.find g ~src:(Vertex.input_super verts) ~dst:(Vertex.of_ff verts ffs.(2)))
   in
-  checkf 1e-9 "worst port path kept" (-8.0) e2.Seq_graph.weight
+  checkf 1e-9 "worst port path kept" (-8.0) (Seq_graph.weight g e2)
 
 let test_adjacency () =
   let design, _ = tiny_timer () in
@@ -138,7 +138,7 @@ let test_eq10_update () =
   deltas.(Vertex.of_ff verts ffs.(1)) <- 4.0;
   deltas.(Vertex.of_ff verts ffs.(0)) <- 1.0;
   Seq_graph.apply_latency_delta g deltas;
-  checkf 1e-9 "w += l_dst - l_src" (-7.0) e.Seq_graph.weight
+  checkf 1e-9 "w += l_dst - l_src" (-7.0) (Seq_graph.weight g e)
 
 (* Eq. (10) must agree with re-deriving weights from the timer after real
    latency changes — the linearity the Update-Extract mechanism rests on. *)
@@ -161,7 +161,7 @@ let test_eq10_matches_timer () =
   Seq_graph.apply_latency_delta graph deltas;
   Seq_graph.iter_edges graph (fun e ->
       let reference = Seq_graph.recompute_weight graph timer e in
-      checkb "Eq.(10) = Eq.(2)" true (Float.abs (e.Seq_graph.weight -. reference) < 1e-6))
+      checkb "Eq.(10) = Eq.(2)" true (Float.abs (Seq_graph.weight graph e -. reference) < 1e-6))
 
 (* ------------------------------------------------------------------ *)
 (* Extraction engines *)
@@ -188,16 +188,17 @@ let test_essential_finds_all_negative_edges () =
   (* Every negative full-graph edge whose endpoint is violated appears:
      a violated endpoint's cone contains all its negative in-edges. *)
   Seq_graph.iter_edges full (fun e ->
-      if e.Seq_graph.weight < -1e-9 then begin
-        match Seq_graph.find eg ~src:e.Seq_graph.src ~dst:e.Seq_graph.dst with
+      if Seq_graph.weight full e < -1e-9 then begin
+        match Seq_graph.find eg ~src:(Seq_graph.src full e) ~dst:(Seq_graph.dst full e) with
         | None ->
           Alcotest.fail
-            (Printf.sprintf "essential missed a negative edge (w=%.2f)" e.Seq_graph.weight)
+            (Printf.sprintf "essential missed a negative edge (w=%.2f)" (Seq_graph.weight full e))
         | Some e' ->
-          checkb "weights agree" true (Float.abs (e'.Seq_graph.weight -. e.Seq_graph.weight) < 1e-6)
+          checkb "weights agree" true
+            (Float.abs (Seq_graph.weight eg e' -. Seq_graph.weight full e) < 1e-6)
       end);
   (* and nothing non-negative is stored *)
-  Seq_graph.iter_edges eg (fun e -> checkb "only essential" true (e.Seq_graph.weight < 0.0))
+  Seq_graph.iter_edges eg (fun e -> checkb "only essential" true (Seq_graph.weight eg e < 0.0))
 
 let test_essential_early_corner () =
   let design, timer = tiny_timer () in
@@ -207,9 +208,9 @@ let test_essential_early_corner () =
   ignore (Extract.round essential);
   let eg = Extract.graph essential in
   Seq_graph.iter_edges full (fun e ->
-      if e.Seq_graph.weight < -1e-9 then
+      if Seq_graph.weight full e < -1e-9 then
         checkb "early essential found" true
-          (Seq_graph.find eg ~src:e.Seq_graph.src ~dst:e.Seq_graph.dst <> None))
+          (Seq_graph.find eg ~src:(Seq_graph.src full e) ~dst:(Seq_graph.dst full e) <> None))
 
 let test_essential_skips_explained_endpoints () =
   let design, timer = tiny_timer () in
@@ -249,7 +250,7 @@ let test_iccss_extracts_critical_outgoing () =
   let g = Extract.graph iccss in
   (* IC-CSS materializes non-essential edges too *)
   let has_positive = ref false in
-  Seq_graph.iter_edges g (fun e -> if e.Seq_graph.weight >= 0.0 then has_positive := true);
+  Seq_graph.iter_edges g (fun e -> if Seq_graph.weight g e >= 0.0 then has_positive := true);
   checkb "positives included (over-extraction)" true !has_positive;
   (* second call does not re-expand *)
   let fired2 = Extract.round iccss in
