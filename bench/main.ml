@@ -576,9 +576,25 @@ let paper_designs =
   | Some s -> String.split_on_char ',' s |> List.filter (fun x -> x <> "")
   | None -> [ "sb18-paper" ]
 
+(* A paper-scale run on a machine with less memory than the design needs
+   should degrade (serial extraction, cheaper engine, early stop with the
+   best checkpoint) rather than get OOM-killed mid-measurement. Budget:
+   what we already hold plus 80% of what the kernel says is still
+   available; 0 (= "not measured", non-Linux) arms no limit. *)
+let paper_budget () =
+  let available = Css_util.Rusage.available_bytes () in
+  if available = 0 then Css_util.Budget.no_limits
+  else
+    let rss_cap = Css_util.Rusage.current_rss_bytes () + (available * 4 / 5) in
+    { Css_util.Budget.no_limits with Css_util.Budget.rss_bytes = Some rss_cap }
+
 let paper_scale () =
   section "PAPER SCALE — Flow.run end-to-end at superblue cell counts";
   let module J = Obs.Json in
+  let budget = paper_budget () in
+  (match budget.Css_util.Budget.rss_bytes with
+  | Some b -> Printf.printf "memory budget: %d MB RSS (probed from MemAvailable)\n%!" (b / (1024 * 1024))
+  | None -> Printf.printf "memory budget: none (MemAvailable not readable)\n%!");
   let t =
     Table.create
       [ "design"; "cells"; "FFs"; "flow s"; "cells/s"; "RSS MB"; "lTNS before"; "lTNS after";
@@ -604,8 +620,13 @@ let paper_scale () =
         let ffs = Array.length (Design.ffs design) in
         let initial = Evaluator.evaluate design in
         let t0 = Css_util.Wall_clock.now () in
-        let r = Flow.run ~algo:Flow.Ours design in
+        let config = { Flow.default_config with Flow.budget } in
+        let r = Flow.run ~config ~algo:Flow.Ours design in
         let wall_s = Css_util.Wall_clock.now () -. t0 in
+        if r.Flow.degradations <> [] then
+          Printf.printf "%s: budget degradations: %s (stop %s)\n%!" name
+            (String.concat ", " r.Flow.degradations)
+            r.Flow.stop_reason;
         let cells_per_sec = float_of_int cells /. Float.max wall_s 1e-9 in
         let peak_rss = Css_util.Rusage.peak_rss_bytes () in
         Table.add_row t
@@ -638,6 +659,11 @@ let paper_scale () =
             ("edges_full", J.Int edges_full);
             ( "edge_ratio",
               J.Float (float_of_int edges_essential /. float_of_int (max 1 edges_full)) );
+            ("stop_reason", J.String r.Flow.stop_reason);
+            ( "degradations",
+              J.List (List.map (fun d -> J.String d) r.Flow.degradations) );
+            ( "rss_budget_bytes",
+              J.Int (Option.value ~default:0 budget.Css_util.Budget.rss_bytes) );
           ])
       paper_designs
   in

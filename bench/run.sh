@@ -18,7 +18,17 @@
 #                         on the ~1M-cell "-paper" profile variants,
 #                         recording cells/sec, peak RSS and the
 #                         essential/full edge ratio into BENCH_css.json
-#                         (a few minutes; see docs/PERFORMANCE.md)
+#                         (a few minutes; see docs/PERFORMANCE.md).
+#                         Before running, the harness probes available
+#                         memory (MemAvailable via Css_util.Rusage) and
+#                         arms an RSS budget at current RSS + 80% of
+#                         what is available: on a machine too small for
+#                         the design the flow degrades (serial
+#                         extraction, cheaper engine, early stop with
+#                         the best checkpointed result — recorded in the
+#                         JSON "degradations"/"stop_reason" fields)
+#                         instead of getting OOM-killed mid-measurement;
+#                         see docs/ROBUSTNESS.md
 #
 # All CSS_BENCH_* environment knobs documented in bench/main.ml pass
 # through; CSS_BENCH_JSON overrides the artifact path and CSS_BENCH_JOBS

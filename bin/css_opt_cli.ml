@@ -91,6 +91,38 @@ let jobs =
   in
   Arg.(value & opt int (Css_util.Pool.default_jobs ()) & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let checkpoint_dir =
+  let doc =
+    "Persist a crash-safe checkpoint to $(docv) after every completed flow phase, and install \
+     SIGINT/SIGTERM handlers that stop at the next phase boundary (the last checkpoint \
+     survives). Resume later with --resume."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint-dir" ] ~docv:"DIR" ~doc)
+
+let resume_flag =
+  let doc =
+    "Resume an interrupted run from the checkpoint in --checkpoint-dir instead of starting \
+     fresh. The checkpoint carries the design, algorithm and round count; a truncated or \
+     corrupt checkpoint is reported (CKPT-* diagnostics) and the run falls back to a fresh \
+     start."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let max_seconds =
+  let doc =
+    "Wall-clock budget in seconds. Near the limit the flow degrades gracefully (smaller \
+     checkpoint ring, serial extraction, cheaper engine), and at the limit it stops with the \
+     best result so far (stop reason budget-wall)."
+  in
+  Arg.(value & opt (some float) None & info [ "max-seconds" ] ~docv:"S" ~doc)
+
+let max_rss_mb =
+  let doc =
+    "Peak-RSS budget in MiB, same degradation ladder as --max-seconds (stop reason \
+     budget-rss)."
+  in
+  Arg.(value & opt (some int) None & info [ "max-rss-mb" ] ~docv:"MB" ~doc)
+
 (* [`Usage] errors (bad invocation) exit 1; [`Input] errors (a design or
    constraint file that does not parse or validate) exit 2, so scripts
    can tell "you called me wrong" from "your data is bad". *)
@@ -133,11 +165,66 @@ let setup_logs verbose quiet =
        | _ -> Some Logs.Debug)
 
 let main benchmark input algo rounds scale save_out trace_flag stats_json quiet resize cts
-    verbose su hu sdc jobs =
+    verbose su hu sdc jobs checkpoint_dir resume_flag max_seconds max_rss_mb =
   setup_logs verbose quiet;
   let say fmt =
     Printf.ksprintf (fun s -> if not quiet then print_string s) fmt
   in
+  let obs =
+    if trace_flag then Obs.create_trace stderr
+    else if stats_json <> None then Obs.create ()
+    else Obs.null
+  in
+  let budget =
+    {
+      Css_util.Budget.no_limits with
+      Css_util.Budget.wall_seconds = max_seconds;
+      Css_util.Budget.rss_bytes =
+        Option.map (fun mb -> mb * 1024 * 1024) max_rss_mb;
+    }
+  in
+  (* everything after a flow run — shared by fresh and resumed paths *)
+  let finish (res : Flow.result) design =
+    List.iter
+      (fun d ->
+        if not quiet then prerr_endline ("css_opt: " ^ Css_util.Diag.to_string d))
+      res.Flow.validation;
+    say "after:  %s\n" (Evaluator.summary res.Flow.report);
+    say "%s: CSS %.2fs, OPT %.2fs, total %.2fs, %d edges extracted, HPWL +%.4f%%, stop %s%s%s\n"
+      res.Flow.algo res.Flow.css_seconds res.Flow.opt_seconds res.Flow.total_seconds
+      res.Flow.extracted_edges res.Flow.hpwl_increase_pct res.Flow.stop_reason
+      (if res.Flow.rolled_back then " (rolled back)" else "")
+      (if res.Flow.resumed then " (resumed)" else "");
+    if res.Flow.degradations <> [] then
+      say "budget degradations: %s\n" (String.concat ", " res.Flow.degradations);
+    let stats_ok =
+      match stats_json with
+      | None -> true
+      | Some path -> (
+        try
+          Obs.write_json obs path;
+          say "wrote %s\n" path;
+          true
+        with Sys_error m ->
+          prerr_endline ("css_opt: cannot write stats json: " ^ m);
+          false)
+    in
+    if trace_flag && not quiet then begin
+      print_endline "round phase        iter  wns_early  tns_early   wns_late   tns_late";
+      List.iter
+        (fun (p : Flow.trace_point) ->
+          Printf.printf "%5d %-12s %4d %10.2f %10.2f %10.2f %10.2f\n" p.Flow.round p.Flow.phase
+            p.Flow.iter p.Flow.wns_early p.Flow.tns_early p.Flow.wns_late p.Flow.tns_late)
+        res.Flow.trace
+    end;
+    (match save_out with
+    | Some path ->
+      Css_netlist.Io.save design path;
+      say "wrote %s\n" path
+    | None -> ());
+    if stats_ok then 0 else 1
+  in
+  let fresh () =
   match load_design benchmark input scale with
   | Error (`Usage m) ->
     prerr_endline ("css_opt: " ^ m);
@@ -145,11 +232,6 @@ let main benchmark input algo rounds scale save_out trace_flag stats_json quiet 
   | Error (`Diags ds) -> input_error ds
   | Ok design -> (
     try
-    let obs =
-      if trace_flag then Obs.create_trace stderr
-      else if stats_json <> None then Obs.create ()
-      else Obs.null
-    in
     let constraints =
       match sdc with
       | Some path ->
@@ -202,45 +284,17 @@ let main benchmark input algo rounds scale save_out trace_flag stats_json quiet 
         Flow.timer = timer_cfg_pre;
         Flow.obs = obs;
         Flow.jobs = max 1 jobs;
+        Flow.budget = budget;
+        Flow.checkpoint_dir;
+        Flow.handle_signals = checkpoint_dir <> None;
       }
     in
     say "extraction jobs: %d\n%!" (max 1 jobs);
-    let res = Flow.run ~config ~algo design in
-    List.iter
-      (fun d ->
-        if not quiet then prerr_endline ("css_opt: " ^ Css_util.Diag.to_string d))
-      res.Flow.validation;
-    say "after:  %s\n" (Evaluator.summary res.Flow.report);
-    say "%s: CSS %.2fs, OPT %.2fs, total %.2fs, %d edges extracted, HPWL +%.4f%%, stop %s%s\n"
-      res.Flow.algo res.Flow.css_seconds res.Flow.opt_seconds res.Flow.total_seconds
-      res.Flow.extracted_edges res.Flow.hpwl_increase_pct res.Flow.stop_reason
-      (if res.Flow.rolled_back then " (rolled back)" else "");
-    let stats_ok =
-      match stats_json with
-      | None -> true
-      | Some path -> (
-        try
-          Obs.write_json obs path;
-          say "wrote %s\n" path;
-          true
-        with Sys_error m ->
-          prerr_endline ("css_opt: cannot write stats json: " ^ m);
-          false)
-    in
-    if trace_flag && not quiet then begin
-      print_endline "round phase        iter  wns_early  tns_early   wns_late   tns_late";
-      List.iter
-        (fun (p : Flow.trace_point) ->
-          Printf.printf "%5d %-12s %4d %10.2f %10.2f %10.2f %10.2f\n" p.Flow.round p.Flow.phase
-            p.Flow.iter p.Flow.wns_early p.Flow.tns_early p.Flow.wns_late p.Flow.tns_late)
-        res.Flow.trace
-    end;
-    (match save_out with
-    | Some path ->
-      Css_netlist.Io.save design path;
-      say "wrote %s\n" path
+    (match checkpoint_dir with
+    | Some dir -> say "checkpointing to %s\n%!" dir
     | None -> ());
-    if stats_ok then 0 else 1
+    let res = Flow.run ~config ~algo design in
+    finish res design
     with
     (* malformed or degenerate input: one diagnostic line, never a raw
        backtrace *)
@@ -249,6 +303,41 @@ let main benchmark input algo rounds scale save_out trace_flag stats_json quiet 
       2
     | Css_util.Diag.Failed ds -> input_error ds
     | Css_netlist.Validate.Invalid ds -> input_error ds)
+  in
+  match (resume_flag, checkpoint_dir) with
+  | true, None ->
+    prerr_endline "css_opt: --resume requires --checkpoint-dir";
+    1
+  | true, Some dir -> (
+    (* resumed runs carry their design, algorithm and round count in the
+       checkpoint; CLI timer/SDC flags do not re-apply. On an unusable
+       checkpoint (CKPT-* diagnostics) fall back to a fresh run so an
+       interrupted pipeline invocation can be retried verbatim — input
+       errors in the fresh path still exit 2. *)
+    let config =
+      {
+        Flow.default_config with
+        rounds;
+        Flow.use_resize = resize;
+        Flow.use_cts = cts;
+        Flow.obs = obs;
+        Flow.jobs = max 1 jobs;
+        Flow.budget = budget;
+        Flow.checkpoint_dir;
+        Flow.handle_signals = true;
+      }
+    in
+    match Flow.resume ~config ~library:Css_liberty.Library.default ~dir () with
+    | Ok (res, design) ->
+      say "resumed from %s\n%!" dir;
+      finish res design
+    | Error ds ->
+      List.iter
+        (fun d -> prerr_endline ("css_opt: " ^ Css_util.Diag.to_string d))
+        ds;
+      prerr_endline "css_opt: checkpoint unusable, starting a fresh run";
+      fresh ())
+  | false, _ -> fresh ()
 
 let cmd =
   let doc = "clock skew scheduling and slack optimization" in
@@ -257,6 +346,7 @@ let cmd =
     Term.(
       const main $ benchmark $ input $ algo $ rounds $ scale $ save_out $ trace_flag
       $ stats_json $ quiet_flag $ resize_flag $ cts_flag $ verbose $ setup_uncertainty
-      $ hold_uncertainty $ sdc $ jobs)
+      $ hold_uncertainty $ sdc $ jobs $ checkpoint_dir $ resume_flag $ max_seconds
+      $ max_rss_mb)
 
 let () = exit (Cmd.eval' cmd)

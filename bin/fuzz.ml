@@ -45,7 +45,7 @@ let check corpus0 t =
   let corpus, _ = Fault_seq.apply t corpus0 in
   Oracles.pipeline corpus
 
-let fuzz seed count max_steps profile replay verbose =
+let fuzz seed count max_steps profile replay verbose shrink_seconds =
   let corpus0 = base_corpus profile in
   match replay with
   | Some spec -> (
@@ -90,12 +90,19 @@ let fuzz seed count max_steps profile replay verbose =
     | Some (trial, t, msg) ->
       Printf.printf "css_fuzz: ORACLE VIOLATION at trial %d (seed %d)\n  %s\n" trial seed msg;
       let fails t = match check corpus0 t with Error _ -> true | Ok _ -> false in
-      let small = Fault_seq.minimize fails t in
+      let shrunk =
+        Fault_seq.minimize_timed ?deadline_seconds:shrink_seconds fails t
+      in
+      let small = shrunk.Fault_seq.minimized in
       let final_msg =
         match check corpus0 small with Error m -> m | Ok _ -> msg
       in
-      Printf.printf "shrunk from %d to %d steps:\n  %s\n  %s\n" (List.length t.Fault_seq.steps)
+      Printf.printf "shrunk from %d to %d steps%s:\n  %s\n  %s\n"
+        (List.length t.Fault_seq.steps)
         (List.length small.Fault_seq.steps)
+        (if shrunk.Fault_seq.shrink_timeout then
+           " (shrink_timeout: deadline hit, smaller reproducers may exist)"
+         else "")
         (Fault_seq.to_string small) final_msg;
       Printf.printf "replay with: css_fuzz --profile %s --replay '%s'\n" profile
         (Fault_seq.to_string small);
@@ -125,8 +132,19 @@ let verbose =
   let doc = "Print every trial's verdict." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+let shrink_seconds =
+  let doc =
+    "Wall-clock budget for shrinking a failing sequence (default 120). Each shrink candidate \
+     replays the whole pipeline, so slow failures could otherwise dominate the run; on expiry \
+     the best reproducer so far is printed with a shrink_timeout note. Use 0 for unbounded."
+  in
+  Arg.(value & opt float 120.0 & info [ "shrink-seconds" ] ~docv:"S" ~doc)
+
 let cmd =
   let info = Cmd.info "css_fuzz" ~doc:"fuzz the pipeline with shrinking fault sequences" in
-  Cmd.v info Term.(const fuzz $ seed $ count $ max_steps $ profile $ replay $ verbose)
+  Cmd.v info
+    Term.(
+      const fuzz $ seed $ count $ max_steps $ profile $ replay $ verbose
+      $ map (fun s -> if s <= 0.0 then None else Some s) shrink_seconds)
 
 let () = exit (Cmd.eval' cmd)

@@ -127,16 +127,35 @@ let shrink t =
   if n = 0 then Seq.empty
   else Seq.append (List.to_seq (removals ())) (List.to_seq (fuzz_halvings ()))
 
-let minimize ?(max_rounds = 400) fails t =
-  let rec go t rounds =
-    if rounds <= 0 then t
-    else
-      match Seq.find fails (shrink t) with
-      | Some smaller -> go smaller (rounds - 1)
-      | None -> t
-  in
+type minimize_result = {
+  minimized : t;
+  shrink_rounds : int;
+  shrink_timeout : bool;
+}
+
+let minimize_timed ?(max_rounds = 400) ?deadline_seconds fails t =
   if not (fails t) then invalid_arg "Fault_seq.minimize: the input sequence does not fail";
-  go t max_rounds
+  let t0 = Css_util.Wall_clock.now () in
+  let timed_out () =
+    match deadline_seconds with
+    | None -> false
+    | Some d -> Css_util.Wall_clock.now () -. t0 > d
+  in
+  (* the deadline is also threaded into the candidate filter: each [fails]
+     call replays a whole pipeline, so an expired budget must stop the
+     scan between candidates, not only between accepted rounds *)
+  let rec go t rounds accepted =
+    if rounds <= 0 || timed_out () then (t, accepted)
+    else
+      match Seq.find (fun c -> (not (timed_out ())) && fails c) (shrink t) with
+      | Some smaller -> go smaller (rounds - 1) (accepted + 1)
+      | None -> (t, accepted)
+  in
+  let minimized, shrink_rounds = go t max_rounds 0 in
+  { minimized; shrink_rounds; shrink_timeout = timed_out () }
+
+let minimize ?max_rounds ?deadline_seconds fails t =
+  (minimize_timed ?max_rounds ?deadline_seconds fails t).minimized
 
 (* ------------------------------------------------------------------ *)
 (* Replayable rendering *)

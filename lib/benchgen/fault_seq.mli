@@ -60,12 +60,31 @@ val apply : t -> corpus -> corpus * int
     shrinker ([QCheck.Iter] adapts a [Seq.t]). *)
 val shrink : t -> t Seq.t
 
-(** [minimize ?max_rounds fails t] greedily walks {!shrink} while
-    [fails] keeps returning [true] (i.e. the candidate still exhibits
-    the failure) and returns a locally minimal failing sequence.
-    [fails t] itself must hold. [max_rounds] (default 400) bounds the
-    number of accepted shrink steps. *)
-val minimize : ?max_rounds:int -> (t -> bool) -> t -> t
+(** [minimize ?max_rounds ?deadline_seconds fails t] greedily walks
+    {!shrink} while [fails] keeps returning [true] (i.e. the candidate
+    still exhibits the failure) and returns a locally minimal failing
+    sequence. [fails t] itself must hold. [max_rounds] (default 400)
+    bounds the number of accepted shrink steps; [deadline_seconds]
+    bounds total wall clock — each candidate trial replays a whole
+    pipeline, so an unbounded shrink of a slow failure can dominate a
+    fuzz run. On expiry the best sequence found so far is returned. *)
+val minimize : ?max_rounds:int -> ?deadline_seconds:float -> (t -> bool) -> t -> t
+
+(** {!minimize_timed}'s outcome, for callers that must report whether
+    the reproducer is known-minimal (the fuzz CLI's [shrink_timeout]
+    field). *)
+type minimize_result = {
+  minimized : t;
+  shrink_rounds : int;  (** accepted shrink steps *)
+  shrink_timeout : bool;
+      (** the wall-clock deadline fired before a shrink fixpoint —
+          [minimized] still fails, but smaller reproducers may exist *)
+}
+
+(** [minimize_timed ?max_rounds ?deadline_seconds fails t] is
+    {!minimize} with the bound-hit outcome reported. *)
+val minimize_timed :
+  ?max_rounds:int -> ?deadline_seconds:float -> (t -> bool) -> t -> minimize_result
 
 (** {1 Replayable rendering} *)
 

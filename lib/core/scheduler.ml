@@ -15,6 +15,8 @@ type config = {
   stall_iterations : int;
   nonneg_rule : bool;
   deadline_seconds : float option;
+  best_ring : int;
+  should_stop : (unit -> bool) option;
 }
 
 let default_config =
@@ -25,6 +27,8 @@ let default_config =
     stall_iterations = 6;
     nonneg_rule = true;
     deadline_seconds = None;
+    best_ring = 4;
+    should_stop = None;
   }
 
 type extraction = {
@@ -49,18 +53,21 @@ type stop_reason =
   | Max_iterations
   | Stalled
   | Deadline
+  | Interrupted
 
 let stop_reason_name = function
   | Converged -> "converged"
   | Max_iterations -> "max-iterations"
   | Stalled -> "stalled"
   | Deadline -> "deadline"
+  | Interrupted -> "interrupted"
 
 type result = {
   target_latency : float array;
   iterations : int;
   cycles_handled : int;
   stop_reason : stop_reason;
+  ring_restored : bool;
   trace : iteration list;
 }
 
@@ -147,16 +154,72 @@ let run ?(config = default_config) ?(obs = Obs.null) timer ext =
     Obs.incr o_bounds;
     Bounds.hard_cap timer verts corner v
   in
+  (* Best-k ring: bounded snapshots of the best states seen, so a run
+     that ends by stalling or hitting the iteration cap can back out of
+     the oscillation it wandered into instead of keeping its final (and
+     possibly worse) latencies. A snapshot stores the *actual* scheduled
+     latencies, not replayed increments — incremental float accumulation
+     means base + Σincrements need not equal the value that was live at
+     the best iteration, and restore must be bit-exact. *)
+  let ring_k = max 0 config.best_ring in
+  let ring = Array.make (max ring_k 1) None in
+  let ring_next = ref 0 in
+  let o_ring_restores = Obs.counter obs "sched.ring_restores" in
+  let ring_push ~at_iter =
+    if ring_k > 0 then begin
+      let latency_snap = Array.make n 0.0 in
+      for v = 0 to n - 1 do
+        match Vertex.ff_of verts v with
+        | Some ff -> latency_snap.(v) <- Design.scheduled_latency design ff
+        | None -> ()
+      done;
+      ring.(!ring_next mod ring_k) <-
+        Some (at_iter, Timer.tns timer corner, Array.copy l_star, latency_snap);
+      incr ring_next
+    end
+  in
+  let ring_best () =
+    Array.fold_left
+      (fun acc entry ->
+        match (acc, entry) with
+        | None, e -> e
+        | Some _, None -> acc
+        | Some (_, best_tns, _, _), Some (_, tns, _, _) ->
+          (* >= : among equal-TNS states prefer the later one, whose
+             pinned-cycle structure matches the run's end state *)
+          if tns >= best_tns then entry else acc)
+      None ring
+  in
+  let ring_restore (_, _, l_star_snap, latency_snap) =
+    let deltas = Array.make n 0.0 in
+    let changed = ref [] in
+    for v = 0 to n - 1 do
+      match Vertex.ff_of verts v with
+      | Some ff ->
+        let cur = Design.scheduled_latency design ff in
+        if cur <> latency_snap.(v) then begin
+          deltas.(v) <- latency_snap.(v) -. cur;
+          Design.set_scheduled_latency design ff latency_snap.(v);
+          changed := ff :: !changed
+        end
+      | None -> ()
+    done;
+    Timer.update_latencies timer !changed;
+    Seq_graph.apply_latency_delta graph deltas;
+    Array.blit l_star_snap 0 l_star 0 n;
+    Obs.incr o_ring_restores
+  in
   (* Stall guard: increments can stay non-zero while the corner's negative
      slack no longer improves (e.g. balancing churn around caps); a few
      fruitless iterations end the loop. *)
   let best_tns = ref neg_infinity in
   let stall = ref 0 in
-  let progressed () =
+  let progressed ~at_iter =
     let tns = Timer.tns timer corner in
     if tns > !best_tns +. Float.max 0.1 config.eps then begin
       best_tns := tns;
       stall := 0;
+      ring_push ~at_iter;
       true
     end
     else begin
@@ -170,8 +233,13 @@ let run ?(config = default_config) ?(obs = Obs.null) timer ext =
     | None -> false
     | Some d -> Css_util.Wall_clock.now () -. t0 > d
   in
+  let interrupted () = match config.should_stop with None -> false | Some f -> f () in
   let rec iterate k =
     if k > config.max_iterations then (config.max_iterations, Max_iterations)
+    else if interrupted () then begin
+      Log.warn (fun m -> m "iter %d: interrupt requested, stopping" k);
+      (k - 1, Interrupted)
+    end
     else if past_deadline () then begin
       Log.warn (fun m -> m "iter %d: wall-clock deadline exceeded, stopping" k);
       (k - 1, Deadline)
@@ -199,7 +267,7 @@ let run ?(config = default_config) ?(obs = Obs.null) timer ext =
         record ~index:k ~handled_cycle:true ~max_increment;
         (* cycle handling always makes structural progress (members are
            pinned), so it never counts as a stall *)
-        ignore (progressed ());
+        ignore (progressed ~at_iter:k);
         stall := 0;
         iterate (k + 1)
       | None ->
@@ -236,15 +304,35 @@ let run ?(config = default_config) ?(obs = Obs.null) timer ext =
                 (match corner with Timer.Late -> "late" | Timer.Early -> "early")
                 (Timer.tns timer corner));
           record ~index:k ~handled_cycle:false ~max_increment;
-          if progressed () then iterate (k + 1) else (k, Stalled)
+          if progressed ~at_iter:k then iterate (k + 1) else (k, Stalled)
         end
     end
   in
+  ring_push ~at_iter:0;
   let iterations, stop_reason = iterate 1 in
+  (* Back out of an oscillation: a run that stalled or ran out of
+     iterations keeps whatever state its last fruitless iterations left
+     behind; if the ring holds a strictly better state, restore it.
+     Converged runs are already at their best; deadline/interrupt stops
+     hand the partial phase to the flow, which discards it. *)
+  let ring_restored =
+    match stop_reason with
+    | Stalled | Max_iterations -> (
+      match ring_best () with
+      | Some ((at_iter, tns, _, _) as entry) when tns > Timer.tns timer corner +. config.eps ->
+        Log.info (fun m ->
+            m "restoring best-ring state from iter %d (%s TNS %.2f over %.2f)" at_iter
+              corner_name tns (Timer.tns timer corner));
+        ring_restore entry;
+        true
+      | _ -> false)
+    | Converged | Deadline | Interrupted -> false
+  in
   {
     target_latency = l_star;
     iterations;
     cycles_handled = !cycles;
     stop_reason;
+    ring_restored;
     trace = List.rev !trace;
   }

@@ -35,6 +35,19 @@ type config = {
   deadline_seconds : float option;
       (** wall-clock watchdog: checked at the top of every iteration; the
           run stops with {!Deadline} once exceeded (default [None]) *)
+  best_ring : int;
+      (** bounded ring of best-k state snapshots (scheduled latencies +
+          accumulated [l*], pushed on each TNS improvement). A run that
+          ends {!Stalled} or at {!Max_iterations} restores the ring's
+          best state when it beats the final one, backing the scheduler
+          out of oscillations itself. Memory is [O(best_ring · n)]
+          floats; [0] disables (default 4) *)
+  should_stop : (unit -> bool) option;
+      (** cooperative interrupt, polled at the top of every iteration
+          before any work; returning [true] stops the run with
+          {!Interrupted} and the latencies applied so far. The flow
+          wires the SIGINT/SIGTERM flag and hard budget pressure here
+          (default [None]) *)
 }
 
 val default_config : config
@@ -68,10 +81,11 @@ type stop_reason =
   | Max_iterations  (** the [max_iterations] safety cap fired *)
   | Stalled  (** [stall_iterations] iterations without TNS progress *)
   | Deadline  (** the [deadline_seconds] wall-clock watchdog fired *)
+  | Interrupted  (** [should_stop] returned [true] (signal / hard budget) *)
 
 (** [stop_reason_name r] is the stable string form used in logs and the
     [BENCH_css.json] artifact: ["converged"], ["max-iterations"],
-    ["stalled"] or ["deadline"]. *)
+    ["stalled"], ["deadline"] or ["interrupted"]. *)
 val stop_reason_name : stop_reason -> string
 
 type result = {
@@ -80,6 +94,10 @@ type result = {
   iterations : int;
   cycles_handled : int;
   stop_reason : stop_reason;
+  ring_restored : bool;
+      (** the run ended on the ring's best state rather than its final
+          one (see [config.best_ring]); [target_latency] reflects the
+          restored state *)
   trace : iteration list;  (** chronological, one record per iteration *)
 }
 

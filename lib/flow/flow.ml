@@ -13,6 +13,8 @@ module Wall_clock = Css_util.Wall_clock
 module Diag = Css_util.Diag
 module Obs = Css_util.Obs
 module Pool = Css_util.Pool
+module Budget = Css_util.Budget
+module Point = Css_geometry.Point
 
 let log_src = Logs.Src.create "css.flow" ~doc:"end-to-end slack optimization flow"
 
@@ -53,6 +55,8 @@ type result = {
   hpwl_increase_pct : float;
   stop_reason : string;
   rolled_back : bool;
+  degradations : string list;
+  resumed : bool;
   validation : Diag.t list;
   trace : trace_point list;
 }
@@ -74,6 +78,11 @@ type config = {
   on_phase_end : (round:int -> phase:string -> Design.t -> unit) option;
   obs : Obs.t;
   jobs : int;
+  budget : Budget.limits;
+  checkpoint_dir : string option;
+  handle_signals : bool;
+  debug_interrupt_after_phase : int option;
+  debug_interrupt_after_iteration : int option;
 }
 
 let default_config =
@@ -94,6 +103,11 @@ let default_config =
     on_phase_end = None;
     obs = Obs.null;
     jobs = 1;
+    budget = Budget.no_limits;
+    checkpoint_dir = None;
+    handle_signals = false;
+    debug_interrupt_after_phase = None;
+    debug_interrupt_after_iteration = None;
   }
 
 let clone design =
@@ -127,13 +141,21 @@ type engines = {
 
 type run_state = {
   cfg : config;
+  algo : algo;
+  engine0 : [ `Ours | `Iccss | `Fpm ];  (* the algorithm's native engine *)
   timer : Timer.t;
   verts : Vertex.t;
   engines : engines;
-  pool : Pool.t option;  (* shared by all engines; shut down at flow exit *)
+  mutable pool : Pool.t option;
+      (* shared by all engines; shut down at flow exit, or earlier by the
+         degradation ladder *)
+  budget : Budget.t option;  (* armed only when a limit is configured *)
   css_clock : Wall_clock.t;
   opt_clock : Wall_clock.t;
+  css_base : float;  (* seconds accumulated before a resume *)
+  opt_base : float;
   t0 : float;
+  hpwl_before : float;  (* HPWL of the original input design *)
   mutable edges : int;
   mutable cones : int;
   mutable iterations : int;
@@ -142,6 +164,11 @@ type run_state = {
   mutable stall_count : int;  (* phases since it improved *)
   mutable stop : string option;  (* watchdog verdict, once set *)
   mutable trace_rev : trace_point list;
+  mutable phases_done : int;  (* completed main-loop phases (resume cursor) *)
+  mutable hold_done : bool;  (* the final hold touch-up phase completed *)
+  mutable rung : int;  (* degradation-ladder position, 0 = full fidelity *)
+  mutable degradations_rev : string list;
+  mutable iter_polls : int;  (* scheduler should_stop polls, for fault injection *)
 }
 
 let snapshot st ~round ~phase ~iter =
@@ -240,9 +267,102 @@ let elapsed st = Wall_clock.now () -. st.t0
 let past_deadline st =
   match st.cfg.deadline_seconds with None -> false | Some d -> elapsed st > d
 
+let set_stop st reason =
+  if st.stop = None then begin
+    Log.warn (fun m -> m "flow stopping: %s" reason);
+    st.stop <- Some reason
+  end
+
+(* {2 Degradation ladder}
+
+   Soft budget pressure sheds fidelity one rung per poll instead of dying
+   at the hard limit: 1. shrink the scheduler's best-state ring, 2. drop
+   the worker pool, 3. switch to the cheapest extraction, 4. stop with the
+   best result so far. Rungs whose knob is already at bottom are skipped. *)
+
+let cheap_extract_limit = 4096
+
+let rung_name = function
+  | 1 -> "shrink-ring"
+  | 2 -> "drop-pool"
+  | 3 -> "cheap-extraction"
+  | _ -> "early-stop"
+
+let rung_applicable st = function
+  | 2 -> st.pool <> None
+  | 3 -> st.engine0 <> `Fpm
+  | _ -> true
+
+let rec degrade st ~reason =
+  if st.stop = None && st.rung < 4 then begin
+    let rung = st.rung + 1 in
+    st.rung <- rung;
+    if not (rung_applicable st rung) then degrade st ~reason
+    else begin
+      let step = rung_name rung in
+      (match rung with
+      | 2 ->
+        Option.iter Pool.shutdown st.pool;
+        st.pool <- None;
+        List.iter
+          (fun eo -> Option.iter (fun e -> Extract.set_pool e None) eo)
+          [
+            st.engines.ours_early;
+            st.engines.ours_late;
+            st.engines.iccss_early;
+            st.engines.iccss_late;
+          ]
+      | 4 -> set_stop st ("budget-" ^ reason)
+      | _ -> ());
+      (* under memory pressure, also return what the runtime can *)
+      if reason = "rss" then Gc.compact ();
+      st.degradations_rev <- Printf.sprintf "%s(%s)" step reason :: st.degradations_rev;
+      Obs.incr (Obs.counter st.cfg.obs "flow.degradations");
+      if Obs.enabled st.cfg.obs then
+        Obs.snapshot st.cfg.obs ~label:"flow.degrade"
+          [
+            ("step", Obs.Json.String step);
+            ("reason", Obs.Json.String reason);
+            ("rung", Obs.Json.Int rung);
+            ("elapsed_seconds", Obs.Json.Float (elapsed st));
+          ];
+      Log.warn (fun m -> m "budget pressure (%s): degrading to %s (rung %d)" reason step rung)
+    end
+  end
+
+(* Phase-boundary governor: the cooperative interrupt flag wins, then the
+   budget — [Hard] stops the flow, [Soft] takes one ladder step. *)
+let governor st =
+  if st.stop = None then begin
+    (match st.cfg.debug_interrupt_after_phase with
+    | Some n when st.phases_done >= n -> Persist.request_interrupt ()
+    | _ -> ());
+    if Persist.interrupted () then set_stop st "interrupted"
+    else
+      match st.budget with
+      | None -> ()
+      | Some b -> (
+        match Budget.poll b with
+        | Budget.Under -> ()
+        | Budget.Hard reason -> set_stop st ("budget-" ^ reason)
+        | Budget.Soft reason -> degrade st ~reason)
+  end
+
+(* Why a scheduler run came back [Interrupted]: the signal flag, or the
+   hard budget its [should_stop] also polls. *)
+let interrupt_cause st =
+  if Persist.interrupted () then "interrupted"
+  else
+    match st.budget with
+    | Some b when Budget.hard b -> (
+      match Budget.poll b with Budget.Hard reason -> "budget-" ^ reason | _ -> "budget-wall")
+    | _ -> "interrupted"
+
 (* The scheduler's own deadline is the tightest of: its configured one,
    the per-phase budget, and whatever remains of the flow budget — so a
-   phase in flight also honors the flow-level watchdog. *)
+   phase in flight also honors the flow-level watchdog. The budget adds
+   two more hooks: rung 1+ shrinks the best-state ring, and [should_stop]
+   aborts mid-phase on a signal or hard budget. *)
 let scheduler_config st =
   let remaining =
     match st.cfg.deadline_seconds with
@@ -260,7 +380,24 @@ let scheduler_config st =
     | (Some _ as d), None -> d
     | Some a, Some b -> Some (Float.min a b)
   in
-  { st.cfg.scheduler with Scheduler.deadline_seconds = eff }
+  let base = { st.cfg.scheduler with Scheduler.deadline_seconds = eff } in
+  let base =
+    if st.rung >= 1 then { base with Scheduler.best_ring = min base.Scheduler.best_ring 1 }
+    else base
+  in
+  let user_stop = base.Scheduler.should_stop in
+  let should_stop () =
+    st.iter_polls <- st.iter_polls + 1;
+    (match st.cfg.debug_interrupt_after_iteration with
+    | Some n when st.iter_polls > n -> Persist.request_interrupt ()
+    | _ -> ());
+    Persist.interrupted ()
+    || (match st.budget with
+       | Some b -> ( match Budget.poll b with Budget.Hard _ -> true | _ -> false)
+       | None -> false)
+    || (match user_stop with Some f -> f () | None -> false)
+  in
+  { base with Scheduler.should_stop = Some should_stop }
 
 (* {2 Checkpoint / rollback} *)
 
@@ -330,55 +467,166 @@ let consider_checkpoint st ~label =
     Log.debug (fun m -> m "checkpoint %s: score %.2f" label cp.ck_score));
   cp
 
-(* One CSS phase with the given engine, followed by physical realization
-   and hold repair. *)
-let css_opt_phase st ~round ~corner ~engine =
+(* {2 Durable checkpoints}
+
+   The in-memory state maps field-for-field onto [Persist.state]; the
+   best checkpoint's evaluator report is carried verbatim (never
+   re-derived) and its score/tie-break are recomputed on resume with the
+   same float expressions [take_checkpoint] uses, so a resumed run's
+   rollback decisions are bitwise those of an uninterrupted one. *)
+
+let trace_entry_of_point (p : trace_point) =
+  {
+    Persist.te_round = p.round;
+    te_phase = p.phase;
+    te_iter = p.iter;
+    te_wns_early = p.wns_early;
+    te_tns_early = p.tns_early;
+    te_wns_late = p.wns_late;
+    te_tns_late = p.tns_late;
+  }
+
+let point_of_trace_entry (e : Persist.trace_entry) =
+  {
+    round = e.Persist.te_round;
+    phase = e.Persist.te_phase;
+    iter = e.Persist.te_iter;
+    wns_early = e.Persist.te_wns_early;
+    tns_early = e.Persist.te_tns_early;
+    wns_late = e.Persist.te_wns_late;
+    tns_late = e.Persist.te_tns_late;
+  }
+
+let best_of_checkpoint (cp : checkpoint) =
+  {
+    Persist.pb_label = cp.label;
+    pb_ffs = cp.ck_ffs;
+    pb_latencies = cp.ck_latencies;
+    pb_lcb_of = cp.ck_lcb_of;
+    pb_x = Array.map (fun (p : Point.t) -> p.Point.x) cp.ck_positions;
+    pb_y = Array.map (fun (p : Point.t) -> p.Point.y) cp.ck_positions;
+    pb_masters = cp.ck_masters;
+    pb_report = cp.ck_report;
+  }
+
+let checkpoint_of_best (b : Persist.best) =
+  let report = b.Persist.pb_report in
+  {
+    label = b.Persist.pb_label;
+    ck_ffs = b.Persist.pb_ffs;
+    ck_latencies = b.Persist.pb_latencies;
+    ck_lcb_of = b.Persist.pb_lcb_of;
+    ck_positions =
+      Array.init (Array.length b.Persist.pb_x) (fun i ->
+          Point.make b.Persist.pb_x.(i) b.Persist.pb_y.(i));
+    ck_masters = b.Persist.pb_masters;
+    ck_report = report;
+    ck_score = Float.min report.Evaluator.wns_early report.Evaluator.wns_late;
+    ck_tns = report.Evaluator.tns_early +. report.Evaluator.tns_late;
+  }
+
+let engine_snapshots st =
+  let add key eo acc = match eo with None -> acc | Some e -> (key, Extract.snapshot e) :: acc in
+  add "ours-early" st.engines.ours_early
+    (add "ours-late" st.engines.ours_late
+       (add "iccss-early" st.engines.iccss_early (add "iccss-late" st.engines.iccss_late [])))
+
+let persist_state st =
+  {
+    Persist.ps_algo = algo_name st.algo;
+    ps_design = Design.name (Timer.design st.timer);
+    ps_rounds = st.cfg.rounds;
+    ps_phases_done = st.phases_done;
+    ps_hold_done = st.hold_done;
+    ps_iterations = st.iterations;
+    ps_edges = st.edges;
+    ps_cones = st.cones;
+    ps_stall_best = st.stall_best;
+    ps_stall_count = st.stall_count;
+    ps_stop = st.stop;
+    ps_hpwl_before = st.hpwl_before;
+    ps_anchor_x =
+      (let design = Timer.design st.timer in
+       Array.init (Design.num_cells design) (fun c -> (Design.cell_orig_pos design c).Point.x));
+    ps_anchor_y =
+      (let design = Timer.design st.timer in
+       Array.init (Design.num_cells design) (fun c -> (Design.cell_orig_pos design c).Point.y));
+    ps_css_seconds = st.css_base +. Wall_clock.elapsed st.css_clock;
+    ps_opt_seconds = st.opt_base +. Wall_clock.elapsed st.opt_clock;
+    ps_rung = st.rung;
+    ps_degradations = List.rev st.degradations_rev;
+    ps_trace = List.rev_map trace_entry_of_point st.trace_rev;
+    ps_best = Option.map best_of_checkpoint st.best;
+    ps_design_text = Css_netlist.Io.to_string (Timer.design st.timer);
+    ps_engines = engine_snapshots st;
+  }
+
+(* Persistence failure degrades to an in-memory-only run, never a crash:
+   the checkpoint is a safety net, not a correctness dependency. *)
+let persist_checkpoint st =
+  match st.cfg.checkpoint_dir with
+  | None -> ()
+  | Some dir -> (
+    try
+      Persist.save ~dir (persist_state st);
+      Obs.incr (Obs.counter st.cfg.obs "flow.persisted")
+    with Sys_error msg -> Log.warn (fun m -> m "checkpoint save failed: %s" msg))
+
+(* One CSS phase with the algorithm's engine (possibly degraded), followed
+   by physical realization and hold repair. Returns [false] when the
+   scheduler was interrupted mid-phase (signal / hard budget): nothing of
+   the partial phase is recorded or realized, and [st.stop] carries the
+   cause — a later resume redoes the whole phase from the last durable
+   checkpoint, which is bitwise the same computation. *)
+let css_opt_phase st ~round ~corner =
   let phase = match corner with Timer.Early -> "early" | Timer.Late -> "late" in
+  let engine =
+    match st.engine0 with `Iccss when st.rung >= 3 -> `Ours | e -> e
+  in
+  let extract_limit = if st.rung >= 3 then Some cheap_extract_limit else None in
   let sched_config = scheduler_config st in
   Wall_clock.start st.css_clock;
-  let targets =
+  let scheduled =
     Obs.span st.cfg.obs (phase ^ "-css") @@ fun () ->
-    match engine with
-    | `Ours ->
-      let eng = ours_engine st corner in
+    let run_scheduler eng ~on_cap_hit =
       refresh_weights st (Extract.graph eng);
       let extraction =
         {
-          Scheduler.extract = (fun () -> Extract.round eng);
+          Scheduler.extract = (fun () -> Extract.round ?limit:extract_limit eng);
           graph = Extract.graph eng;
-          on_cap_hit = (fun _ -> ());
+          on_cap_hit;
         }
       in
       let res = Scheduler.run ~config:sched_config ~obs:st.cfg.obs st.timer extraction in
-      st.iterations <- st.iterations + res.Scheduler.iterations;
-      record_scheduler_trace st ~round ~phase:(phase ^ "-css") res;
-      targets_of st.verts res.Scheduler.target_latency
+      if res.Scheduler.stop_reason = Scheduler.Interrupted then None
+      else begin
+        st.iterations <- st.iterations + res.Scheduler.iterations;
+        record_scheduler_trace st ~round ~phase:(phase ^ "-css") res;
+        Some (targets_of st.verts res.Scheduler.target_latency)
+      end
+    in
+    match engine with
+    | `Ours -> run_scheduler (ours_engine st corner) ~on_cap_hit:(fun _ -> ())
     | `Iccss ->
       let eng = iccss_engine st corner in
-      refresh_weights st (Extract.graph eng);
-      let extraction =
-        {
-          Scheduler.extract = (fun () -> Extract.round eng);
-          graph = Extract.graph eng;
-          on_cap_hit =
-            (fun v ->
-              match Vertex.ff_of st.verts v with
-              | Some ff -> ignore (Extract.constraint_edges eng ff)
-              | None -> ());
-        }
-      in
-      let res = Scheduler.run ~config:sched_config ~obs:st.cfg.obs st.timer extraction in
-      st.iterations <- st.iterations + res.Scheduler.iterations;
-      record_scheduler_trace st ~round ~phase:(phase ^ "-css") res;
-      targets_of st.verts res.Scheduler.target_latency
+      run_scheduler eng
+        ~on_cap_hit:(fun v ->
+          match Vertex.ff_of st.verts v with
+          | Some ff -> ignore (Extract.constraint_edges eng ff)
+          | None -> ())
     | `Fpm ->
       let res, stats = Css_baselines.Fpm.run ~obs:st.cfg.obs ?pool:st.pool st.timer in
       st.edges <- st.edges + stats.Extract.edges_extracted;
       st.cones <- st.cones + stats.Extract.cone_nodes;
       snapshot st ~round ~phase:(phase ^ "-css") ~iter:1;
-      targets_of res.Css_baselines.Fpm.vertices res.Css_baselines.Fpm.target_latency
+      Some (targets_of res.Css_baselines.Fpm.vertices res.Css_baselines.Fpm.target_latency)
   in
   Wall_clock.stop st.css_clock;
+  match scheduled with
+  | None ->
+    set_stop st (interrupt_cause st);
+    false
+  | Some targets ->
   Wall_clock.start st.opt_clock;
   Obs.span st.cfg.obs (phase ^ "-opt") (fun () ->
   let targets =
@@ -439,76 +687,150 @@ let css_opt_phase st ~round ~corner ~engine =
   if past_deadline st && st.stop = None then begin
     Log.warn (fun m -> m "round %d %s: flow deadline exceeded, stopping" round phase);
     st.stop <- Some "deadline"
-  end
+  end;
+  true
 
 let clean st =
   Timer.wns st.timer Timer.Early >= 0.0 && Timer.wns st.timer Timer.Late >= 0.0
 
-let run ?(config = default_config) ~algo design =
-  let validation =
-    if config.validate then begin
-      let outcome = Validate.run ~obs:config.obs ~repair:config.repair design in
-      if outcome.Validate.fatal then raise (Validate.Invalid outcome.Validate.diags);
-      outcome.Validate.diags
-    end
-    else []
-  in
-  let hpwl_before = Design.total_hpwl design in
+(* The body shared by {!run} (fresh) and {!resume} (from a durable
+   checkpoint): [resume] carries the loaded state, and the loop below
+   starts at the persisted phase cursor. Continuation is positional and
+   deterministic, so an interrupted run redone from its last checkpoint
+   computes bitwise the same result as an uninterrupted one. *)
+let execute ~(config : config) ~algo ~validation ~hpwl_before ?resume design =
   let total_t0 = Wall_clock.now () in
   let timer = Timer.build ~config:config.timer ~obs:config.obs design in
+  let resume_rung = match resume with Some r -> r.Persist.ps_rung | None -> 0 in
+  let jobs_eff = if resume_rung >= 2 then 1 else config.jobs in
   let pool =
-    if config.jobs > 1 then Some (Pool.create ~obs:config.obs ~jobs:config.jobs ()) else None
+    if jobs_eff > 1 then Some (Pool.create ~obs:config.obs ~jobs:jobs_eff ()) else None
   in
-  Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown pool) @@ fun () ->
-  let st =
-    {
-      cfg = config;
-      timer;
-      verts = Vertex.of_design design;
-      engines = { ours_early = None; ours_late = None; iccss_early = None; iccss_late = None };
-      pool;
-      css_clock = Wall_clock.create ();
-      opt_clock = Wall_clock.create ();
-      t0 = total_t0;
-      edges = 0;
-      cones = 0;
-      iterations = 0;
-      best = None;
-      stall_best = neg_infinity;
-      stall_count = 0;
-      stop = None;
-      trace_rev = [];
-    }
+  let budget =
+    if config.budget.Budget.wall_seconds = None && config.budget.Budget.rss_bytes = None then
+      None
+    else Some (Budget.create ~obs:config.obs config.budget)
   in
-  snapshot st ~round:0 ~phase:"start" ~iter:0;
-  (* the input itself is the first checkpoint: a hardened run can never
-     end worse than what it was given *)
-  if config.rollback then ignore (consider_checkpoint st ~label:"start");
-  let engine, corners =
+  let engine0, corners =
     match algo with
     | Ours -> (`Ours, [ Timer.Early; Timer.Late ])
     | Ours_early -> (`Ours, [ Timer.Early ])
     | Iccss_plus -> (`Iccss, [ Timer.Early; Timer.Late ])
     | Fpm -> (`Fpm, [ Timer.Early ])
   in
-  let rec rounds r =
-    if st.stop = None && r <= config.rounds && not (clean st) then begin
-      List.iter
-        (fun corner -> if st.stop = None then css_opt_phase st ~round:r ~corner ~engine)
-        corners;
-      rounds (r + 1)
+  let st =
+    {
+      cfg = config;
+      algo;
+      engine0;
+      timer;
+      verts = Vertex.of_design design;
+      engines = { ours_early = None; ours_late = None; iccss_early = None; iccss_late = None };
+      pool;
+      budget;
+      css_clock = Wall_clock.create ();
+      opt_clock = Wall_clock.create ();
+      css_base = (match resume with Some r -> r.Persist.ps_css_seconds | None -> 0.0);
+      opt_base = (match resume with Some r -> r.Persist.ps_opt_seconds | None -> 0.0);
+      t0 = total_t0;
+      hpwl_before;
+      edges = (match resume with Some r -> r.Persist.ps_edges | None -> 0);
+      cones = (match resume with Some r -> r.Persist.ps_cones | None -> 0);
+      iterations = (match resume with Some r -> r.Persist.ps_iterations | None -> 0);
+      best = None;
+      stall_best = (match resume with Some r -> r.Persist.ps_stall_best | None -> neg_infinity);
+      stall_count = (match resume with Some r -> r.Persist.ps_stall_count | None -> 0);
+      stop = (match resume with Some r -> r.Persist.ps_stop | None -> None);
+      trace_rev = [];
+      phases_done = (match resume with Some r -> r.Persist.ps_phases_done | None -> 0);
+      hold_done = (match resume with Some r -> r.Persist.ps_hold_done | None -> false);
+      rung = resume_rung;
+      degradations_rev =
+        (match resume with Some r -> List.rev r.Persist.ps_degradations | None -> []);
+      iter_polls = 0;
+    }
+  in
+  Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown st.pool) @@ fun () ->
+  (match resume with
+  | None ->
+    snapshot st ~round:0 ~phase:"start" ~iter:0;
+    (* the input itself is the first checkpoint: a hardened run can never
+       end worse than what it was given *)
+    if config.rollback then ignore (consider_checkpoint st ~label:"start");
+    persist_checkpoint st
+  | Some ps ->
+    (* the reparsed design anchored movement legality at checkpoint-time
+       positions; put back the anchors the interrupted run judged against *)
+    Array.iteri
+      (fun c x -> Design.set_cell_orig_pos design c (Point.make x ps.Persist.ps_anchor_y.(c)))
+      ps.Persist.ps_anchor_x;
+    st.trace_rev <- List.rev_map point_of_trace_entry ps.Persist.ps_trace;
+    st.best <- Option.map checkpoint_of_best ps.Persist.ps_best;
+    List.iter
+      (fun (key, snap) ->
+        let corner =
+          if String.length key > 5 && String.sub key (String.length key - 5) 5 = "early" then
+            Timer.Early
+          else Timer.Late
+        in
+        let e = Extract.restore ~obs:config.obs ?pool:st.pool snap st.timer st.verts ~corner in
+        match key with
+        | "ours-early" -> st.engines.ours_early <- Some e
+        | "ours-late" -> st.engines.ours_late <- Some e
+        | "iccss-early" -> st.engines.iccss_early <- Some e
+        | "iccss-late" -> st.engines.iccss_late <- Some e
+        | _ -> Log.warn (fun m -> m "ignoring unknown engine snapshot %S" key))
+      ps.Persist.ps_engines;
+    Obs.incr (Obs.counter config.obs "flow.resumes");
+    Log.info (fun m ->
+        m "resumed %s on %s at phase %d (rung %d)" ps.Persist.ps_algo ps.Persist.ps_design
+          ps.Persist.ps_phases_done ps.Persist.ps_rung));
+  let ncorners = List.length corners in
+  let corners_arr = Array.of_list corners in
+  (* positional continuation: phase k of the main loop is corner
+     [k mod ncorners] of round [k / ncorners + 1] *)
+  let start_round = (st.phases_done / ncorners) + 1 in
+  let start_ci = st.phases_done mod ncorners in
+  let rec rounds r ci =
+    (* a mid-round resume (ci > 0) re-enters the round unconditionally:
+       the uninterrupted run checked the round guard only at entry *)
+    if ci > 0 || (st.stop = None && r <= config.rounds && not (clean st)) then begin
+      let continue = ref true in
+      for i = ci to ncorners - 1 do
+        if !continue && st.stop = None then begin
+          governor st;
+          if st.stop = None then
+            if css_opt_phase st ~round:r ~corner:corners_arr.(i) then begin
+              st.phases_done <- st.phases_done + 1;
+              persist_checkpoint st
+            end
+            else continue := false
+        end
+      done;
+      if !continue then rounds (r + 1) 0
     end
   in
-  rounds 1;
+  rounds start_round start_ci;
   (* hold touch-up: the interleaving ends on a late phase, whose
      realization can leave small fresh hold violations; close them with
      one final early pass (the sign-off ECO order) — skipped when the
-     deadline already fired *)
-  if
-    (match algo with Ours | Iccss_plus -> true | Ours_early | Fpm -> false)
+     deadline, an interrupt or a hard budget already fired *)
+  let want_hold () =
+    (not st.hold_done)
+    && (match algo with Ours | Iccss_plus -> true | Ours_early | Fpm -> false)
     && Timer.wns st.timer Timer.Early < 0.0
-    && st.stop <> Some "deadline"
-  then css_opt_phase st ~round:(config.rounds + 1) ~corner:Timer.Early ~engine;
+    && (match st.stop with None | Some "stalled" -> true | _ -> false)
+  in
+  if want_hold () then begin
+    governor st;
+    if
+      (match st.stop with None | Some "stalled" -> true | _ -> false)
+      && css_opt_phase st ~round:(config.rounds + 1) ~corner:Timer.Early
+    then begin
+      st.hold_done <- true;
+      persist_checkpoint st
+    end
+  end;
   let stop_reason =
     match st.stop with Some s -> s | None -> if clean st then "clean" else "max-rounds"
   in
@@ -548,20 +870,80 @@ let run ?(config = default_config) ~algo design =
       | _ -> (final_report, false)
   in
   let total_seconds = Wall_clock.now () -. total_t0 in
+  (* the debug knobs set the process-global flag; clear it so reference
+     runs later in the same process don't inherit a stale interrupt *)
+  if
+    config.debug_interrupt_after_phase <> None
+    || config.debug_interrupt_after_iteration <> None
+  then Persist.clear_interrupt ();
   {
     algo = algo_name algo;
     benchmark = Design.name design;
     report;
-    css_seconds = Wall_clock.elapsed st.css_clock;
-    opt_seconds = Wall_clock.elapsed st.opt_clock;
+    css_seconds = st.css_base +. Wall_clock.elapsed st.css_clock;
+    opt_seconds = st.opt_base +. Wall_clock.elapsed st.opt_clock;
     total_seconds;
     extracted_edges = st.edges;
     cone_nodes = st.cones;
     css_iterations = st.iterations;
     hpwl_increase_pct =
-      Css_geometry.Hpwl.increase_pct ~before:hpwl_before ~after:report.Evaluator.hpwl;
+      Css_geometry.Hpwl.increase_pct ~before:st.hpwl_before ~after:report.Evaluator.hpwl;
     stop_reason;
     rolled_back;
+    degradations = List.rev st.degradations_rev;
+    resumed = Option.is_some resume;
     validation;
     trace = List.rev st.trace_rev;
   }
+
+let run ?(config = default_config) ~algo design =
+  let validation =
+    if config.validate then begin
+      let outcome = Validate.run ~obs:config.obs ~repair:config.repair design in
+      if outcome.Validate.fatal then raise (Validate.Invalid outcome.Validate.diags);
+      outcome.Validate.diags
+    end
+    else []
+  in
+  let hpwl_before = Design.total_hpwl design in
+  let go () = execute ~config ~algo ~validation ~hpwl_before design in
+  if config.handle_signals then Persist.with_signal_handlers go else go ()
+
+let algo_of_name = function
+  | "Ours" -> Some Ours
+  | "Ours-Early" -> Some Ours_early
+  | "IC-CSS+" -> Some Iccss_plus
+  | "FPM" -> Some Fpm
+  | _ -> None
+
+let resume ?(config = default_config) ~library ~dir () =
+  match Persist.load ~dir with
+  | Error diags -> Error diags
+  | Ok ps -> (
+    match algo_of_name ps.Persist.ps_algo with
+    | None ->
+      Error
+        [
+          Diag.error ~code:"CKPT-006"
+            (Printf.sprintf "checkpoint algorithm %S is not one this build knows"
+               ps.Persist.ps_algo);
+        ]
+    | Some algo -> (
+      match
+        Css_netlist.Io.of_string ~source:(Persist.path ~dir) ~library ps.Persist.ps_design_text
+      with
+      | Error diags ->
+        Error
+          (Diag.error ~code:"CKPT-006"
+             "checkpoint design does not parse against this cell library"
+          :: diags)
+      | Ok (design, _) ->
+        (* the checkpoint's configured horizon wins: continuation must
+           count rounds the way the interrupted run did *)
+        let config = { config with rounds = ps.Persist.ps_rounds } in
+        let go () =
+          execute ~config ~algo ~validation:[] ~hpwl_before:ps.Persist.ps_hpwl_before
+            ~resume:ps design
+        in
+        let result = if config.handle_signals then Persist.with_signal_handlers go else go () in
+        Ok (result, design)))

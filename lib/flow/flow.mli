@@ -27,7 +27,20 @@
       best-scoring checkpoint (latencies, positions, masters, FF-LCB
       binding) is kept; if the run ends worse than its best checkpoint,
       the design is restored and the result reports [rolled_back =
-      true]. A run can therefore never end worse than its input. *)
+      true]. A run can therefore never end worse than its input;
+    - {b resource governance}: an optional {!Css_util.Budget} (wall
+      clock + resident set) polled at phase and scheduler-iteration
+      boundaries. Soft pressure walks a degradation ladder — shrink the
+      scheduler's best-state ring, drop the worker pool, switch to the
+      cheapest extraction, early-stop — one rung per poll; a hard limit
+      stops the flow with its best result and [stop_reason =
+      "budget-wall"/"budget-rss"];
+    - {b crash-safe persistence}: with [checkpoint_dir] set, the full
+      resumable state is written atomically ({!Persist}) after every
+      completed phase, and {!resume} continues a killed run to a final
+      result bitwise identical to an uninterrupted one. [handle_signals]
+      routes SIGINT/SIGTERM to a cooperative stop whose last act is that
+      same durable checkpoint. *)
 
 type algo =
   | Ours  (** iterative essential extraction, both corners *)
@@ -61,11 +74,18 @@ type result = {
   hpwl_increase_pct : float;  (** vs. the design at flow start *)
   stop_reason : string;
       (** why the round loop ended: ["clean"] (no violations left),
-          ["max-rounds"], ["stalled"] or ["deadline"] *)
+          ["max-rounds"], ["stalled"], ["deadline"], ["interrupted"]
+          (SIGINT/SIGTERM or a debug interrupt), or
+          ["budget-wall"]/["budget-rss"] (hard budget limit) *)
   rolled_back : bool;
       (** the final state scored worse than an earlier checkpoint and the
           design was restored to that checkpoint; [report] is the
           checkpoint's evaluation *)
+  degradations : string list;
+      (** chronological ladder steps taken under soft budget pressure,
+          as ["<step>(<reason>)"] — e.g. ["drop-pool(wall)"]; empty when
+          the budget never tripped *)
+  resumed : bool;  (** this result came from {!resume}, not a fresh run *)
   validation : Css_util.Diag.t list;
       (** everything ingress validation found (repaired or warned);
           empty when [validate = false] or the design was pristine *)
@@ -125,6 +145,26 @@ type config = {
           {!Css_util.Pool.t} shared by all extraction engines and shuts
           it down at exit; results are bit-identical at any value (see
           {!Css_seqgraph.Extract.run}). *)
+  budget : Css_util.Budget.limits;
+      (** wall-clock / RSS budget driving the degradation ladder and the
+          hard stop (default {!Css_util.Budget.no_limits} = no budget,
+          zero polling overhead) *)
+  checkpoint_dir : string option;
+      (** write a durable {!Persist} checkpoint here after every
+          completed phase; {!resume} continues from it
+          (default [None] = no persistence) *)
+  handle_signals : bool;
+      (** route SIGINT/SIGTERM to the cooperative interrupt flag for the
+          duration of the run (default false — embedders that own signal
+          dispatch call {!Persist.request_interrupt} themselves) *)
+  debug_interrupt_after_phase : int option;
+      (** fault injection: raise the interrupt flag once this many
+          phases completed — a clean phase-boundary kill (default
+          [None]; tests only) *)
+  debug_interrupt_after_iteration : int option;
+      (** fault injection: raise the interrupt flag after this many
+          scheduler [should_stop] polls — a mid-phase kill (default
+          [None]; tests only) *)
 }
 
 val default_config : config
@@ -134,6 +174,27 @@ val default_config : config
     @raise Css_netlist.Validate.Invalid if [config.validate] and the
     design is fatally degenerate (after repair, when enabled). *)
 val run : ?config:config -> algo:algo -> Css_netlist.Design.t -> result
+
+(** [resume ?config ~library ~dir ()] loads the durable checkpoint under
+    [dir] and continues the interrupted run to completion, returning the
+    result (with [resumed = true]) and the continued design. Because
+    checkpoints are written only at completed-phase boundaries and every
+    phase is deterministic, the final scheduled latencies are bitwise
+    those of the same run uninterrupted.
+
+    [config] supplies everything a checkpoint does not carry (evaluator
+    and scheduler settings, budgets, [checkpoint_dir] for further
+    persistence — typically the same config the original run used);
+    [config.rounds] is overridden by the checkpoint's own horizon. On
+    [Error], the diagnostics carry the [CKPT-*] codes of {!Persist}
+    ([CKPT-006] when the checkpoint names an unknown algorithm or its
+    design does not parse against [library]). *)
+val resume :
+  ?config:config ->
+  library:Css_liberty.Library.t ->
+  dir:string ->
+  unit ->
+  (result * Css_netlist.Design.t, Css_util.Diag.t list) Stdlib.result
 
 (** [clone design] deep-copies a design through its textual form. The
     copy's original-position anchors are its *current* positions, so

@@ -231,6 +231,10 @@ let move_cell t c (pos : Point.t) =
   Fvec.set t.cell_x c pos.Point.x;
   Fvec.set t.cell_y c pos.Point.y
 
+let set_cell_orig_pos t c (pos : Point.t) =
+  Fvec.set t.cell_orig_x c pos.Point.x;
+  Fvec.set t.cell_orig_y c pos.Point.y
+
 let swap_master t c master =
   let next = Library.find t.library master in
   let current = cell_master t c in

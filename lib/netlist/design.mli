@@ -113,6 +113,13 @@ val cell_y : t -> cell_id -> float
     the reference for the max-displacement constraint. *)
 val cell_orig_pos : t -> cell_id -> Css_geometry.Point.t
 
+(** [set_cell_orig_pos t c pos] rewrites the max-displacement anchor. A
+    parsed design anchors at its parsed positions; a resumed flow run
+    restores the anchors the interrupted run started from (the flow's
+    durable checkpoints persist them) so movement legality is judged
+    against the same reference. *)
+val set_cell_orig_pos : t -> cell_id -> Css_geometry.Point.t -> unit
+
 (** [move_cell t c pos] re-places [c]; wire delays will reflect the new
     location on the next timing propagation. O(1). *)
 val move_cell : t -> cell_id -> Css_geometry.Point.t -> unit

@@ -15,6 +15,8 @@ let fstr x =
   let s = Printf.sprintf "%.15g" x in
   if float_of_string s = x then s else Printf.sprintf "%.17g" x
 
+let float_to_string = fstr
+
 let to_string t =
   let buf = Buffer.create 4096 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in

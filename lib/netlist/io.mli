@@ -24,6 +24,14 @@
     convenience wrappers re-raise the first error as [Failure] with the
     diagnostic's one-line rendering. *)
 
+(** [float_to_string x] is the shortest decimal form that parses back
+    ([float_of_string]) to the exact same float — the printer behind
+    every float this format emits. Exposed for other bit-exact
+    serializers (the flow's durable checkpoints). Non-finite values
+    print as ["inf"]/["-inf"]/["nan"], which [float_of_string] also
+    round-trips. *)
+val float_to_string : float -> string
+
 (** [save t path] writes the design. *)
 val save : Design.t -> string -> unit
 

@@ -176,6 +176,83 @@ let check_jobs_identity ?(jobs = [ 2; 8 ]) design ~corner =
   List.rev !failures
 
 (* ------------------------------------------------------------------ *)
+(* Resume identity *)
+
+(* Durable checkpoints are only correct if continuation is invisible:
+   kill a flow at an arbitrary boundary, resume from disk, and the final
+   state must be bitwise the one an uninterrupted run reaches. The kill
+   is injected with the flow's debug knobs, so the check is deterministic
+   and in-process (the fuzz CLI and CI drive real signals separately). *)
+let check_resume_identity ?(config = Flow.default_config) ?kill_after_phase
+    ?kill_after_iteration design ~algo ~dir =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let base =
+    {
+      config with
+      Flow.checkpoint_dir = None;
+      Flow.handle_signals = false;
+      Flow.debug_interrupt_after_phase = None;
+      Flow.debug_interrupt_after_iteration = None;
+    }
+  in
+  let reference_design = Flow.clone design in
+  let reference = Flow.run ~config:base ~algo reference_design in
+  let interrupted_design = Flow.clone design in
+  let interrupted =
+    Flow.run
+      ~config:
+        {
+          base with
+          Flow.checkpoint_dir = Some dir;
+          Flow.debug_interrupt_after_phase = kill_after_phase;
+          Flow.debug_interrupt_after_iteration = kill_after_iteration;
+        }
+      ~algo interrupted_design
+  in
+  ignore interrupted;
+  match Flow.resume ~config:{ base with Flow.checkpoint_dir = Some dir }
+          ~library:(Design.library design) ~dir ()
+  with
+  | Error ds ->
+    fail "resume rejected the checkpoint: %s"
+      (match ds with d :: _ -> d.Diag.message | [] -> "(no diagnostics)");
+    List.rev !failures
+  | Ok (resumed, resumed_design) ->
+    if not resumed.Flow.resumed then fail "resumed result not flagged as resumed";
+    if resumed.Flow.stop_reason <> reference.Flow.stop_reason then
+      fail "stop_reason diverged: resumed %S vs uninterrupted %S" resumed.Flow.stop_reason
+        reference.Flow.stop_reason;
+    if resumed.Flow.rolled_back <> reference.Flow.rolled_back then
+      fail "rollback decision diverged: resumed %b vs uninterrupted %b" resumed.Flow.rolled_back
+        reference.Flow.rolled_back;
+    let bits = Int64.bits_of_float in
+    let cmp_f name a b =
+      if bits a <> bits b then fail "%s not bit-identical (%.17g vs %.17g)" name b a
+    in
+    cmp_f "final WNS(early)" reference.Flow.report.Evaluator.wns_early
+      resumed.Flow.report.Evaluator.wns_early;
+    cmp_f "final WNS(late)" reference.Flow.report.Evaluator.wns_late
+      resumed.Flow.report.Evaluator.wns_late;
+    cmp_f "final TNS(early)" reference.Flow.report.Evaluator.tns_early
+      resumed.Flow.report.Evaluator.tns_early;
+    cmp_f "final TNS(late)" reference.Flow.report.Evaluator.tns_late
+      resumed.Flow.report.Evaluator.tns_late;
+    cmp_f "final HPWL" reference.Flow.report.Evaluator.hpwl resumed.Flow.report.Evaluator.hpwl;
+    let ref_lat = latencies_of reference_design and res_lat = latencies_of resumed_design in
+    if List.length ref_lat <> List.length res_lat then
+      fail "flip-flop count diverged (%d vs %d)" (List.length ref_lat) (List.length res_lat)
+    else
+      List.iter2
+        (fun (name, lr) (name', ls) ->
+          if name <> name' then fail "flip-flop set diverged (%s vs %s)" name name'
+          else if bits lr <> bits ls then
+            fail "flip-flop %s latency not bit-identical after resume (%.17g vs %.17g)" name ls
+              lr)
+        ref_lat res_lat;
+    List.rev !failures
+
+(* ------------------------------------------------------------------ *)
 (* Graceful-degradation pipeline *)
 
 type verdict =

@@ -100,6 +100,27 @@ val check_feasible :
 val check_jobs_identity :
   ?jobs:int list -> Css_netlist.Design.t -> corner:Css_sta.Timer.corner -> string list
 
+(** [check_resume_identity ?config ?kill_after_phase
+    ?kill_after_iteration design ~algo ~dir] proves continuation is
+    invisible: it runs the flow uninterrupted on one clone, runs it
+    again with a deterministic debug interrupt injected after
+    [kill_after_phase] completed phases and/or [kill_after_iteration]
+    scheduler polls (persisting checkpoints under [dir]), resumes from
+    disk with {!Css_flow.Flow.resume}, and requires the resumed run's
+    final per-flip-flop latencies, evaluator report and stop reason to
+    be {e bit-identical} to the uninterrupted run's. A kill point past
+    the end of the run degrades to resume-of-a-complete-run, which must
+    also be an identity. [config] must leave persistence and the debug
+    knobs unset (the check owns them). *)
+val check_resume_identity :
+  ?config:Css_flow.Flow.config ->
+  ?kill_after_phase:int ->
+  ?kill_after_iteration:int ->
+  Css_netlist.Design.t ->
+  algo:Css_flow.Flow.algo ->
+  dir:string ->
+  string list
+
 (** How a corrupted input was absorbed by the pipeline. *)
 type verdict =
   | Rejected of string

@@ -63,8 +63,11 @@ type t = {
      deterministic merge); never from pool workers. *)
   stats : stats;
   oc : obs_counters;
-  pool : Pool.t option;
-  ctxs : Timer.cone_ctx array;  (* one private walk scratch per worker *)
+  (* Mutable so the flow's degradation ladder can shed worker domains
+     mid-run ([set_pool]); determinism makes this observable only as
+     wall-clock. *)
+  mutable pool : Pool.t option;
+  mutable ctxs : Timer.cone_ctx array;  (* one private walk scratch per worker *)
   mutable pending_first : int;  (* Full: work count reported by the first round *)
   (* IC-CSS state *)
   bound : float array;  (* one-time extreme outgoing/incoming path delay *)
@@ -75,6 +78,13 @@ type t = {
 let graph t = t.graph
 let stats t = t.stats
 let engine t = t.kind
+
+let worker_ctxs timer pool =
+  Array.init (match pool with Some p -> Pool.jobs p | None -> 1) (fun _ -> Timer.cone_ctx timer)
+
+let set_pool t pool =
+  t.pool <- pool;
+  t.ctxs <- worker_ctxs t.timer pool
 
 (* Run [f ctx i] for i in [0, n), each item writing only its own result
    slot and its worker's private scratch. Slot order — not completion
@@ -403,6 +413,88 @@ let run ?(obs = Obs.null) ?pool ~engine:kind timer verts ~corner =
     }
   in
   (match kind with Full -> t.pending_first <- full_extract t | Essential | Iccss -> ());
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Durable snapshots (checkpoint/resume)                               *)
+
+(* Everything that makes an engine's future behaviour differ from a
+   freshly created one: the partial graph's edges *in insertion order*
+   (order defines the solvers' input order, hence bit-determinism), the
+   cost accounting, Full's pending first-round count, and IC-CSS's
+   one-time bound/expansion state — the bound is computed from arc
+   delays at creation time and arc delays change when the flow resizes
+   cells, so it must be restored, never recomputed. *)
+
+type edge_snap = {
+  es_launcher : Graph.launcher;
+  es_endpoint : Graph.endpoint;
+  es_delay : float;
+  es_weight : float;
+}
+
+type snapshot = {
+  sn_engine : engine;
+  sn_edges : edge_snap list;
+  sn_edges_extracted : int;
+  sn_cone_nodes : int;
+  sn_rounds : int;
+  sn_pending_first : int;
+  sn_bound : float array;
+  sn_expanded : bool array;
+}
+
+let snapshot t =
+  let edges = ref [] in
+  Seq_graph.iter_edges t.graph (fun id ->
+      edges :=
+        {
+          es_launcher = Seq_graph.launcher t.graph id;
+          es_endpoint = Seq_graph.endpoint t.graph id;
+          es_delay = Seq_graph.delay t.graph id;
+          es_weight = Seq_graph.weight t.graph id;
+        }
+        :: !edges);
+  {
+    sn_engine = t.kind;
+    sn_edges = List.rev !edges;
+    sn_edges_extracted = t.stats.edges_extracted;
+    sn_cone_nodes = t.stats.cone_nodes;
+    sn_rounds = t.stats.rounds;
+    sn_pending_first = t.pending_first;
+    sn_bound = Array.copy t.bound;
+    sn_expanded = Array.copy t.expanded;
+  }
+
+let restore ?(obs = Obs.null) ?pool snap timer verts ~corner =
+  let t =
+    {
+      kind = snap.sn_engine;
+      timer;
+      verts;
+      graph = Seq_graph.create verts ~corner;
+      stats = fresh_stats ();
+      oc = resolve_obs obs (engine_name snap.sn_engine);
+      pool;
+      ctxs = worker_ctxs timer pool;
+      pending_first = snap.sn_pending_first;
+      bound = Array.copy snap.sn_bound;
+      expanded = Array.copy snap.sn_expanded;
+      o_constraint =
+        (match snap.sn_engine with
+        | Iccss -> Obs.counter obs "extract.iccss.constraint_edges"
+        | Full | Essential -> Obs.counter Obs.null "extract.unused");
+    }
+  in
+  List.iter
+    (fun e ->
+      ignore
+        (Seq_graph.add_edge t.graph ~launcher:e.es_launcher ~endpoint:e.es_endpoint
+           ~delay:e.es_delay ~weight:e.es_weight))
+    snap.sn_edges;
+  t.stats.edges_extracted <- snap.sn_edges_extracted;
+  t.stats.cone_nodes <- snap.sn_cone_nodes;
+  t.stats.rounds <- snap.sn_rounds;
   t
 
 let round ?limit t =

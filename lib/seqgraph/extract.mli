@@ -104,6 +104,62 @@ val graph : t -> Seq_graph.t
 val stats : t -> stats
 val engine : t -> engine
 
+(** [set_pool t pool] swaps the worker pool (and the per-worker walk
+    scratch) an engine shards its cone walks over — the flow's
+    budget-degradation ladder sheds domains mid-run with this. Because
+    results are bit-identical at any worker count, the swap is
+    observable only as wall-clock. Must not be called while a round is
+    in flight. *)
+val set_pool : t -> Css_util.Pool.t option -> unit
+
+(** {1 Durable snapshots}
+
+    A {!snapshot} captures everything that makes a live engine's future
+    behaviour differ from a freshly created one — the partial graph's
+    edges in insertion order (insertion order defines the solvers' input
+    order, hence bit-determinism), the stats accounting, [Full]'s
+    pending first-round count, and IC-CSS's one-time bound and expansion
+    flags (restored, never recomputed: the bound reads arc delays, which
+    change when the flow resizes cells). {!Css_flow.Persist} serializes
+    these to disk. *)
+
+type edge_snap = {
+  es_launcher : Css_sta.Graph.launcher;
+  es_endpoint : Css_sta.Graph.endpoint;
+  es_delay : float;
+  es_weight : float;
+}
+
+type snapshot = {
+  sn_engine : engine;
+  sn_edges : edge_snap list;  (** insertion order *)
+  sn_edges_extracted : int;
+  sn_cone_nodes : int;
+  sn_rounds : int;
+  sn_pending_first : int;
+  sn_bound : float array;  (** [Iccss] only, [[||]] otherwise *)
+  sn_expanded : bool array;  (** [Iccss] only, [[||]] otherwise *)
+}
+
+val snapshot : t -> snapshot
+
+(** [restore ?obs ?pool snap timer verts ~corner] rebuilds a live engine
+    from a snapshot against a (reparsed) design's timer and vertex
+    registry: replays the edges in order into a fresh graph and restores
+    the engine-specific state without re-running any extraction (in
+    particular [Full]'s exhaustive pass and [Iccss]'s bound DP do not
+    rerun). The snapshot's dense cell/port ids must come from a design
+    text round-trip of the same design ({!Css_flow.Flow.clone}
+    semantics), which preserves them. *)
+val restore :
+  ?obs:Css_util.Obs.t ->
+  ?pool:Css_util.Pool.t ->
+  snapshot ->
+  Css_sta.Timer.t ->
+  Vertex.t ->
+  corner:Css_sta.Timer.corner ->
+  t
+
 (** {1 Deprecated per-engine modules}
 
     The pre-unification call surface, kept as thin aliases for external

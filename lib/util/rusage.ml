@@ -1,8 +1,10 @@
-(* Peak resident-set size, read from the kernel's per-process
-   accounting. Linux exposes the high-water mark as the "VmHWM" line of
-   /proc/self/status (in kB); on systems without procfs the reader
-   degrades to 0 rather than failing, so bench artifacts stay writable
-   everywhere and a zero field means "not measured" by convention. *)
+(* Process memory accounting, read from the kernel's procfs. Linux
+   exposes the resident-set high-water mark as the "VmHWM" line and the
+   current resident set as "VmRSS" in /proc/self/status (both in kB);
+   system-wide reclaimable memory is "MemAvailable" in /proc/meminfo. On
+   systems without procfs every reader degrades to 0 rather than
+   failing, so bench artifacts stay writable everywhere and a zero field
+   means "not measured" by convention. *)
 
 let parse_kb line =
   (* "VmHWM:     12345 kB" -> 12345 *)
@@ -16,18 +18,26 @@ let parse_kb line =
   in
   if start >= n then 0 else take start 0
 
-let peak_rss_bytes () =
-  match open_in "/proc/self/status" with
+let scan_kb_field path field =
+  match open_in path with
   | exception Sys_error _ -> 0
   | ic ->
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () ->
+        let pfx = field ^ ":" in
+        let pn = String.length pfx in
         let rec scan () =
           match input_line ic with
           | line ->
-            if String.length line >= 6 && String.sub line 0 6 = "VmHWM:" then parse_kb line * 1024
+            if String.length line >= pn && String.sub line 0 pn = pfx then parse_kb line * 1024
             else scan ()
           | exception End_of_file -> 0
         in
         scan ())
+
+let peak_rss_bytes () = scan_kb_field "/proc/self/status" "VmHWM"
+
+let current_rss_bytes () = scan_kb_field "/proc/self/status" "VmRSS"
+
+let available_bytes () = scan_kb_field "/proc/meminfo" "MemAvailable"

@@ -1,11 +1,24 @@
-(** Process resource usage, for bench artifacts.
+(** Process and system memory accounting, for bench artifacts and
+    resource budgets.
 
-    The reader is best-effort: on Linux it parses [/proc/self/status];
-    elsewhere it returns 0, which downstream consumers treat as "not
-    measured". *)
+    Every reader is best-effort: on Linux it parses procfs; elsewhere it
+    returns 0, which downstream consumers treat as "not measured". *)
 
 (** [peak_rss_bytes ()] is the process's peak resident-set size
     (high-water mark) in bytes, or 0 when the platform does not expose
-    it. O(lines of /proc/self/status) per call; intended for once-per-run
-    sampling, not inner loops. *)
+    it. O(lines of /proc/self/status) per call; intended for
+    once-per-run sampling, not inner loops. *)
 val peak_rss_bytes : unit -> int
+
+(** [current_rss_bytes ()] is the process's current resident-set size in
+    bytes (the figure the OOM killer acts on), or 0 when unavailable.
+    Same cost as {!peak_rss_bytes}; {!Budget} polls it at iteration and
+    phase boundaries only. *)
+val current_rss_bytes : unit -> int
+
+(** [available_bytes ()] is the kernel's estimate of memory available to
+    new allocations without swapping ([MemAvailable] in
+    [/proc/meminfo]), or 0 when unavailable — the probe
+    [bench/run.sh --paper] uses to pick a profile that fits the machine
+    instead of OOM-killing the runner. *)
+val available_bytes : unit -> int

@@ -503,6 +503,98 @@ let test_scheduler_does_not_create_cross_corner_wns_violations () =
   checkb "early WNS not degraded below 0 by late phase" true
     (early_after >= Float.min early_before 0.0 -. 1e-6)
 
+let test_scheduler_should_stop_immediately () =
+  (* [should_stop] is polled before any work: an always-true interrupt
+     stops with Interrupted, zero iterations and an untouched design *)
+  let design = Generator.generate Profile.tiny in
+  let timer = Timer.build design in
+  let tns0 = Timer.tns timer Timer.Late in
+  let extraction, _ = Engine.ours timer ~corner:Timer.Late in
+  let config =
+    { Scheduler.default_config with Scheduler.should_stop = Some (fun () -> true) }
+  in
+  let result = Scheduler.run ~config timer extraction in
+  checkb "interrupted" true (result.Scheduler.stop_reason = Scheduler.Interrupted);
+  checki "no iterations" 0 result.Scheduler.iterations;
+  checkf 1e-9 "TNS untouched" tns0 (Timer.tns timer Timer.Late);
+  Array.iter (fun l -> checkf 1e-9 "no increments" 0.0 l) result.Scheduler.target_latency;
+  Alcotest.check Alcotest.string "stable name" "interrupted"
+    (Scheduler.stop_reason_name Scheduler.Interrupted)
+
+let test_scheduler_should_stop_after_n () =
+  (* interrupting after k polls bounds the iteration count at k, and
+     whatever latencies were applied before the interrupt stay applied *)
+  let design = Generator.generate Profile.tiny in
+  let timer = Timer.build design in
+  let extraction, _ = Engine.ours timer ~corner:Timer.Late in
+  let polls = ref 0 in
+  let config =
+    {
+      Scheduler.default_config with
+      Scheduler.should_stop =
+        Some
+          (fun () ->
+            incr polls;
+            !polls > 2);
+    }
+  in
+  let result = Scheduler.run ~config timer extraction in
+  checkb "interrupted" true (result.Scheduler.stop_reason = Scheduler.Interrupted);
+  checkb "bounded iterations" true (result.Scheduler.iterations <= 2);
+  let verts = Seq_graph.vertices extraction.Scheduler.graph in
+  Array.iter
+    (fun ff ->
+      checkf 1e-9 "partial targets = design state"
+        result.Scheduler.target_latency.(Vertex.of_ff verts ff)
+        (Design.scheduled_latency design ff))
+    (Design.ffs design)
+
+let test_scheduler_ring_never_worse_than_best () =
+  (* the best-k ring guarantee: a Stalled/Max_iterations run ends no
+     worse than the best TNS its trace ever reached (restoration backs
+     oscillations out); ring_restored only fires on those stops *)
+  List.iter
+    (fun best_ring ->
+      let design = Generator.generate Profile.tiny in
+      let timer = Timer.build design in
+      let extraction, _ = Engine.ours timer ~corner:Timer.Late in
+      let config = { Scheduler.default_config with Scheduler.best_ring } in
+      let result = Scheduler.run ~config timer extraction in
+      let final = Timer.tns timer Timer.Late in
+      if best_ring > 0 then begin
+        let best_traced =
+          List.fold_left
+            (fun acc (it : Scheduler.iteration) -> Float.max acc it.Scheduler.tns_late)
+            neg_infinity result.Scheduler.trace
+        in
+        (match result.Scheduler.stop_reason with
+        | Scheduler.Stalled | Scheduler.Max_iterations ->
+          checkb "final TNS >= best traced" true (final >= best_traced -. 1e-6)
+        | _ -> ());
+        if result.Scheduler.ring_restored then
+          checkb "restored only on stall/cap" true
+            (result.Scheduler.stop_reason = Scheduler.Stalled
+            || result.Scheduler.stop_reason = Scheduler.Max_iterations)
+      end
+      else checkb "ring disabled never restores" true (not result.Scheduler.ring_restored))
+    [ 0; 1; 4 ]
+
+let test_scheduler_ring_restore_matches_design () =
+  (* whatever the ring did, result.target_latency and the design's
+     scheduled latencies must agree afterwards *)
+  let design = Generator.generate Profile.tiny in
+  let timer = Timer.build design in
+  let extraction, _ = Engine.ours timer ~corner:Timer.Late in
+  let config = { Scheduler.default_config with Scheduler.best_ring = 1 } in
+  let result = Scheduler.run ~config timer extraction in
+  let verts = Seq_graph.vertices extraction.Scheduler.graph in
+  Array.iter
+    (fun ff ->
+      checkf 1e-9 "restored targets = design state"
+        result.Scheduler.target_latency.(Vertex.of_ff verts ff)
+        (Design.scheduled_latency design ff))
+    (Design.ffs design)
+
 let () =
   Alcotest.run "core"
     [
@@ -560,5 +652,13 @@ let () =
           Alcotest.test_case "idempotent when clean" `Quick test_scheduler_idempotent_when_clean;
           Alcotest.test_case "cross-corner safety" `Quick
             test_scheduler_does_not_create_cross_corner_wns_violations;
+          Alcotest.test_case "should_stop interrupts immediately" `Quick
+            test_scheduler_should_stop_immediately;
+          Alcotest.test_case "should_stop after n polls" `Quick
+            test_scheduler_should_stop_after_n;
+          Alcotest.test_case "ring never worse than best" `Quick
+            test_scheduler_ring_never_worse_than_best;
+          Alcotest.test_case "ring restore matches design" `Quick
+            test_scheduler_ring_restore_matches_design;
         ] );
     ]

@@ -112,6 +112,86 @@ let pipeline_survives_prop =
         QCheck.Test.fail_report
           (Printf.sprintf "%s\nreproduce with: %s" msg (Fault_seq.to_string t)))
 
+(* {2 Resume identity: continuation must be invisible} *)
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "css-diff-test-%d-%d" (Unix.getpid ()) !n)
+    in
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    dir
+
+let resume_algos = [ Css_flow.Flow.Ours; Css_flow.Flow.Iccss_plus; Css_flow.Flow.Fpm ]
+
+(* the acceptance sweep: >= 3 profiles x 3 algorithms, killed at a
+   completed-phase boundary, resumed from disk, final latencies bitwise
+   identical to an uninterrupted run *)
+let test_resume_identity_sweep () =
+  List.iter
+    (fun profile ->
+      List.iter
+        (fun algo ->
+          let design = Generator.generate profile in
+          let ctx =
+            Printf.sprintf "resume/%s/%s" profile.Profile.name (Css_flow.Flow.algo_name algo)
+          in
+          fail_all ctx
+            (Oracles.check_resume_identity ~kill_after_phase:1 design ~algo ~dir:(fresh_dir ())))
+        resume_algos)
+    (profiles 424242)
+
+(* mid-phase kills: the scheduler aborts between iterations, nothing of
+   the partial phase survives, and the redo is bitwise the same *)
+let resume_identity_prop =
+  QCheck.Test.make ~name:"resume bitwise-identical killed at any boundary" ~count:8
+    (QCheck.pair
+       (QCheck.make ~print:string_of_int (QCheck.Gen.int_bound 100_000))
+       (QCheck.make ~print:string_of_int (QCheck.Gen.int_bound 30)))
+    (fun (seed, kill_at) ->
+      let design = Generator.generate { Profile.tiny with Profile.seed } in
+      match
+        Oracles.check_resume_identity ~kill_after_iteration:(kill_at + 1) design
+          ~algo:Css_flow.Flow.Ours ~dir:(fresh_dir ())
+      with
+      | [] -> true
+      | failures -> QCheck.Test.fail_report (String.concat "\n" failures))
+
+(* crash injection: a torn write of the checkpoint file itself must be
+   detected at load, never parsed into a half-state *)
+let test_partial_write_detected () =
+  let dir = fresh_dir () in
+  let design = Generator.generate { Profile.tiny with Profile.seed = 7 } in
+  let config =
+    {
+      Css_flow.Flow.default_config with
+      Css_flow.Flow.checkpoint_dir = Some dir;
+      Css_flow.Flow.rounds = 1;
+    }
+  in
+  ignore (Css_flow.Flow.run ~config ~algo:Css_flow.Flow.Ours design);
+  let file = Css_flow.Persist.path ~dir in
+  let pristine = In_channel.with_open_bin file In_channel.input_all in
+  (* every prefix of the file is a possible torn state after a crash
+     mid-write over the final name (the atomic tmp+rename path never
+     produces these; this guards the detection that backs it up) *)
+  List.iter
+    (fun frac ->
+      let n = String.length pristine * frac / 100 in
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_string oc (String.sub pristine 0 n));
+      match Css_flow.Persist.load ~dir with
+      | Ok _ when frac < 100 -> Alcotest.failf "a %d%% prefix loaded as a valid checkpoint" frac
+      | Ok _ -> ()
+      | Error (d :: _) ->
+        if not (String.length d.Css_util.Diag.code >= 5 && String.sub d.Css_util.Diag.code 0 5 = "CKPT-")
+        then Alcotest.failf "prefix %d%%: rejection without a CKPT code (%s)" frac d.Css_util.Diag.code
+      | Error [] -> Alcotest.fail "rejection without diagnostics")
+    [ 0; 3; 17; 50; 90; 99; 100 ]
+
 (* {2 The shrinker itself} *)
 
 let test_roundtrip () =
@@ -195,6 +275,13 @@ let () =
         [
           Alcotest.test_case "jobs sweep" `Quick test_jobs_identity_sweep;
           QCheck_alcotest.to_alcotest jobs_identity_prop;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "identity sweep (3 profiles x 3 algos)" `Quick
+            test_resume_identity_sweep;
+          QCheck_alcotest.to_alcotest resume_identity_prop;
+          Alcotest.test_case "partial writes detected" `Quick test_partial_write_detected;
         ] );
       ( "fault-corpus",
         [

@@ -4,10 +4,15 @@
 module Design = Css_netlist.Design
 module Evaluator = Css_eval.Evaluator
 module Flow = Css_flow.Flow
+module Persist = Css_flow.Persist
+module Budget = Css_util.Budget
+module Diag = Css_util.Diag
 module Generator = Css_benchgen.Generator
 module Profile = Css_benchgen.Profile
 
 let checkb = Alcotest.check Alcotest.bool
+let checks = Alcotest.check Alcotest.string
+let checki = Alcotest.check Alcotest.int
 
 let small_profile () = Profile.scale 0.35 (Option.get (Profile.by_name "sb18"))
 
@@ -147,6 +152,141 @@ let test_flow_with_cts () =
   checkb "CTS flow still improves early" true
     (r.Flow.report.Evaluator.tns_early >= before.Evaluator.tns_early)
 
+(* {2 Durable checkpoints, budgets and resume} *)
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "css-flow-test-%d-%d" (Unix.getpid ()) !n)
+    in
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    dir
+
+let test_persist_roundtrip () =
+  let dir = fresh_dir () in
+  let design = Flow.clone (Lazy.force base_design) in
+  let config = { Flow.default_config with Flow.checkpoint_dir = Some dir; Flow.rounds = 1 } in
+  let r = Flow.run ~config ~algo:Flow.Ours design in
+  checkb "run completed" true (r.Flow.stop_reason <> "interrupted");
+  match Persist.load ~dir with
+  | Error ds -> Alcotest.failf "load failed: %s" (match ds with d :: _ -> d.Diag.message | [] -> "?")
+  | Ok ps ->
+    checks "algo" "Ours" ps.Persist.ps_algo;
+    checks "design name" (Design.name design) ps.Persist.ps_design;
+    checkb "phases recorded" true (ps.Persist.ps_phases_done >= 1);
+    checkb "best carried" true (ps.Persist.ps_best <> None);
+    checkb "engines carried" true (ps.Persist.ps_engines <> []);
+    checkb "trace carried" true (List.length ps.Persist.ps_trace > 1);
+    checki "anchors sized" (Design.num_cells design) (Array.length ps.Persist.ps_anchor_x)
+
+let load_code dir =
+  match Persist.load ~dir with
+  | Ok _ -> "ok"
+  | Error (d :: _) -> d.Diag.code
+  | Error [] -> "no-diag"
+
+let test_checkpoint_corruption () =
+  let dir = fresh_dir () in
+  let design = Generator.micro () in
+  let config = { Flow.default_config with Flow.checkpoint_dir = Some dir; Flow.rounds = 1 } in
+  ignore (Flow.run ~config ~algo:Flow.Ours design);
+  let file = Persist.path ~dir in
+  let pristine = In_channel.with_open_bin file In_channel.input_all in
+  let write s = Out_channel.with_open_bin file (fun oc -> Out_channel.output_string oc s) in
+  checks "pristine loads" "ok" (load_code dir);
+  (* truncation: cut mid-structure *)
+  write (String.sub pristine 0 (String.length pristine / 2));
+  checks "truncated" "CKPT-004" (load_code dir);
+  (* bit rot: flip one byte inside the design-text blob *)
+  let flipped = Bytes.of_string pristine in
+  let target = String.length pristine - 20 in
+  Bytes.set flipped target (if Bytes.get flipped target = 'x' then 'y' else 'x');
+  write (Bytes.to_string flipped);
+  let code = load_code dir in
+  checkb "bitflip rejected (CKPT-003 or CKPT-005)" true (code = "CKPT-003" || code = "CKPT-005");
+  (* bad magic *)
+  write ("not-a-checkpoint 1\n" ^ pristine);
+  checks "bad magic" "CKPT-002" (load_code dir);
+  (* trailing garbage after the end marker *)
+  write (pristine ^ "junk\n");
+  checks "trailing bytes" "CKPT-005" (load_code dir);
+  (* missing file *)
+  Sys.remove file;
+  checks "missing" "CKPT-001" (load_code dir)
+
+let test_budget_ladder () =
+  (* a soft-tripped wall budget (soft threshold ~0, limit far away) must
+     walk the ladder one rung per phase boundary and end with a
+     structured budget stop, never worse than its best checkpoint *)
+  let design = Flow.clone (Lazy.force base_design) in
+  let before = Evaluator.evaluate (Flow.clone (Lazy.force base_design)) in
+  let config =
+    {
+      Flow.default_config with
+      Flow.budget = { Budget.no_limits with Budget.wall_seconds = Some 3600.0; soft_frac = 1e-9 };
+    }
+  in
+  let r = Flow.run ~config ~algo:Flow.Ours design in
+  checks "stop reason" "budget-wall" r.Flow.stop_reason;
+  checkb "ladder walked" true (List.length r.Flow.degradations >= 2);
+  checkb "ladder steps named" true
+    (List.mem "shrink-ring(wall)" r.Flow.degradations
+    && List.mem "early-stop(wall)" r.Flow.degradations);
+  checkb "no worse than input" true
+    (Float.min r.Flow.report.Evaluator.wns_early r.Flow.report.Evaluator.wns_late
+    >= Float.min before.Evaluator.wns_early before.Evaluator.wns_late -. 1e-6)
+
+let test_hard_budget_stops () =
+  let design = Flow.clone (Lazy.force base_design) in
+  let config =
+    {
+      Flow.default_config with
+      Flow.budget = { Budget.no_limits with Budget.wall_seconds = Some 1e-9 };
+    }
+  in
+  let r = Flow.run ~config ~algo:Flow.Ours design in
+  checks "stop reason" "budget-wall" r.Flow.stop_reason;
+  checkb "no degradation steps on a hard stop" true (r.Flow.degradations = [])
+
+let test_interrupt_persists_and_resumes () =
+  let dir = fresh_dir () in
+  let design = Flow.clone (Lazy.force base_design) in
+  let config =
+    {
+      Flow.default_config with
+      Flow.checkpoint_dir = Some dir;
+      Flow.debug_interrupt_after_phase = Some 1;
+    }
+  in
+  let r = Flow.run ~config ~algo:Flow.Ours design in
+  checks "stop reason" "interrupted" r.Flow.stop_reason;
+  match Persist.load ~dir with
+  | Error _ -> Alcotest.fail "no checkpoint after interrupt"
+  | Ok ps -> (
+    checki "exactly one phase persisted" 1 ps.Persist.ps_phases_done;
+    match
+      Flow.resume
+        ~config:{ Flow.default_config with Flow.checkpoint_dir = Some dir }
+        ~library:(Design.library design) ~dir ()
+    with
+    | Error ds ->
+      Alcotest.failf "resume failed: %s" (match ds with d :: _ -> d.Diag.message | [] -> "?")
+    | Ok (r2, _) ->
+      checkb "resumed flag" true r2.Flow.resumed;
+      checkb "resumed run finished" true (r2.Flow.stop_reason <> "interrupted");
+      checkb "resumed run accumulated more phases" true
+        (r2.Flow.css_iterations >= r.Flow.css_iterations))
+
+let test_resume_from_garbage_dir () =
+  let dir = fresh_dir () in
+  match Flow.resume ~library:Css_liberty.Library.default ~dir () with
+  | Ok _ -> Alcotest.fail "resume from an empty dir must fail"
+  | Error (d :: _) -> checks "code" "CKPT-001" d.Diag.code
+  | Error [] -> Alcotest.fail "no diagnostics"
+
 let test_flow_on_micro () =
   let design = Generator.micro () in
   let r = Flow.run ~algo:Flow.Ours design in
@@ -176,5 +316,15 @@ let () =
           Alcotest.test_case "resize flag" `Quick test_flow_with_resize;
           Alcotest.test_case "cts flag" `Quick test_flow_with_cts;
           Alcotest.test_case "micro end-to-end" `Quick test_flow_on_micro;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "persist roundtrip" `Quick test_persist_roundtrip;
+          Alcotest.test_case "checkpoint corruption codes" `Quick test_checkpoint_corruption;
+          Alcotest.test_case "budget degradation ladder" `Quick test_budget_ladder;
+          Alcotest.test_case "hard budget stops" `Quick test_hard_budget_stops;
+          Alcotest.test_case "interrupt persists and resumes" `Quick
+            test_interrupt_persists_and_resumes;
+          Alcotest.test_case "resume from garbage dir" `Quick test_resume_from_garbage_dir;
         ] );
     ]

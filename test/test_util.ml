@@ -324,6 +324,93 @@ let test_wall_clock_time () =
   checki "result" 42 x;
   checkb "elapsed >= 0" true (dt >= 0.0)
 
+(* ------------------------------------------------------------------ *)
+(* Budget *)
+
+module Budget = Css_util.Budget
+module Obs = Css_util.Obs
+module Rusage = Css_util.Rusage
+
+let counter_value obs name =
+  match List.assoc_opt name (Obs.counters obs) with Some v -> v | None -> 0
+
+let test_budget_validation () =
+  let invalid limits =
+    match Budget.create limits with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "expected Invalid_argument"
+  in
+  invalid { Budget.no_limits with Budget.soft_frac = 0.0 };
+  invalid { Budget.no_limits with Budget.soft_frac = 1.5 };
+  invalid { Budget.no_limits with Budget.wall_seconds = Some (-1.0) };
+  invalid { Budget.no_limits with Budget.rss_bytes = Some 0 };
+  ignore (Budget.create Budget.no_limits)
+
+let test_budget_no_limits_under () =
+  let b = Budget.create Budget.no_limits in
+  checkb "under" true (Budget.poll b = Budget.Under);
+  checkb "not hard" true (not (Budget.hard b));
+  checkb "no wall remaining" true (Budget.remaining_wall b = None)
+
+let test_budget_soft_every_poll_trips_once () =
+  (* a microscopic soft fraction of a huge wall limit: in the soft
+     region from the first poll on, but the Obs trip records only the
+     first crossing *)
+  let obs = Obs.create () in
+  let b =
+    Budget.create ~obs
+      { Budget.no_limits with Budget.wall_seconds = Some 3600.0; Budget.soft_frac = 1e-9 }
+  in
+  Unix.sleepf 0.002;
+  checkb "soft wall (1st)" true (Budget.poll b = Budget.Soft "wall");
+  checkb "soft wall (2nd)" true (Budget.poll b = Budget.Soft "wall");
+  checkb "soft wall (3rd)" true (Budget.poll b = Budget.Soft "wall");
+  checki "one soft trip" 1 (counter_value obs "budget.soft_trips");
+  checki "three polls" 3 (counter_value obs "budget.polls");
+  checkb "soft is not hard" true (not (Budget.hard b))
+
+let test_budget_hard_sticky () =
+  let obs = Obs.create () in
+  let b =
+    Budget.create ~obs { Budget.no_limits with Budget.wall_seconds = Some 1e-6 }
+  in
+  Unix.sleepf 0.002;
+  checkb "hard wall" true (Budget.poll b = Budget.Hard "wall");
+  checkb "hard sticky" true (Budget.poll b = Budget.Hard "wall");
+  checkb "hard flag" true (Budget.hard b);
+  checki "one hard trip" 1 (counter_value obs "budget.hard_trips");
+  checkb "no wall left" true (Budget.remaining_wall b = Some 0.0)
+
+let test_budget_wall_wins_over_rss () =
+  (* both resources over their (absurd) limits: the reason string names
+     the wall clock, the budget the user set explicitly *)
+  let b =
+    Budget.create
+      { Budget.no_limits with Budget.wall_seconds = Some 1e-6; Budget.rss_bytes = Some 1 }
+  in
+  Unix.sleepf 0.002;
+  if Rusage.current_rss_bytes () > 0 then
+    checkb "wall named" true (Budget.poll b = Budget.Hard "wall")
+
+let test_budget_rss_soft () =
+  (* an RSS limit well above current use, with a soft fraction well
+     below it: deterministic Soft "rss" wherever procfs is readable *)
+  let rss = Rusage.current_rss_bytes () in
+  if rss > 0 then begin
+    let b =
+      Budget.create
+        { Budget.no_limits with Budget.rss_bytes = Some (rss * 10); Budget.soft_frac = 0.05 }
+    in
+    checkb "soft rss" true (Budget.poll b = Budget.Soft "rss")
+  end
+
+let test_budget_elapsed_and_remaining () =
+  let b = Budget.create { Budget.no_limits with Budget.wall_seconds = Some 3600.0 } in
+  checkb "elapsed >= 0" true (Budget.elapsed_seconds b >= 0.0);
+  match Budget.remaining_wall b with
+  | Some r -> checkb "remaining in (0, 3600]" true (r > 0.0 && r <= 3600.0)
+  | None -> Alcotest.failf "expected Some remaining"
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -389,5 +476,16 @@ let () =
         [
           Alcotest.test_case "accumulates" `Quick test_wall_clock_accumulates;
           Alcotest.test_case "time" `Quick test_wall_clock_time;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "validation" `Quick test_budget_validation;
+          Alcotest.test_case "no limits is under" `Quick test_budget_no_limits_under;
+          Alcotest.test_case "soft every poll, trips once" `Quick
+            test_budget_soft_every_poll_trips_once;
+          Alcotest.test_case "hard is sticky" `Quick test_budget_hard_sticky;
+          Alcotest.test_case "wall wins over rss" `Quick test_budget_wall_wins_over_rss;
+          Alcotest.test_case "rss soft" `Quick test_budget_rss_soft;
+          Alcotest.test_case "elapsed and remaining" `Quick test_budget_elapsed_and_remaining;
         ] );
     ]
