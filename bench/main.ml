@@ -439,10 +439,9 @@ let json_designs =
 
 let write_json entries =
   let module J = Obs.Json in
-  let oc = open_out json_path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  (* atomic (tmp+rename): a bench run killed mid-write must not leave a
+     truncated artifact for the CI gate to choke on *)
+  Css_util.Json.write_file json_path (fun oc ->
       output_string oc "[\n";
       List.iteri
         (fun i e ->
@@ -452,6 +451,14 @@ let write_json entries =
       output_string oc "\n]\n");
   Printf.printf "wrote %s (%d records; schema in docs/OBSERVABILITY.md)\n%!" json_path
     (List.length entries)
+
+(* per-record latency histograms (the obs context is per engine run), in
+   the same shape as a stats dump's "histograms" object so css_stats
+   compares p95s across bench artifacts *)
+let histograms_field obs =
+  ( "histograms",
+    Obs.Json.Obj
+      (List.map (fun (n, h) -> (n, Css_util.Histo.to_json h)) (Obs.histograms obs)) )
 
 let bench_json () =
   section "BENCH_css.json — machine-readable per-iteration engine comparison";
@@ -554,6 +561,7 @@ let bench_json () =
                 ("extract_speedup", J.Float extract_speedup);
                 ("per_iter", per_iter);
                 ("counters", J.Obj (List.map (fun (n, v) -> (n, J.Int v)) (Obs.counters obs)));
+                histograms_field obs;
               ])
           runs)
       bench_profiles
@@ -619,8 +627,9 @@ let paper_scale () =
         let cells = Design.num_cells design in
         let ffs = Array.length (Design.ffs design) in
         let initial = Evaluator.evaluate design in
+        let obs = Obs.create () in
         let t0 = Css_util.Wall_clock.now () in
-        let config = { Flow.default_config with Flow.budget } in
+        let config = { Flow.default_config with Flow.budget; Flow.obs = obs } in
         let r = Flow.run ~config ~algo:Flow.Ours design in
         let wall_s = Css_util.Wall_clock.now () -. t0 in
         if r.Flow.degradations <> [] then
@@ -664,6 +673,7 @@ let paper_scale () =
               J.List (List.map (fun d -> J.String d) r.Flow.degradations) );
             ( "rss_budget_bytes",
               J.Int (Option.value ~default:0 budget.Css_util.Budget.rss_bytes) );
+            histograms_field obs;
           ])
       paper_designs
   in

@@ -62,10 +62,24 @@ if [ "${1:-}" = "--smoke" ]; then
     echo "smoke: expected exit 2 on malformed input, got $rc" >&2
     exit 1
   fi
+  # streaming tracer end-to-end: a traced run must produce a Chrome
+  # trace_event JSON (css_trace.json — CI uploads it as the Perfetto
+  # artifact) and clean up its spill file
+  dune exec bin/css_opt_cli.exe -- --benchmark tiny --rounds 1 --quiet --jobs 2 \
+    --trace-out "$PWD/css_trace.json"
+  if [ ! -s "$PWD/css_trace.json" ]; then
+    echo "smoke: --trace-out produced no trace" >&2
+    exit 1
+  fi
+  if [ -e "$PWD/css_trace.json.spill" ]; then
+    echo "smoke: tracer spill file left behind after successful export" >&2
+    exit 1
+  fi
   # bounded bench pass at the largest profile CI can afford: sb18 at
   # 10x (~58k cells), skipping the slow IC-CSS over-extraction engine.
-  # Leaves BENCH_css.json (with cells_per_sec / peak_rss_bytes fields)
-  # for CI to upload as the per-PR perf artifact.
+  # Leaves BENCH_css.json (with cells_per_sec / peak_rss_bytes /
+  # histograms fields) for CI to upload as the per-PR perf artifact and
+  # to diff against bench/baseline_smoke.json with css_stats --gate.
   CSS_BENCH_JSON_ONLY=1 CSS_BENCH_SCALE=10 CSS_BENCH_DESIGNS=sb18 \
     CSS_BENCH_ENGINES=full,iterative-essential \
     CSS_BENCH_JSON="${CSS_BENCH_JSON:-$PWD/BENCH_css.json}" \

@@ -5,6 +5,7 @@ module Design = Css_netlist.Design
 module Evaluator = Css_eval.Evaluator
 module Flow = Css_flow.Flow
 module Obs = Css_util.Obs
+module Tracer = Css_util.Tracer
 open Cmdliner
 
 let algo_conv =
@@ -51,10 +52,20 @@ let trace_flag =
 
 let stats_json =
   let doc =
-    "Write the run's observability dump (counters, phase spans, per-iteration snapshots; \
-     see docs/OBSERVABILITY.md) as JSON to $(docv)."
+    "Write the run's observability dump (counters, phase spans, latency histograms, \
+     per-iteration snapshots; see docs/OBSERVABILITY.md) as JSON to $(docv)."
   in
   Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE" ~doc)
+
+let trace_out =
+  let doc =
+    "Record a streaming execution trace (flow phases, per-worker extraction chunks, \
+     scheduler iterations, checkpoint writes, budget samples, GC major slices) and write \
+     it as Chrome trace_event JSON to $(docv) — open with ui.perfetto.dev or \
+     chrome://tracing. Ring overflow spills to $(docv).spill during the run (removed on \
+     success). Implies stats collection."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
 let quiet_flag =
   let doc = "Suppress normal progress output; print only errors (and --trace streams)." in
@@ -164,16 +175,25 @@ let setup_logs verbose quiet =
        | 1 -> Some Logs.Info
        | _ -> Some Logs.Debug)
 
-let main benchmark input algo rounds scale save_out trace_flag stats_json quiet resize cts
-    verbose su hu sdc jobs checkpoint_dir resume_flag max_seconds max_rss_mb =
+let main benchmark input algo rounds scale save_out trace_flag stats_json trace_out quiet
+    resize cts verbose su hu sdc jobs checkpoint_dir resume_flag max_seconds max_rss_mb =
   setup_logs verbose quiet;
   let say fmt =
     Printf.ksprintf (fun s -> if not quiet then print_string s) fmt
   in
   let obs =
     if trace_flag then Obs.create_trace stderr
-    else if stats_json <> None then Obs.create ()
+    else if stats_json <> None || trace_out <> None then Obs.create ()
     else Obs.null
+  in
+  let tracer =
+    match trace_out with
+    | None -> Tracer.null
+    | Some path ->
+      let t = Tracer.create ~tracks:(max 1 jobs) ~spill:(path ^ ".spill") () in
+      Obs.attach_tracer obs t;
+      Tracer.install_gc_alarm t ~track:0;
+      t
   in
   let budget =
     {
@@ -209,6 +229,26 @@ let main benchmark input algo rounds scale save_out trace_flag stats_json quiet 
           prerr_endline ("css_opt: cannot write stats json: " ^ m);
           false)
     in
+    let trace_ok =
+      match trace_out with
+      | None -> true
+      | Some path -> (
+        try
+          Tracer.write_chrome_json tracer path;
+          let dropped = Tracer.dropped tracer in
+          Tracer.close tracer;
+          (* the spill file is an overflow buffer, not an artifact: once
+             the export succeeded it carries nothing the JSON lacks *)
+          Option.iter
+            (fun sp -> try Sys.remove sp with Sys_error _ -> ())
+            (Tracer.spill_path tracer);
+          say "wrote %s (%d events%s)\n" path (Tracer.recorded tracer)
+            (if dropped > 0 then Printf.sprintf ", %d dropped" dropped else "");
+          true
+        with Sys_error m ->
+          prerr_endline ("css_opt: cannot write trace: " ^ m);
+          false)
+    in
     if trace_flag && not quiet then begin
       print_endline "round phase        iter  wns_early  tns_early   wns_late   tns_late";
       List.iter
@@ -222,7 +262,7 @@ let main benchmark input algo rounds scale save_out trace_flag stats_json quiet 
       Css_netlist.Io.save design path;
       say "wrote %s\n" path
     | None -> ());
-    if stats_ok then 0 else 1
+    if stats_ok && trace_ok then 0 else 1
   in
   let fresh () =
   match load_design benchmark input scale with
@@ -283,6 +323,7 @@ let main benchmark input algo rounds scale save_out trace_flag stats_json quiet 
         Flow.use_cts = cts;
         Flow.timer = timer_cfg_pre;
         Flow.obs = obs;
+        Flow.tracer = tracer;
         Flow.jobs = max 1 jobs;
         Flow.budget = budget;
         Flow.checkpoint_dir;
@@ -321,6 +362,7 @@ let main benchmark input algo rounds scale save_out trace_flag stats_json quiet 
         Flow.use_resize = resize;
         Flow.use_cts = cts;
         Flow.obs = obs;
+        Flow.tracer = tracer;
         Flow.jobs = max 1 jobs;
         Flow.budget = budget;
         Flow.checkpoint_dir;
@@ -345,7 +387,7 @@ let cmd =
   Cmd.v info
     Term.(
       const main $ benchmark $ input $ algo $ rounds $ scale $ save_out $ trace_flag
-      $ stats_json $ quiet_flag $ resize_flag $ cts_flag $ verbose $ setup_uncertainty
+      $ stats_json $ trace_out $ quiet_flag $ resize_flag $ cts_flag $ verbose $ setup_uncertainty
       $ hold_uncertainty $ sdc $ jobs $ checkpoint_dir $ resume_flag $ max_seconds
       $ max_rss_mb)
 

@@ -83,6 +83,18 @@ let run ?(config = default_config) ?(obs = Obs.null) timer ext =
   let o_two_pass = Obs.counter obs "sched.two_pass_sweeps" in
   let o_bounds = Obs.counter obs "sched.bound_refreshes" in
   let o_raised = Obs.counter obs "sched.latency_increments" in
+  let observed = Obs.enabled obs in
+  (* Latency distributions per iteration phase (log-bucketed; see
+     docs/OBSERVABILITY.md): where does an iteration's time go, and how
+     heavy is the tail? Plus MMWC cycle lengths and the allocation cost
+     per iteration — the continuously-measured form of the SoA core's
+     allocation-free claim. *)
+  let h_extract = Obs.histogram obs "sched.extract_s" in
+  let h_solve = Obs.histogram obs "sched.solve_s" in
+  let h_apply = Obs.histogram obs "sched.apply_s" in
+  let h_cycle_len = Obs.histogram obs "sched.cycle_len" in
+  let h_alloc = Obs.histogram obs "sched.alloc_words" in
+  let alloc_mark = ref (if observed then Css_util.Rusage.gc_allocated_words () else 0.0) in
   let n = Vertex.num verts in
   let fixed = Array.make n false in
   fixed.(Vertex.input_super verts) <- true;
@@ -106,6 +118,11 @@ let run ?(config = default_config) ?(obs = Obs.null) timer ext =
     in
     trace := it :: !trace;
     Obs.incr o_iters;
+    if observed then begin
+      let a = Css_util.Rusage.gc_allocated_words () in
+      Css_util.Histo.observe h_alloc (a -. !alloc_mark);
+      alloc_mark := a
+    end;
     if Obs.enabled obs then
       Obs.snapshot obs ~label:"sched.iter"
         [
@@ -122,6 +139,7 @@ let run ?(config = default_config) ?(obs = Obs.null) timer ext =
   in
   let o_nonfinite = Obs.counter obs "sched.nonfinite_increments" in
   let apply increments =
+    let t_apply = Css_util.Wall_clock.now () in
     (* Numeric guard: a NaN/inf increment would be written straight into a
        scheduled latency and poison every subsequent propagation. Drop it
        (counted) rather than apply it. *)
@@ -144,7 +162,8 @@ let run ?(config = default_config) ?(obs = Obs.null) timer ext =
         | None -> ()
     done;
     Timer.update_latencies timer !changed;
-    Seq_graph.apply_latency_delta graph increments
+    Seq_graph.apply_latency_delta graph increments;
+    if observed then Css_util.Histo.observe h_apply (Css_util.Wall_clock.now () -. t_apply)
   in
   let margin v =
     Obs.incr o_bounds;
@@ -245,7 +264,13 @@ let run ?(config = default_config) ?(obs = Obs.null) timer ext =
       (k - 1, Deadline)
     end
     else begin
+      let t_extract = Css_util.Wall_clock.now () in
       let added = ext.extract () in
+      if observed then Css_util.Histo.observe h_extract (Css_util.Wall_clock.now () -. t_extract);
+      let t_solve = Css_util.Wall_clock.now () in
+      let solve_done () =
+        if observed then Css_util.Histo.observe h_solve (Css_util.Wall_clock.now () -. t_solve)
+      in
       if config.verify_weights then Seq_graph.refresh_weights graph timer;
       (* Edges between two pinned vertices can never change again: keeping
          them would re-detect already-handled cycles forever. *)
@@ -262,6 +287,8 @@ let run ?(config = default_config) ?(obs = Obs.null) timer ext =
         List.iter (fun v -> fixed.(v) <- true) cyc.Cycle.members;
         incr cycles;
         Obs.incr o_cycles;
+        if observed then Css_util.Histo.observe_int h_cycle_len (List.length cyc.Cycle.members);
+        solve_done ();
         apply cyc.Cycle.increments;
         let max_increment = Array.fold_left Float.max 0.0 cyc.Cycle.increments in
         record ~index:k ~handled_cycle:true ~max_increment;
@@ -279,6 +306,7 @@ let run ?(config = default_config) ?(obs = Obs.null) timer ext =
         Obs.incr o_two_pass;
         let max_increment = Array.fold_left Float.max 0.0 tp.Two_pass.l in
         if max_increment <= config.eps then begin
+          solve_done ();
           record ~index:k ~handled_cycle:false ~max_increment;
           (* a rate-limited extractor may still be mid-discovery: zero
              increments only terminate once extraction is quiescent too *)
@@ -297,6 +325,7 @@ let run ?(config = default_config) ?(obs = Obs.null) timer ext =
                 ext.on_cap_hit v
             end
           done;
+          solve_done ();
           apply tp.Two_pass.l;
           Log.debug (fun m ->
               m "iter %d: %d essential edges, max increment %.2f, %s TNS %.2f" k

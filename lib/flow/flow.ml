@@ -12,6 +12,7 @@ module Evaluator = Css_eval.Evaluator
 module Wall_clock = Css_util.Wall_clock
 module Diag = Css_util.Diag
 module Obs = Css_util.Obs
+module Tracer = Css_util.Tracer
 module Pool = Css_util.Pool
 module Budget = Css_util.Budget
 module Point = Css_geometry.Point
@@ -77,6 +78,7 @@ type config = {
   stall_phases : int;
   on_phase_end : (round:int -> phase:string -> Design.t -> unit) option;
   obs : Obs.t;
+  tracer : Tracer.t;
   jobs : int;
   budget : Budget.limits;
   checkpoint_dir : string option;
@@ -102,6 +104,7 @@ let default_config =
     stall_phases = 4;
     on_phase_end = None;
     obs = Obs.null;
+    tracer = Tracer.null;
     jobs = 1;
     budget = Budget.no_limits;
     checkpoint_dir = None;
@@ -270,7 +273,9 @@ let past_deadline st =
 let set_stop st reason =
   if st.stop = None then begin
     Log.warn (fun m -> m "flow stopping: %s" reason);
-    st.stop <- Some reason
+    st.stop <- Some reason;
+    Obs.snapshot st.cfg.obs ~label:"flow.stop"
+      [ ("reason", Obs.Json.String reason); ("elapsed_seconds", Obs.Json.Float (elapsed st)) ]
   end
 
 (* {2 Degradation ladder}
@@ -568,8 +573,12 @@ let persist_checkpoint st =
   | None -> ()
   | Some dir -> (
     try
+      let t0 = Wall_clock.now () in
       Persist.save ~dir (persist_state st);
-      Obs.incr (Obs.counter st.cfg.obs "flow.persisted")
+      let dt = Wall_clock.now () -. t0 in
+      Obs.incr (Obs.counter st.cfg.obs "flow.persisted");
+      Obs.snapshot st.cfg.obs ~label:"flow.checkpoint"
+        [ ("write_seconds", Obs.Json.Float dt) ]
     with Sys_error msg -> Log.warn (fun m -> m "checkpoint save failed: %s" msg))
 
 (* One CSS phase with the algorithm's engine (possibly degraded), followed
@@ -704,12 +713,14 @@ let execute ~(config : config) ~algo ~validation ~hpwl_before ?resume design =
   let resume_rung = match resume with Some r -> r.Persist.ps_rung | None -> 0 in
   let jobs_eff = if resume_rung >= 2 then 1 else config.jobs in
   let pool =
-    if jobs_eff > 1 then Some (Pool.create ~obs:config.obs ~jobs:jobs_eff ()) else None
+    if jobs_eff > 1 then
+      Some (Pool.create ~obs:config.obs ~tracer:config.tracer ~jobs:jobs_eff ())
+    else None
   in
   let budget =
     if config.budget.Budget.wall_seconds = None && config.budget.Budget.rss_bytes = None then
       None
-    else Some (Budget.create ~obs:config.obs config.budget)
+    else Some (Budget.create ~obs:config.obs ~tracer:config.tracer config.budget)
   in
   let engine0, corners =
     match algo with
@@ -750,7 +761,14 @@ let execute ~(config : config) ~algo ~validation ~hpwl_before ?resume design =
       iter_polls = 0;
     }
   in
-  Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown st.pool) @@ fun () ->
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter Pool.shutdown st.pool;
+      (* the signal/interrupt exit path runs through here too: make sure
+         any buffered trace events reach the spill file before the
+         process dies (the tracer's owner still closes/exports it) *)
+      Tracer.flush config.tracer)
+  @@ fun () ->
   (match resume with
   | None ->
     snapshot st ~round:0 ~phase:"start" ~iter:0;

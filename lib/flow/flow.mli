@@ -139,6 +139,17 @@ type config = {
           [opt.reconnect.*] / [opt.cell_move.*] counters, and the
           [flow.checkpoints] / [flow.rollbacks] counters.
           Default {!Css_util.Obs.null} (zero overhead). *)
+  tracer : Css_util.Tracer.t;
+      (** streaming event tracer threaded into the worker pool (one
+          ["pool.chunk"] span per claimed chunk, on the worker's own
+          track) and the budget governor (["budget.wall_s"] /
+          ["budget.rss_bytes"] counter lanes). Stop reasons, degradation
+          rungs and checkpoint-write durations reach the tracer as
+          instants via [obs] snapshot mirroring, so attach the same
+          tracer to [obs] with {!Css_util.Obs.attach_tracer}. The flow
+          flushes (but does not close) the tracer on every exit path,
+          including signal interrupts. Default {!Css_util.Tracer.null}
+          (zero overhead). *)
   jobs : int;
       (** worker domains for parallel extraction (default 1 =
           sequential). With [jobs > 1] the flow owns a

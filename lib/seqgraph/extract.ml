@@ -3,6 +3,7 @@ module Graph = Css_sta.Graph
 module Design = Css_netlist.Design
 module Cell = Css_liberty.Cell
 module Obs = Css_util.Obs
+module Histo = Css_util.Histo
 module Pool = Css_util.Pool
 
 type stats = {
@@ -25,6 +26,10 @@ type obs_counters = {
   o_endpoints : Obs.counter;  (* endpoints / vertices cone-walked *)
   o_cone : Obs.counter;
   o_rounds : Obs.counter;
+  (* Cone-walk size distribution (visited nodes per walked endpoint),
+     observed during the deterministic merge in item order — identical
+     at any worker count. [Histo.dummy] when observability is off. *)
+  h_cone : Histo.t;
 }
 
 let resolve_obs obs engine =
@@ -34,6 +39,7 @@ let resolve_obs obs engine =
     o_endpoints = Obs.counter obs (Printf.sprintf "extract.%s.endpoints_walked" engine);
     o_cone = Obs.counter obs (Printf.sprintf "extract.%s.cone_nodes" engine);
     o_rounds = Obs.counter obs (Printf.sprintf "extract.%s.rounds" engine);
+    h_cone = Obs.histogram obs (Printf.sprintf "extract.%s.cone_visited" engine);
   }
 
 let launchers_of_design timer =
@@ -104,6 +110,7 @@ let merge ?(keep = fun _ -> true) t shards =
   Array.iter
     (fun sh ->
       visited := !visited + sh.sh_visited;
+      Histo.observe_int t.oc.h_cone sh.sh_visited;
       List.iter
         (fun c ->
           incr cands;

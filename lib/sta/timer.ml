@@ -45,6 +45,9 @@ type obs_counters = {
   o_fwd : Obs.counter;
   o_bwd : Obs.counter;
   o_cone : Obs.counter;
+  (* Touched-node count per incremental update: the distribution behind
+     the "re-propagate only affected cones" claim. *)
+  h_update : Css_util.Histo.t;
 }
 
 let resolve_obs_counters obs =
@@ -54,6 +57,7 @@ let resolve_obs_counters obs =
     o_fwd = Obs.counter obs "timer.forward_visits";
     o_bwd = Obs.counter obs "timer.backward_visits";
     o_cone = Obs.counter obs "timer.cone_nodes";
+    h_update = Obs.histogram obs "timer.update_nodes";
   }
 
 (* All-float scratch record. OCaml lays an all-float record out flat, so
@@ -388,7 +392,8 @@ let update_after t ~fwd_seeds ~bwd_seeds =
   let changed = sweep t ~seeds:fwd_seeds ~forward:true in
   (* Required times depend on downstream rats *and* on local slews, so
      every node whose forward state changed must be re-examined too. *)
-  ignore (sweep t ~seeds:(List.rev_append changed bwd_seeds) ~forward:false)
+  let bwd_changed = sweep t ~seeds:(List.rev_append changed bwd_seeds) ~forward:false in
+  Css_util.Histo.observe_int t.oc.h_update (List.length changed + List.length bwd_changed)
 
 let update_latencies t ffs =
   let g = t.graph in

@@ -35,9 +35,12 @@ type t = {
   mutable wall_soft : bool; (* first Soft "wall" trip already recorded *)
   mutable rss_soft : bool;
   mutable hard_reason : string option; (* sticky: budgets never un-trip *)
+  tr : Tracer.t; (* counter lanes: budget pressure over time *)
+  tr_wall : Tracer.name;
+  tr_rss : Tracer.name;
 }
 
-let create ?(obs = Obs.null) limits =
+let create ?(obs = Obs.null) ?(tracer = Tracer.null) limits =
   if not (limits.soft_frac > 0. && limits.soft_frac <= 1.) then
     invalid_arg "Budget.create: soft_frac must be in (0, 1]";
   (match limits.wall_seconds with
@@ -56,6 +59,9 @@ let create ?(obs = Obs.null) limits =
     wall_soft = false;
     rss_soft = false;
     hard_reason = None;
+    tr = tracer;
+    tr_wall = Tracer.intern tracer "budget.wall_s";
+    tr_rss = Tracer.intern tracer "budget.rss_bytes";
   }
 
 let elapsed_seconds t = Wall_clock.now () -. t.started
@@ -93,6 +99,10 @@ let poll t =
       | Some limit -> classify ~soft_frac:t.limits.soft_frac ~used:wall_used ~limit
     in
     let rss_used = float_of_int (Rusage.current_rss_bytes ()) in
+    if Tracer.enabled t.tr then begin
+      Tracer.sample t.tr ~track:0 t.tr_wall wall_used;
+      if rss_used > 0. then Tracer.sample t.tr ~track:0 t.tr_rss rss_used
+    end;
     let rss_state =
       match t.limits.rss_bytes with
       | None -> `Under

@@ -15,7 +15,14 @@
     Observability: every context bumps [budget.polls]; threshold
     crossings bump [budget.soft_trips] / [budget.hard_trips] and emit
     one ["budget"] snapshot each with the level, reason, measured use
-    and the limit (schema in [docs/OBSERVABILITY.md]). *)
+    and the limit (schema in [docs/OBSERVABILITY.md]). With an enabled
+    [?tracer], every poll additionally samples the ["budget.wall_s"]
+    and ["budget.rss_bytes"] counter lanes, rendering resource pressure
+    as curves on the Perfetto timeline.
+
+    Clock source: budgets measure elapsed time with the monotonic
+    {!Wall_clock.now}, so a deadline survives NTP steps of the wall
+    clock mid-run. *)
 
 type limits = {
   wall_seconds : float option;  (** total run budget; [None] = unlimited *)
@@ -28,10 +35,10 @@ val no_limits : limits
 
 type t
 
-(** [create ?obs limits] arms the budget; the wall clock starts now.
+(** [create ?obs ?tracer limits] arms the budget; the clock starts now.
     @raise Invalid_argument on a non-positive limit or [soft_frac]
     outside (0, 1]. *)
-val create : ?obs:Obs.t -> limits -> t
+val create : ?obs:Obs.t -> ?tracer:Tracer.t -> limits -> t
 
 (** Result of one {!poll}, most urgent resource first.
 

@@ -1,0 +1,49 @@
+/* Monotonic clock stub for Css_util.Wall_clock.
+ *
+ * CLOCK_MONOTONIC never steps backwards when NTP slews or an operator
+ * resets the wall clock, so span timings, budgets and trace timestamps
+ * stay meaningful across clock adjustments.  The gettimeofday fallback
+ * only exists for platforms without POSIX clocks; on Linux (the target)
+ * clock_gettime is always taken.
+ *
+ * Two entry points per external: the native one returns an unboxed
+ * double (allocation-free, [@@noalloc]); the bytecode one boxes.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#ifdef _WIN32
+#include <sys/timeb.h>
+#else
+#include <time.h>
+#include <sys/time.h>
+#endif
+
+double css_monotonic_seconds_unboxed(value unit)
+{
+  (void)unit;
+#if !defined(_WIN32) && defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return (double)ts.tv_sec + (double)ts.tv_nsec * 1e-9;
+#endif
+#ifdef _WIN32
+  {
+    struct _timeb tb;
+    _ftime(&tb);
+    return (double)tb.time + (double)tb.millitm * 1e-3;
+  }
+#else
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return (double)tv.tv_sec + (double)tv.tv_usec * 1e-6;
+  }
+#endif
+}
+
+CAMLprim value css_monotonic_seconds_byte(value unit)
+{
+  return caml_copy_double(css_monotonic_seconds_unboxed(unit));
+}

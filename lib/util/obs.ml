@@ -1,237 +1,9 @@
 (* Observability contexts: counters, spans, snapshots, JSON dumping.
    See obs.mli for the contract; docs/OBSERVABILITY.md for the taxonomy. *)
 
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Int of int
-    | Float of float
-    | String of string
-    | List of t list
-    | Obj of (string * t) list
-
-  let escape_to b s =
-    Buffer.add_char b '"';
-    String.iter
-      (fun c ->
-        match c with
-        | '"' -> Buffer.add_string b "\\\""
-        | '\\' -> Buffer.add_string b "\\\\"
-        | '\n' -> Buffer.add_string b "\\n"
-        | '\r' -> Buffer.add_string b "\\r"
-        | '\t' -> Buffer.add_string b "\\t"
-        | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char b c)
-      s;
-    Buffer.add_char b '"'
-
-  (* Floats keep a decimal point (or exponent) so they parse back as
-     [Float], never [Int]; non-finite values have no JSON form and
-     degrade to null. *)
-  let float_repr x =
-    if Float.is_nan x || Float.abs x = infinity then "null"
-    else begin
-      let s = Printf.sprintf "%.12g" x in
-      if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s else s ^ ".0"
-    end
-
-  let rec to_buffer b = function
-    | Null -> Buffer.add_string b "null"
-    | Bool true -> Buffer.add_string b "true"
-    | Bool false -> Buffer.add_string b "false"
-    | Int i -> Buffer.add_string b (string_of_int i)
-    | Float x -> Buffer.add_string b (float_repr x)
-    | String s -> escape_to b s
-    | List xs ->
-      Buffer.add_char b '[';
-      List.iteri
-        (fun i x ->
-          if i > 0 then Buffer.add_char b ',';
-          to_buffer b x)
-        xs;
-      Buffer.add_char b ']'
-    | Obj kvs ->
-      Buffer.add_char b '{';
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then Buffer.add_char b ',';
-          escape_to b k;
-          Buffer.add_char b ':';
-          to_buffer b v)
-        kvs;
-      Buffer.add_char b '}'
-
-  let to_string v =
-    let b = Buffer.create 256 in
-    to_buffer b v;
-    Buffer.contents b
-
-  (* Recursive-descent parser over a string with an index cell. *)
-  let of_string s =
-    let n = String.length s in
-    let pos = ref 0 in
-    let fail msg = failwith (Printf.sprintf "Obs.Json.of_string: %s at offset %d" msg !pos) in
-    let peek () = if !pos < n then Some s.[!pos] else None in
-    let advance () = incr pos in
-    let rec skip_ws () =
-      match peek () with
-      | Some (' ' | '\t' | '\n' | '\r') ->
-        advance ();
-        skip_ws ()
-      | _ -> ()
-    in
-    let expect c =
-      if peek () = Some c then advance () else fail (Printf.sprintf "expected %C" c)
-    in
-    let literal word v =
-      if !pos + String.length word <= n && String.sub s !pos (String.length word) = word then begin
-        pos := !pos + String.length word;
-        v
-      end
-      else fail (Printf.sprintf "expected %s" word)
-    in
-    let parse_string () =
-      expect '"';
-      let b = Buffer.create 16 in
-      let rec go () =
-        if !pos >= n then fail "unterminated string"
-        else begin
-          let c = s.[!pos] in
-          advance ();
-          match c with
-          | '"' -> Buffer.contents b
-          | '\\' ->
-            (if !pos >= n then fail "unterminated escape"
-             else begin
-               let e = s.[!pos] in
-               advance ();
-               match e with
-               | '"' -> Buffer.add_char b '"'
-               | '\\' -> Buffer.add_char b '\\'
-               | '/' -> Buffer.add_char b '/'
-               | 'n' -> Buffer.add_char b '\n'
-               | 'r' -> Buffer.add_char b '\r'
-               | 't' -> Buffer.add_char b '\t'
-               | 'b' -> Buffer.add_char b '\b'
-               | 'f' -> Buffer.add_char b '\012'
-               | 'u' ->
-                 if !pos + 4 > n then fail "bad \\u escape";
-                 let code = int_of_string ("0x" ^ String.sub s !pos 4) in
-                 pos := !pos + 4;
-                 (* BMP only; encode as UTF-8 *)
-                 if code < 0x80 then Buffer.add_char b (Char.chr code)
-                 else if code < 0x800 then begin
-                   Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
-                   Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
-                 end
-                 else begin
-                   Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
-                   Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
-                   Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
-                 end
-               | _ -> fail "bad escape"
-             end);
-            go ()
-          | c ->
-            Buffer.add_char b c;
-            go ()
-        end
-      in
-      go ()
-    in
-    let parse_number () =
-      let start = !pos in
-      let is_num_char c =
-        (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
-      in
-      while !pos < n && is_num_char s.[!pos] do
-        advance ()
-      done;
-      let tok = String.sub s start (!pos - start) in
-      if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok then
-        match float_of_string_opt tok with
-        | Some x -> Float x
-        | None -> fail "bad number"
-      else begin
-        match int_of_string_opt tok with
-        | Some i -> Int i
-        | None -> (
-          match float_of_string_opt tok with Some x -> Float x | None -> fail "bad number")
-      end
-    in
-    let rec parse_value () =
-      skip_ws ();
-      match peek () with
-      | None -> fail "unexpected end of input"
-      | Some '"' -> String (parse_string ())
-      | Some 't' -> literal "true" (Bool true)
-      | Some 'f' -> literal "false" (Bool false)
-      | Some 'n' -> literal "null" Null
-      | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then begin
-          advance ();
-          List []
-        end
-        else begin
-          let rec items acc =
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-              advance ();
-              items (v :: acc)
-            | Some ']' ->
-              advance ();
-              List.rev (v :: acc)
-            | _ -> fail "expected ',' or ']'"
-          in
-          List (items [])
-        end
-      | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then begin
-          advance ();
-          Obj []
-        end
-        else begin
-          let rec fields acc =
-            skip_ws ();
-            let k = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-              advance ();
-              fields ((k, v) :: acc)
-            | Some '}' ->
-              advance ();
-              List.rev ((k, v) :: acc)
-            | _ -> fail "expected ',' or '}'"
-          in
-          Obj (fields [])
-        end
-      | Some _ -> parse_number ()
-    in
-    let v = parse_value () in
-    skip_ws ();
-    if !pos <> n then fail "trailing garbage";
-    v
-
-  let member name = function
-    | Obj kvs -> List.assoc_opt name kvs
-    | _ -> None
-
-  let to_float = function
-    | Int i -> float_of_int i
-    | Float x -> x
-    | _ -> failwith "Obs.Json.to_float: not a number"
-end
+(* The JSON tree moved to [Json] (lib/util/json.ml) so sibling modules
+   can use it; keep the historical [Obs.Json] path as an alias. *)
+module Json = Json
 
 (* ------------------------------------------------------------------ *)
 
@@ -262,9 +34,13 @@ type t = {
   trace : out_channel option;
   ctr_tbl : (string, counter) Hashtbl.t;
   span_tbl : (string, span_cell) Hashtbl.t;
+  histo_tbl : (string, Histo.t) Hashtbl.t;
   mutable stack : (string * float) list;  (* innermost first; (name, t0) *)
   mutable snaps : snap list;  (* reversed *)
   mutable seq : int;
+  ep : float;  (* wall-clock at creation: the run's correlation anchor *)
+  mutable tracer : Tracer.t;  (* mirror spans/snapshots onto a timeline *)
+  mutable track : int;
 }
 
 let make ~trace =
@@ -273,9 +49,13 @@ let make ~trace =
     trace;
     ctr_tbl = Hashtbl.create 32;
     span_tbl = Hashtbl.create 16;
+    histo_tbl = Hashtbl.create 16;
     stack = [];
     snaps = [];
     seq = 0;
+    ep = Wall_clock.epoch ();
+    tracer = Tracer.null;
+    track = 0;
   }
 
 let null =
@@ -284,14 +64,27 @@ let null =
     trace = None;
     ctr_tbl = Hashtbl.create 1;
     span_tbl = Hashtbl.create 1;
+    histo_tbl = Hashtbl.create 1;
     stack = [];
     snaps = [];
     seq = 0;
+    ep = 0.0;
+    tracer = Tracer.null;
+    track = 0;
   }
 
 let create () = make ~trace:None
 let create_trace oc = make ~trace:(Some oc)
 let enabled t = t.on
+let epoch t = t.ep
+
+let attach_tracer t ?(track = 0) tracer =
+  if t.on then begin
+    t.tracer <- tracer;
+    t.track <- track
+  end
+
+let tracer t = t.tracer
 
 (* --- counters --- *)
 
@@ -318,12 +111,33 @@ let counters t =
   Hashtbl.fold (fun name c acc -> (name, c.c_value) :: acc) t.ctr_tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+(* --- histograms --- *)
+
+let histogram t name =
+  if not t.on then Histo.dummy
+  else begin
+    match Hashtbl.find_opt t.histo_tbl name with
+    | Some h -> h
+    | None ->
+      let h = Histo.create () in
+      Hashtbl.add t.histo_tbl name h;
+      h
+  end
+
+let histograms t =
+  Hashtbl.fold (fun name h acc -> if Histo.count h > 0 then (name, h) :: acc else acc) t.histo_tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 (* --- spans --- *)
 
 let stack_path stack = String.concat "/" (List.rev_map fst stack)
 
 let open_span t name =
-  if t.on then t.stack <- (name, Unix.gettimeofday ()) :: t.stack
+  if t.on then begin
+    t.stack <- (name, Wall_clock.now ()) :: t.stack;
+    if Tracer.enabled t.tracer then
+      Tracer.span_begin t.tracer ~track:t.track (Tracer.intern t.tracer name)
+  end
 
 let close_span t name =
   if t.on then begin
@@ -333,9 +147,11 @@ let close_span t name =
       if top <> name then
         invalid_arg
           (Printf.sprintf "Obs.close_span: closing %S but innermost open span is %S" name top);
-      let dt = Unix.gettimeofday () -. t0 in
+      let dt = Wall_clock.now () -. t0 in
       let path = stack_path t.stack in
       t.stack <- rest;
+      if Tracer.enabled t.tracer then
+        Tracer.span_end t.tracer ~track:t.track (Tracer.intern t.tracer name);
       let cell =
         match Hashtbl.find_opt t.span_tbl path with
         | Some c -> c
@@ -369,6 +185,8 @@ let snapshot t ~label fields =
     let seq = t.seq in
     t.seq <- seq + 1;
     t.snaps <- { sn_label = label; sn_span = stack_path t.stack; sn_seq = seq; sn_fields = fields } :: t.snaps;
+    if Tracer.enabled t.tracer then
+      Tracer.instant t.tracer ~track:t.track (Tracer.intern t.tracer label);
     match t.trace with
     | Some oc ->
       Printf.fprintf oc "[obs] snap  %s#%d" label seq;
@@ -415,13 +233,16 @@ let to_json t =
                    ("fields", Json.Obj fields);
                  ])
              (snapshots t)) );
+      ( "histograms",
+        Json.Obj (List.map (fun (name, h) -> (name, Histo.to_json h)) (histograms t)) );
+      ( "clock",
+        Json.Obj [ ("source", Json.String "monotonic"); ("epoch_s", Json.Float t.ep) ] );
     ]
 
+(* Atomic (tmp+rename): an interrupted run truncates the temp file, not
+   a previously good stats dump. *)
 let write_json t path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Json.write_file path (fun oc ->
       match to_json t with
       | Json.Obj kvs ->
         output_string oc "{\n";

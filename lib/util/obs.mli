@@ -29,38 +29,11 @@
 
 (** {1 JSON values}
 
-    A minimal self-contained JSON tree (the container has no yojson);
-    the printer and parser round-trip ([of_string (to_string v) = v] for
-    trees without non-finite floats). *)
+    The JSON tree lives in {!Json} (lib/util/json.ml) so sibling
+    modules ([Histo], [Tracer], [Regress]) can use it; this alias keeps
+    the historical [Obs.Json] path working. *)
 
-module Json : sig
-  type t =
-    | Null
-    | Bool of bool
-    | Int of int
-    | Float of float
-    | String of string
-    | List of t list
-    | Obj of (string * t) list
-
-  (** [to_string v] prints compact JSON. Non-finite floats print as
-      [null] (JSON has no representation for them). *)
-  val to_string : t -> string
-
-  (** [to_buffer b v] appends the compact form to [b]. *)
-  val to_buffer : Buffer.t -> t -> unit
-
-  (** [of_string s] parses one JSON value. Numbers without [.], [e] or
-      leading [-0]-style fractions parse as [Int] when they fit.
-      @raise Failure on malformed input. *)
-  val of_string : string -> t
-
-  (** [member name v] is the field [name] of object [v], if present. *)
-  val member : string -> t -> t option
-
-  (** [to_float v] coerces [Int]/[Float]. @raise Failure otherwise. *)
-  val to_float : t -> float
-end
+module Json = Json
 
 (** {1 Contexts} *)
 
@@ -80,6 +53,22 @@ val create_trace : out_channel -> t
 
 (** [enabled t] is [false] exactly for {!null}. *)
 val enabled : t -> bool
+
+(** [epoch t] is the wall-clock time (seconds since the Unix epoch) at
+    context creation — the run's one correlation anchor. Span timings
+    themselves use the monotonic {!Wall_clock.now}. [0.0] on {!null}. *)
+val epoch : t -> float
+
+(** [attach_tracer t ?track tracer] mirrors every span open/close and
+    snapshot onto [tracer]'s timeline (default track 0), so existing
+    instrumentation renders in Perfetto without further changes. No-op
+    on {!null}. *)
+val attach_tracer : t -> ?track:int -> Tracer.t -> unit
+
+(** [tracer t] is the attached tracer ({!Tracer.null} if none), for
+    instrumentation that wants to emit richer timeline events than the
+    mirror provides. *)
+val tracer : t -> Tracer.t
 
 (** {1 Counters} *)
 
@@ -107,6 +96,18 @@ val value : counter -> int
 (** [counters t] lists registered [(name, value)] pairs sorted by name;
     [[]] on {!null}. *)
 val counters : t -> (string * int) list
+
+(** {1 Histograms} *)
+
+(** [histogram t name] finds or creates the log-bucketed histogram
+    [name] in [t]; on {!null} it returns {!Histo.dummy} (never
+    reported). Like {!counter}: resolve once at setup, then
+    [Histo.observe] is allocation-free on the hot path. *)
+val histogram : t -> string -> Histo.t
+
+(** [histograms t] lists registered non-empty [(name, histo)] pairs
+    sorted by name; [[]] on {!null}. *)
+val histograms : t -> (string * Histo.t) list
 
 (** {1 Spans} *)
 
@@ -146,9 +147,11 @@ val snapshots : t -> (string * string * (string * Json.t) list) list
 (** {1 Dumping} *)
 
 (** [to_json t] is the whole context as
-    [{"counters": {...}, "spans": [...], "snapshots": [...]}]. *)
+    [{"counters": {...}, "spans": [...], "snapshots": [...],
+      "histograms": {...}, "clock": {...}}]. *)
 val to_json : t -> Json.t
 
 (** [write_json t path] writes {!to_json} to [path] (pretty-printed one
-    top-level key per line). *)
+    top-level key per line), atomically via tmp+rename: an interrupted
+    run never leaves a truncated stats file. *)
 val write_json : t -> string -> unit

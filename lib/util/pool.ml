@@ -26,6 +26,9 @@ type t = {
   (* Flushed by the submitting thread only (per-worker-flush rule). *)
   o_batches : Obs.counter;
   o_items : Obs.counter;
+  (* Tracks are single-writer per worker, so workers may trace freely. *)
+  tr : Tracer.t;
+  tr_chunk : Tracer.name;
 }
 
 let default_jobs () = Domain.recommended_domain_count ()
@@ -42,7 +45,9 @@ let exec_share t b ~worker =
     if start >= b.b_n then continue_ := false
     else
       let stop = min b.b_n (start + b.b_chunk) in
-      try
+      let traced = Tracer.enabled t.tr in
+      if traced then Tracer.span_begin t.tr ~track:worker t.tr_chunk;
+      (try
         for i = start to stop - 1 do
           b.b_task ~worker i
         done
@@ -51,7 +56,8 @@ let exec_share t b ~worker =
         Mutex.lock t.mu;
         if b.b_exn = None then b.b_exn <- Some (e, bt);
         Mutex.unlock t.mu;
-        Atomic.set b.b_next (b.b_n + (t.p_jobs * b.b_chunk))
+        Atomic.set b.b_next (b.b_n + (t.p_jobs * b.b_chunk)));
+      if traced then Tracer.span_end t.tr ~track:worker t.tr_chunk
   done
 
 let worker_loop t ~worker =
@@ -79,7 +85,7 @@ let worker_loop t ~worker =
     end
   done
 
-let create ?(obs = Obs.null) ?jobs () =
+let create ?(obs = Obs.null) ?(tracer = Tracer.null) ?jobs () =
   let jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
   let t =
     {
@@ -93,6 +99,8 @@ let create ?(obs = Obs.null) ?jobs () =
       domains = [];
       o_batches = Obs.counter obs "pool.batches";
       o_items = Obs.counter obs "pool.items";
+      tr = tracer;
+      tr_chunk = Tracer.intern tracer "pool.chunk";
     }
   in
   let spawned = jobs - 1 in
@@ -162,6 +170,6 @@ let shutdown t =
   Mutex.unlock t.mu;
   List.iter Domain.join ds
 
-let with_pool ?obs ?jobs f =
-  let t = create ?obs ?jobs () in
+let with_pool ?obs ?tracer ?jobs f =
+  let t = create ?obs ?tracer ?jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,60 @@
+(** Perf-regression diffing between two stats/bench JSON artifacts —
+    the engine behind the [css_stats] CLI and the CI bench gate.
+
+    Auto-detects the input shape: a [BENCH_css.json] array (records
+    keyed by design/engine) or an [Obs] stats dump
+    ([--stats-json]/[Obs.write_json] object). Every comparable metric
+    becomes a {!row} whose delta is signed in the {e worse} direction
+    (positive = regression); rows carrying a threshold participate in
+    gating, the rest (cells/sec, iteration counts, counters) are
+    informational.
+
+    The 0-means-not-measured convention is honoured: a zero baseline
+    value (e.g. RSS on a platform without procfs) produces an
+    informational row, never a spurious percentage. *)
+
+type thresholds = {
+  max_wall_pct : float;  (** wall_ms and span totals (default 10) *)
+  max_rss_pct : float;  (** peak_rss_bytes (default 5) *)
+  max_p95_pct : float;  (** histogram p95 shifts and edge ratio (default 25) *)
+}
+
+val default_thresholds : thresholds
+
+type row = {
+  r_key : string;  (** record identity, e.g. ["sb18/iterative-essential"] *)
+  r_metric : string;  (** e.g. ["wall_ms"], ["sched.extract_s.p95"] *)
+  r_base : float;
+  r_cur : float;
+  r_delta_pct : float;  (** positive = worse *)
+  r_threshold_pct : float option;  (** [None] = informational *)
+  r_regressed : bool;
+}
+
+type report = {
+  rows : row list;
+  missing : string list;  (** baseline records/spans absent from current *)
+}
+
+(** [diff ?thresholds ~baseline ~current ()] compares two artifacts of
+    the same shape. @raise Failure when the shapes differ or neither
+    shape is recognized. *)
+val diff : ?thresholds:thresholds -> baseline:Json.t -> current:Json.t -> unit -> report
+
+(** [regressions r] is the gated rows that exceeded their threshold. *)
+val regressions : report -> row list
+
+(** [ok r] is [true] iff nothing regressed and nothing went missing —
+    the gate's pass condition. *)
+val ok : report -> bool
+
+(** [inflate ~pct j] scales the wall/RSS-like metrics of [j] up by
+    [pct] percent (bench records: [wall_ms], [peak_rss_bytes]; stats
+    dumps: span [total_s]). CI diffs a baseline against its own
+    inflated copy to prove the gate demonstrably fails on a synthetic
+    regression. *)
+val inflate : pct:float -> Json.t -> Json.t
+
+(** [render r] is the human-readable regression table, one row per
+    metric plus a trailing [gate: ...] verdict line. *)
+val render : report -> string

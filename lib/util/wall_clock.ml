@@ -1,4 +1,12 @@
-let now () = Unix.gettimeofday ()
+(* Monotonic elapsed-time measurement. The C stub reads
+   CLOCK_MONOTONIC, so [now] survives NTP steps; [epoch] is the one
+   wall-clock anchor a run records for correlating traces with the
+   outside world (logs, CI timestamps). *)
+
+external now : unit -> (float[@unboxed])
+  = "css_monotonic_seconds_byte" "css_monotonic_seconds_unboxed"
+[@@noalloc]
+let epoch () = Unix.gettimeofday ()
 
 let time f =
   let t0 = now () in

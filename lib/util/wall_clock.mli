@@ -1,11 +1,26 @@
-(** Wall-clock measurement for the flow and benchmark harness. *)
+(** Elapsed-time measurement for the flow, budgets and tracing.
 
-(** [now ()] is the current time in seconds (monotone enough for coarse
-    phase timing). *)
-val now : unit -> float
+    [now] reads [CLOCK_MONOTONIC] through a C stub (allocation-free,
+    [@@noalloc]): differences of [now] readings are immune to NTP slews
+    and wall-clock steps, so budgets and trace timestamps never jump.
+    The absolute value of [now] is meaningless across processes — use
+    {!epoch} for the one real-world timestamp a run should record. *)
 
-(** [time f] runs [f ()] and returns its result together with the elapsed
-    wall time in seconds. *)
+(** [now ()] is the current monotonic time in seconds. Only differences
+    are meaningful. Declared as an unboxed external so cross-module
+    callers (the tracer's record path, span timing) pay no float boxing
+    even under [-opaque]. *)
+external now : unit -> (float[@unboxed])
+  = "css_monotonic_seconds_byte" "css_monotonic_seconds_unboxed"
+[@@noalloc]
+
+(** [epoch ()] is the current wall-clock time (seconds since the Unix
+    epoch), for correlating a run with the outside world. Subject to
+    clock steps — never use it to measure durations. *)
+val epoch : unit -> float
+
+(** [time f] runs [f ()] and returns its result together with the
+    elapsed monotonic time in seconds. *)
 val time : (unit -> 'a) -> 'a * float
 
 (** A restartable accumulator: phases of the same kind (e.g. "CSS" and

@@ -204,6 +204,150 @@ let test_write_json_file () =
         | Some (Json.Obj [ ("extract.edges", Json.Int 17) ]) -> true
         | _ -> false))
 
+(* a machine-generated deep and wide value, the shape a long paper-scale
+   run's stats dump actually takes (hundreds of snapshots with nested
+   per-iteration payloads) *)
+let test_json_roundtrip_large () =
+  let leaf i =
+    Json.Obj
+      [
+        ("iter", Json.Int i);
+        ("wns", Json.Float (-0.001 *. float_of_int i));
+        ("label", Json.String (Printf.sprintf "snap-%d\n\"quoted\"" i));
+        ("flags", Json.List [ Json.Bool (i mod 2 = 0); Json.Null ]);
+      ]
+  in
+  let rec nest depth inner =
+    if depth = 0 then inner
+    else nest (depth - 1) (Json.Obj [ ("level", Json.Int depth); ("child", inner) ])
+  in
+  let v =
+    Json.Obj
+      [
+        ("snapshots", Json.List (List.init 500 leaf));
+        ("deep", nest 64 (Json.String "bottom"));
+        ("empty_things", Json.List [ Json.Obj []; Json.List []; Json.String "" ]);
+      ]
+  in
+  let s = Json.to_string v in
+  checkb "large value round-trips" true (json_equal v (Json.of_string s));
+  (* and a second print/parse cycle is a fixpoint *)
+  checks "printer is stable" s (Json.to_string (Json.of_string s))
+
+(* --- histogram registry --- *)
+
+let test_histogram_registry () =
+  let t = Obs.create () in
+  let h = Obs.histogram t "sched.solve_s" in
+  Css_util.Histo.observe h 0.25;
+  Css_util.Histo.observe h 0.5;
+  let h' = Obs.histogram t "sched.solve_s" in
+  checkb "same name is same histogram" true (Css_util.Histo.count h' = 2);
+  (* a registered-but-empty histogram stays out of the listing (and so
+     out of the JSON dump): only observed distributions are reported *)
+  ignore (Obs.histogram t "a.empty");
+  let hb = Obs.histogram t "a.first" in
+  Css_util.Histo.observe hb 1.0;
+  checkb "listed sorted, empty ones omitted" true
+    (List.map fst (Obs.histograms t) = [ "a.first"; "sched.solve_s" ]);
+  (* the null sink routes to the shared dummy and registers nothing *)
+  let d = Obs.histogram Obs.null "anything" in
+  Css_util.Histo.observe d 1.0;
+  checkb "null registers no histograms" true (Obs.histograms Obs.null = []);
+  (* histograms appear in the JSON dump under their names *)
+  match Json.member "histograms" (Obs.to_json t) with
+  | Some (Json.Obj kvs) ->
+    checkb "histograms in json" true (List.mem_assoc "sched.solve_s" kvs)
+  | _ -> Alcotest.fail "no histograms object in to_json"
+
+(* --- monotonic clock and the wall-clock anchor --- *)
+
+let test_clock_key () =
+  let t = Obs.create () in
+  checkb "epoch is a plausible wall-clock time" true (Obs.epoch t > 1.5e9);
+  match Json.member "clock" (Obs.to_json t) with
+  | Some clock ->
+    checkb "source" true (Json.member "source" clock = Some (Json.String "monotonic"));
+    checkb "epoch recorded" true
+      (match Json.member "epoch_s" clock with
+      | Some v -> Float.abs (Json.to_float v -. Obs.epoch t) < 1e-6
+      | None -> false)
+  | None -> Alcotest.fail "no clock object in to_json"
+
+(* --- tracer mirroring --- *)
+
+let test_tracer_mirroring () =
+  let module Tracer = Css_util.Tracer in
+  let t = Obs.create () in
+  let tr = Tracer.create ~capacity:256 () in
+  Obs.attach_tracer t tr;
+  checkb "tracer attached" true (Tracer.enabled (Obs.tracer t));
+  Obs.span t "phase" (fun () ->
+      Obs.snapshot t ~label:"sched.iter" [ ("wns", Json.Float (-1.0)) ]);
+  (* span open+close and the snapshot instant: three tracer events *)
+  checki "mirrored events" 3 (Tracer.recorded tr);
+  let path = Filename.temp_file "obs_mirror" ".json" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove path;
+      Tracer.close tr)
+    (fun () ->
+      Tracer.write_chrome_json tr path;
+      let ic = open_in path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let events =
+        match Json.member "traceEvents" (Json.of_string s) with
+        | Some (Json.List l) -> l
+        | _ -> []
+      in
+      let phase_of e =
+        match Json.member "ph" e with Some (Json.String p) -> p | _ -> "?"
+      in
+      let named n e = Json.member "name" e = Some (Json.String n) in
+      checkb "span begin exported" true
+        (List.exists (fun e -> phase_of e = "B" && named "phase" e) events);
+      checkb "span end exported" true
+        (List.exists (fun e -> phase_of e = "E") events);
+      checkb "snapshot exported as instant" true
+        (List.exists (fun e -> phase_of e = "i" && named "sched.iter" e) events));
+  (* a null obs never touches an attached tracer *)
+  Obs.attach_tracer Obs.null tr;
+  let before = Tracer.recorded tr in
+  Obs.span Obs.null "x" (fun () -> ());
+  checki "null obs mirrors nothing" before (Tracer.recorded tr)
+
+(* --- atomic stats writes --- *)
+
+let test_write_json_atomic () =
+  let t = Obs.create () in
+  Obs.add (Obs.counter t "n") 1;
+  let dir = Filename.get_temp_dir_name () in
+  let path = Filename.concat dir (Printf.sprintf "obs_atomic_%d.json" (Unix.getpid ())) in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (* overwriting an existing file must go through tmp+rename and
+         leave no *.tmp.* residue next to the target *)
+      Obs.write_json t path;
+      Obs.add (Obs.counter t "n") 1;
+      Obs.write_json t path;
+      let residue =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f ->
+               String.length f > String.length "obs_atomic_"
+               && String.sub f 0 (String.length "obs_atomic_") = "obs_atomic_"
+               && f <> Filename.basename path)
+      in
+      checkb "no tmp residue" true (residue = []);
+      let ic = open_in path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      checkb "final content wins" true
+        (match Json.member "counters" (Json.of_string s) with
+        | Some (Json.Obj [ ("n", Json.Int 2) ]) -> true
+        | _ -> false))
+
 (* --- null sink --- *)
 
 let test_null_sink_noop () =
@@ -254,10 +398,15 @@ let () =
       ( "json",
         [
           Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "round-trip large nested" `Quick test_json_roundtrip_large;
           Alcotest.test_case "parser inputs" `Quick test_json_parser_inputs;
           Alcotest.test_case "context to_json" `Quick test_obs_context_to_json;
           Alcotest.test_case "write_json file" `Quick test_write_json_file;
+          Alcotest.test_case "write_json atomic" `Quick test_write_json_atomic;
         ] );
+      ( "histograms", [ Alcotest.test_case "registry" `Quick test_histogram_registry ] );
+      ( "clock", [ Alcotest.test_case "monotonic source and epoch" `Quick test_clock_key ] );
+      ( "tracer", [ Alcotest.test_case "mirroring" `Quick test_tracer_mirroring ] );
       ( "null sink",
         [
           Alcotest.test_case "no-op semantics" `Quick test_null_sink_noop;

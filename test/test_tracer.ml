@@ -1,0 +1,257 @@
+(* Streaming tracer tests: exact ring-buffer overflow accounting, spill
+   losslessness, Chrome trace_event export validity (including
+   unmatched-end suppression after a wrap), null no-ops, multi-track
+   recording from pool workers, and the allocation-free hot path. *)
+
+module Tracer = Css_util.Tracer
+module Json = Css_util.Json
+module Pool = Css_util.Pool
+
+let checkb name expected got = Alcotest.(check bool) name expected got
+let checki name expected got = Alcotest.(check int) name expected got
+
+let with_tmp ext f =
+  let path = Filename.temp_file "css_tracer" ext in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* --- overflow accounting --- *)
+
+let test_wraparound_exact_drops () =
+  let cap = 64 in
+  let t = Tracer.create ~capacity:cap () in
+  let n = Tracer.intern t "ev" in
+  (* fill exactly: nothing dropped *)
+  for _ = 1 to cap do
+    Tracer.instant t ~track:0 n
+  done;
+  checki "recorded at cap" cap (Tracer.recorded t);
+  checki "dropped at cap" 0 (Tracer.dropped t);
+  (* each further event overwrites exactly one: drops count is exact *)
+  for _ = 1 to 17 do
+    Tracer.instant t ~track:0 n
+  done;
+  checki "recorded past cap" (cap + 17) (Tracer.recorded t);
+  checki "dropped past cap" 17 (Tracer.dropped t);
+  (* drops are per-track: a second track has its own ring *)
+  let t2 = Tracer.create ~capacity:cap ~tracks:2 () in
+  let n2 = Tracer.intern t2 "ev" in
+  for _ = 1 to cap + 5 do
+    Tracer.instant t2 ~track:0 n2
+  done;
+  for _ = 1 to cap do
+    Tracer.instant t2 ~track:1 n2
+  done;
+  checki "only track 0 dropped" 5 (Tracer.dropped t2);
+  (* out-of-range tracks fold onto track 0 rather than crashing *)
+  Tracer.instant t2 ~track:99 n2;
+  Tracer.instant t2 ~track:(-3) n2;
+  checki "folded events dropped from track 0" 7 (Tracer.dropped t2);
+  Tracer.close t;
+  Tracer.close t2
+
+let test_spill_lossless () =
+  with_tmp ".spill" @@ fun spill ->
+  let cap = 32 in
+  let t = Tracer.create ~capacity:cap ~spill () in
+  let n = Tracer.intern t "ev" in
+  let total = (cap * 5) + 7 in
+  for i = 1 to total do
+    Tracer.sample t ~track:0 n (float_of_int i)
+  done;
+  (* a full ring spills instead of wrapping: nothing is ever dropped *)
+  checki "recorded" total (Tracer.recorded t);
+  checki "dropped with spill" 0 (Tracer.dropped t);
+  checkb "some records spilled" true (Tracer.spilled t >= cap * 5);
+  Tracer.flush t;
+  checki "flush spills residue" total (Tracer.spilled t);
+  (* 20 bytes per record on disk *)
+  checki "spill file size" (total * 20) (String.length (read_file spill));
+  (* export sees every event, in order, with the original arguments *)
+  with_tmp ".json" @@ fun out ->
+  Tracer.write_chrome_json t out;
+  let j = Json.of_string (read_file out) in
+  let events =
+    match Json.member "traceEvents" j with
+    | Some (Json.List l) -> List.filter (fun e -> Json.member "ph" e = Some (Json.String "C")) l
+    | _ -> Alcotest.fail "no traceEvents"
+  in
+  checki "all counter samples exported" total (List.length events);
+  let args_of e =
+    match Json.member "args" e with
+    | Some a -> (match Json.member "value" a with Some v -> Json.to_float v | None -> nan)
+    | None -> nan
+  in
+  List.iteri
+    (fun i e -> Alcotest.(check (float 0.0)) "sample order" (float_of_int (i + 1)) (args_of e))
+    events;
+  Tracer.close t
+
+(* --- Chrome export validity --- *)
+
+let test_export_balanced_after_wrap () =
+  (* overflow a small ring with nested spans so some begins are
+     overwritten, then check the exported JSON parses and never closes a
+     span it didn't open (depth never goes negative per tid) *)
+  let t = Tracer.create ~capacity:16 () in
+  let outer = Tracer.intern t "outer" and inner = Tracer.intern t "inner" in
+  for _ = 1 to 40 do
+    Tracer.span_begin t ~track:0 outer;
+    Tracer.span_begin t ~track:0 inner;
+    Tracer.span_end t ~track:0 inner;
+    Tracer.span_end t ~track:0 outer
+  done;
+  checkb "ring wrapped" true (Tracer.dropped t > 0);
+  with_tmp ".json" @@ fun out ->
+  Tracer.write_chrome_json t out;
+  let j = Json.of_string (read_file out) in
+  (match Json.member "otherData" j with
+  | Some od ->
+    checkb "drop count exported" true
+      (Json.member "dropped_events" od = Some (Json.Int (Tracer.dropped t)))
+  | None -> Alcotest.fail "no otherData");
+  let events = match Json.member "traceEvents" j with Some (Json.List l) -> l | _ -> [] in
+  checkb "events survive the wrap" true (List.length events > 8);
+  let depth = ref 0 in
+  List.iter
+    (fun e ->
+      match Json.member "ph" e with
+      | Some (Json.String "B") -> incr depth
+      | Some (Json.String "E") ->
+        decr depth;
+        checkb "no unmatched end" true (!depth >= 0)
+      | _ -> ())
+    events;
+  (* timestamps are non-decreasing within the single track *)
+  let last = ref neg_infinity in
+  List.iter
+    (fun e ->
+      match Json.member "ts" e with
+      | Some ts ->
+        let ts = Json.to_float ts in
+        checkb "monotone timestamps" true (ts >= !last);
+        last := ts
+      | None -> ())
+    events;
+  Tracer.close t
+
+let test_multi_track_via_pool () =
+  (* the intended concurrent use: one track per pool worker, written
+     without synchronization; every chunk span must come out on its
+     worker's tid with balanced begin/end *)
+  let jobs = 4 in
+  let t = Tracer.create ~tracks:jobs () in
+  Pool.with_pool ~tracer:t ~jobs (fun pool ->
+      Pool.run pool ~n:64 (fun ~worker:_ i -> ignore (i * i)));
+  checkb "chunks recorded" true (Tracer.recorded t > 0);
+  with_tmp ".json" @@ fun out ->
+  Tracer.write_chrome_json t out;
+  let j = Json.of_string (read_file out) in
+  let events = match Json.member "traceEvents" j with Some (Json.List l) -> l | _ -> [] in
+  let depths = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      match (Json.member "ph" e, Json.member "tid" e) with
+      | Some (Json.String ph), Some (Json.Int tid) when ph = "B" || ph = "E" ->
+        checkb "tid in range" true (tid >= 0 && tid < jobs);
+        let d = Option.value ~default:0 (Hashtbl.find_opt depths tid) in
+        let d' = if ph = "B" then d + 1 else d - 1 in
+        checkb "balanced per tid" true (d' >= 0);
+        Hashtbl.replace depths tid d'
+      | _ -> ())
+    events;
+  Hashtbl.iter (fun _ d -> checki "all spans closed" 0 d) depths;
+  Tracer.close t
+
+(* --- null tracer --- *)
+
+let test_null_noops () =
+  let t = Tracer.null in
+  checkb "disabled" false (Tracer.enabled t);
+  checki "no tracks" 0 (Tracer.tracks t);
+  let n = Tracer.intern t "anything" in
+  Tracer.span_begin t ~track:0 n;
+  Tracer.span_end t ~track:0 n;
+  Tracer.instant t ~track:0 n;
+  Tracer.sample t ~track:0 n 1.0;
+  Tracer.flush t;
+  Tracer.close t;
+  checki "nothing recorded" 0 (Tracer.recorded t);
+  checki "nothing dropped" 0 (Tracer.dropped t);
+  checkb "export refused" true
+    (match Tracer.write_chrome_json t "/nonexistent/x.json" with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+(* --- allocation-free hot path (calibration idiom from test_layout) --- *)
+
+let float_box_words =
+  let fv = Css_util.Fvec.make 16 0.5 in
+  let acc = [| 0.0 |] in
+  for i = 0 to 15 do
+    acc.(0) <- acc.(0) +. Css_util.Fvec.get fv i
+  done;
+  let before = Gc.minor_words () in
+  for i = 0 to 15 do
+    acc.(0) <- acc.(0) +. Css_util.Fvec.get fv i
+  done;
+  (Gc.minor_words () -. before) /. 16.0
+
+let alloc_sweep t name_str =
+  let n = Tracer.intern t name_str in
+  let iters = 5_000 in
+  for _ = 1 to 64 do
+    Tracer.span_begin t ~track:0 n;
+    Tracer.span_end t ~track:0 n
+  done;
+  let before = Gc.minor_words () in
+  for i = 1 to iters do
+    Tracer.span_begin t ~track:0 n;
+    Tracer.sample t ~track:0 n (float_of_int i);
+    Tracer.span_end t ~track:0 n
+  done;
+  let allocated = Gc.minor_words () -. before in
+  (* one boxed float per iteration for the sample argument under dev
+     -opaque; the record path itself must not allocate *)
+  (allocated, (float_of_int iters *. 2.0 *. float_box_words) +. 256.0)
+
+let test_hot_path_allocation_free () =
+  (* enabled tracer, ring-wrap regime (no spill: spilling does I/O) *)
+  let t = Tracer.create ~capacity:1024 () in
+  let allocated, budget = alloc_sweep t "hot" in
+  checkb
+    (Printf.sprintf "enabled sweep allocation-free (%.0f minor words, budget %.0f)" allocated
+       budget)
+    true
+    (allocated <= budget);
+  Tracer.close t;
+  (* null tracer: same sweep, same budget *)
+  let allocated, budget = alloc_sweep Tracer.null "hot" in
+  checkb
+    (Printf.sprintf "null sweep allocation-free (%.0f minor words, budget %.0f)" allocated
+       budget)
+    true
+    (allocated <= budget)
+
+let () =
+  Alcotest.run "tracer"
+    [
+      ( "tracer",
+        [
+          Alcotest.test_case "wraparound exact drops" `Quick test_wraparound_exact_drops;
+          Alcotest.test_case "spill lossless" `Quick test_spill_lossless;
+          Alcotest.test_case "export balanced after wrap" `Quick
+            test_export_balanced_after_wrap;
+          Alcotest.test_case "multi-track via pool" `Quick test_multi_track_via_pool;
+          Alcotest.test_case "null no-ops" `Quick test_null_noops;
+          Alcotest.test_case "hot path allocation-free" `Quick
+            test_hot_path_allocation_free;
+        ] );
+    ]
