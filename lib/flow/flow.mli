@@ -40,9 +40,19 @@
       completed phase, and {!resume} continues a killed run to a final
       result bitwise identical to an uninterrupted one. [handle_signals]
       routes SIGINT/SIGTERM to a cooperative stop whose last act is that
-      same durable checkpoint. *)
+      same durable checkpoint.
 
-type algo =
+    {2 Sessions}
+
+    [run]/[resume] are thin wrappers over {!Session} — open a one-shot
+    session, drain it, close it. Long-running embedders (the [css_serve]
+    daemon) use {!Session} directly to keep the design, timer and
+    extraction state warm between requests and answer deltas
+    incrementally ({!Session.apply_delta}). All types below are
+    equations over their {!Session} namesakes, so the two surfaces mix
+    freely. *)
+
+type algo = Session.algo =
   | Ours  (** iterative essential extraction, both corners *)
   | Ours_early  (** early corner only (the FPM comparison row) *)
   | Iccss_plus  (** the modified IC-CSS baseline, both corners *)
@@ -51,7 +61,7 @@ type algo =
 val algo_name : algo -> string
 
 (** One sample of the optimization trajectory, for Fig. 8. *)
-type trace_point = {
+type trace_point = Session.trace_point = {
   round : int;
   phase : string;  (** "early-css", "early-opt", "late-css", "late-opt" *)
   iter : int;  (** scheduler iteration within the phase; 0 for OPT points *)
@@ -61,7 +71,7 @@ type trace_point = {
   tns_late : float;
 }
 
-type result = {
+type result = Session.result = {
   algo : string;
   benchmark : string;
   report : Css_eval.Evaluator.report;  (** final, physically realized state *)
@@ -92,7 +102,7 @@ type result = {
   trace : trace_point list;  (** chronological *)
 }
 
-type config = {
+type config = Session.config = {
   rounds : int;  (** CSS+OPT rounds per corner (default 3) *)
   timer : Css_sta.Timer.config;  (** analysis corner setup (derates, uncertainties) *)
   scheduler : Css_core.Scheduler.config;
@@ -115,6 +125,16 @@ type config = {
   rollback : bool;
       (** checkpoint after every phase and restore the best-scoring
           state if the run ends worse (default true) *)
+  final_eval : bool;
+      (** score the final state with the independent evaluator (default
+          true). [false] synthesizes [report] from the live timer
+          instead — much cheaper, but rollback scoring is disabled and
+          constraint auditing is skipped; see
+          {!Session.config.final_eval} *)
+  eco_fallback_frac : float;
+      (** {!Session.apply_delta}'s from-scratch fallback threshold as a
+          fraction of all cells (default 0.25); unused by one-shot
+          runs *)
   deadline_seconds : float option;
       (** flow-level wall-clock budget; checked between phases and
           forwarded (as the remaining budget) to the scheduler so a

@@ -20,18 +20,29 @@ let interrupted () = Atomic.get interrupt_flag
 let request_interrupt () = Atomic.set interrupt_flag true
 let clear_interrupt () = Atomic.set interrupt_flag false
 
-let with_signal_handlers f =
-  let install s = try Some (Sys.signal s (Sys.Signal_handle (fun _ -> request_interrupt ()))) with
-    | Invalid_argument _ | Sys_error _ -> None
+type handlers = (int * Sys.signal_behavior) list
+
+let install_handlers ?(signals = [ Sys.sigint; Sys.sigterm ]) ?on_signal () =
+  let handle n =
+    request_interrupt ();
+    match on_signal with None -> () | Some f -> f n
   in
-  let restore s = function None -> () | Some b -> (try Sys.set_signal s b with Invalid_argument _ | Sys_error _ -> ()) in
-  let prev_int = install Sys.sigint in
-  let prev_term = install Sys.sigterm in
-  Fun.protect
-    ~finally:(fun () ->
-      restore Sys.sigint prev_int;
-      restore Sys.sigterm prev_term)
-    f
+  List.filter_map
+    (fun s ->
+      match Sys.signal s (Sys.Signal_handle handle) with
+      | prev -> Some (s, prev)
+      | exception (Invalid_argument _ | Sys_error _) -> None)
+    signals
+
+let uninstall_handlers saved =
+  List.iter
+    (fun (s, prev) ->
+      try Sys.set_signal s prev with Invalid_argument _ | Sys_error _ -> ())
+    saved
+
+let with_signal_handlers f =
+  let saved = install_handlers () in
+  Fun.protect ~finally:(fun () -> uninstall_handlers saved) f
 
 (* ------------------------------------------------------------------ *)
 (* The checkpoint state record                                         *)

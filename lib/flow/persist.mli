@@ -43,10 +43,33 @@ val request_interrupt : unit -> unit
     that should not inherit a stale interrupt. *)
 val clear_interrupt : unit -> unit
 
+(** Previously installed dispositions, for {!uninstall_handlers}. *)
+type handlers
+
+(** [install_handlers ?signals ?on_signal ()] routes [signals] (default
+    SIGINT and SIGTERM) to {!request_interrupt}, then to [on_signal]
+    (passed the OCaml signal number), and returns the previous
+    dispositions. Signals a platform rejects are skipped silently.
+
+    This is the explicit form for processes owning several flows at
+    once: the [css_serve] daemon installs ONE handler whose [on_signal]
+    flushes every live session's checkpoint and the tracer ring, instead
+    of each run racing to install its own. OCaml runs [Signal_handle]
+    callbacks at safepoints of the main execution (not as C async
+    handlers), so [on_signal] may allocate and write files — but it
+    preempts arbitrary main-thread code, so it must only touch state
+    that stays consistent at every safepoint (atomic flags, idempotent
+    cleanup like {!Css_util.Pool.shutdown}, atomic checkpoint writes). *)
+val install_handlers :
+  ?signals:int list -> ?on_signal:(int -> unit) -> unit -> handlers
+
+(** [uninstall_handlers h] restores the dispositions [h] saved. *)
+val uninstall_handlers : handlers -> unit
+
 (** [with_signal_handlers f] runs [f] with SIGINT and SIGTERM routed to
-    {!request_interrupt}, restoring the previous handlers afterwards
-    (even when [f] raises). On platforms without these signals [f] just
-    runs. *)
+    {!request_interrupt} — {!install_handlers} with defaults — restoring
+    the previous handlers afterwards (even when [f] raises). On
+    platforms without these signals [f] just runs. *)
 val with_signal_handlers : (unit -> 'a) -> 'a
 
 (** {1 Checkpoint state} *)

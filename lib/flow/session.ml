@@ -1,0 +1,1338 @@
+module Timer = Css_sta.Timer
+module Design = Css_netlist.Design
+module Io = Css_netlist.Io
+module Sdc = Css_netlist.Sdc
+module Validate = Css_netlist.Validate
+module Vertex = Css_seqgraph.Vertex
+module Scheduler = Css_core.Scheduler
+module Extract = Css_seqgraph.Extract
+module Seq_graph = Css_seqgraph.Seq_graph
+module Reconnect = Css_opt.Reconnect
+module Cell_move = Css_opt.Cell_move
+module Evaluator = Css_eval.Evaluator
+module Wall_clock = Css_util.Wall_clock
+module Diag = Css_util.Diag
+module Obs = Css_util.Obs
+module Tracer = Css_util.Tracer
+module Pool = Css_util.Pool
+module Budget = Css_util.Budget
+module Point = Css_geometry.Point
+
+let log_src = Logs.Src.create "css.session" ~doc:"resident clock-skew scheduling sessions"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type algo =
+  | Ours
+  | Ours_early
+  | Iccss_plus
+  | Fpm
+
+let algo_name = function
+  | Ours -> "Ours"
+  | Ours_early -> "Ours-Early"
+  | Iccss_plus -> "IC-CSS+"
+  | Fpm -> "FPM"
+
+let algo_of_name = function
+  | "Ours" -> Some Ours
+  | "Ours-Early" -> Some Ours_early
+  | "IC-CSS+" -> Some Iccss_plus
+  | "FPM" -> Some Fpm
+  | _ -> None
+
+type trace_point = {
+  round : int;
+  phase : string;
+  iter : int;
+  wns_early : float;
+  tns_early : float;
+  wns_late : float;
+  tns_late : float;
+}
+
+type result = {
+  algo : string;
+  benchmark : string;
+  report : Evaluator.report;
+  css_seconds : float;
+  opt_seconds : float;
+  total_seconds : float;
+  extracted_edges : int;
+  cone_nodes : int;
+  css_iterations : int;
+  hpwl_increase_pct : float;
+  stop_reason : string;
+  rolled_back : bool;
+  degradations : string list;
+  resumed : bool;
+  validation : Diag.t list;
+  trace : trace_point list;
+}
+
+type config = {
+  rounds : int;
+  timer : Timer.config;
+  scheduler : Scheduler.config;
+  reconnect : Reconnect.config;
+  cell_move : Cell_move.config;
+  use_resize : bool;
+  use_cts : bool;
+  validate : bool;
+  repair : bool;
+  rollback : bool;
+  final_eval : bool;
+  eco_fallback_frac : float;
+  deadline_seconds : float option;
+  phase_deadline_seconds : float option;
+  stall_phases : int;
+  on_phase_end : (round:int -> phase:string -> Design.t -> unit) option;
+  obs : Obs.t;
+  tracer : Tracer.t;
+  jobs : int;
+  budget : Budget.limits;
+  checkpoint_dir : string option;
+  handle_signals : bool;
+  debug_interrupt_after_phase : int option;
+  debug_interrupt_after_iteration : int option;
+}
+
+let default_config =
+  {
+    rounds = 3;
+    timer = Timer.default_config;
+    scheduler = Scheduler.default_config;
+    reconnect = Reconnect.default_config;
+    cell_move = Cell_move.default_config;
+    use_resize = false;
+    use_cts = false;
+    validate = true;
+    repair = true;
+    rollback = true;
+    final_eval = true;
+    eco_fallback_frac = 0.25;
+    deadline_seconds = None;
+    phase_deadline_seconds = None;
+    stall_phases = 4;
+    on_phase_end = None;
+    obs = Obs.null;
+    tracer = Tracer.null;
+    jobs = 1;
+    budget = Budget.no_limits;
+    checkpoint_dir = None;
+    handle_signals = false;
+    debug_interrupt_after_phase = None;
+    debug_interrupt_after_iteration = None;
+  }
+
+let clone design =
+  Io.of_string_exn ~library:(Design.library design) (Io.to_string design)
+
+(* A restorable snapshot of everything the OPT passes mutate, scored by
+   the independent evaluator (which sees the physically realized state —
+   realization zeroes the scheduled latencies it hosts). *)
+type checkpoint = {
+  label : string;
+  ck_ffs : Design.cell_id array;
+  ck_latencies : float array;  (* scheduled, per entry of [ck_ffs] *)
+  ck_lcb_of : Design.cell_id array;  (* -1 when unresolved *)
+  ck_positions : Point.t array;  (* per cell id *)
+  ck_masters : string array;  (* per cell id *)
+  ck_report : Evaluator.report;
+  ck_score : float;  (* min of both corners' WNS *)
+  ck_tns : float;  (* tie-break: sum of both corners' TNS *)
+}
+
+(* The extraction engines persist across rounds — the partial sequential
+   graph keeps growing incrementally over the whole run, as in the paper,
+   instead of being rebuilt per phase. A delta request drops them (their
+   stored weights are stale against the edited design) and lets the next
+   schedule re-extract against the warm timer. *)
+type engines = {
+  mutable ours_early : Extract.t option;
+  mutable ours_late : Extract.t option;
+  mutable iccss_early : Extract.t option;
+  mutable iccss_late : Extract.t option;
+}
+
+type t = {
+  mutable cfg : config;  (* the [timer] sub-config can change via Apply_sdc *)
+  algo : algo;
+  engine0 : [ `Ours | `Iccss | `Fpm ];  (* the algorithm's native engine *)
+  mutable timer : Timer.t;  (* replaced by the from-scratch fallback *)
+  mutable verts : Vertex.t;
+  engines : engines;
+  mutable pool : Pool.t option;
+      (* shared by all engines; shut down at {!close}, or earlier by the
+         degradation ladder *)
+  budget : Budget.t option;  (* armed only when a limit is configured *)
+  mutable css_clock : Wall_clock.t;
+  mutable opt_clock : Wall_clock.t;
+  mutable css_base : float;  (* seconds accumulated before a resume *)
+  mutable opt_base : float;
+  mutable t0 : float;  (* start of the current run / delta request *)
+  mutable hpwl_before : float;  (* HPWL at the start of the current run *)
+  mutable edges : int;
+  mutable cones : int;
+  mutable iterations : int;
+  mutable best : checkpoint option;
+  mutable stall_best : float;  (* best live-timer worst slack seen *)
+  mutable stall_count : int;  (* phases since it improved *)
+  mutable stop : string option;  (* watchdog verdict, once set *)
+  mutable trace_rev : trace_point list;
+  mutable phases_done : int;  (* completed main-loop phases (resume cursor) *)
+  mutable hold_done : bool;  (* the final hold touch-up phase completed *)
+  mutable hold_attempted : bool;
+      (* at most one hold attempt per run; never persisted — a resumed run
+         may retry a hold that an interrupt cut short *)
+  mutable rung : int;  (* degradation-ladder position, 0 = full fidelity *)
+  mutable degradations_rev : string list;
+  mutable iter_polls : int;  (* scheduler should_stop polls, for fault injection *)
+  mutable resumed : bool;  (* the current run continues a loaded checkpoint *)
+  mutable validation : Diag.t list;  (* ingress findings for the current design *)
+  mutable closed : bool;
+}
+
+let design st = Timer.design st.timer
+let config st = st.cfg
+let algo st = st.algo
+let is_closed st = st.closed
+
+let check_open st op =
+  if st.closed then invalid_arg (Printf.sprintf "Session.%s: session is closed" op)
+
+let snapshot_point st ~round ~phase ~iter =
+  let pt =
+    {
+      round;
+      phase;
+      iter;
+      wns_early = Timer.wns st.timer Timer.Early;
+      tns_early = Timer.tns st.timer Timer.Early;
+      wns_late = Timer.wns st.timer Timer.Late;
+      tns_late = Timer.tns st.timer Timer.Late;
+    }
+  in
+  st.trace_rev <- pt :: st.trace_rev;
+  if Obs.enabled st.cfg.obs then
+    Obs.snapshot st.cfg.obs ~label:"flow.point"
+      [
+        ("round", Obs.Json.Int round);
+        ("phase", Obs.Json.String phase);
+        ("iter", Obs.Json.Int iter);
+        ("wns_early", Obs.Json.Float pt.wns_early);
+        ("tns_early", Obs.Json.Float pt.tns_early);
+        ("wns_late", Obs.Json.Float pt.wns_late);
+        ("tns_late", Obs.Json.Float pt.tns_late);
+      ]
+
+let record_scheduler_trace st ~round ~phase (res : Scheduler.result) =
+  List.iter
+    (fun (it : Scheduler.iteration) ->
+      st.trace_rev <-
+        {
+          round;
+          phase;
+          iter = it.Scheduler.index;
+          wns_early = it.Scheduler.wns_early;
+          tns_early = it.Scheduler.tns_early;
+          wns_late = it.Scheduler.wns_late;
+          tns_late = it.Scheduler.tns_late;
+        }
+        :: st.trace_rev)
+    res.Scheduler.trace
+
+let targets_of verts latencies =
+  let acc = ref [] in
+  Array.iteri
+    (fun v l ->
+      if l > 1e-9 then
+        match Vertex.ff_of verts v with
+        | Some ff -> acc := (ff, l) :: !acc
+        | None -> ())
+    latencies;
+  !acc
+
+(* Stored weights go stale whenever the OPT passes change latencies or
+   placement outside the scheduler's Eq. (10) bookkeeping; the timer
+   re-derives them in one sweep at the start of each CSS phase. *)
+let refresh_weights st graph = Seq_graph.refresh_weights graph st.timer
+
+let ours_engine st corner =
+  let get, set =
+    match corner with
+    | Timer.Early -> ((fun () -> st.engines.ours_early), fun e -> st.engines.ours_early <- Some e)
+    | Timer.Late -> ((fun () -> st.engines.ours_late), fun e -> st.engines.ours_late <- Some e)
+  in
+  match get () with
+  | Some e -> e
+  | None ->
+    let e =
+      Extract.run ~obs:st.cfg.obs ?pool:st.pool ~engine:Extract.Essential st.timer st.verts
+        ~corner
+    in
+    set e;
+    e
+
+let iccss_engine st corner =
+  let get, set =
+    match corner with
+    | Timer.Early ->
+      ((fun () -> st.engines.iccss_early), fun e -> st.engines.iccss_early <- Some e)
+    | Timer.Late -> ((fun () -> st.engines.iccss_late), fun e -> st.engines.iccss_late <- Some e)
+  in
+  match get () with
+  | Some e -> e
+  | None ->
+    let e =
+      Extract.run ~obs:st.cfg.obs ?pool:st.pool ~engine:Extract.Iccss st.timer st.verts ~corner
+    in
+    set e;
+    e
+
+(* {2 Watchdogs} *)
+
+let elapsed st = Wall_clock.now () -. st.t0
+
+let past_deadline st =
+  match st.cfg.deadline_seconds with None -> false | Some d -> elapsed st > d
+
+let set_stop st reason =
+  if st.stop = None then begin
+    Log.warn (fun m -> m "flow stopping: %s" reason);
+    st.stop <- Some reason;
+    Obs.snapshot st.cfg.obs ~label:"flow.stop"
+      [ ("reason", Obs.Json.String reason); ("elapsed_seconds", Obs.Json.Float (elapsed st)) ]
+  end
+
+(* {2 Degradation ladder}
+
+   Soft budget pressure sheds fidelity one rung per poll instead of dying
+   at the hard limit: 1. shrink the scheduler's best-state ring, 2. drop
+   the worker pool, 3. switch to the cheapest extraction, 4. stop with the
+   best result so far. Rungs whose knob is already at bottom are skipped.
+   The rung survives a session's delta requests: budget pressure is a
+   property of the session, not of one request. *)
+
+let cheap_extract_limit = 4096
+
+let rung_name = function
+  | 1 -> "shrink-ring"
+  | 2 -> "drop-pool"
+  | 3 -> "cheap-extraction"
+  | _ -> "early-stop"
+
+let rung_applicable st = function
+  | 2 -> st.pool <> None
+  | 3 -> st.engine0 <> `Fpm
+  | _ -> true
+
+let rec degrade st ~reason =
+  if st.stop = None && st.rung < 4 then begin
+    let rung = st.rung + 1 in
+    st.rung <- rung;
+    if not (rung_applicable st rung) then degrade st ~reason
+    else begin
+      let step = rung_name rung in
+      (match rung with
+      | 2 ->
+        Option.iter Pool.shutdown st.pool;
+        st.pool <- None;
+        List.iter
+          (fun eo -> Option.iter (fun e -> Extract.set_pool e None) eo)
+          [
+            st.engines.ours_early;
+            st.engines.ours_late;
+            st.engines.iccss_early;
+            st.engines.iccss_late;
+          ]
+      | 4 -> set_stop st ("budget-" ^ reason)
+      | _ -> ());
+      (* under memory pressure, also return what the runtime can *)
+      if reason = "rss" then Gc.compact ();
+      st.degradations_rev <- Printf.sprintf "%s(%s)" step reason :: st.degradations_rev;
+      Obs.incr (Obs.counter st.cfg.obs "flow.degradations");
+      if Obs.enabled st.cfg.obs then
+        Obs.snapshot st.cfg.obs ~label:"flow.degrade"
+          [
+            ("step", Obs.Json.String step);
+            ("reason", Obs.Json.String reason);
+            ("rung", Obs.Json.Int rung);
+            ("elapsed_seconds", Obs.Json.Float (elapsed st));
+          ];
+      Log.warn (fun m -> m "budget pressure (%s): degrading to %s (rung %d)" reason step rung)
+    end
+  end
+
+(* Phase-boundary governor: the cooperative interrupt flag wins, then the
+   budget — [Hard] stops the flow, [Soft] takes one ladder step. *)
+let governor st =
+  if st.stop = None then begin
+    (match st.cfg.debug_interrupt_after_phase with
+    | Some n when st.phases_done >= n -> Persist.request_interrupt ()
+    | _ -> ());
+    if Persist.interrupted () then set_stop st "interrupted"
+    else
+      match st.budget with
+      | None -> ()
+      | Some b -> (
+        match Budget.poll b with
+        | Budget.Under -> ()
+        | Budget.Hard reason -> set_stop st ("budget-" ^ reason)
+        | Budget.Soft reason -> degrade st ~reason)
+  end
+
+(* Why a scheduler run came back [Interrupted]: the signal flag, or the
+   hard budget its [should_stop] also polls. *)
+let interrupt_cause st =
+  if Persist.interrupted () then "interrupted"
+  else
+    match st.budget with
+    | Some b when Budget.hard b -> (
+      match Budget.poll b with Budget.Hard reason -> "budget-" ^ reason | _ -> "budget-wall")
+    | _ -> "interrupted"
+
+(* The scheduler's own deadline is the tightest of: its configured one,
+   the per-phase budget, and whatever remains of the flow budget — so a
+   phase in flight also honors the flow-level watchdog. The budget adds
+   two more hooks: rung 1+ shrinks the best-state ring, and [should_stop]
+   aborts mid-phase on a signal or hard budget. *)
+let scheduler_config st =
+  let remaining =
+    match st.cfg.deadline_seconds with
+    | None -> None
+    | Some d -> Some (Float.max 0.0 (d -. elapsed st))
+  in
+  let phase_budget =
+    match st.cfg.scheduler.Scheduler.deadline_seconds with
+    | Some _ as d -> d
+    | None -> st.cfg.phase_deadline_seconds
+  in
+  let eff =
+    match (phase_budget, remaining) with
+    | None, r -> r
+    | (Some _ as d), None -> d
+    | Some a, Some b -> Some (Float.min a b)
+  in
+  let base = { st.cfg.scheduler with Scheduler.deadline_seconds = eff } in
+  let base =
+    if st.rung >= 1 then { base with Scheduler.best_ring = min base.Scheduler.best_ring 1 }
+    else base
+  in
+  let user_stop = base.Scheduler.should_stop in
+  let should_stop () =
+    st.iter_polls <- st.iter_polls + 1;
+    (match st.cfg.debug_interrupt_after_iteration with
+    | Some n when st.iter_polls > n -> Persist.request_interrupt ()
+    | _ -> ());
+    Persist.interrupted ()
+    || (match st.budget with
+       | Some b -> ( match Budget.poll b with Budget.Hard _ -> true | _ -> false)
+       | None -> false)
+    || (match user_stop with Some f -> f () | None -> false)
+  in
+  { base with Scheduler.should_stop = Some should_stop }
+
+(* {2 Checkpoint / rollback} *)
+
+let evaluate_now st =
+  Evaluator.evaluate
+    ~config:{ Evaluator.default_config with Evaluator.timer = st.cfg.timer }
+    (Timer.design st.timer)
+
+(* The cheap stand-in for {!evaluate_now} when [final_eval = false]: the
+   live timer's view of the schedule (scheduled latencies still count,
+   no constraint audit, no fresh propagation). Right for a service
+   answering delta requests; never for final paper scoring. *)
+let live_report st =
+  {
+    Evaluator.wns_early = Timer.wns st.timer Timer.Early;
+    tns_early = Timer.tns st.timer Timer.Early;
+    wns_late = Timer.wns st.timer Timer.Late;
+    tns_late = Timer.tns st.timer Timer.Late;
+    num_early_violations = List.length (Timer.violated_endpoints st.timer Timer.Early);
+    num_late_violations = List.length (Timer.violated_endpoints st.timer Timer.Late);
+    hpwl = Design.total_hpwl (Timer.design st.timer);
+    constraint_errors = [];
+  }
+
+(* Checkpoint scoring needs the independent evaluator (it builds its own
+   timer per call); without it there is nothing trustworthy to roll back
+   to, so [final_eval = false] also disables rollback scoring. *)
+let scored_checkpoints st = st.cfg.rollback && st.cfg.final_eval
+
+let take_checkpoint st ~label =
+  let design = Timer.design st.timer in
+  let report = evaluate_now st in
+  let ffs = Design.ffs design in
+  {
+    label;
+    ck_ffs = ffs;
+    ck_latencies = Array.map (fun ff -> Design.scheduled_latency design ff) ffs;
+    ck_lcb_of =
+      Array.map (fun ff -> try Design.lcb_of_ff design ff with Not_found -> -1) ffs;
+    ck_positions = Array.init (Design.num_cells design) (Design.cell_pos design);
+    ck_masters =
+      Array.init (Design.num_cells design) (fun c ->
+          (Design.cell_master design c).Css_liberty.Cell.name);
+    ck_report = report;
+    ck_score = Float.min report.Evaluator.wns_early report.Evaluator.wns_late;
+    ck_tns = report.Evaluator.tns_early +. report.Evaluator.tns_late;
+  }
+
+let better ~score ~tns (cp : checkpoint) =
+  score > cp.ck_score +. 1e-9
+  || (score >= cp.ck_score -. 1e-9 && tns > cp.ck_tns +. 1e-9)
+
+(* Full incremental resync after arbitrary design mutation (restore or
+   the [on_phase_end] hook): every wire delay and every clock latency is
+   re-derived, so the live timer agrees with the design again. *)
+let resync st =
+  let design = Timer.design st.timer in
+  let cells = ref [] in
+  Design.iter_cells design (fun c -> cells := c :: !cells);
+  Timer.update_moved_cells st.timer !cells;
+  Timer.update_latencies st.timer (Array.to_list (Design.ffs design))
+
+let restore st (cp : checkpoint) =
+  let design = Timer.design st.timer in
+  Array.iteri
+    (fun c master ->
+      if (Design.cell_master design c).Css_liberty.Cell.name <> master then
+        Timer.resize_cell st.timer c master)
+    cp.ck_masters;
+  Array.iteri (fun c pos -> Design.move_cell design c pos) cp.ck_positions;
+  Array.iteri
+    (fun i ff ->
+      let lcb = cp.ck_lcb_of.(i) in
+      (if lcb >= 0 then
+         let cur = try Some (Design.lcb_of_ff design ff) with Not_found -> None in
+         if cur <> Some lcb then Design.reconnect_ff_to_lcb design ~ff ~lcb);
+      Design.set_scheduled_latency design ff cp.ck_latencies.(i))
+    cp.ck_ffs;
+  resync st
+
+let consider_checkpoint st ~label =
+  let cp = take_checkpoint st ~label in
+  (match st.best with
+  | Some best when not (better ~score:cp.ck_score ~tns:cp.ck_tns best) -> ()
+  | _ ->
+    st.best <- Some cp;
+    Obs.incr (Obs.counter st.cfg.obs "flow.checkpoints");
+    Log.debug (fun m -> m "checkpoint %s: score %.2f" label cp.ck_score));
+  cp
+
+(* {2 Durable checkpoints}
+
+   The in-memory state maps field-for-field onto [Persist.state]; the
+   best checkpoint's evaluator report is carried verbatim (never
+   re-derived) and its score/tie-break are recomputed on resume with the
+   same float expressions [take_checkpoint] uses, so a resumed run's
+   rollback decisions are bitwise those of an uninterrupted one. *)
+
+let trace_entry_of_point (p : trace_point) =
+  {
+    Persist.te_round = p.round;
+    te_phase = p.phase;
+    te_iter = p.iter;
+    te_wns_early = p.wns_early;
+    te_tns_early = p.tns_early;
+    te_wns_late = p.wns_late;
+    te_tns_late = p.tns_late;
+  }
+
+let point_of_trace_entry (e : Persist.trace_entry) =
+  {
+    round = e.Persist.te_round;
+    phase = e.Persist.te_phase;
+    iter = e.Persist.te_iter;
+    wns_early = e.Persist.te_wns_early;
+    tns_early = e.Persist.te_tns_early;
+    wns_late = e.Persist.te_wns_late;
+    tns_late = e.Persist.te_tns_late;
+  }
+
+let best_of_checkpoint (cp : checkpoint) =
+  {
+    Persist.pb_label = cp.label;
+    pb_ffs = cp.ck_ffs;
+    pb_latencies = cp.ck_latencies;
+    pb_lcb_of = cp.ck_lcb_of;
+    pb_x = Array.map (fun (p : Point.t) -> p.Point.x) cp.ck_positions;
+    pb_y = Array.map (fun (p : Point.t) -> p.Point.y) cp.ck_positions;
+    pb_masters = cp.ck_masters;
+    pb_report = cp.ck_report;
+  }
+
+let checkpoint_of_best (b : Persist.best) =
+  let report = b.Persist.pb_report in
+  {
+    label = b.Persist.pb_label;
+    ck_ffs = b.Persist.pb_ffs;
+    ck_latencies = b.Persist.pb_latencies;
+    ck_lcb_of = b.Persist.pb_lcb_of;
+    ck_positions =
+      Array.init (Array.length b.Persist.pb_x) (fun i ->
+          Point.make b.Persist.pb_x.(i) b.Persist.pb_y.(i));
+    ck_masters = b.Persist.pb_masters;
+    ck_report = report;
+    ck_score = Float.min report.Evaluator.wns_early report.Evaluator.wns_late;
+    ck_tns = report.Evaluator.tns_early +. report.Evaluator.tns_late;
+  }
+
+let engine_snapshots st =
+  let add key eo acc = match eo with None -> acc | Some e -> (key, Extract.snapshot e) :: acc in
+  add "ours-early" st.engines.ours_early
+    (add "ours-late" st.engines.ours_late
+       (add "iccss-early" st.engines.iccss_early (add "iccss-late" st.engines.iccss_late [])))
+
+let persist_state st =
+  {
+    Persist.ps_algo = algo_name st.algo;
+    ps_design = Design.name (Timer.design st.timer);
+    ps_rounds = st.cfg.rounds;
+    ps_phases_done = st.phases_done;
+    ps_hold_done = st.hold_done;
+    ps_iterations = st.iterations;
+    ps_edges = st.edges;
+    ps_cones = st.cones;
+    ps_stall_best = st.stall_best;
+    ps_stall_count = st.stall_count;
+    ps_stop = st.stop;
+    ps_hpwl_before = st.hpwl_before;
+    ps_anchor_x =
+      (let design = Timer.design st.timer in
+       Array.init (Design.num_cells design) (fun c -> (Design.cell_orig_pos design c).Point.x));
+    ps_anchor_y =
+      (let design = Timer.design st.timer in
+       Array.init (Design.num_cells design) (fun c -> (Design.cell_orig_pos design c).Point.y));
+    ps_css_seconds = st.css_base +. Wall_clock.elapsed st.css_clock;
+    ps_opt_seconds = st.opt_base +. Wall_clock.elapsed st.opt_clock;
+    ps_rung = st.rung;
+    ps_degradations = List.rev st.degradations_rev;
+    ps_trace = List.rev_map trace_entry_of_point st.trace_rev;
+    ps_best = Option.map best_of_checkpoint st.best;
+    ps_design_text = Io.to_string (Timer.design st.timer);
+    ps_engines = engine_snapshots st;
+  }
+
+let snapshot st =
+  check_open st "snapshot";
+  persist_state st
+
+let save st ~dir =
+  check_open st "save";
+  Persist.save ~dir (persist_state st)
+
+(* Persistence failure degrades to an in-memory-only run, never a crash:
+   the checkpoint is a safety net, not a correctness dependency. *)
+let persist_checkpoint st =
+  match st.cfg.checkpoint_dir with
+  | None -> ()
+  | Some dir -> (
+    try
+      let t0 = Wall_clock.now () in
+      Persist.save ~dir (persist_state st);
+      let dt = Wall_clock.now () -. t0 in
+      Obs.incr (Obs.counter st.cfg.obs "flow.persisted");
+      Obs.snapshot st.cfg.obs ~label:"flow.checkpoint"
+        [ ("write_seconds", Obs.Json.Float dt) ]
+    with Sys_error msg -> Log.warn (fun m -> m "checkpoint save failed: %s" msg))
+
+(* One CSS phase with the algorithm's engine (possibly degraded), followed
+   by physical realization and hold repair. Returns [false] when the
+   scheduler was interrupted mid-phase (signal / hard budget): nothing of
+   the partial phase is recorded or realized, and [st.stop] carries the
+   cause — a later resume redoes the whole phase from the last durable
+   checkpoint, which is bitwise the same computation. *)
+let css_opt_phase st ~round ~corner =
+  let phase = match corner with Timer.Early -> "early" | Timer.Late -> "late" in
+  let engine =
+    match st.engine0 with `Iccss when st.rung >= 3 -> `Ours | e -> e
+  in
+  let extract_limit = if st.rung >= 3 then Some cheap_extract_limit else None in
+  let sched_config = scheduler_config st in
+  Wall_clock.start st.css_clock;
+  let scheduled =
+    Obs.span st.cfg.obs (phase ^ "-css") @@ fun () ->
+    let run_scheduler eng ~on_cap_hit =
+      refresh_weights st (Extract.graph eng);
+      let extraction =
+        {
+          Scheduler.extract = (fun () -> Extract.round ?limit:extract_limit eng);
+          graph = Extract.graph eng;
+          on_cap_hit;
+        }
+      in
+      let res = Scheduler.run ~config:sched_config ~obs:st.cfg.obs st.timer extraction in
+      if res.Scheduler.stop_reason = Scheduler.Interrupted then None
+      else begin
+        st.iterations <- st.iterations + res.Scheduler.iterations;
+        record_scheduler_trace st ~round ~phase:(phase ^ "-css") res;
+        Some (targets_of st.verts res.Scheduler.target_latency)
+      end
+    in
+    match engine with
+    | `Ours -> run_scheduler (ours_engine st corner) ~on_cap_hit:(fun _ -> ())
+    | `Iccss ->
+      let eng = iccss_engine st corner in
+      run_scheduler eng
+        ~on_cap_hit:(fun v ->
+          match Vertex.ff_of st.verts v with
+          | Some ff -> ignore (Extract.constraint_edges eng ff)
+          | None -> ())
+    | `Fpm ->
+      let res, stats = Css_baselines.Fpm.run ~obs:st.cfg.obs ?pool:st.pool st.timer in
+      st.edges <- st.edges + stats.Extract.edges_extracted;
+      st.cones <- st.cones + stats.Extract.cone_nodes;
+      snapshot_point st ~round ~phase:(phase ^ "-css") ~iter:1;
+      Some (targets_of res.Css_baselines.Fpm.vertices res.Css_baselines.Fpm.target_latency)
+  in
+  Wall_clock.stop st.css_clock;
+  match scheduled with
+  | None ->
+    set_stop st (interrupt_cause st);
+    false
+  | Some targets ->
+  Wall_clock.start st.opt_clock;
+  Obs.span st.cfg.obs (phase ^ "-opt") (fun () ->
+  let targets =
+    if st.cfg.use_cts && targets <> [] then begin
+      (* CTS guidance first: clusters get purpose-built LCBs; anything the
+         plan could not host falls back to reconnection *)
+      let plan = Css_opt.Cts_guide.plan st.timer ~targets in
+      let applied = Css_opt.Cts_guide.apply st.timer plan in
+      let hosted = Hashtbl.create 64 in
+      List.iter (fun ff -> Hashtbl.replace hosted ff ()) applied.Css_opt.Cts_guide.hosted;
+      List.filter (fun (ff, _) -> not (Hashtbl.mem hosted ff)) targets
+    end
+    else targets
+  in
+  let rstats = Reconnect.realize ~config:st.cfg.reconnect st.timer ~targets in
+  let mstats = Cell_move.repair_early ~config:st.cfg.cell_move st.timer in
+  let obs = st.cfg.obs in
+  Obs.add (Obs.counter obs "opt.reconnect.attempted") rstats.Reconnect.attempted;
+  Obs.add (Obs.counter obs "opt.reconnect.reconnected") rstats.Reconnect.reconnected;
+  Obs.add (Obs.counter obs "opt.cell_move.moves_tried") mstats.Cell_move.moves_tried;
+  Obs.add (Obs.counter obs "opt.cell_move.moves_accepted") mstats.Cell_move.moves_accepted;
+  Obs.add (Obs.counter obs "opt.cell_move.endpoints_fixed") mstats.Cell_move.endpoints_fixed;
+  if st.cfg.use_resize then begin
+    match corner with
+    | Timer.Late -> ignore (Css_opt.Resize.upsize_late st.timer)
+    | Timer.Early -> ignore (Css_opt.Resize.downsize_early st.timer)
+  end);
+  Wall_clock.stop st.opt_clock;
+  Log.info (fun m ->
+      m "round %d %s done: early %.1f/%.1f late %.1f/%.1f" round phase
+        (Timer.wns st.timer Timer.Early) (Timer.tns st.timer Timer.Early)
+        (Timer.wns st.timer Timer.Late) (Timer.tns st.timer Timer.Late));
+  snapshot_point st ~round ~phase:(phase ^ "-opt") ~iter:0;
+  (* fault-injection hook, then resync so the timer sees its mutations *)
+  (match st.cfg.on_phase_end with
+  | Some hook ->
+    hook ~round ~phase (Timer.design st.timer);
+    resync st
+  | None -> ());
+  if scored_checkpoints st then
+    ignore (consider_checkpoint st ~label:(Printf.sprintf "round-%d-%s" round phase));
+  (* stall watchdog on the live timer's worst slack (cheap; the
+     evaluator-scored checkpoint above is the rollback authority) *)
+  let worst = Float.min (Timer.wns st.timer Timer.Early) (Timer.wns st.timer Timer.Late) in
+  if worst > st.stall_best +. 1e-9 then begin
+    st.stall_best <- worst;
+    st.stall_count <- 0
+  end
+  else begin
+    st.stall_count <- st.stall_count + 1;
+    if st.stall_count >= st.cfg.stall_phases && st.stop = None then begin
+      Log.warn (fun m ->
+          m "round %d %s: %d phases without worst-slack progress, stopping" round phase
+            st.stall_count);
+      st.stop <- Some "stalled"
+    end
+  end;
+  if past_deadline st && st.stop = None then begin
+    Log.warn (fun m -> m "round %d %s: flow deadline exceeded, stopping" round phase);
+    st.stop <- Some "deadline"
+  end;
+  true
+
+let clean st =
+  Timer.wns st.timer Timer.Early >= 0.0 && Timer.wns st.timer Timer.Late >= 0.0
+
+let ncorners st = match st.algo with Ours | Iccss_plus -> 2 | Ours_early | Fpm -> 1
+
+let corner_of_index st i =
+  match (st.algo, i) with (Ours | Iccss_plus), 1 -> Timer.Late | _ -> Timer.Early
+
+let want_hold st =
+  (not st.hold_done)
+  && (match st.algo with Ours | Iccss_plus -> true | Ours_early | Fpm -> false)
+  && Timer.wns st.timer Timer.Early < 0.0
+  && (match st.stop with None | Some "stalled" -> true | _ -> false)
+
+(* One phase of the positional continuation: phase k of the main loop is
+   corner [k mod ncorners] of round [k / ncorners + 1], then the hold
+   touch-up. The cursor arithmetic and guards reproduce the historical
+   recursive loop exactly — in particular a mid-round cursor (ci > 0)
+   re-enters its round without re-checking the round guard, because the
+   uninterrupted run checked it only at round entry — so driving {!step}
+   to [`Done] computes bitwise what the recursion did. *)
+let step st =
+  check_open st "step";
+  let nc = ncorners st in
+  let r = (st.phases_done / nc) + 1 in
+  let ci = st.phases_done mod nc in
+  if st.stop = None && (ci > 0 || (r <= st.cfg.rounds && not (clean st))) then begin
+    let corner = corner_of_index st ci in
+    let label =
+      Printf.sprintf "round-%d-%s" r
+        (match corner with Timer.Early -> "early" | Timer.Late -> "late")
+    in
+    governor st;
+    if st.stop = None then
+      if css_opt_phase st ~round:r ~corner then begin
+        st.phases_done <- st.phases_done + 1;
+        persist_checkpoint st
+      end;
+    `Phase label
+  end
+  else if (not st.hold_attempted) && want_hold st then begin
+    (* hold touch-up: the interleaving ends on a late phase, whose
+       realization can leave small fresh hold violations; close them with
+       one final early pass (the sign-off ECO order) — skipped when the
+       deadline, an interrupt or a hard budget already fired *)
+    st.hold_attempted <- true;
+    governor st;
+    if
+      (match st.stop with None | Some "stalled" -> true | _ -> false)
+      && css_opt_phase st ~round:(st.cfg.rounds + 1) ~corner:Timer.Early
+    then begin
+      st.hold_done <- true;
+      persist_checkpoint st
+    end;
+    `Phase "hold"
+  end
+  else `Done
+
+let rec drain st = match step st with `Phase _ -> drain st | `Done -> ()
+
+(* Fold the current run into a result. Non-destructive: engine statistics
+   are summed into locals, so a later delta request on the same session
+   starts its own accumulation from fresh engines. *)
+let finalize st =
+  let stop_reason =
+    match st.stop with Some s -> s | None -> if clean st then "clean" else "max-rounds"
+  in
+  let edges = ref st.edges and cones = ref st.cones in
+  let add_stats = function
+    | Some e ->
+      let s = Extract.stats e in
+      edges := !edges + s.Extract.edges_extracted;
+      cones := !cones + s.Extract.cone_nodes
+    | None -> ()
+  in
+  add_stats st.engines.ours_early;
+  add_stats st.engines.ours_late;
+  add_stats st.engines.iccss_early;
+  add_stats st.engines.iccss_late;
+  let final_report = if st.cfg.final_eval then evaluate_now st else live_report st in
+  let report, rolled_back =
+    if not (scored_checkpoints st) then (final_report, false)
+    else
+      let score = Float.min final_report.Evaluator.wns_early final_report.Evaluator.wns_late in
+      let tns = final_report.Evaluator.tns_early +. final_report.Evaluator.tns_late in
+      match st.best with
+      | Some cp when not (better ~score ~tns cp) && cp.ck_score > score +. 1e-9 ->
+        Log.warn (fun m ->
+            m "final state (score %.2f) worse than checkpoint %s (score %.2f): rolling back"
+              score cp.label cp.ck_score);
+        restore st cp;
+        Obs.incr (Obs.counter st.cfg.obs "flow.rollbacks");
+        if Obs.enabled st.cfg.obs then
+          Obs.snapshot st.cfg.obs ~label:"flow.rollback"
+            [
+              ("checkpoint", Obs.Json.String cp.label);
+              ("checkpoint_score", Obs.Json.Float cp.ck_score);
+              ("final_score", Obs.Json.Float score);
+            ];
+        (cp.ck_report, true)
+      | _ -> (final_report, false)
+  in
+  let total_seconds = Wall_clock.now () -. st.t0 in
+  (* the debug knobs set the process-global flag; clear it so reference
+     runs later in the same process don't inherit a stale interrupt *)
+  if
+    st.cfg.debug_interrupt_after_phase <> None
+    || st.cfg.debug_interrupt_after_iteration <> None
+  then Persist.clear_interrupt ();
+  {
+    algo = algo_name st.algo;
+    benchmark = Design.name (Timer.design st.timer);
+    report;
+    css_seconds = st.css_base +. Wall_clock.elapsed st.css_clock;
+    opt_seconds = st.opt_base +. Wall_clock.elapsed st.opt_clock;
+    total_seconds;
+    extracted_edges = !edges;
+    cone_nodes = !cones;
+    css_iterations = st.iterations;
+    hpwl_increase_pct =
+      Css_geometry.Hpwl.increase_pct ~before:st.hpwl_before ~after:report.Evaluator.hpwl;
+    stop_reason;
+    rolled_back;
+    degradations = List.rev st.degradations_rev;
+    resumed = st.resumed;
+    validation = st.validation;
+    trace = List.rev st.trace_rev;
+  }
+
+let finish st =
+  check_open st "finish";
+  drain st;
+  finalize st
+
+(* {2 Opening and resuming} *)
+
+let create ~(config : config) ~algo ~validation ~hpwl_before ?resume design =
+  let total_t0 = Wall_clock.now () in
+  let timer = Timer.build ~config:config.timer ~obs:config.obs design in
+  let resume_rung = match resume with Some r -> r.Persist.ps_rung | None -> 0 in
+  let jobs_eff = if resume_rung >= 2 then 1 else config.jobs in
+  let pool =
+    if jobs_eff > 1 then
+      Some (Pool.create ~obs:config.obs ~tracer:config.tracer ~jobs:jobs_eff ())
+    else None
+  in
+  let budget =
+    if config.budget.Budget.wall_seconds = None && config.budget.Budget.rss_bytes = None then
+      None
+    else Some (Budget.create ~obs:config.obs ~tracer:config.tracer config.budget)
+  in
+  let engine0 =
+    match algo with Ours | Ours_early -> `Ours | Iccss_plus -> `Iccss | Fpm -> `Fpm
+  in
+  let st =
+    {
+      cfg = config;
+      algo;
+      engine0;
+      timer;
+      verts = Vertex.of_design design;
+      engines = { ours_early = None; ours_late = None; iccss_early = None; iccss_late = None };
+      pool;
+      budget;
+      css_clock = Wall_clock.create ();
+      opt_clock = Wall_clock.create ();
+      css_base = (match resume with Some r -> r.Persist.ps_css_seconds | None -> 0.0);
+      opt_base = (match resume with Some r -> r.Persist.ps_opt_seconds | None -> 0.0);
+      t0 = total_t0;
+      hpwl_before;
+      edges = (match resume with Some r -> r.Persist.ps_edges | None -> 0);
+      cones = (match resume with Some r -> r.Persist.ps_cones | None -> 0);
+      iterations = (match resume with Some r -> r.Persist.ps_iterations | None -> 0);
+      best = None;
+      stall_best = (match resume with Some r -> r.Persist.ps_stall_best | None -> neg_infinity);
+      stall_count = (match resume with Some r -> r.Persist.ps_stall_count | None -> 0);
+      stop = (match resume with Some r -> r.Persist.ps_stop | None -> None);
+      trace_rev = [];
+      phases_done = (match resume with Some r -> r.Persist.ps_phases_done | None -> 0);
+      hold_done = (match resume with Some r -> r.Persist.ps_hold_done | None -> false);
+      hold_attempted = false;
+      rung = resume_rung;
+      degradations_rev =
+        (match resume with Some r -> List.rev r.Persist.ps_degradations | None -> []);
+      iter_polls = 0;
+      resumed = Option.is_some resume;
+      validation;
+      closed = false;
+    }
+  in
+  (try
+     match resume with
+     | None ->
+       snapshot_point st ~round:0 ~phase:"start" ~iter:0;
+       (* the input itself is the first checkpoint: a hardened run can
+          never end worse than what it was given *)
+       if scored_checkpoints st then ignore (consider_checkpoint st ~label:"start");
+       persist_checkpoint st
+     | Some ps ->
+       (* the reparsed design anchored movement legality at checkpoint-time
+          positions; put back the anchors the interrupted run judged
+          against *)
+       Array.iteri
+         (fun c x ->
+           Design.set_cell_orig_pos design c (Point.make x ps.Persist.ps_anchor_y.(c)))
+         ps.Persist.ps_anchor_x;
+       st.trace_rev <- List.rev_map point_of_trace_entry ps.Persist.ps_trace;
+       st.best <- Option.map checkpoint_of_best ps.Persist.ps_best;
+       List.iter
+         (fun (key, snap) ->
+           let corner =
+             if String.length key > 5 && String.sub key (String.length key - 5) 5 = "early"
+             then Timer.Early
+             else Timer.Late
+           in
+           let e =
+             Extract.restore ~obs:config.obs ?pool:st.pool snap st.timer st.verts ~corner
+           in
+           match key with
+           | "ours-early" -> st.engines.ours_early <- Some e
+           | "ours-late" -> st.engines.ours_late <- Some e
+           | "iccss-early" -> st.engines.iccss_early <- Some e
+           | "iccss-late" -> st.engines.iccss_late <- Some e
+           | _ -> Log.warn (fun m -> m "ignoring unknown engine snapshot %S" key))
+         ps.Persist.ps_engines;
+       Obs.incr (Obs.counter config.obs "flow.resumes");
+       Log.info (fun m ->
+           m "resumed %s on %s at phase %d (rung %d)" ps.Persist.ps_algo ps.Persist.ps_design
+             ps.Persist.ps_phases_done ps.Persist.ps_rung)
+   with e ->
+     (* opening failed after the pool spawned: don't leak domains *)
+     Option.iter Pool.shutdown st.pool;
+     Tracer.flush config.tracer;
+     raise e);
+  st
+
+let open_ ?(config = default_config) ~algo design =
+  let validation =
+    if config.validate then begin
+      let outcome = Validate.run ~obs:config.obs ~repair:config.repair design in
+      if outcome.Validate.fatal then raise (Validate.Invalid outcome.Validate.diags);
+      outcome.Validate.diags
+    end
+    else []
+  in
+  let hpwl_before = Design.total_hpwl design in
+  create ~config ~algo ~validation ~hpwl_before design
+
+let reopen ?(config = default_config) ~library ~dir () =
+  match Persist.load ~dir with
+  | Error diags -> Error diags
+  | Ok ps -> (
+    match algo_of_name ps.Persist.ps_algo with
+    | None ->
+      Error
+        [
+          Diag.error ~code:"CKPT-006"
+            (Printf.sprintf "checkpoint algorithm %S is not one this build knows"
+               ps.Persist.ps_algo);
+        ]
+    | Some algo -> (
+      match Io.of_string ~source:(Persist.path ~dir) ~library ps.Persist.ps_design_text with
+      | Error diags ->
+        Error
+          (Diag.error ~code:"CKPT-006"
+             "checkpoint design does not parse against this cell library"
+          :: diags)
+      | Ok (design, _) ->
+        (* the checkpoint's configured horizon wins: continuation must
+           count rounds the way the interrupted run did *)
+        let config = { config with rounds = ps.Persist.ps_rounds } in
+        Ok
+          (create ~config ~algo ~validation:[] ~hpwl_before:ps.Persist.ps_hpwl_before
+             ~resume:ps design)))
+
+let close st =
+  if not st.closed then begin
+    st.closed <- true;
+    Option.iter Pool.shutdown st.pool;
+    st.pool <- None;
+    (* the signal/interrupt exit path runs through here too: make sure
+       any buffered trace events reach the spill file before the process
+       dies (the tracer's owner still closes/exports it) *)
+    Tracer.flush st.cfg.tracer
+  end
+
+(* {2 Delta requests} *)
+
+type delta =
+  | Move_cell of { cell : string; x : float; y : float }
+  | Set_latency of { ff : string; latency : float }
+  | Set_bounds of { ff : string; lo : float; hi : float }
+  | Apply_sdc of string
+  | Replace_design of string
+
+type delta_mode =
+  [ `Incremental  (* only the affected cones were re-propagated *)
+  | `Rebuild  (* from-scratch fallback: fresh timer and vertex registry *)
+  ]
+
+type staged = {
+  sg_design : Design.t;
+  sg_moved : Design.cell_id list;
+  sg_relat : Design.cell_id list;
+  sg_touched : int;
+  sg_replaced : bool;
+  sg_timer : Timer.config;
+  sg_diags : Diag.t list;
+}
+
+(* Resolved, validated edit operations: {!stage} resolves and checks
+   every delta before mutating anything, so a rejected batch leaves the
+   design untouched. *)
+type op =
+  | Op_move of Design.cell_id * Point.t
+  | Op_latency of Design.cell_id * float
+  | Op_bounds of Design.cell_id * float * float
+  | Op_replace of Design.t
+
+let eco_error code fmt = Printf.ksprintf (fun m -> Diag.error ~code m) fmt
+
+let stage ?(validate = true) ?(repair = true) ~timer:timer_cfg design deltas =
+  let errors = ref [] and warnings = ref [] in
+  let err d = errors := d :: !errors in
+  (* name resolution follows the design a delta applies to: ops after a
+     [Replace_design] address the replacement's cells *)
+  let cur = ref design in
+  let table = ref None in
+  let lookup name =
+    let tbl =
+      match !table with
+      | Some t -> t
+      | None ->
+        let t = Hashtbl.create (2 * Design.num_cells !cur) in
+        Design.iter_cells !cur (fun c -> Hashtbl.replace t (Design.cell_name !cur c) c);
+        table := Some t;
+        t
+    in
+    Hashtbl.find_opt tbl name
+  in
+  let tcfg = ref timer_cfg in
+  let resolve_bounds ~unknown_code name lo hi =
+    if Float.is_nan lo || Float.is_nan hi then begin
+      err (eco_error "ECO-003" "NaN latency bound for %S" name);
+      []
+    end
+    else if lo > hi || lo < 0.0 || hi < 0.0 then begin
+      err (eco_error "ECO-004" "bad latency window [%g, %g] for %S" lo hi name);
+      []
+    end
+    else
+      match lookup name with
+      | Some c when Design.is_ff !cur c -> [ Op_bounds (c, lo, hi) ]
+      | Some _ ->
+        err (eco_error "ECO-002" "cell %S is not a flip-flop" name);
+        []
+      | None ->
+        err (eco_error unknown_code "no flip-flop named %S" name);
+        []
+  in
+  let resolve = function
+    | Move_cell { cell; x; y } -> (
+      if not (Float.is_finite x && Float.is_finite y) then begin
+        err (eco_error "ECO-003" "move of %S to non-finite position (%g, %g)" cell x y);
+        []
+      end
+      else
+        match lookup cell with
+        | Some c -> [ Op_move (c, Point.make x y) ]
+        | None ->
+          err (eco_error "ECO-001" "no cell named %S" cell);
+          [])
+    | Set_latency { ff; latency } -> (
+      if not (Float.is_finite latency) then begin
+        err (eco_error "ECO-003" "non-finite scheduled latency %g for %S" latency ff);
+        []
+      end
+      else
+        match lookup ff with
+        | Some c when Design.is_ff !cur c -> [ Op_latency (c, latency) ]
+        | Some _ ->
+          err (eco_error "ECO-002" "cell %S is not a flip-flop" ff);
+          []
+        | None ->
+          err (eco_error "ECO-001" "no cell named %S" ff);
+          [])
+    | Set_bounds { ff; lo; hi } -> resolve_bounds ~unknown_code:"ECO-001" ff lo hi
+    | Apply_sdc text -> (
+      match Sdc.parse ~source:"<apply_delta>" text with
+      | Error ds ->
+        List.iter err ds;
+        []
+      | Ok (sdc, warns) ->
+        warnings := List.rev_append warns !warnings;
+        (match sdc.Sdc.period with
+        | Some p when Float.abs (p -. Design.clock_period !cur) > 1e-9 ->
+          err
+            (eco_error "SDC-002" "constraint period %.6g disagrees with the design's %.6g" p
+               (Design.clock_period !cur))
+        | Some _ | None -> ());
+        (* analysis knobs fold into the timer configuration the way the
+           CLI folds an SDC file: uncertainties only ever tighten, the
+           derate overrides when present. A changed timer config forces
+           the from-scratch fallback — a built timer's corner setup is a
+           construction parameter. *)
+        tcfg :=
+          {
+            !tcfg with
+            Timer.setup_uncertainty =
+              Float.max !tcfg.Timer.setup_uncertainty sdc.Sdc.setup_uncertainty;
+            Timer.hold_uncertainty =
+              Float.max !tcfg.Timer.hold_uncertainty sdc.Sdc.hold_uncertainty;
+          };
+        (match sdc.Sdc.early_derate with
+        | Some d -> tcfg := { !tcfg with Timer.early_derate = d }
+        | None -> ());
+        List.concat_map
+          (fun (name, lo, hi) -> resolve_bounds ~unknown_code:"SDC-003" name lo hi)
+          sdc.Sdc.latency_bounds)
+    | Replace_design text -> (
+      match Io.of_string ~source:"<apply_delta>" ~library:(Design.library !cur) text with
+      | Error ds ->
+        List.iter err ds;
+        []
+      | Ok (d, warns) ->
+        warnings := List.rev_append warns !warnings;
+        let accepted =
+          if validate then begin
+            let outcome = Validate.run ~repair d in
+            if outcome.Validate.fatal then begin
+              List.iter err outcome.Validate.diags;
+              false
+            end
+            else begin
+              warnings := List.rev_append outcome.Validate.diags !warnings;
+              true
+            end
+          end
+          else true
+        in
+        if accepted then begin
+          cur := d;
+          table := None;
+          [ Op_replace d ]
+        end
+        else [])
+  in
+  let ops = List.concat_map resolve deltas in
+  if !errors <> [] then Error (List.rev !errors)
+  else begin
+    (* apply phase: every op is pre-validated, nothing below can fail, so
+       the batch is atomic *)
+    let moved = ref [] and relat = ref [] and bounds = ref 0 in
+    let final = ref design and replaced = ref false in
+    List.iter
+      (fun op ->
+        match op with
+        | Op_replace d ->
+          final := d;
+          replaced := true;
+          moved := [];
+          relat := [];
+          bounds := 0
+        | Op_move (c, p) ->
+          Design.move_cell !final c p;
+          moved := c :: !moved
+        | Op_latency (c, l) ->
+          Design.set_scheduled_latency !final c l;
+          relat := c :: !relat
+        | Op_bounds (c, lo, hi) ->
+          Design.set_latency_bounds !final c ~lo ~hi;
+          incr bounds)
+      ops;
+    let dedup ids = List.sort_uniq compare (List.rev ids) in
+    let moved = dedup !moved and relat = dedup !relat in
+    Ok
+      {
+        sg_design = !final;
+        sg_moved = moved;
+        sg_relat = relat;
+        sg_touched =
+          (if !replaced then Design.num_cells !final
+           else List.length moved + List.length relat + !bounds);
+        sg_replaced = !replaced;
+        sg_timer = !tcfg;
+        sg_diags = List.rev !warnings;
+      }
+  end
+
+type delta_outcome = {
+  d_result : result;
+  d_mode : delta_mode;
+  d_touched : int;
+  d_seconds : float;
+  d_diags : Diag.t list;
+}
+
+(* Reset the per-run cursors and accumulators so the next schedule is,
+   phase for phase, the run a fresh [Flow.run] would execute on the
+   edited design — with the warm timer standing in for a fresh build.
+   The budget, its degradation rung, and the pool survive: they belong
+   to the session, not to one request. *)
+let reset_for_run st =
+  st.engines.ours_early <- None;
+  st.engines.ours_late <- None;
+  st.engines.iccss_early <- None;
+  st.engines.iccss_late <- None;
+  st.phases_done <- 0;
+  st.hold_done <- false;
+  st.hold_attempted <- false;
+  st.stop <- None;
+  st.stall_best <- neg_infinity;
+  st.stall_count <- 0;
+  st.best <- None;
+  st.trace_rev <- [];
+  st.edges <- 0;
+  st.cones <- 0;
+  st.iterations <- 0;
+  st.iter_polls <- 0;
+  st.css_base <- 0.0;
+  st.opt_base <- 0.0;
+  st.css_clock <- Wall_clock.create ();
+  st.opt_clock <- Wall_clock.create ();
+  st.degradations_rev <- [];
+  st.resumed <- false;
+  st.t0 <- Wall_clock.now ();
+  st.hpwl_before <- Design.total_hpwl (Timer.design st.timer);
+  snapshot_point st ~round:0 ~phase:"start" ~iter:0;
+  if scored_checkpoints st then ignore (consider_checkpoint st ~label:"start");
+  persist_checkpoint st
+
+let apply_delta st deltas =
+  check_open st "apply_delta";
+  let t_req = Wall_clock.now () in
+  match
+    stage ~validate:st.cfg.validate ~repair:st.cfg.repair ~timer:st.cfg.timer
+      (Timer.design st.timer) deltas
+  with
+  | Error _ as e -> e
+  | Ok sg ->
+    let timer_changed = sg.sg_timer <> st.cfg.timer in
+    let frac_limit =
+      max 1
+        (int_of_float
+           (st.cfg.eco_fallback_frac *. float_of_int (Design.num_cells sg.sg_design)))
+    in
+    let mode =
+      if sg.sg_replaced || timer_changed then `Rebuild
+      else if List.length sg.sg_moved + List.length sg.sg_relat > frac_limit then `Rebuild
+      else `Incremental
+    in
+    (match mode with
+    | `Rebuild ->
+      (* the delta invalidated too much (netlist ECO, analysis-corner
+         change, or a blast radius past [eco_fallback_frac]): rebuild the
+         timing state from scratch inside the warm session *)
+      st.cfg <- { st.cfg with timer = sg.sg_timer };
+      st.timer <- Timer.build ~config:sg.sg_timer ~obs:st.cfg.obs sg.sg_design;
+      st.verts <- Vertex.of_design sg.sg_design;
+      if sg.sg_replaced then st.validation <- sg.sg_diags;
+      Obs.incr (Obs.counter st.cfg.obs "session.delta_rebuild")
+    | `Incremental ->
+      (* the paper's Update step, across requests: re-derive wire delays
+         for the moved cells and re-propagate only the affected cones *)
+      if sg.sg_moved <> [] then Timer.update_moved_cells st.timer sg.sg_moved;
+      if sg.sg_relat <> [] then Timer.update_latencies st.timer sg.sg_relat;
+      Obs.incr (Obs.counter st.cfg.obs "session.delta_incremental"));
+    Obs.incr (Obs.counter st.cfg.obs "session.deltas");
+    reset_for_run st;
+    drain st;
+    let res = finalize st in
+    Ok
+      {
+        d_result = res;
+        d_mode = mode;
+        d_touched = sg.sg_touched;
+        d_seconds = Wall_clock.now () -. t_req;
+        d_diags = sg.sg_diags;
+      }

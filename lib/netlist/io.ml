@@ -244,7 +244,3 @@ let load_exn ~library path =
   match load ~library path with
   | Ok (d, _) -> d
   | Error ds -> failwith (Diag.to_string (first_error ds))
-
-(* pre-rename spellings, kept as aliases for external users *)
-let of_string_result = of_string
-let load_result = load

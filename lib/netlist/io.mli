@@ -74,20 +74,3 @@ val load_exn : library:Css_liberty.Library.t -> string -> Design.t
 (** [of_string_exn ~library s] parses the serialized form.
     @raise Failure with a rendered diagnostic on malformed input. *)
 val of_string_exn : library:Css_liberty.Library.t -> string -> Design.t
-
-(** {2 Deprecated pre-rename spellings} *)
-
-val of_string_result :
-  ?source:string ->
-  ?policy:policy ->
-  library:Css_liberty.Library.t ->
-  string ->
-  (Design.t * Css_util.Diag.t list, Css_util.Diag.t list) result
-[@@deprecated "use Io.of_string (results-first since the API redesign)"]
-
-val load_result :
-  ?policy:policy ->
-  library:Css_liberty.Library.t ->
-  string ->
-  (Design.t * Css_util.Diag.t list, Css_util.Diag.t list) result
-[@@deprecated "use Io.load (results-first since the API redesign)"]

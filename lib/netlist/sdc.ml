@@ -161,8 +161,3 @@ let apply_exn t design =
   match apply t design with
   | Ok _ -> ()
   | Error ds -> failwith (Diag.to_string (first_error ds))
-
-(* pre-rename spellings, kept as aliases for external users *)
-let parse_result = parse
-let load_result = load
-let apply_result = apply

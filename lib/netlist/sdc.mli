@@ -79,23 +79,3 @@ val apply :
 (** [apply_exn t design] is {!apply} re-raising the first error as
     [Failure] (message includes the suggestion hint, when any). *)
 val apply_exn : t -> Design.t -> unit
-
-(** {2 Deprecated pre-rename spellings} *)
-
-val parse_result :
-  ?source:string ->
-  ?policy:policy ->
-  string ->
-  (t * Css_util.Diag.t list, Css_util.Diag.t list) result
-[@@deprecated "use Sdc.parse (results-first since the API redesign)"]
-
-val load_result :
-  ?policy:policy -> string -> (t * Css_util.Diag.t list, Css_util.Diag.t list) result
-[@@deprecated "use Sdc.load (results-first since the API redesign)"]
-
-val apply_result :
-  ?policy:policy ->
-  t ->
-  Design.t ->
-  (Css_util.Diag.t list, Css_util.Diag.t list) result
-[@@deprecated "use Sdc.apply (results-first since the API redesign)"]

@@ -253,6 +253,146 @@ let check_resume_identity ?(config = Flow.default_config) ?kill_after_phase
     List.rev !failures
 
 (* ------------------------------------------------------------------ *)
+(* ECO identity *)
+
+module Session = Css_flow.Session
+module Point = Css_geometry.Point
+
+(* A delta corpus that exercises every request kind the session's
+   resolve path accepts: placement nudges within the die, latency
+   overrides and window tightenings on real flip-flops, a bounds-only
+   SDC snippet, and an occasional no-op netlist replacement (which still
+   forces the from-scratch fallback rung). Deterministic in [rng]. *)
+let random_deltas rng design ~n =
+  let ffs = Design.ffs design in
+  let nff = Array.length ffs in
+  let cells = Design.num_cells design in
+  let pick () = ffs.(Random.State.int rng nff) in
+  List.init n (fun _ ->
+      if nff = 0 then Session.Replace_design (Io.to_string design)
+      else
+        match Random.State.int rng 10 with
+        | 0 | 1 | 2 | 3 ->
+          let c = Random.State.int rng cells in
+          let pos = Design.cell_pos design c in
+          Session.Move_cell
+            {
+              cell = Design.cell_name design c;
+              x = Float.max 0.0 (pos.Point.x +. (Random.State.float rng 400.0 -. 200.0));
+              y = Float.max 0.0 (pos.Point.y +. (Random.State.float rng 400.0 -. 200.0));
+            }
+        | 4 | 5 | 6 ->
+          Session.Set_latency
+            {
+              ff = Design.cell_name design (pick ());
+              latency = Random.State.float rng 80.0;
+            }
+        | 7 | 8 ->
+          (* latency windows are non-negative (Eq. 5) *)
+          let lo = Random.State.float rng 50.0 in
+          Session.Set_bounds
+            {
+              ff = Design.cell_name design (pick ());
+              lo;
+              hi = lo +. 60.0 +. Random.State.float rng 200.0;
+            }
+        | _ ->
+          let ff = Design.cell_name design (pick ()) in
+          Session.Apply_sdc (Printf.sprintf "set_latency_bounds %s 0 260\n" ff))
+
+(* apply_delta must be an optimization, never an approximation: a warm
+   session answering a delta and a cold Flow.run on the post-delta
+   design must produce bit-identical schedules. The reference replays
+   each batch with Session.stage on its own design (same resolve/apply
+   code by construction) and re-runs the flow from scratch; anchors
+   match because both designs are cloned from the same source before
+   any phase moves a cell. *)
+let check_eco_identity ?(config = Flow.default_config) ?(jobs = [ 1 ]) ~deltas design ~algo =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let bits = Int64.bits_of_float in
+  let compare_latencies ~label wd cd =
+    let wl = latencies_of wd and cl = latencies_of cd in
+    if List.length wl <> List.length cl then
+      fail "%s: flip-flop count diverged (%d vs %d)" label (List.length wl) (List.length cl)
+    else
+      List.iter2
+        (fun (name, lw) (name', lc) ->
+          if name <> name' then fail "%s: flip-flop set diverged (%s vs %s)" label name name'
+          else if bits lw <> bits lc then
+            fail "%s: flip-flop %s latency not bit-identical (warm %.17g vs cold %.17g)" label
+              name lw lc)
+        wl cl
+  in
+  let per_jobs = Hashtbl.create 4 in
+  List.iter
+    (fun j ->
+      let base =
+        {
+          config with
+          Flow.jobs = j;
+          (* rollback needs the evaluator; neither changes latencies,
+             and a service session answers from the live timer *)
+          Flow.final_eval = false;
+          Flow.rollback = false;
+          Flow.checkpoint_dir = None;
+          Flow.handle_signals = false;
+          Flow.debug_interrupt_after_phase = None;
+          Flow.debug_interrupt_after_iteration = None;
+        }
+      in
+      let warm_design = Flow.clone design in
+      let cold_design = Flow.clone design in
+      let session = Session.open_ ~config:base ~algo warm_design in
+      Fun.protect
+        ~finally:(fun () -> Session.close session)
+        (fun () ->
+          ignore (Session.finish session);
+          ignore (Flow.run ~config:base ~algo cold_design);
+          compare_latencies ~label:(Printf.sprintf "jobs=%d initial run" j) warm_design
+            cold_design;
+          let cold_timer = ref base.Flow.timer in
+          List.iteri
+            (fun k batch ->
+              let label = Printf.sprintf "jobs=%d batch %d" j k in
+              match Session.apply_delta session batch with
+              | Error ds ->
+                fail "%s: apply_delta rejected: %s" label
+                  (String.concat "; " (List.map Diag.to_string ds))
+              | Ok outcome ->
+                ignore outcome;
+                (match
+                   Session.stage ~validate:base.Flow.validate ~repair:base.Flow.repair
+                     ~timer:!cold_timer cold_design batch
+                 with
+                | Error ds ->
+                  fail "%s: reference stage rejected what apply_delta accepted: %s" label
+                    (String.concat "; " (List.map Diag.to_string ds))
+                | Ok sg ->
+                  cold_timer := sg.Session.sg_timer;
+                  ignore
+                    (Flow.run ~config:{ base with Flow.timer = !cold_timer } ~algo cold_design);
+                  compare_latencies ~label warm_design cold_design))
+            deltas;
+          Hashtbl.replace per_jobs j (latencies_of warm_design)))
+    jobs;
+  (* and the whole warm history must be jobs-invariant *)
+  (match jobs with
+  | j0 :: rest ->
+    let ref_lat = Hashtbl.find per_jobs j0 in
+    List.iter
+      (fun j ->
+        List.iter2
+          (fun (name, l0) (_, lj) ->
+            if bits l0 <> bits lj then
+              fail "final latencies at jobs=%d diverge from jobs=%d on %s (%.17g vs %.17g)" j j0
+                name lj l0)
+          ref_lat (Hashtbl.find per_jobs j))
+      rest
+  | [] -> ());
+  List.rev !failures
+
+(* ------------------------------------------------------------------ *)
 (* Graceful-degradation pipeline *)
 
 type verdict =

@@ -121,6 +121,34 @@ val check_resume_identity :
   dir:string ->
   string list
 
+(** [random_deltas rng design ~n] draws [n] session deltas exercising
+    every request kind {!Css_flow.Session.apply_delta} resolves —
+    placement nudges, latency overrides, window tightenings, bounds-only
+    SDC text, and the occasional no-op netlist replacement (still forces
+    the from-scratch fallback) — deterministic in [rng]. *)
+val random_deltas :
+  Random.State.t -> Css_netlist.Design.t -> n:int -> Css_flow.Session.delta list
+
+(** [check_eco_identity ?config ?jobs ~deltas design ~algo] proves a
+    warm session is an optimization, not an approximation: it opens a
+    session on one clone of [design] and runs it, replays the same
+    history cold on another clone ([Flow.run], then per delta batch
+    {!Css_flow.Session.stage} + a from-scratch [Flow.run] on the
+    post-delta design), and requires {e bit-identical} per-flip-flop
+    latencies after the initial run and after every batch — once per
+    entry of [jobs] (default [[1]]; pass [[1; 2; 8]] for the pool
+    sweep), with the final warm latencies also required identical
+    across the jobs values. [config]'s rollback/persistence/debug knobs
+    are overridden (identity needs both sides on the live-timer path
+    and free of budget degradation). *)
+val check_eco_identity :
+  ?config:Css_flow.Flow.config ->
+  ?jobs:int list ->
+  deltas:Css_flow.Session.delta list list ->
+  Css_netlist.Design.t ->
+  algo:Css_flow.Flow.algo ->
+  string list
+
 (** How a corrupted input was absorbed by the pipeline. *)
 type verdict =
   | Rejected of string

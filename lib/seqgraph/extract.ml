@@ -515,31 +515,3 @@ let round ?limit t =
   | Iccss ->
     ignore limit;
     iccss_round t
-
-(* ------------------------------------------------------------------ *)
-(* Deprecated per-engine modules (thin aliases over the unified API)   *)
-
-module Full = struct
-  let extract ?obs timer verts ~corner =
-    let t = run ?obs ~engine:Full timer verts ~corner in
-    (t.graph, t.stats)
-end
-
-module Essential = struct
-  type nonrec t = t
-
-  let create ?obs timer verts ~corner = run ?obs ~engine:Essential timer verts ~corner
-  let graph = graph
-  let stats = stats
-  let round = round
-end
-
-module Iccss = struct
-  type nonrec t = t
-
-  let create ?obs timer verts ~corner = run ?obs ~engine:Iccss timer verts ~corner
-  let graph = graph
-  let stats = stats
-  let extract_critical t = round t
-  let extract_constraint_edges = constraint_edges
-end

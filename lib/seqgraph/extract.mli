@@ -159,45 +159,3 @@ val restore :
   Vertex.t ->
   corner:Css_sta.Timer.corner ->
   t
-
-(** {1 Deprecated per-engine modules}
-
-    The pre-unification call surface, kept as thin aliases for external
-    users. New code should call {!run} / {!round} directly. *)
-
-module Full : sig
-  val extract :
-    ?obs:Css_util.Obs.t ->
-    Css_sta.Timer.t ->
-    Vertex.t ->
-    corner:Css_sta.Timer.corner ->
-    Seq_graph.t * stats
-  [@@deprecated "use Extract.run ~engine:Extract.Full (the graph/stats accessors)"]
-end
-
-module Essential : sig
-  type nonrec t = t
-
-  val create :
-    ?obs:Css_util.Obs.t -> Css_sta.Timer.t -> Vertex.t -> corner:Css_sta.Timer.corner -> t
-  [@@deprecated "use Extract.run ~engine:Extract.Essential"]
-
-  val graph : t -> Seq_graph.t [@@deprecated "use Extract.graph"]
-  val stats : t -> stats [@@deprecated "use Extract.stats"]
-  val round : ?limit:int -> t -> int [@@deprecated "use Extract.round"]
-end
-
-module Iccss : sig
-  type nonrec t = t
-
-  val create :
-    ?obs:Css_util.Obs.t -> Css_sta.Timer.t -> Vertex.t -> corner:Css_sta.Timer.corner -> t
-  [@@deprecated "use Extract.run ~engine:Extract.Iccss"]
-
-  val graph : t -> Seq_graph.t [@@deprecated "use Extract.graph"]
-  val stats : t -> stats [@@deprecated "use Extract.stats"]
-  val extract_critical : t -> int [@@deprecated "use Extract.round"]
-
-  val extract_constraint_edges : t -> Css_netlist.Design.cell_id -> int
-  [@@deprecated "use Extract.constraint_edges"]
-end

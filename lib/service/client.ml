@@ -1,0 +1,40 @@
+module Json = Css_util.Json
+
+type t = { fd : Unix.file_descr }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd }
+
+let rec wait_for_socket ?(timeout = 10.0) path =
+  if timeout <= 0.0 then failwith (Printf.sprintf "css_serve socket %s never came up" path)
+  else
+    match connect path with
+    | c -> c
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) ->
+      Unix.sleepf 0.05;
+      wait_for_socket ~timeout:(timeout -. 0.05) path
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let rpc_json t j =
+  Protocol.write_frame t.fd (Json.to_string j);
+  match Protocol.read_frame t.fd with
+  | Some payload -> Json.of_string payload
+  | None -> failwith "css_serve closed the connection mid-request"
+
+let rpc t req = rpc_json t (Protocol.request_to_json req)
+
+let expect_ok resp =
+  if Protocol.is_ok resp then resp
+  else
+    let detail =
+      match Json.member "error" resp with
+      | Some e -> Json.to_string e
+      | None -> Json.to_string resp
+    in
+    failwith ("css_serve error: " ^ detail)

@@ -1,0 +1,27 @@
+(** Minimal blocking client for the {!Protocol} socket — what the
+    [css_serve drive]/[request] subcommands, the tests and the CI smoke
+    script use. One request in flight per connection. *)
+
+type t
+
+(** [connect path] opens a connection to a listening daemon.
+    @raise Unix.Unix_error when the socket is absent or refusing. *)
+val connect : string -> t
+
+(** [wait_for_socket ?timeout path] polls {!connect} until the daemon
+    accepts (for racing a just-forked server).
+    @raise Failure after [timeout] seconds (default 10). *)
+val wait_for_socket : ?timeout:float -> string -> t
+
+val close : t -> unit
+
+(** [rpc t req] sends one request and blocks for its response.
+    @raise Failure if the server closes the connection mid-request. *)
+val rpc : t -> Protocol.request -> Css_util.Json.t
+
+(** [rpc_json t j] is {!rpc} on a raw JSON request object. *)
+val rpc_json : t -> Css_util.Json.t -> Css_util.Json.t
+
+(** [expect_ok resp] returns [resp] when [ok] is true.
+    @raise Failure rendering the [error] payload otherwise. *)
+val expect_ok : Css_util.Json.t -> Css_util.Json.t

@@ -22,6 +22,7 @@ type t = {
   mutable current : batch option;
   mutable gen : int; (* bumped per published batch, under [mu] *)
   mutable stopping : bool;
+  stopped : bool Atomic.t; (* shutdown already won the race to join *)
   mutable domains : unit Domain.t list;
   (* Flushed by the submitting thread only (per-worker-flush rule). *)
   o_batches : Obs.counter;
@@ -96,6 +97,7 @@ let create ?(obs = Obs.null) ?(tracer = Tracer.null) ?jobs () =
       current = None;
       gen = 0;
       stopping = false;
+      stopped = Atomic.make false;
       domains = [];
       o_batches = Obs.counter obs "pool.batches";
       o_items = Obs.counter obs "pool.items";
@@ -161,14 +163,21 @@ let map t ~n f =
     Array.map (function Some v -> v | None -> assert false) out
   end
 
+(* The [stopped] exchange elects exactly one joiner, so concurrent or
+   repeated calls (a daemon's SIGTERM cleanup racing the owner's normal
+   [Fun.protect] finally) return immediately without touching the mutex
+   — the loser must not block on a lock the interrupted thread may
+   already hold. *)
 let shutdown t =
-  Mutex.lock t.mu;
-  t.stopping <- true;
-  Condition.broadcast t.ready;
-  let ds = t.domains in
-  t.domains <- [];
-  Mutex.unlock t.mu;
-  List.iter Domain.join ds
+  if not (Atomic.exchange t.stopped true) then begin
+    Mutex.lock t.mu;
+    t.stopping <- true;
+    Condition.broadcast t.ready;
+    let ds = t.domains in
+    t.domains <- [];
+    Mutex.unlock t.mu;
+    List.iter Domain.join ds
+  end
 
 let with_pool ?obs ?tracer ?jobs f =
   let t = create ?obs ?tracer ?jobs () in

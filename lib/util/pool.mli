@@ -67,7 +67,11 @@ val run : t -> n:int -> (worker:int -> int -> unit) -> unit
     returned array: deterministic output order at any worker count. *)
 val map : t -> n:int -> (worker:int -> int -> 'a) -> 'a array
 
-(** [shutdown t] stops and joins the worker domains. Idempotent; a pool
+(** [shutdown t] stops and joins the worker domains. Idempotent and
+    race-free: an atomic guard elects exactly one joiner, so repeated or
+    concurrent calls — e.g. a daemon's signal-initiated cleanup racing
+    the owning flow's normal exit path — return immediately without
+    taking the pool lock (which the interrupted thread may hold). A pool
     can still {!run} after shutdown (inline, sequentially). Always pair
     [create] with [shutdown] (or use {!with_pool}) — live domains keep
     the process from idling. *)

@@ -192,9 +192,10 @@ let diff ?(thresholds = default_thresholds) ~baseline ~current () =
 
 (* --- synthetic regression (gate self-test) --- *)
 
-(* Scale the wall/RSS-like metrics of [j] up by [pct] percent, leaving
-   everything else alone. CI runs the gate against its own baseline
-   with an inflated current to prove the gate actually trips. *)
+(* Scale the wall/RSS-like metrics of [j] — bench wall/RSS, span
+   totals, histogram p95s — up by [pct] percent, leaving everything
+   else alone. CI runs the gate against its own baseline with an
+   inflated current to prove the gate actually trips. *)
 let inflate ~pct j =
   let f = 1.0 +. (pct /. 100.0) in
   let scale_num = function
@@ -209,15 +210,17 @@ let inflate ~pct j =
   in
   match j with
   | Json.List records -> Json.List (List.map (scale_fields [ "wall_ms"; "peak_rss_bytes" ]) records)
-  | Json.Obj _ ->
-    (match Json.member "spans" j with
-    | Some (Json.List spans) ->
-      let spans' = Json.List (List.map (scale_fields [ "total_s" ]) spans) in
-      (match j with
-      | Json.Obj kvs ->
-        Json.Obj (List.map (fun (k, v) -> if k = "spans" then (k, spans') else (k, v)) kvs)
-      | v -> v)
-    | _ -> j)
+  | Json.Obj kvs ->
+    Json.Obj
+      (List.map
+         (fun (k, v) ->
+           match (k, v) with
+           | "spans", Json.List spans ->
+             (k, Json.List (List.map (scale_fields [ "total_s" ]) spans))
+           | "histograms", Json.Obj hs ->
+             (k, Json.Obj (List.map (fun (name, h) -> (name, scale_fields [ "p95" ] h)) hs))
+           | _ -> (k, v))
+         kvs)
   | v -> v
 
 (* --- rendering --- *)

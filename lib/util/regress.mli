@@ -50,7 +50,8 @@ val ok : report -> bool
 
 (** [inflate ~pct j] scales the wall/RSS-like metrics of [j] up by
     [pct] percent (bench records: [wall_ms], [peak_rss_bytes]; stats
-    dumps: span [total_s]). CI diffs a baseline against its own
+    dumps: span [total_s] and histogram [p95]). CI diffs a baseline
+    against its own
     inflated copy to prove the gate demonstrably fails on a synthetic
     regression. *)
 val inflate : pct:float -> Json.t -> Json.t

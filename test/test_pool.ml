@@ -85,6 +85,20 @@ let test_shutdown_idempotent_then_inline () =
   let a = Pool.map pool ~n:8 (fun ~worker:_ i -> i * 2) in
   checkb "inline after shutdown" true (a = Array.init 8 (fun i -> i * 2))
 
+(* Racing shutdowns (the signal-handler cleanup path racing a normal
+   close) elect exactly one joiner; every caller returns and the pool
+   then runs inline. *)
+let test_shutdown_concurrent () =
+  for _ = 1 to 20 do
+    let pool = Pool.create ~jobs:4 () in
+    ignore (Pool.map pool ~n:8 (fun ~worker:_ i -> i));
+    let racers = Array.init 3 (fun _ -> Domain.spawn (fun () -> Pool.shutdown pool)) in
+    Pool.shutdown pool;
+    Array.iter Domain.join racers;
+    let a = Pool.map pool ~n:4 (fun ~worker:_ i -> i + 1) in
+    checkb "inline after racing shutdowns" true (a = Array.init 4 (fun i -> i + 1))
+  done
+
 (* {2 The determinism sweep}
 
    Everything observable from one extraction run: the ordered edge list,
@@ -182,6 +196,7 @@ let () =
           Alcotest.test_case "batches reuse workers" `Quick test_many_batches_reuse_workers;
           Alcotest.test_case "shutdown idempotent, then inline" `Quick
             test_shutdown_idempotent_then_inline;
+          Alcotest.test_case "shutdown race elects one joiner" `Quick test_shutdown_concurrent;
         ] );
       ( "determinism",
         [
