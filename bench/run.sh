@@ -78,10 +78,13 @@ if [ "${1:-}" = "--smoke" ]; then
   # bounded bench pass at the largest profile CI can afford: sb18 at
   # 10x (~58k cells), skipping the slow IC-CSS over-extraction engine.
   # Leaves BENCH_css.json (with cells_per_sec / peak_rss_bytes /
-  # histograms fields) for CI to upload as the per-PR perf artifact and
-  # to diff against bench/baseline_smoke.json with css_stats --gate.
+  # cache_hit_ratio / histograms fields) for CI to upload as the per-PR
+  # perf artifact and to diff against bench/baseline_smoke.json with
+  # css_stats --gate. CSS_BENCH_REQUIRE_CACHE makes the harness itself
+  # fail if the warm macromodel-cache pass ever stops hitting.
   CSS_BENCH_JSON_ONLY=1 CSS_BENCH_SCALE=10 CSS_BENCH_DESIGNS=sb18 \
     CSS_BENCH_ENGINES=full,iterative-essential \
+    CSS_BENCH_REQUIRE_CACHE=1 \
     CSS_BENCH_JSON="${CSS_BENCH_JSON:-$PWD/BENCH_css.json}" \
     dune exec bench/main.exe
   echo "smoke: ok"

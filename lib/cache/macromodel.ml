@@ -1,0 +1,373 @@
+module Timer = Css_sta.Timer
+module Graph = Css_sta.Graph
+module Mark = Css_util.Mark
+module Obs = Css_util.Obs
+module Histo = Css_util.Histo
+module Fnv = Css_util.Fnv
+
+(* Entries double as intrusive LRU list links (prev/next through a
+   sentinel): moving an entry to the front on a hit is pointer surgery,
+   no allocation. [e_snap = -1] marks a stamp-unverified entry (fresh
+   from a checkpoint or demoted by a rebind): only the hash tier can
+   validate it. *)
+type entry = {
+  e_key : int;
+  mutable e_snap : int;
+  mutable e_hash : int64;
+  e_members : int array; (* cone nodes, DP level order, root included *)
+  e_nodes : int array; (* interface nodes, original result-list order *)
+  e_delays : float array;
+  e_visited : int;
+  e_bytes : int;
+  mutable e_prev : entry;
+  mutable e_next : entry;
+  mutable e_linked : bool;
+}
+
+type t = {
+  tbl : (int, entry) Hashtbl.t;
+  sent : entry; (* LRU sentinel: [sent.e_next] = MRU, [sent.e_prev] = LRU *)
+  mutable t_bytes : int;
+  t_max_bytes : int;
+  mutable bound : int; (* Timer.timer_id, 0 = unbound *)
+  mutable n_hits : int;
+  mutable n_rehash : int;
+  mutable n_misses : int;
+  mutable n_evict : int;
+  o_hit : Obs.counter;
+  o_rehash : Obs.counter;
+  o_miss : Obs.counter;
+  o_evict : Obs.counter;
+  o_trim : Obs.counter;
+  h_hit : Histo.t;
+  h_miss : Histo.t;
+}
+
+(* Accounted footprint in bytes: the entry record (13 fields + header),
+   three array headers, and the array payloads — int and float arrays
+   are one word per element on 64-bit. *)
+let footprint ~members ~ifaces = 8 * (14 + 3 + members + (2 * ifaces))
+
+let create ?(obs = Obs.null) ?(max_bytes = 64 * 1024 * 1024) () =
+  let rec sent =
+    {
+      e_key = min_int;
+      e_snap = -1;
+      e_hash = 0L;
+      e_members = [||];
+      e_nodes = [||];
+      e_delays = [||];
+      e_visited = 0;
+      e_bytes = 0;
+      e_prev = sent;
+      e_next = sent;
+      e_linked = false;
+    }
+  in
+  {
+    tbl = Hashtbl.create 1024;
+    sent;
+    t_bytes = 0;
+    t_max_bytes = max_bytes;
+    bound = 0;
+    n_hits = 0;
+    n_rehash = 0;
+    n_misses = 0;
+    n_evict = 0;
+    o_hit = Obs.counter obs "cache.hit";
+    o_rehash = Obs.counter obs "cache.rehash_hit";
+    o_miss = Obs.counter obs "cache.miss";
+    o_evict = Obs.counter obs "cache.evictions";
+    o_trim = Obs.counter obs "cache.trims";
+    h_hit = Obs.histogram obs "cache.hit_seconds";
+    h_miss = Obs.histogram obs "cache.miss_seconds";
+  }
+
+let key ~root ~corner ~forward =
+  (root lsl 2)
+  lor (match corner with Timer.Late -> 2 | Timer.Early -> 0)
+  lor (if forward then 1 else 0)
+
+let key_root k = k lsr 2
+let key_forward k = k land 1 = 1
+
+(* ------------------------------------------------------------------ *)
+(* LRU plumbing                                                        *)
+
+let unlink e =
+  e.e_prev.e_next <- e.e_next;
+  e.e_next.e_prev <- e.e_prev;
+  e.e_linked <- false
+
+let push_front t e =
+  e.e_next <- t.sent.e_next;
+  e.e_prev <- t.sent;
+  t.sent.e_next.e_prev <- e;
+  t.sent.e_next <- e;
+  e.e_linked <- true
+
+let touch t e =
+  if e.e_linked then begin
+    unlink e;
+    push_front t e
+  end
+
+let drop t e =
+  if e.e_linked then unlink e;
+  Hashtbl.remove t.tbl e.e_key;
+  t.t_bytes <- t.t_bytes - e.e_bytes
+
+let evict_down_to t target =
+  while t.t_bytes > target && t.sent.e_prev != t.sent do
+    drop t t.sent.e_prev;
+    t.n_evict <- t.n_evict + 1;
+    Obs.incr t.o_evict
+  done
+
+let store t e =
+  (match Hashtbl.find_opt t.tbl e.e_key with Some old -> drop t old | None -> ());
+  Hashtbl.replace t.tbl e.e_key e;
+  t.t_bytes <- t.t_bytes + e.e_bytes;
+  push_front t e;
+  evict_down_to t t.t_max_bytes
+
+let trim t ~frac =
+  Obs.incr t.o_trim;
+  evict_down_to t (int_of_float (frac *. float_of_int t.t_max_bytes))
+
+(* ------------------------------------------------------------------ *)
+(* Content hashing                                                     *)
+
+(* The hash covers everything the DP result depends on: the graph's
+   shape (node/arc counts guard against a rebuilt graph renumbering a
+   different cone onto the same ids), the cone's identity (key), its
+   member nodes, and every internal arc with its current max-corner
+   delay bits. Early-corner delays are exactly [derate *. max] under the
+   same config, so hashing the max corner covers both. [mark] must hold
+   exactly the members. *)
+let content_hash timer mark members count ~key:k =
+  let g = Timer.graph timer in
+  let istart, iarcs = Graph.csr_in g in
+  let ostart, oarcs = Graph.csr_out g in
+  let tails = Graph.arc_tails g and heads = Graph.arc_heads g in
+  let forward = key_forward k in
+  let h =
+    ref
+      (Fnv.mix_float
+         (Fnv.mix_int (Fnv.mix_int (Fnv.mix_int Fnv.basis k) (Graph.num_nodes g)) (Graph.num_arcs g))
+         (Timer.config timer).Timer.early_derate)
+  in
+  for i = 0 to count - 1 do
+    let n = Array.unsafe_get members i in
+    h := Fnv.mix_int !h n;
+    if forward then
+      for j = Array.unsafe_get istart n to Array.unsafe_get istart (n + 1) - 1 do
+        let a = Array.unsafe_get iarcs j in
+        if Mark.is_marked mark (Array.unsafe_get tails a) then
+          h := Fnv.mix_float (Fnv.mix_int !h a) (Timer.arc_delay timer Timer.Late a)
+      done
+    else
+      for j = Array.unsafe_get ostart n to Array.unsafe_get ostart (n + 1) - 1 do
+        let a = Array.unsafe_get oarcs j in
+        if Mark.is_marked mark (Array.unsafe_get heads a) then
+          h := Fnv.mix_float (Fnv.mix_int !h a) (Timer.arc_delay timer Timer.Late a)
+      done
+  done;
+  !h
+
+(* ------------------------------------------------------------------ *)
+(* Lookup tiers (worker-safe)                                          *)
+
+let probe t ~key = Hashtbl.find t.tbl key
+
+let stamp_fresh _t timer e =
+  let snap = e.e_snap in
+  if snap < 0 then false
+  else begin
+    let members = e.e_members in
+    let n = Array.length members in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < n do
+      if Timer.delay_stamp timer (Array.unsafe_get members !i) > snap then ok := false;
+      incr i
+    done;
+    !ok
+  end
+
+let revalidate _t timer ctx e =
+  let mark = Timer.ctx_mark ctx in
+  Mark.reset mark;
+  Array.iter (fun n -> Mark.mark mark n) e.e_members;
+  let h = content_hash timer mark e.e_members (Array.length e.e_members) ~key:e.e_key in
+  if Int64.equal h e.e_hash then begin
+    e.e_snap <- Timer.delay_gen timer;
+    true
+  end
+  else false
+
+let make timer ctx ~key:k ~results ~visited =
+  let count = Timer.ctx_member_count ctx in
+  let members = Array.sub (Timer.ctx_members ctx) 0 count in
+  let n = List.length results in
+  let nodes = Array.make n 0 in
+  let delays = Array.make n 0.0 in
+  List.iteri
+    (fun i (node, d) ->
+      nodes.(i) <- node;
+      delays.(i) <- d)
+    results;
+  let hash = content_hash timer (Timer.ctx_mark ctx) members count ~key:k in
+  let rec e =
+    {
+      e_key = k;
+      e_snap = Timer.delay_gen timer;
+      e_hash = hash;
+      e_members = members;
+      e_nodes = nodes;
+      e_delays = delays;
+      e_visited = visited;
+      e_bytes = footprint ~members:count ~ifaces:n;
+      e_prev = e;
+      e_next = e;
+      e_linked = false;
+    }
+  in
+  e
+
+let interface e =
+  let acc = ref [] in
+  for i = Array.length e.e_nodes - 1 downto 0 do
+    acc := (Array.unsafe_get e.e_nodes i, Array.unsafe_get e.e_delays i) :: !acc
+  done;
+  !acc
+
+let visited e = e.e_visited
+let entry_bytes e = e.e_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Accounting                                                          *)
+
+let note_hit t ~rehash ~seconds =
+  t.n_hits <- t.n_hits + 1;
+  Obs.incr t.o_hit;
+  if rehash then begin
+    t.n_rehash <- t.n_rehash + 1;
+    Obs.incr t.o_rehash
+  end;
+  Histo.observe t.h_hit seconds
+
+let note_miss t ~seconds =
+  t.n_misses <- t.n_misses + 1;
+  Obs.incr t.o_miss;
+  Histo.observe t.h_miss seconds
+
+let hits t = t.n_hits
+let rehash_hits t = t.n_rehash
+let misses t = t.n_misses
+let evictions t = t.n_evict
+let entries t = Hashtbl.length t.tbl
+let bytes t = t.t_bytes
+let max_bytes t = t.t_max_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Rebinding                                                           *)
+
+(* A cone stored against one graph is only plausible against another
+   when every stored id is still a node, the root is still a source /
+   endpoint of the stored direction, and every interface node is still
+   an interface of that direction. Survivors keep their model but lose
+   stamp trust; the content hash (which covers node and arc ids and the
+   graph shape) is the real arbiter on their next lookup. *)
+let plausible g e =
+  let n = Graph.num_nodes g in
+  let root = key_root e.e_key in
+  let forward = key_forward e.e_key in
+  let ok = ref (root >= 0 && root < n) in
+  !ok
+  && (if forward then Graph.is_source g root else Graph.is_endpoint g root)
+  &&
+  (Array.iter (fun m -> if m < 0 || m >= n then ok := false) e.e_members;
+   Array.iter
+     (fun m ->
+       if m < 0 || m >= n then ok := false
+       else if forward then begin
+         if not (Graph.is_endpoint g m) then ok := false
+       end
+       else if not (Graph.is_source g m) then ok := false)
+     e.e_nodes;
+   !ok)
+
+let bind t timer =
+  let id = Timer.timer_id timer in
+  if t.bound <> id then begin
+    let was_bound = t.bound <> 0 in
+    t.bound <- id;
+    if was_bound || Hashtbl.length t.tbl > 0 then begin
+      let g = Timer.graph timer in
+      let all = Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl [] in
+      List.iter
+        (fun e ->
+          if plausible g e then e.e_snap <- -1
+          else begin
+            drop t e;
+            t.n_evict <- t.n_evict + 1;
+            Obs.incr t.o_evict
+          end)
+        all
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                         *)
+
+type entry_snap = {
+  cs_key : int;
+  cs_hash : int64;
+  cs_visited : int;
+  cs_members : int array;
+  cs_nodes : int array;
+  cs_delays : float array;
+}
+
+let snapshot t =
+  (* walk LRU -> MRU so restore's sequential pushes rebuild recency *)
+  let acc = ref [] in
+  let e = ref t.sent.e_prev in
+  while !e != t.sent do
+    let x = !e in
+    acc :=
+      {
+        cs_key = x.e_key;
+        cs_hash = x.e_hash;
+        cs_visited = x.e_visited;
+        cs_members = Array.copy x.e_members;
+        cs_nodes = Array.copy x.e_nodes;
+        cs_delays = Array.copy x.e_delays;
+      }
+      :: !acc;
+    e := x.e_prev
+  done;
+  List.rev !acc
+
+let restore t snaps =
+  t.bound <- 0;
+  List.iter
+    (fun s ->
+      let rec e =
+        {
+          e_key = s.cs_key;
+          e_snap = -1; (* checkpoints never earn stamp trust directly *)
+          e_hash = s.cs_hash;
+          e_members = s.cs_members;
+          e_nodes = s.cs_nodes;
+          e_delays = s.cs_delays;
+          e_visited = s.cs_visited;
+          e_bytes = footprint ~members:(Array.length s.cs_members) ~ifaces:(Array.length s.cs_nodes);
+          e_prev = e;
+          e_next = e;
+          e_linked = false;
+        }
+      in
+      store t e)
+    snaps

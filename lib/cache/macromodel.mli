@@ -1,0 +1,152 @@
+(** Cone macromodels: content-addressed interface timing models.
+
+    Every extraction engine reduces to the same primitive — walk the
+    combinational cone of a root pin and report, per reachable interface
+    node (FF-D/output port forward, FF-Q/input port backward), the
+    extreme pure path delay. That walk dominates Update-Extract at
+    paper scale, and its result only depends on the cone's {e delays}:
+    clock latencies enter afterwards, through {!Css_sta.Timer.edge_slack}.
+    So a cone compresses into a macromodel — the interface nodes and
+    their delays — that stays exact across every latency-only scheduler
+    iteration and every warm ECO request that does not edit the cone.
+
+    Validation is two-tier:
+
+    - {e stamp tier} ({!stamp_fresh}): every member's
+      {!Css_sta.Timer.delay_stamp} is [<=] the entry's snapshot
+      generation. Allocation-free; the common case on latency-only
+      iterations.
+    - {e hash tier} ({!revalidate}): recompute the FNV-1a content hash
+      over the cone's member nodes, internal arcs and their current
+      max-corner delays, and compare. Catches stamped-but-unchanged
+      cones (e.g. a slew that flipped and flipped back), restored
+      checkpoints, and timer rebinds.
+
+    A miss re-walks and {!store}s a fresh model.
+
+    Concurrency contract (mirrors [Extract]'s worker-pure/merge-commit
+    protocol): worker domains may call {!probe}, {!stamp_fresh},
+    {!revalidate} and {!make} concurrently {e provided} no two in-flight
+    items share a root (extraction rounds guarantee distinct roots —
+    [revalidate] writes only its own entry's fields). Everything that
+    edits the table, the LRU list, the byte account or the counters —
+    {!touch}, {!store}, {!note_hit}, {!note_miss}, {!trim}, {!bind} —
+    is merge-side, single-threaded. *)
+
+module Timer = Css_sta.Timer
+module Graph = Css_sta.Graph
+
+type t
+
+(** One cached cone model. Fields are exposed read-only via accessors;
+    the record itself is abstract. *)
+type entry
+
+(** [create ?obs ?max_bytes ()] makes an empty cache. [max_bytes]
+    (default 64 MiB) bounds the sum of entry footprints; inserting past
+    it evicts least-recently-used entries. [obs] receives the [cache.*]
+    counters ([hit], [rehash_hit], [miss], [evictions], [trims]) and the
+    [cache.hit_seconds]/[cache.miss_seconds] lookup-latency histograms. *)
+val create : ?obs:Css_util.Obs.t -> ?max_bytes:int -> unit -> t
+
+(** [key ~root ~corner ~forward] encodes a cone identity:
+    [(root lsl 2) lor corner lor direction]. *)
+val key : root:Graph.node -> corner:Timer.corner -> forward:bool -> int
+
+(** [bind t timer] attaches the cache to [timer]. A no-op when already
+    bound to it; on a different timer (ECO rebuild, restored checkpoint)
+    every entry is bounds-checked against the new graph — dropped if its
+    stored node ids are no longer a plausible cone — and survivors are
+    demoted to hash-tier validation ([stamp_fresh] returns false until
+    {!revalidate} re-earns trust). Merge-side only. *)
+val bind : t -> Timer.t -> unit
+
+(** [probe t ~key] finds the live entry for [key].
+    @raise Not_found when absent. Allocation-free. *)
+val probe : t -> key:int -> entry
+
+(** [stamp_fresh t timer e] is the allocation-free fast validation:
+    true when [e] carries a stamp-verified snapshot and no member's
+    delay stamp is newer. *)
+val stamp_fresh : t -> Timer.t -> entry -> bool
+
+(** [revalidate t timer ctx e] recomputes [e]'s content hash against the
+    current delays (using [ctx]'s mark as member-set scratch) and, on a
+    match, refreshes the snapshot so the stamp tier works again. False
+    means the cone's content really changed: re-walk and {!store}. *)
+val revalidate : t -> Timer.t -> Timer.cone_ctx -> entry -> bool
+
+(** [make timer ctx ~key ~results ~visited] builds a fresh entry from a
+    walk that just ran through [ctx] (whose mark and member buffer must
+    still hold that cone — i.e. call this immediately after
+    [Timer.cone_nodes_in]). [results]/[visited] are that walk's outputs. *)
+val make :
+  Timer.t -> Timer.cone_ctx -> key:int -> results:(Graph.node * float) list -> visited:int ->
+  entry
+
+(** [interface e] replays the model as the exact [(node, delay)] list
+    the original walk returned, in the same order — callers rebuild
+    candidates bit-identically to a fresh walk. *)
+val interface : entry -> (Graph.node * float) list
+
+(** [visited e] is the node count the original walk reported — the work
+    a hit avoids. *)
+val visited : entry -> int
+
+(** [entry_bytes e] is [e]'s accounted footprint. *)
+val entry_bytes : entry -> int
+
+(** {1 Merge-side commits} *)
+
+(** [touch t e] moves [e] to the recently-used end. *)
+val touch : t -> entry -> unit
+
+(** [store t e] inserts [e], replacing any entry with the same key, then
+    evicts from the LRU end while over budget. *)
+val store : t -> entry -> unit
+
+(** [note_hit t ~rehash ~seconds] / [note_miss t ~seconds] account one
+    lookup's outcome and latency. *)
+val note_hit : t -> rehash:bool -> seconds:float -> unit
+
+val note_miss : t -> seconds:float -> unit
+
+(** [trim t ~frac] evicts from the LRU end until the footprint is at
+    most [frac *. max_bytes] — the resource-governor's degradation hook
+    (see [Css_util.Budget]; the session ladder trims on RSS pressure). *)
+val trim : t -> frac:float -> unit
+
+(** {1 Introspection} *)
+
+val hits : t -> int
+val rehash_hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+val entries : t -> int
+val bytes : t -> int
+val max_bytes : t -> int
+
+(** {1 Persistence}
+
+    Checkpoint integration ([Css_flow.Persist]): models survive daemon
+    restarts and SIGKILL-resume. Restored entries are unbound and
+    stamp-unverified — the first {!bind} bounds-checks them and the
+    first lookup hash-validates, so a checkpoint can never smuggle in a
+    stale answer. *)
+
+type entry_snap = {
+  cs_key : int;
+  cs_hash : int64;
+  cs_visited : int;
+  cs_members : int array;
+  cs_nodes : int array;
+  cs_delays : float array;
+}
+
+(** [snapshot t] dumps live entries, least-recently-used first (so
+    {!restore} rebuilds the recency order by pushing in sequence). *)
+val snapshot : t -> entry_snap list
+
+(** [restore t snaps] repopulates an empty-or-not cache from a
+    checkpoint; existing entries with colliding keys are replaced. *)
+val restore : t -> entry_snap list -> unit

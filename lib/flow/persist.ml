@@ -96,6 +96,8 @@ type state = {
   ps_best : best option;
   ps_design_text : string;
   ps_engines : (string * Extract.snapshot) list;
+  ps_cache : Css_cache.Macromodel.entry_snap list;
+      (* macromodel cache entries, LRU first (recency order survives) *)
 }
 
 let path ~dir = Filename.concat dir "checkpoint.ckpt"
@@ -104,7 +106,11 @@ let path ~dir = Filename.concat dir "checkpoint.ckpt"
 (* Serialization                                                       *)
 
 let magic = "css-checkpoint"
-let version = 1
+
+(* Version 2 added the macromodel-cache section; version-1 checkpoints
+   (no cache) still load, they just resume cold. *)
+let version = 2
+let min_version = 1
 let fstr = Io.float_to_string
 
 (* FNV-1a 64: tiny, dependency-free, and plenty to reject the failure
@@ -207,6 +213,15 @@ let body_of_state st =
           (String.init (Array.length sn.Extract.sn_expanded) (fun i ->
                if sn.Extract.sn_expanded.(i) then '1' else '0')))
     st.ps_engines;
+  line "cache %d" (List.length st.ps_cache);
+  List.iter
+    (fun (c : Css_cache.Macromodel.entry_snap) ->
+      line "c %d %016Lx %d %d %d" c.Css_cache.Macromodel.cs_key c.cs_hash c.cs_visited
+        (Array.length c.cs_members) (Array.length c.cs_nodes);
+      line "m %s" (String.concat " " (Array.to_list (Array.map string_of_int c.cs_members)));
+      line "n %s" (String.concat " " (Array.to_list (Array.map string_of_int c.cs_nodes)));
+      line "dl %s" (String.concat " " (Array.to_list (Array.map fstr c.cs_delays))))
+    st.ps_cache;
   line "end";
   Buffer.contents b
 
@@ -315,7 +330,7 @@ let engine_of_name cur = function
   | "iccss" -> Extract.Iccss
   | s -> bad ~file:cur.file "CKPT-005" (Printf.sprintf "unknown engine '%s'" s)
 
-let parse_body cur =
+let parse_body ~version:v cur =
   let ps_algo = field cur "algo" in
   let ps_design = field cur "design" in
   let ps_rounds = int_field cur "rounds" in
@@ -478,6 +493,50 @@ let parse_body cur =
             } )
         | _ -> bad ~file:cur.file "CKPT-005" "malformed engine header")
   in
+  let ps_cache =
+    if v < 2 then []
+    else begin
+      let ncache = int_field cur "cache" in
+      List.init ncache (fun _ ->
+          match split_ws (field cur "c") with
+          | [ key; hash; visited; nmembers; nifaces ] ->
+            let nmembers = int_of cur "c.members" nmembers in
+            let nifaces = int_of cur "c.ifaces" nifaces in
+            let counted name kind n toks =
+              if List.length toks <> n then
+                bad ~file:cur.file "CKPT-005"
+                  (Printf.sprintf "%s: expected %d %s, got %d" name n kind (List.length toks))
+              else toks
+            in
+            let members =
+              Array.of_list
+                (List.map (int_of cur "m") (counted "m" "members" nmembers (split_ws (field cur "m"))))
+            in
+            let nodes =
+              Array.of_list
+                (List.map (int_of cur "n") (counted "n" "nodes" nifaces (split_ws (field cur "n"))))
+            in
+            let delays =
+              Array.of_list
+                (List.map (float_of cur "dl")
+                   (counted "dl" "delays" nifaces (split_ws (field cur "dl"))))
+            in
+            let hash =
+              match Int64.of_string_opt ("0x" ^ hash) with
+              | Some h -> h
+              | None -> bad ~file:cur.file "CKPT-005" "malformed cache entry hash"
+            in
+            {
+              Css_cache.Macromodel.cs_key = int_of cur "c.key" key;
+              cs_hash = hash;
+              cs_visited = int_of cur "c.visited" visited;
+              cs_members = members;
+              cs_nodes = nodes;
+              cs_delays = delays;
+            }
+          | _ -> bad ~file:cur.file "CKPT-005" "malformed cache entry header")
+    end
+  in
   (match next_line cur with
   | "end" -> ()
   | l -> bad ~file:cur.file "CKPT-005" (Printf.sprintf "expected end marker, got '%s'" l));
@@ -504,6 +563,7 @@ let parse_body cur =
     ps_best;
     ps_design_text;
     ps_engines;
+    ps_cache;
   }
 
 let read_file file =
@@ -519,13 +579,17 @@ let load ~dir =
   try
     let raw = read_file file in
     let cur = { buf = raw; file; pos = 0 } in
-    (match split_ws (next_line cur) with
-    | [ m; v ] when m = magic ->
-      let v = int_of cur "version" v in
-      if v <> version then
-        bad ~file "CKPT-002"
-          (Printf.sprintf "unsupported checkpoint version %d (this build reads %d)" v version)
-    | _ -> bad ~file "CKPT-002" "not a css-checkpoint file (bad magic)");
+    let v =
+      match split_ws (next_line cur) with
+      | [ m; v ] when m = magic ->
+        let v = int_of cur "version" v in
+        if v < min_version || v > version then
+          bad ~file "CKPT-002"
+            (Printf.sprintf "unsupported checkpoint version %d (this build reads %d..%d)" v
+               min_version version)
+        else v
+      | _ -> bad ~file "CKPT-002" "not a css-checkpoint file (bad magic)"
+    in
     let stored_hash =
       match Int64.of_string_opt ("0x" ^ field cur "hash") with
       | Some h -> h
@@ -534,7 +598,7 @@ let load ~dir =
     let body = String.sub cur.buf cur.pos (String.length cur.buf - cur.pos) in
     (* structure first: a torn tail reports as truncation (CKPT-004),
        not as the hash mismatch it would also cause *)
-    let st = parse_body cur in
+    let st = parse_body ~version:v cur in
     if cur.pos <> String.length cur.buf then
       bad ~file "CKPT-005" "trailing bytes after end marker";
     let actual = fnv1a64 body in

@@ -135,6 +135,10 @@ type state = {
   ps_engines : (string * Css_seqgraph.Extract.snapshot) list;
       (** live engine snapshots keyed ["ours-early"], ["ours-late"],
           ["iccss-early"], ["iccss-late"] *)
+  ps_cache : Css_cache.Macromodel.entry_snap list;
+      (** macromodel-cache entries, LRU first (so restoring in order
+          rebuilds the recency ranking); empty in version-1 checkpoints,
+          which load fine but resume with a cold cache *)
 }
 
 (** [path ~dir] is [<dir>/checkpoint.ckpt]. *)

@@ -5,6 +5,8 @@ module Cell = Css_liberty.Cell
 module Obs = Css_util.Obs
 module Histo = Css_util.Histo
 module Pool = Css_util.Pool
+module Wall_clock = Css_util.Wall_clock
+module M = Css_cache.Macromodel
 
 type stats = {
   mutable edges_extracted : int;
@@ -26,6 +28,7 @@ type obs_counters = {
   o_endpoints : Obs.counter;  (* endpoints / vertices cone-walked *)
   o_cone : Obs.counter;
   o_rounds : Obs.counter;
+  o_walks : Obs.counter;  (* real cone traversals (cache misses or no cache) *)
   (* Cone-walk size distribution (visited nodes per walked endpoint),
      observed during the deterministic merge in item order — identical
      at any worker count. [Histo.dummy] when observability is off. *)
@@ -39,12 +42,9 @@ let resolve_obs obs engine =
     o_endpoints = Obs.counter obs (Printf.sprintf "extract.%s.endpoints_walked" engine);
     o_cone = Obs.counter obs (Printf.sprintf "extract.%s.cone_nodes" engine);
     o_rounds = Obs.counter obs (Printf.sprintf "extract.%s.rounds" engine);
+    o_walks = Obs.counter obs (Printf.sprintf "extract.%s.cone_walks" engine);
     h_cone = Obs.histogram obs (Printf.sprintf "extract.%s.cone_visited" engine);
   }
-
-let launchers_of_design timer =
-  let g = Timer.graph timer in
-  Array.to_list (Array.map (Graph.launcher_of_node g) (Graph.sources g))
 
 (* One candidate sequential edge produced by a worker's cone walk. *)
 type cand = {
@@ -54,11 +54,26 @@ type cand = {
   c_weight : float;
 }
 
+(* A worker's verdict on one cone lookup, applied merge-side in item
+   order so the LRU order, the counters and the latency histograms come
+   out identical at any worker count. *)
+type note =
+  | N_touch of M.entry * float  (* stamp-tier hit, lookup seconds *)
+  | N_rehash of M.entry * float  (* hash-tier hit *)
+  | N_store of M.entry * float  (* miss: commit this fresh model *)
+
 (* The result of cone-walking one work item: its candidates in exactly
    the order the sequential loop would enumerate them, plus the visited
-   node count for deferred stats accounting. Workers only build shards;
-   all graph/stats/Obs mutation happens in the submitter's merge. *)
-type shard = { sh_cands : cand list; sh_visited : int }
+   node count for deferred stats accounting, the number of real cone
+   traversals performed (0 when every cone hit the cache), and the cache
+   notes in cone order. Workers only build shards; all graph/stats/Obs/
+   cache-structure mutation happens in the submitter's merge. *)
+type shard = {
+  sh_cands : cand list;
+  sh_visited : int;
+  sh_walks : int;
+  sh_notes : note list;
+}
 
 type t = {
   kind : engine;
@@ -74,6 +89,10 @@ type t = {
      wall-clock. *)
   mutable pool : Pool.t option;
   mutable ctxs : Timer.cone_ctx array;  (* one private walk scratch per worker *)
+  (* Cone macromodel cache, shared across engines/corners/requests by
+     the owner (session, oracle, bench). Workers only probe/validate;
+     the merge commits (see the concurrency contract in macromodel.mli). *)
+  cache : M.t option;
   mutable pending_first : int;  (* Full: work count reported by the first round *)
   (* IC-CSS state *)
   bound : float array;  (* one-time extreme outgoing/incoming path delay *)
@@ -101,16 +120,67 @@ let walk t ~n (f : Timer.cone_ctx -> int -> shard) : shard array =
   | Some pool -> Pool.map pool ~n (fun ~worker i -> f t.ctxs.(worker) i)
   | None -> Array.init n (fun i -> f t.ctxs.(0) i)
 
+(* Walk [root]'s cone through the cache when one is attached. A hit
+   replays the stored interface list — bit-identical to the walk it
+   memoized — without touching the graph; a miss walks for real and
+   packages a fresh model. Cache commits are deferred as notes: workers
+   write nothing but their own entry's validation fields (distinct roots
+   per round make those writes race-free). *)
+let cone_cached t ctx ~corner ~forward root notes =
+  match t.cache with
+  | None ->
+    let raw, visited = Timer.cone_nodes_in ctx t.timer corner ~root ~forward in
+    (raw, visited, 1)
+  | Some cache ->
+    let key = M.key ~root ~corner ~forward in
+    let t0 = Wall_clock.now () in
+    let live =
+      match M.probe cache ~key with
+      | exception Not_found -> None
+      | e ->
+        if M.stamp_fresh cache t.timer e then Some (e, false)
+        else if M.revalidate cache t.timer ctx e then Some (e, true)
+        else None
+    in
+    (match live with
+    | Some (e, rehash) ->
+      let dt = Wall_clock.now () -. t0 in
+      notes := (if rehash then N_rehash (e, dt) else N_touch (e, dt)) :: !notes;
+      (M.interface e, 0, 0)
+    | None ->
+      let raw, visited = Timer.cone_nodes_in ctx t.timer corner ~root ~forward in
+      let e = M.make t.timer ctx ~key ~results:raw ~visited in
+      notes := N_store (e, Wall_clock.now () -. t0) :: !notes;
+      (raw, visited, 1))
+
 (* Deterministic merge: fold shards in item order, inserting kept
-   candidates in their sequential enumeration order, then flush the
-   accumulated stats and counters once (per-worker-flush rule: workers
-   never touch [stats], the timer or the [Obs] context). *)
+   candidates in their sequential enumeration order and applying cache
+   notes in cone order, then flush the accumulated stats and counters
+   once (per-worker-flush rule: workers never touch [stats], the timer,
+   the cache structure or the [Obs] context). *)
 let merge ?(keep = fun _ -> true) t shards =
-  let added = ref 0 and visited = ref 0 and cands = ref 0 in
+  let added = ref 0 and visited = ref 0 and cands = ref 0 and walks = ref 0 in
   Array.iter
     (fun sh ->
       visited := !visited + sh.sh_visited;
+      walks := !walks + sh.sh_walks;
       Histo.observe_int t.oc.h_cone sh.sh_visited;
+      (match t.cache with
+      | None -> ()
+      | Some cache ->
+        List.iter
+          (fun note ->
+            match note with
+            | N_touch (e, s) ->
+              M.touch cache e;
+              M.note_hit cache ~rehash:false ~seconds:s
+            | N_rehash (e, s) ->
+              M.touch cache e;
+              M.note_hit cache ~rehash:true ~seconds:s
+            | N_store (e, s) ->
+              M.store cache e;
+              M.note_miss cache ~seconds:s)
+          sh.sh_notes);
       List.iter
         (fun c ->
           incr cands;
@@ -127,6 +197,7 @@ let merge ?(keep = fun _ -> true) t shards =
   Obs.add t.oc.o_edges !added;
   Obs.add t.oc.o_candidates !cands;
   Obs.add t.oc.o_cone !visited;
+  Obs.add t.oc.o_walks !walks;
   Timer.note_cone_visits t.timer !visited;
   !added
 
@@ -135,21 +206,25 @@ let merge ?(keep = fun _ -> true) t shards =
 
 let full_extract t =
   let corner = Seq_graph.corner t.graph in
-  let launchers = Array.of_list (launchers_of_design t.timer) in
-  let n = Array.length launchers in
+  let g = Timer.graph t.timer in
+  let srcs = Graph.sources g in
+  let n = Array.length srcs in
   Obs.add t.oc.o_endpoints n;
   let shards =
     walk t ~n (fun ctx i ->
-        let launcher = launchers.(i) in
-        let found, visited = Timer.cone_from_launcher_in ctx t.timer corner launcher in
+        let root = srcs.(i) in
+        let launcher = Graph.launcher_of_node g root in
+        let notes = ref [] in
+        let found, visited, walks = cone_cached t ctx ~corner ~forward:true root notes in
         let cands =
           List.map
-            (fun (endpoint, delay) ->
+            (fun (node, delay) ->
+              let endpoint = Graph.endpoint_of_node g node in
               let weight = Timer.edge_slack t.timer corner ~launcher ~endpoint ~delay in
               { c_launcher = launcher; c_endpoint = endpoint; c_delay = delay; c_weight = weight })
             found
         in
-        { sh_cands = cands; sh_visited = visited })
+        { sh_cands = cands; sh_visited = visited; sh_walks = walks; sh_notes = !notes })
   in
   let added = merge t shards in
   t.stats.rounds <- t.stats.rounds + 1;
@@ -183,18 +258,22 @@ let essential_round ?(limit = max_int) t =
   let selected = Array.of_list (List.rev !selected) in
   let n = Array.length selected in
   Obs.add t.oc.o_endpoints n;
+  let g = Timer.graph t.timer in
   let shards =
     walk t ~n (fun ctx i ->
         let endpoint = selected.(i) in
-        let found, visited = Timer.cone_to_endpoint_in ctx t.timer corner endpoint in
+        let root = Graph.node_of_endpoint g endpoint in
+        let notes = ref [] in
+        let found, visited, walks = cone_cached t ctx ~corner ~forward:false root notes in
         let cands =
           List.map
-            (fun (launcher, delay) ->
+            (fun (node, delay) ->
+              let launcher = Graph.launcher_of_node g node in
               let weight = Timer.edge_slack t.timer corner ~launcher ~endpoint ~delay in
               { c_launcher = launcher; c_endpoint = endpoint; c_delay = delay; c_weight = weight })
             found
         in
-        { sh_cands = cands; sh_visited = visited })
+        { sh_cands = cands; sh_visited = visited; sh_walks = walks; sh_notes = !notes })
   in
   merge ~keep:(fun c -> c.c_weight < 0.0) t shards
 
@@ -300,7 +379,8 @@ let iccss_critical t v =
 let iccss_collect t ctx v =
   let corner = Seq_graph.corner t.graph in
   let g = Timer.graph t.timer in
-  let visited = ref 0 in
+  let visited = ref 0 and walks = ref 0 in
+  let notes = ref [] in
   let cands =
     match corner with
     | Timer.Late ->
@@ -318,10 +398,13 @@ let iccss_collect t ctx v =
       in
       List.concat_map
         (fun launcher ->
-          let found, vis = Timer.cone_from_launcher_in ctx t.timer corner launcher in
+          let root = Graph.source_of_launcher g launcher in
+          let found, vis, wk = cone_cached t ctx ~corner ~forward:true root notes in
           visited := !visited + vis;
+          walks := !walks + wk;
           List.map
-            (fun (endpoint, delay) ->
+            (fun (node, delay) ->
+              let endpoint = Graph.endpoint_of_node g node in
               let weight = Timer.edge_slack t.timer corner ~launcher ~endpoint ~delay in
               { c_launcher = launcher; c_endpoint = endpoint; c_delay = delay; c_weight = weight })
             found)
@@ -340,16 +423,19 @@ let iccss_collect t ctx v =
       in
       List.concat_map
         (fun endpoint ->
-          let found, vis = Timer.cone_to_endpoint_in ctx t.timer corner endpoint in
+          let root = Graph.node_of_endpoint g endpoint in
+          let found, vis, wk = cone_cached t ctx ~corner ~forward:false root notes in
           visited := !visited + vis;
+          walks := !walks + wk;
           List.map
-            (fun (launcher, delay) ->
+            (fun (node, delay) ->
+              let launcher = Graph.launcher_of_node g node in
               let weight = Timer.edge_slack t.timer corner ~launcher ~endpoint ~delay in
               { c_launcher = launcher; c_endpoint = endpoint; c_delay = delay; c_weight = weight })
             found)
         endpoints
   in
-  { sh_cands = cands; sh_visited = !visited }
+  { sh_cands = cands; sh_visited = !visited; sh_walks = !walks; sh_notes = List.rev !notes }
 
 (* Fire the callback for every not-yet-expanded critical vertex. The
    criticality test reads only timer state and the one-time bound —
@@ -393,7 +479,8 @@ let constraint_edges t ff =
 (* ------------------------------------------------------------------ *)
 (* Unified entry point                                                 *)
 
-let run ?(obs = Obs.null) ?pool ~engine:kind timer verts ~corner =
+let run ?(obs = Obs.null) ?pool ?cache ~engine:kind timer verts ~corner =
+  Option.iter (fun c -> M.bind c timer) cache;
   let t =
     {
       kind;
@@ -407,6 +494,7 @@ let run ?(obs = Obs.null) ?pool ~engine:kind timer verts ~corner =
         Array.init
           (match pool with Some p -> Pool.jobs p | None -> 1)
           (fun _ -> Timer.cone_ctx timer);
+      cache;
       pending_first = 0;
       bound = (match kind with Iccss -> compute_bound timer verts corner | Full | Essential -> [||]);
       expanded =
@@ -473,7 +561,8 @@ let snapshot t =
     sn_expanded = Array.copy t.expanded;
   }
 
-let restore ?(obs = Obs.null) ?pool snap timer verts ~corner =
+let restore ?(obs = Obs.null) ?pool ?cache snap timer verts ~corner =
+  Option.iter (fun c -> M.bind c timer) cache;
   let t =
     {
       kind = snap.sn_engine;
@@ -484,6 +573,7 @@ let restore ?(obs = Obs.null) ?pool snap timer verts ~corner =
       oc = resolve_obs obs (engine_name snap.sn_engine);
       pool;
       ctxs = worker_ctxs timer pool;
+      cache;
       pending_first = snap.sn_pending_first;
       bound = Array.copy snap.sn_bound;
       expanded = Array.copy snap.sn_expanded;

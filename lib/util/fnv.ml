@@ -1,0 +1,19 @@
+let basis = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let mix_byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) prime
+
+let mix_int64 h x =
+  let h = ref h in
+  for shift = 0 to 7 do
+    h := mix_byte !h (Int64.to_int (Int64.shift_right_logical x (shift * 8)))
+  done;
+  !h
+
+let mix_int h x = mix_int64 h (Int64.of_int x)
+let mix_float h x = mix_int64 h (Int64.bits_of_float x)
+
+let of_string s =
+  let h = ref basis in
+  String.iter (fun c -> h := mix_byte !h (Char.code c)) s;
+  !h

@@ -133,7 +133,23 @@ let diff_bench ~th base_records cur_records =
               (mk_row ~key ~metric:"edge_ratio" ~worse_sign:1.0
                  ~threshold:(Some th.max_p95_pct) ~base:b ~cur:c)
           | _ -> ()));
-        compare_histograms ~th ~key ~rows (Json.member "histograms" bj) (Json.member "histograms" cj))
+        compare_histograms ~th ~key ~rows (Json.member "histograms" bj) (Json.member "histograms" cj);
+        (* numeric fields the baseline predates (a freshly added metric,
+           e.g. cache_hit_ratio against an older artifact): surface them
+           as informational rows — never gated, never a failure — so the
+           report shows the new numbers until the baseline is refreshed *)
+        (match cj with
+        | Json.Obj kvs ->
+          List.iter
+            (fun (name, v) ->
+              match v with
+              | Json.Int _ | Json.Float _ when num_field bj name = None ->
+                opt_row rows
+                  (mk_row ~key ~metric:name ~worse_sign:1.0 ~threshold:None ~base:0.0
+                     ~cur:(Json.to_float v))
+              | _ -> ())
+            kvs
+        | _ -> ()))
     base_records;
   { rows = List.rev !rows; missing = List.rev !missing }
 

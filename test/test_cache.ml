@@ -1,0 +1,241 @@
+(* The cone macromodel cache in isolation: content-hash stability
+   across identical builds, LRU eviction order (including touch), exact
+   byte accounting, and entry round-trips through the Persist
+   checkpoint format. The cache's *invisibility* — cached runs bitwise
+   equal to cache-disabled runs — lives in test_differential.ml's cache
+   suite; this file covers the data structure itself. *)
+
+module Profile = Css_benchgen.Profile
+module Generator = Css_benchgen.Generator
+module Timer = Css_sta.Timer
+module Vertex = Css_seqgraph.Vertex
+module Extract = Css_seqgraph.Extract
+module Macromodel = Css_cache.Macromodel
+module Session = Css_flow.Session
+module Persist = Css_flow.Persist
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* Populate a fresh cache by running one full extraction over a
+   deterministic design: every launcher cone becomes one entry. *)
+let populate ?seed:(s = 11) () =
+  let design = Generator.generate { Profile.tiny with Profile.seed = s } in
+  let timer = Timer.build design in
+  let verts = Vertex.of_design design in
+  let cache = Macromodel.create () in
+  ignore (Extract.run ~cache ~engine:Extract.Full timer verts ~corner:Timer.Late);
+  cache
+
+let sorted_snaps cache =
+  List.sort
+    (fun a b -> compare a.Macromodel.cs_key b.Macromodel.cs_key)
+    (Macromodel.snapshot cache)
+
+(* {2 Hash stability: identical cones hash identically} *)
+
+let test_hash_stability () =
+  (* the generator is deterministic in the seed, so two builds produce
+     clones; every cone's content hash must agree bit-for-bit *)
+  let a = sorted_snaps (populate ()) and b = sorted_snaps (populate ()) in
+  checkb "caches populated" true (a <> []);
+  checki "same entry count" (List.length a) (List.length b);
+  List.iter2
+    (fun sa sb ->
+      checki "same key" sa.Macromodel.cs_key sb.Macromodel.cs_key;
+      checkb
+        (Printf.sprintf "key %d: equal content hash" sa.Macromodel.cs_key)
+        true
+        (Int64.equal sa.Macromodel.cs_hash sb.Macromodel.cs_hash);
+      checkb "same interface" true
+        (sa.Macromodel.cs_nodes = sb.Macromodel.cs_nodes
+        && sa.Macromodel.cs_delays = sb.Macromodel.cs_delays
+        && sa.Macromodel.cs_members = sb.Macromodel.cs_members))
+    a b;
+  (* a different design must not hash-collide across the board *)
+  let c = sorted_snaps (populate ~seed:12 ()) in
+  let hashes snaps = List.map (fun s -> s.Macromodel.cs_hash) snaps in
+  checkb "different design yields different hashes" false (hashes a = hashes c)
+
+(* {2 LRU eviction: order, touch, byte budget} *)
+
+let test_lru_eviction () =
+  let snaps = Macromodel.snapshot (populate ()) in
+  checkb "need >= 3 cones for the eviction test" true (List.length snaps >= 3);
+  let a, b, c =
+    match snaps with x :: y :: z :: _ -> (x, y, z) | _ -> assert false
+  in
+  (* measure each entry's accounted footprint via an unbounded cache *)
+  let big = Macromodel.create () in
+  Macromodel.restore big [ a; b; c ];
+  let bytes_of s = Macromodel.entry_bytes (Macromodel.probe big ~key:s.Macromodel.cs_key) in
+  let cap = bytes_of b + bytes_of c in
+  (* restoring [a; b; c] (LRU to MRU) into a cache that only fits two
+     must evict [a], the least recently used *)
+  let small = Macromodel.create ~max_bytes:cap () in
+  Macromodel.restore small [ a; b; c ];
+  checki "two survivors" 2 (Macromodel.entries small);
+  checkb "LRU entry evicted" true
+    (match Macromodel.probe small ~key:a.Macromodel.cs_key with
+    | exception Not_found -> true
+    | _ -> false);
+  checkb "MRU entries survive" true
+    (match
+       ( Macromodel.probe small ~key:b.Macromodel.cs_key,
+         Macromodel.probe small ~key:c.Macromodel.cs_key )
+     with
+    | _, _ -> true
+    | exception Not_found -> false);
+  checkb "evictions counted" true (Macromodel.evictions small >= 1);
+  checki "bytes settle at the survivors' footprint" cap (Macromodel.bytes small);
+  (* touch changes the next victim: promote [b], re-insert [a] -> the
+     eviction to make room must now take [c], not [b] *)
+  Macromodel.touch small (Macromodel.probe small ~key:b.Macromodel.cs_key);
+  Macromodel.restore small [ a ];
+  checkb "untouched entry evicted" true
+    (match Macromodel.probe small ~key:c.Macromodel.cs_key with
+    | exception Not_found -> true
+    | _ -> false);
+  checkb "touched entry survives" true
+    (match Macromodel.probe small ~key:b.Macromodel.cs_key with
+    | exception Not_found -> false
+    | _ -> true)
+
+let test_byte_accounting () =
+  let cache = populate () in
+  let snaps = Macromodel.snapshot cache in
+  let total =
+    List.fold_left
+      (fun acc s -> acc + Macromodel.entry_bytes (Macromodel.probe cache ~key:s.Macromodel.cs_key))
+      0 snaps
+  in
+  checki "bytes = sum of entry footprints" total (Macromodel.bytes cache);
+  checkb "within budget" true (Macromodel.bytes cache <= Macromodel.max_bytes cache);
+  (* trim to zero drains everything and the account follows *)
+  Macromodel.trim cache ~frac:0.0;
+  checki "trim 0.0 empties the cache" 0 (Macromodel.entries cache);
+  checki "empty cache accounts zero bytes" 0 (Macromodel.bytes cache)
+
+(* {2 The hit path allocates nothing} *)
+
+let test_lookup_allocation_free () =
+  let design = Generator.generate { Profile.tiny with Profile.seed = 11 } in
+  let timer = Timer.build design in
+  let verts = Vertex.of_design design in
+  let cache = Macromodel.create () in
+  ignore (Extract.run ~cache ~engine:Extract.Full timer verts ~corner:Timer.Late);
+  let keys =
+    Array.of_list (List.map (fun s -> s.Macromodel.cs_key) (Macromodel.snapshot cache))
+  in
+  checkb "populated" true (Array.length keys > 0);
+  let count = ref 0 in
+  (* warm up: fault in any lazy state before measuring *)
+  for i = 0 to Array.length keys - 1 do
+    if Macromodel.stamp_fresh cache timer (Macromodel.probe cache ~key:keys.(i)) then
+      incr count
+  done;
+  let before = Gc.minor_words () in
+  for _ = 1 to 100 do
+    for i = 0 to Array.length keys - 1 do
+      match Macromodel.probe cache ~key:keys.(i) with
+      | e -> if Macromodel.stamp_fresh cache timer e then incr count
+      | exception Not_found -> ()
+    done
+  done;
+  let allocated = Gc.minor_words () -. before in
+  (* probe + stamp_fresh is the per-cone cost of every latency-only
+     scheduler iteration at paper scale: it must allocate zero words
+     (the budget is slack for unrelated runtime noise, not for the
+     lookup path) *)
+  checkb
+    (Printf.sprintf "hit path allocation-free (%.0f minor words over %d lookups)" allocated
+       (100 * Array.length keys))
+    true (allocated <= 256.0);
+  checkb "lookups actually validated" true (!count >= Array.length keys)
+
+(* {2 Persistence: snapshot/restore identity and the checkpoint file} *)
+
+let test_snapshot_restore_identity () =
+  let cache = populate () in
+  let snaps = Macromodel.snapshot cache in
+  let copy = Macromodel.create () in
+  Macromodel.restore copy snaps;
+  (* restore pushes LRU-first, so a fresh snapshot reproduces the list
+     exactly: keys, hashes, interface arrays and recency order *)
+  checkb "snapshot . restore = identity" true (Macromodel.snapshot copy = snaps)
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "css-cache-test-%d-%d" (Unix.getpid ()) !n)
+    in
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    dir
+
+let test_persist_roundtrip () =
+  let design = Generator.generate { Profile.tiny with Profile.seed = 23 } in
+  let config = { Session.default_config with Session.rounds = 1 } in
+  let session = Session.open_ ~config ~algo:Session.Ours design in
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> Session.close session)
+    (fun () ->
+      ignore (Session.finish session);
+      let live_entries =
+        match Session.cache_stats session with
+        | Some s -> s.Session.cache_entries
+        | None -> Alcotest.fail "cache disabled under the default config"
+      in
+      checkb "session populated its cache" true (live_entries > 0);
+      Session.save session ~dir;
+      (* the checkpoint carries every model bit-for-bit *)
+      match Persist.load ~dir with
+      | Error _ -> Alcotest.fail "checkpoint does not load back"
+      | Ok st ->
+        checki "every entry persisted" live_entries (List.length st.Persist.ps_cache);
+        let reloaded = Macromodel.create () in
+        Macromodel.restore reloaded st.Persist.ps_cache;
+        checkb "file round-trip preserves all models" true
+          (Macromodel.snapshot reloaded = st.Persist.ps_cache);
+        (* and a session reopened from the same directory resumes warm *)
+        (match Session.reopen ~config ~library:(Css_netlist.Design.library design) ~dir () with
+        | Error _ -> Alcotest.fail "reopen rejected the checkpoint"
+        | Ok resumed ->
+          Fun.protect
+            ~finally:(fun () -> Session.close resumed)
+            (fun () ->
+              match Session.cache_stats resumed with
+              | Some s -> checki "resumed session is warm" live_entries s.Session.cache_entries
+              | None -> Alcotest.fail "resumed session lost its cache")))
+
+(* {2 A disabled cache stays disabled} *)
+
+let test_disabled_cache () =
+  let design = Generator.generate { Profile.tiny with Profile.seed = 31 } in
+  let config = { Session.default_config with Session.rounds = 1; Session.cache_bytes = 0 } in
+  let session = Session.open_ ~config ~algo:Session.Ours design in
+  Fun.protect
+    ~finally:(fun () -> Session.close session)
+    (fun () ->
+      ignore (Session.finish session);
+      checkb "cache_bytes = 0 reports no stats" true (Session.cache_stats session = None))
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "macromodel",
+        [
+          Alcotest.test_case "content hash is stable across clones" `Quick test_hash_stability;
+          Alcotest.test_case "LRU eviction order and touch" `Quick test_lru_eviction;
+          Alcotest.test_case "byte accounting" `Quick test_byte_accounting;
+          Alcotest.test_case "hit path allocates zero words" `Quick
+            test_lookup_allocation_free;
+          Alcotest.test_case "snapshot/restore identity" `Quick test_snapshot_restore_identity;
+          Alcotest.test_case "persist round-trip through a checkpoint" `Quick
+            test_persist_roundtrip;
+          Alcotest.test_case "cache_bytes = 0 disables" `Quick test_disabled_cache;
+        ] );
+    ]

@@ -287,6 +287,63 @@ let test_resume_from_garbage_dir () =
   | Error (d :: _) -> checks "code" "CKPT-001" d.Diag.code
   | Error [] -> Alcotest.fail "no diagnostics"
 
+(* {2 The macromodel cache inside a warm session} *)
+
+module Session = Css_flow.Session
+module Obs = Css_util.Obs
+
+(* A warm session answering a latency-only delta must not re-walk a
+   single cone: latency edits never stamp a delay, so every extraction
+   lookup has to land in the cache (stamp tier, or hash tier after a
+   from-scratch timer rebuild). The extract.*.cone_walks counters count
+   real traversals; their delta across the second apply_delta is the
+   assertion. *)
+let test_warm_delta_zero_walks () =
+  let obs = Obs.create () in
+  let design = Generator.generate { Profile.tiny with Profile.seed = 5 } in
+  let config =
+    {
+      Flow.default_config with
+      Flow.rounds = 1;
+      Flow.obs = obs;
+      Flow.final_eval = false;
+      Flow.rollback = false;
+    }
+  in
+  let session = Session.open_ ~config ~algo:Session.Ours design in
+  Fun.protect
+    ~finally:(fun () -> Session.close session)
+    (fun () ->
+      ignore (Session.finish session);
+      let counters () = Obs.counters obs in
+      let get name = Option.value ~default:0 (List.assoc_opt name (counters ())) in
+      let walks () =
+        List.fold_left
+          (fun acc (n, v) ->
+            let suffix = ".cone_walks" in
+            let ls = String.length suffix and ln = String.length n in
+            if ln > ls && String.sub n (ln - ls) ls = suffix then acc + v else acc)
+          0 (counters ())
+      in
+      let ff = (Design.ffs design).(0) in
+      let delta lat =
+        Session.Set_latency { ff = Design.cell_name design ff; latency = lat }
+      in
+      (* first delta: converges the schedule around the override and
+         warms any cone the initial run did not touch *)
+      (match Session.apply_delta session [ delta 3.0 ] with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "first delta rejected");
+      let walks0 = walks () in
+      let hits0 = get "cache.hit" + get "cache.rehash_hit" in
+      (* second, identical override: the cones are all cached and no
+         delay moved, so re-convergence must replay every interface *)
+      (match Session.apply_delta session [ delta 3.0 ] with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "second delta rejected");
+      checki "zero cone re-walks on the warm delta" 0 (walks () - walks0);
+      checkb "cache hits grew" true (get "cache.hit" + get "cache.rehash_hit" > hits0))
+
 let test_flow_on_micro () =
   let design = Generator.micro () in
   let r = Flow.run ~algo:Flow.Ours design in
@@ -326,5 +383,10 @@ let () =
           Alcotest.test_case "interrupt persists and resumes" `Quick
             test_interrupt_persists_and_resumes;
           Alcotest.test_case "resume from garbage dir" `Quick test_resume_from_garbage_dir;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "warm delta does zero cone re-walks" `Quick
+            test_warm_delta_zero_walks;
         ] );
     ]

@@ -78,6 +78,23 @@ let test_zero_means_not_measured () =
   | Some row -> checkb "informational" true (row.Regress.r_threshold_pct = None)
   | None -> Alcotest.fail "rss row missing"
 
+let test_new_field_informational () =
+  (* a metric the baseline predates (cache_hit_ratio landed after the
+     baseline was frozen) must surface as an ungated informational row,
+     never a failure *)
+  let base = Json.List [ bench_record () ] in
+  let cur =
+    Json.List [ bench_record ~extra:[ ("cache_hit_ratio", Json.Float 0.97) ] () ]
+  in
+  let r = Regress.diff ~baseline:base ~current:cur () in
+  checkb "new field ok" true (Regress.ok r);
+  match find_row r ~key:"sb18/full" ~metric:"cache_hit_ratio" with
+  | Some row ->
+    checkb "informational" true (row.Regress.r_threshold_pct = None);
+    checkb "not regressed" false row.Regress.r_regressed;
+    checkb "current value carried" true (Float.abs (row.Regress.r_cur -. 0.97) < 1e-9)
+  | None -> Alcotest.fail "cache_hit_ratio row missing"
+
 let test_missing_record_fails_gate () =
   let base =
     Json.List [ bench_record ~engine:"full" (); bench_record ~engine:"iterative-essential" () ]
@@ -169,6 +186,7 @@ let () =
           Alcotest.test_case "bench pass and fail" `Quick test_bench_pass_and_fail;
           Alcotest.test_case "throughput informational" `Quick test_throughput_informational;
           Alcotest.test_case "zero means not measured" `Quick test_zero_means_not_measured;
+          Alcotest.test_case "new field informational" `Quick test_new_field_informational;
           Alcotest.test_case "missing record fails gate" `Quick test_missing_record_fails_gate;
           Alcotest.test_case "histogram p95 gate" `Quick test_histogram_p95_gate;
           Alcotest.test_case "stats mode" `Quick test_stats_mode;

@@ -207,6 +207,7 @@ let test_request_roundtrip () =
           o_rollback = None;
           o_wall_seconds = Some 1.5;
           o_rss_mb = Some 256;
+          o_cache_mb = Some 32;
         };
       Protocol.Run "s";
       Protocol.Apply_delta
@@ -350,7 +351,7 @@ let reap pid =
   (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
   try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
 
-let open_params ?(rounds = 2) ?(algo = "Ours") ?wall ?rss_mb ~session text =
+let open_params ?(rounds = 2) ?(algo = "Ours") ?wall ?rss_mb ?cache_mb ~session text =
   Protocol.Open
     {
       Protocol.o_session = session;
@@ -362,6 +363,7 @@ let open_params ?(rounds = 2) ?(algo = "Ours") ?wall ?rss_mb ~session text =
       o_rollback = None;
       o_wall_seconds = wall;
       o_rss_mb = rss_mb;
+      o_cache_mb = cache_mb;
     }
 
 let expect_code c req code =
